@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Reproduces paper Fig 13: for the regular applications Multiply_13,
+ * System_9, and BV_10, the logical circuit depth and the final
+ * hardware-mapped depth as the qubit budget shrinks.
+ *
+ * Paper shape to check: logical depth rises monotonically as qubits
+ * drop; the *compiled* depth first improves or holds (reuse relieves
+ * SWAP pressure), then degrades when saving becomes too aggressive —
+ * the sweet spot sits in the middle.
+ */
+#include <iostream>
+
+#include "apps/benchmarks.h"
+#include "arch/backend.h"
+#include "core/tradeoff.h"
+#include "util/table.h"
+
+namespace {
+
+void
+run_case(const std::string& name)
+{
+    using namespace caqr;
+    const auto bench = apps::get_benchmark(name);
+    if (!bench) {
+        std::cerr << "unknown benchmark " << name << "\n";
+        return;
+    }
+    const auto backend = arch::Backend::fake_mumbai();
+    const auto points = core::explore_tradeoff(bench->circuit, &backend);
+
+    util::Table table({"qubits", "logical depth", "compiled depth",
+                       "compiled duration (dt)", "SWAPs"});
+    table.set_title("Figure 13 (" + name + ")");
+    for (const auto& point : points) {
+        table.add_row(
+            {util::Table::fmt(static_cast<long long>(point.qubits)),
+             util::Table::fmt(static_cast<long long>(point.logical_depth)),
+             util::Table::fmt(static_cast<long long>(point.compiled_depth)),
+             util::Table::fmt(point.compiled_duration_dt, 0),
+             util::Table::fmt(static_cast<long long>(point.swaps))});
+    }
+    table.print(std::cout);
+
+    // Sweet-spot report (minimum compiled depth over the sweep).
+    const auto* best = &points.front();
+    for (const auto& point : points) {
+        if (point.compiled_depth < best->compiled_depth) best = &point;
+    }
+    std::cout << name << ": compiled-depth sweet spot at "
+              << best->qubits << " qubits (original "
+              << points.front().qubits << ", minimum "
+              << points.back().qubits << ")\n\n";
+}
+
+}  // namespace
+
+int
+main()
+{
+    run_case("multiply_13");
+    run_case("system_9");
+    run_case("bv_10");
+    return 0;
+}

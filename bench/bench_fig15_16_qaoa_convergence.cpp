@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Reproduces paper Figs 15 & 16: QAOA convergence on the noisy device
+ * model for 10-node max-cut problems at densities 0.3 and 0.5 — the
+ * negated expected cut value per classical-optimizer round, comparing
+ * the no-reuse baseline against SR-CaQR (which uses fewer qubits).
+ *
+ * Paper shape to check: the SR-CaQR curve converges at least as fast
+ * and reaches an equal or better (more negative) final energy while
+ * using fewer qubits.
+ */
+#include <iostream>
+
+#include "apps/qaoa.h"
+#include "arch/backend.h"
+#include "core/sr_caqr.h"
+#include "graph/generators.h"
+#include "opt/nelder_mead.h"
+#include "sim/noise_model.h"
+#include "sim/simulator.h"
+#include "transpile/transpiler.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace caqr;
+
+constexpr std::size_t kShots = 512;
+constexpr int kRounds = 40;
+
+/// Noisy QAOA objective. The circuit *structure* (reuse plan, layout,
+/// routing) is compiled once; per evaluation only the angles are
+/// substituted (all RZZ gates carry 2γ, all RX gates 2β) and the
+/// circuit is simulated under backend noise. Returns the negated
+/// expected cut.
+class QaoaObjective
+{
+  public:
+    QaoaObjective(const graph::UndirectedGraph& problem,
+                  const arch::Backend& backend, bool use_sr)
+        : problem_(&problem), backend_(&backend)
+    {
+        core::CommutingSpec spec;
+        spec.interaction = problem;
+        if (use_sr) {
+            // Paper runs the 6-qubit SR circuit: take QS-CaQR's
+            // 6-qubit version explicitly and map it with the SR engine.
+            core::QsCommutingOptions qs_options;
+            qs_options.max_candidates = 12;
+            qs_options.target_qubits = 6;
+            auto qs = core::qs_caqr_commuting(spec, qs_options);
+            auto result = core::sr_caqr(
+                qs.versions.back().schedule.circuit, backend);
+            template_circuit_ = std::move(result.circuit);
+        } else {
+            apps::QaoaParams qp;
+            qp.gammas = {spec.gamma};
+            qp.betas = {spec.beta};
+            const auto logical = apps::qaoa_circuit(problem, qp);
+            transpile::TranspileOptions options;
+            options.keep_rzz = true;
+            auto result =
+                transpile::transpile(logical, backend, options);
+            template_circuit_ = std::move(result.circuit);
+        }
+    }
+
+    int
+    qubits_used() const
+    {
+        return template_circuit_.active_qubit_count();
+    }
+
+    double
+    operator()(const std::vector<double>& params) const
+    {
+        circuit::Circuit instance(template_circuit_.num_qubits(),
+                                  template_circuit_.num_clbits());
+        for (auto instr : template_circuit_.instructions()) {
+            if (instr.kind == circuit::GateKind::kRzz) {
+                instr.params[0] = 2.0 * params[0];
+            } else if (instr.kind == circuit::GateKind::kRx) {
+                instr.params[0] = 2.0 * params[1];
+            }
+            instance.append(std::move(instr));
+        }
+        const auto noise = sim::NoiseModel::from_backend(*backend_);
+        const auto counts = sim::simulate(
+            instance, {.shots = kShots, .seed = next_seed_++}, noise);
+        return -apps::maxcut_expectation(counts, *problem_);
+    }
+
+  private:
+    const graph::UndirectedGraph* problem_;
+    const arch::Backend* backend_;
+    circuit::Circuit template_circuit_;
+    mutable std::uint64_t next_seed_ = 42;
+};
+
+void
+run_figure(const char* title, double density, unsigned seed)
+{
+    util::Rng rng(seed);
+    const auto problem = graph::random_graph(10, density, rng);
+    const auto backend = arch::Backend::fake_mumbai();
+    const int best_cut = apps::brute_force_maxcut(problem);
+
+    opt::NelderMeadOptions nm;
+    nm.max_evaluations = kRounds;
+    nm.initial_step = 0.5;
+
+    QaoaObjective baseline(problem, backend, /*use_sr=*/false);
+    const auto base = opt::nelder_mead(
+        [&](const std::vector<double>& p) { return baseline(p); },
+        {0.4, 0.3}, nm);
+
+    QaoaObjective reuse(problem, backend, /*use_sr=*/true);
+    const auto sr = opt::nelder_mead(
+        [&](const std::vector<double>& p) { return reuse(p); },
+        {0.4, 0.3}, nm);
+
+    util::Table table({"round", "-E[cut] baseline", "-E[cut] SR-CaQR"});
+    table.set_title(title);
+    const std::size_t rounds =
+        std::min(base.best_history.size(), sr.best_history.size());
+    for (std::size_t round = 0; round < rounds; ++round) {
+        table.add_row(
+            {util::Table::fmt(static_cast<long long>(round + 1)),
+             util::Table::fmt(base.best_history[round], 3),
+             util::Table::fmt(sr.best_history[round], 3)});
+    }
+    table.print(std::cout);
+    std::cout << "optimal cut = " << best_cut
+              << "; final energy: baseline "
+              << util::Table::fmt(base.best_value, 3) << " ("
+              << baseline.qubits_used() << " qubits), SR-CaQR "
+              << util::Table::fmt(sr.best_value, 3) << " ("
+              << reuse.qubits_used()
+              << " qubits); lower is better\n\n";
+}
+
+}  // namespace
+
+int
+main()
+{
+    run_figure("Figure 15: QAOA 10-0.3 convergence (noisy)", 0.3, 151);
+    run_figure("Figure 16: QAOA 10-0.5 convergence (noisy)", 0.5, 161);
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Compile-time overhead study (paper §3.4): measures how QS-CaQR and
+ * SR-CaQR compile time scales with circuit size. The paper derives
+ * O(k n^3) for general circuits and O(k^3 n^4) worst case for QAOA
+ * (Blossom matching per candidate), noting the worst case is not hit
+ * in practice.
+ */
+#include <benchmark/benchmark.h>
+
+#include "apps/benchmarks.h"
+#include "arch/backend.h"
+#include "core/qs_caqr.h"
+#include "core/sr_caqr.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace caqr;
+
+void
+BM_QsCaqrBv(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    const auto circuit = apps::bv_circuit(n);
+    for (auto _ : state) {
+        auto result = core::qs_caqr(circuit);
+        benchmark::DoNotOptimize(result.versions.size());
+    }
+    state.SetComplexityN(n);
+}
+BENCHMARK(BM_QsCaqrBv)->Arg(4)->Arg(6)->Arg(8)->Arg(12)->Arg(16)
+    ->Complexity(benchmark::oAuto)->Unit(benchmark::kMillisecond);
+
+void
+BM_SrCaqrBv(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    const auto circuit = apps::bv_circuit(n);
+    const auto backend = arch::Backend::fake_mumbai();
+    for (auto _ : state) {
+        auto result = core::sr_caqr(circuit, backend);
+        benchmark::DoNotOptimize(result.swaps_added);
+    }
+    state.SetComplexityN(n);
+}
+BENCHMARK(BM_SrCaqrBv)->Arg(4)->Arg(8)->Arg(12)->Arg(16)->Arg(20)
+    ->Complexity(benchmark::oAuto)->Unit(benchmark::kMillisecond);
+
+void
+BM_QsCommutingQaoa(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    util::Rng rng(5u + static_cast<unsigned>(n));
+    core::CommutingSpec spec;
+    spec.interaction = graph::random_graph(n, 0.3, rng);
+    core::QsCommutingOptions options;
+    options.max_candidates = 8;
+    for (auto _ : state) {
+        auto result = core::qs_caqr_commuting(spec, options);
+        benchmark::DoNotOptimize(result.versions.size());
+    }
+    state.SetComplexityN(n);
+}
+BENCHMARK(BM_QsCommutingQaoa)->Arg(8)->Arg(12)->Arg(16)->Arg(24)
+    ->Complexity(benchmark::oAuto)->Unit(benchmark::kMillisecond);
+
+void
+BM_ReusePairEnumeration(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    const auto circuit = apps::bv_circuit(n);
+    for (auto _ : state) {
+        circuit::CircuitDag dag(circuit);
+        auto pairs = core::find_reuse_pairs(dag);
+        benchmark::DoNotOptimize(pairs.size());
+    }
+    state.SetComplexityN(n);
+}
+BENCHMARK(BM_ReusePairEnumeration)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Complexity(benchmark::oAuto)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

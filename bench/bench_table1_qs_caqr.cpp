@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Reproduces paper Table 1: for each benchmark, the hardware-mapped
+ * qubit count / depth / duration / SWAP count of (a) the no-reuse
+ * baseline, (b) QS-CaQR with maximal reuse, and (c) QS-CaQR tuned for
+ * minimal depth.
+ *
+ * Paper shape to check: maximal reuse trades depth/duration for large
+ * qubit savings; the minimal-depth version saves a moderate number of
+ * qubits while often *beating* the baseline depth/duration ("better
+ * than the baseline surprisingly ... in a lot of cases").
+ */
+#include <iostream>
+#include <vector>
+
+#include "apps/benchmarks.h"
+#include "arch/backend.h"
+#include "core/tradeoff.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace caqr;
+
+struct Row
+{
+    std::string name;
+    core::TradeoffPoint baseline;
+    core::TradeoffPoint max_reuse;
+    core::TradeoffPoint min_depth;
+};
+
+Row
+summarize(const std::string& name,
+          const std::vector<core::TradeoffPoint>& points)
+{
+    Row row;
+    row.name = name;
+    row.baseline = points.front();
+    row.max_reuse = points.back();
+    row.min_depth = points.front();
+    for (const auto& point : points) {
+        if (point.compiled_depth < row.min_depth.compiled_depth) {
+            row.min_depth = point;
+        }
+    }
+    return row;
+}
+
+void
+print_section(const char* title, const std::vector<Row>& rows,
+              core::TradeoffPoint Row::*member)
+{
+    util::Table table(
+        {"benchmark", "qubits", "depth", "duration (dt)", "SWAP"});
+    table.set_title(title);
+    for (const auto& row : rows) {
+        const auto& point = row.*member;
+        table.add_row(
+            {row.name,
+             util::Table::fmt(static_cast<long long>(point.qubits)),
+             util::Table::fmt(static_cast<long long>(point.compiled_depth)),
+             util::Table::fmt(point.compiled_duration_dt, 0),
+             util::Table::fmt(static_cast<long long>(point.swaps))});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
+}  // namespace
+
+int
+main()
+{
+    const auto backend = arch::Backend::fake_mumbai();
+    std::vector<Row> rows;
+
+    for (const auto& name : apps::regular_benchmark_names()) {
+        const auto bench = apps::get_benchmark(name);
+        const auto points =
+            core::explore_tradeoff(bench->circuit, &backend);
+        rows.push_back(summarize(name, points));
+    }
+
+    for (int n : {5, 10, 15, 20, 25}) {
+        util::Rng rng(1000u + static_cast<unsigned>(n));
+        core::CommutingSpec spec;
+        spec.interaction = graph::random_graph(n, 0.30, rng);
+        core::QsCommutingOptions options;
+        options.max_candidates = n <= 15 ? 24 : 12;
+        const auto points =
+            core::explore_tradeoff_commuting(spec, &backend, options);
+        rows.push_back(
+            summarize("qaoa" + std::to_string(n) + "-0.3", points));
+    }
+
+    print_section("Table 1 — Baseline (no reuse)", rows, &Row::baseline);
+    print_section("Table 1 — QS-CaQR, maximal reuse", rows,
+                  &Row::max_reuse);
+    print_section("Table 1 — QS-CaQR, minimal depth", rows,
+                  &Row::min_depth);
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Command-line QASM tool: read an OpenQASM 2.0 circuit from stdin (or
+ * a file), apply CaQR, and emit the transformed dynamic circuit.
+ *
+ * Usage:
+ *   qasm_tool [--target-qubits N] [--stats] [file.qasm]
+ *   qasm_tool --export-benchmarks DIR
+ *
+ * With no file, reads stdin. `--stats` prints the sweep table instead
+ * of QASM. `--export-benchmarks` writes the built-in benchmark suite
+ * as .qasm files into DIR (the source tree ships the result in
+ * `circuits/`).
+ */
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "apps/benchmarks.h"
+#include "core/qs_caqr.h"
+#include "qasm/parser.h"
+#include "qasm/printer.h"
+#include "util/table.h"
+
+namespace {
+
+int
+export_benchmarks(const std::string& dir)
+{
+    using namespace caqr;
+    for (const auto& name : apps::regular_benchmark_names()) {
+        const auto bench = apps::get_benchmark(name);
+        const std::string path = dir + "/" + name + ".qasm";
+        std::ofstream out(path);
+        if (!out) {
+            std::cerr << "error: cannot write '" << path << "'\n";
+            return 1;
+        }
+        out << qasm::to_qasm(bench->circuit);
+        std::cout << "wrote " << path << "\n";
+    }
+    return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace caqr;
+
+    int target_qubits = -1;
+    bool stats_only = false;
+    std::string path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--target-qubits" && i + 1 < argc) {
+            target_qubits = std::stoi(argv[++i]);
+        } else if (arg == "--stats") {
+            stats_only = true;
+        } else if (arg == "--export-benchmarks" && i + 1 < argc) {
+            return export_benchmarks(argv[++i]);
+        } else if (arg == "--help") {
+            std::cout << "usage: qasm_tool [--target-qubits N] "
+                         "[--stats] [file.qasm]\n";
+            return 0;
+        } else {
+            path = arg;
+        }
+    }
+
+    std::ostringstream buffer;
+    if (path.empty()) {
+        buffer << std::cin.rdbuf();
+    } else {
+        std::ifstream file(path);
+        if (!file) {
+            std::cerr << "error: cannot open '" << path << "'\n";
+            return 1;
+        }
+        buffer << file.rdbuf();
+    }
+
+    const auto parsed = qasm::parse(buffer.str());
+    if (!parsed.ok()) {
+        std::cerr << "parse error: " << parsed.error << "\n";
+        return 1;
+    }
+
+    core::QsCaqrOptions options;
+    options.target_qubits = target_qubits;
+    const auto result = core::qs_caqr(*parsed.circuit, options);
+
+    if (stats_only) {
+        util::Table table({"qubits", "depth", "duration (dt)"});
+        table.set_title("QS-CaQR sweep");
+        for (const auto& version : result.versions) {
+            table.add_row(
+                {util::Table::fmt(static_cast<long long>(version.qubits)),
+                 util::Table::fmt(static_cast<long long>(version.depth)),
+                 util::Table::fmt(version.duration_dt, 0)});
+        }
+        table.print(std::cout);
+        if (target_qubits >= 0 && !result.reached_target) {
+            std::cerr << "note: target of " << target_qubits
+                      << " qubits is not reachable\n";
+        }
+        return 0;
+    }
+
+    if (target_qubits >= 0 && !result.reached_target) {
+        std::cerr << "error: cannot reach " << target_qubits
+                  << " qubits (minimum is "
+                  << result.versions.back().qubits << ")\n";
+        return 1;
+    }
+    std::cout << qasm::to_qasm(result.versions.back().circuit);
+    return 0;
+}

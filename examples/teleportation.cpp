@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Dynamic-circuit showcase beyond qubit reuse: quantum teleportation
+ * with *hardware feed-forward* — the same mid-circuit measurement +
+ * classically-conditioned corrections (X and Z) that power CaQR's
+ * reuse idiom, plus wire reclamation: after teleporting, the two
+ * consumed wires are measured/reset and could host fresh qubits.
+ */
+#include <cmath>
+#include <iostream>
+
+#include "circuit/circuit.h"
+#include "sim/simulator.h"
+#include "util/table.h"
+
+int
+main()
+{
+    using namespace caqr;
+
+    // Teleport an arbitrary state |ψ> = RY(θ)|0> from wire 0 to wire 2.
+    util::Table table({"theta", "P(1) expected", "P(1) teleported"});
+    table.set_title(
+        "Teleportation via mid-circuit measurement + feed-forward");
+
+    for (double theta : {0.0, 0.7, 1.3, 2.2, 3.14159}) {
+        circuit::Circuit c(3, 3);
+        c.ry(theta, 0);  // the payload state
+
+        // Bell pair between wires 1 and 2.
+        c.h(1);
+        c.cx(1, 2);
+
+        // Bell measurement of wires 0 and 1.
+        c.cx(0, 1);
+        c.h(0);
+        c.measure(0, 0);
+        c.measure(1, 1);
+
+        // Feed-forward corrections on wire 2.
+        c.x_if(2, 1, 1);
+        c.z_if(2, 0, 1);
+
+        // Read out the teleported state.
+        c.measure(2, 2);
+
+        const auto counts = sim::simulate(c, {.shots = 20'000, .seed = 7});
+        std::size_t ones = 0;
+        std::size_t total = 0;
+        for (const auto& [key, count] : counts) {
+            total += count;
+            if (key[2] == '1') ones += count;
+        }
+        const double measured =
+            static_cast<double>(ones) / static_cast<double>(total);
+        const double expected = std::sin(theta / 2) * std::sin(theta / 2);
+        table.add_row({util::Table::fmt(theta, 2),
+                       util::Table::fmt(expected, 3),
+                       util::Table::fmt(measured, 3)});
+    }
+    table.print(std::cout);
+    std::cout << "\nThe conditioned X/Z corrections are the same "
+                 "feed-forward primitive CaQR\nuses for qubit reuse "
+                 "(measure + conditional reset).\n";
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Tradeoff-explorer example: run the reuse advisor on each built-in
+ * benchmark, then sweep the full qubit budget for one of them and
+ * print the qubits / depth / duration / SWAP Pareto table a user would
+ * consult before picking a version for their device.
+ */
+#include <iostream>
+
+#include "apps/benchmarks.h"
+#include "arch/backend.h"
+#include "core/reuse_analysis.h"
+#include "core/tradeoff.h"
+#include "util/table.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace caqr;
+
+    // 1. Advisor pass over the whole suite: "is reuse worth it here?"
+    util::Table advice_table({"benchmark", "qubits", "min qubits",
+                              "orig depth", "max-reuse depth",
+                              "reuse?"});
+    advice_table.set_title("Reuse advisor");
+    for (const auto& name : apps::regular_benchmark_names()) {
+        const auto bench = apps::get_benchmark(name);
+        const auto advice = core::advise_reuse(bench->circuit);
+        advice_table.add_row(
+            {name,
+             util::Table::fmt(static_cast<long long>(advice.active_qubits)),
+             util::Table::fmt(
+                 static_cast<long long>(advice.min_qubits_estimate)),
+             util::Table::fmt(
+                 static_cast<long long>(advice.original_depth)),
+             util::Table::fmt(
+                 static_cast<long long>(advice.max_reuse_depth)),
+             advice.any_opportunity ? "yes" : "no"});
+    }
+    advice_table.print(std::cout);
+
+    // 2. Full budget sweep for one benchmark (default bv_10).
+    const std::string target = argc > 1 ? argv[1] : "bv_10";
+    const auto bench = apps::get_benchmark(target);
+    if (!bench) {
+        std::cerr << "unknown benchmark '" << target << "'\n";
+        return 1;
+    }
+    const auto backend = arch::Backend::fake_mumbai();
+    const auto points = core::explore_tradeoff(bench->circuit, &backend);
+
+    util::Table sweep({"qubits", "logical depth", "compiled depth",
+                       "compiled duration (dt)", "SWAPs"});
+    sweep.set_title("\nBudget sweep: " + target + " on " +
+                    backend.name());
+    for (const auto& point : points) {
+        sweep.add_row(
+            {util::Table::fmt(static_cast<long long>(point.qubits)),
+             util::Table::fmt(static_cast<long long>(point.logical_depth)),
+             util::Table::fmt(static_cast<long long>(point.compiled_depth)),
+             util::Table::fmt(point.compiled_duration_dt, 0),
+             util::Table::fmt(static_cast<long long>(point.swaps))});
+    }
+    sweep.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,80 @@
+#include "apps/arithmetic.h"
+
+namespace caqr::apps {
+
+using circuit::Circuit;
+
+namespace {
+
+void
+measure_all(Circuit& c)
+{
+    for (int q = 0; q < c.num_qubits(); ++q) c.measure(q, q);
+}
+
+}  // namespace
+
+Circuit
+rd32_circuit(bool measured)
+{
+    Circuit c(4, measured ? 4 : 0);
+    // q3 = majority(a, b, cin); q1 = a ⊕ b ⊕ cin.
+    c.ccx(0, 1, 3);
+    c.cx(0, 1);
+    c.ccx(1, 2, 3);
+    c.cx(2, 1);
+    if (measured) measure_all(c);
+    return c;
+}
+
+Circuit
+mod5_circuit(bool measured)
+{
+    Circuit c(5, measured ? 5 : 0);
+    // Netlist reproducing the RevLib 4mod5 profile: a 4-bit register
+    // (q0..q3) interacting with a result qubit (q4) through a cascade
+    // of Toffoli/CNOT stages (see arithmetic.h for the substitution
+    // note).
+    c.x(4);
+    c.ccx(0, 1, 4);
+    c.cx(2, 4);
+    c.ccx(1, 2, 4);
+    c.cx(3, 4);
+    c.ccx(2, 3, 4);
+    c.cx(0, 4);
+    c.ccx(0, 3, 4);
+    if (measured) measure_all(c);
+    return c;
+}
+
+Circuit
+multiply13_circuit(bool measured)
+{
+    // a: q0..q3 (4 bits), b: q4..q6 (3 bits), p: q7..q12 (6 bits).
+    Circuit c(13, measured ? 13 : 0);
+    for (int i = 0; i < 4; ++i) {
+        for (int j = 0; j < 3; ++j) {
+            c.ccx(i, 4 + j, 7 + i + j);
+        }
+    }
+    if (measured) measure_all(c);
+    return c;
+}
+
+Circuit
+system9_circuit(int layers, bool measured)
+{
+    constexpr int kQubits = 9;
+    Circuit c(kQubits, measured ? kQubits : 0);
+    for (int q = 0; q < kQubits; ++q) c.h(q);
+    for (int layer = 0; layer < layers; ++layer) {
+        // ZZ couplings along the chain, even bonds then odd bonds.
+        for (int q = 0; q + 1 < kQubits; q += 2) c.rzz(0.35, q, q + 1);
+        for (int q = 1; q + 1 < kQubits; q += 2) c.rzz(0.35, q, q + 1);
+        for (int q = 0; q < kQubits; ++q) c.rx(0.6, q);
+    }
+    if (measured) measure_all(c);
+    return c;
+}
+
+}  // namespace caqr::apps

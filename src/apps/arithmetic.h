@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Reversible-arithmetic circuit generators standing in for the RevLib /
+ * QASMBench netlists the paper benchmarks (rd32, 4mod5, Multiply_13,
+ * System_9). Each generator matches the named benchmark's qubit count
+ * and interaction-graph profile; see DESIGN.md §4 for the substitution
+ * rationale. Where the function is well defined (full adder, carry-less
+ * multiplier) the circuits are arithmetically correct and tested by
+ * simulation.
+ */
+#ifndef CAQR_APPS_ARITHMETIC_H
+#define CAQR_APPS_ARITHMETIC_H
+
+#include "circuit/circuit.h"
+
+namespace caqr::apps {
+
+/**
+ * rd32: 1-bit full adder on 4 qubits — inputs a (q0), b (q1),
+ * carry-in (q2), ancilla carry-out (q3, starts |0>). After execution
+ * q1 holds the sum a⊕b⊕cin and q3 the majority carry. Measures all
+ * four qubits when @p measured.
+ */
+circuit::Circuit rd32_circuit(bool measured = true);
+
+/**
+ * 4mod5: 5-qubit modular-arithmetic-shaped netlist (x/cx/ccx mix over
+ * a 4-bit register + 1 result qubit) reproducing the RevLib benchmark's
+ * size and connectivity profile.
+ */
+circuit::Circuit mod5_circuit(bool measured = true);
+
+/**
+ * Multiply_13: carry-less (GF(2)) 4x3-bit multiplier on exactly 13
+ * qubits — a (q0..q3), b (q4..q6), product p (q7..q12, starts |0>);
+ * p(x) = a(x)·b(x) over GF(2) via one CCX per partial-product bit.
+ * Arithmetically exact and verified by simulation.
+ */
+circuit::Circuit multiply13_circuit(bool measured = true);
+
+/**
+ * System_9: 9-qubit 1-D transverse-field Ising Trotter circuit
+ * (@p layers of RZZ chain + RX sweeps) — a nearest-neighbor
+ * "physical system simulation" profile (max interaction degree 2).
+ */
+circuit::Circuit system9_circuit(int layers = 2, bool measured = true);
+
+}  // namespace caqr::apps
+
+#endif  // CAQR_APPS_ARITHMETIC_H

@@ -1,0 +1,154 @@
+#include "apps/benchmarks.h"
+
+#include "apps/arithmetic.h"
+#include "util/logging.h"
+
+namespace caqr::apps {
+
+using circuit::Circuit;
+
+namespace {
+
+std::vector<int>
+default_secret(int data_qubits)
+{
+    return std::vector<int>(static_cast<std::size_t>(data_qubits), 1);
+}
+
+std::vector<int>
+default_fake(int coins)
+{
+    std::vector<int> fake(static_cast<std::size_t>(coins), 0);
+    for (int i = 0; i < coins; i += 2) fake[i] = 1;
+    return fake;
+}
+
+}  // namespace
+
+Circuit
+bv_circuit(int num_qubits, const std::vector<int>& secret, bool measured)
+{
+    CAQR_CHECK(num_qubits >= 2, "BV needs at least 2 qubits");
+    const int data = num_qubits - 1;
+    const int ancilla = num_qubits - 1;
+    std::vector<int> bits = secret.empty() ? default_secret(data) : secret;
+    CAQR_CHECK(static_cast<int>(bits.size()) == data,
+               "secret length must be num_qubits - 1");
+
+    Circuit c(num_qubits, measured ? num_qubits : 0);
+    for (int q = 0; q < data; ++q) c.h(q);
+    c.x(ancilla);
+    c.h(ancilla);
+    for (int q = 0; q < data; ++q) {
+        if (bits[q]) c.cx(q, ancilla);
+    }
+    for (int q = 0; q < data; ++q) c.h(q);
+    c.h(ancilla);
+    if (measured) {
+        for (int q = 0; q < num_qubits; ++q) c.measure(q, q);
+    }
+    return c;
+}
+
+std::string
+bv_expected(int num_qubits, const std::vector<int>& secret)
+{
+    const int data = num_qubits - 1;
+    std::vector<int> bits = secret.empty() ? default_secret(data) : secret;
+    std::string expected;
+    for (int bit : bits) expected += bit ? '1' : '0';
+    expected += '1';  // ancilla |-> decodes to 1 after the final H
+    return expected;
+}
+
+Circuit
+xor5_circuit(bool measured)
+{
+    // Reversible parity netlist (RevLib xor5 family): q4 ^= q0..q3.
+    Circuit c(5, measured ? 5 : 0);
+    for (int q = 0; q < 4; ++q) c.cx(q, 4);
+    if (measured) {
+        for (int q = 0; q < 5; ++q) c.measure(q, q);
+    }
+    return c;
+}
+
+Circuit
+cc_circuit(int num_qubits, const std::vector<int>& fake, bool measured)
+{
+    CAQR_CHECK(num_qubits >= 2, "CC needs at least 2 qubits");
+    const int coins = num_qubits - 1;
+    const int balance = num_qubits - 1;
+    std::vector<int> flags = fake.empty() ? default_fake(coins) : fake;
+    CAQR_CHECK(static_cast<int>(flags.size()) == coins,
+               "fake-flag length must be num_qubits - 1");
+
+    Circuit c(num_qubits, measured ? num_qubits : 0);
+    for (int q = 0; q < coins; ++q) c.h(q);
+    c.x(balance);
+    c.h(balance);
+    for (int q = 0; q < coins; ++q) {
+        if (flags[q]) c.cx(q, balance);
+    }
+    for (int q = 0; q < coins; ++q) c.h(q);
+    c.h(balance);
+    if (measured) {
+        for (int q = 0; q < num_qubits; ++q) c.measure(q, q);
+    }
+    return c;
+}
+
+std::string
+cc_expected(int num_qubits, const std::vector<int>& fake)
+{
+    const int coins = num_qubits - 1;
+    std::vector<int> flags = fake.empty() ? default_fake(coins) : fake;
+    std::string expected;
+    for (int flag : flags) expected += flag ? '1' : '0';
+    expected += '1';
+    return expected;
+}
+
+std::optional<Benchmark>
+get_benchmark(const std::string& name)
+{
+    Benchmark bench;
+    bench.name = name;
+    if (name == "rd32") {
+        bench.circuit = rd32_circuit();
+        bench.expected = "0000";  // all-zero inputs: sum 0, carry 0
+    } else if (name == "4mod5") {
+        bench.circuit = mod5_circuit();
+    } else if (name == "multiply_13") {
+        bench.circuit = multiply13_circuit();
+        bench.expected = std::string(13, '0');  // zero operands
+    } else if (name == "system_9") {
+        bench.circuit = system9_circuit();
+    } else if (name == "bv_5") {
+        bench.circuit = bv_circuit(5);
+        bench.expected = bv_expected(5);
+    } else if (name == "bv_10") {
+        bench.circuit = bv_circuit(10);
+        bench.expected = bv_expected(10);
+    } else if (name == "cc_10") {
+        bench.circuit = cc_circuit(10);
+        bench.expected = cc_expected(10);
+    } else if (name == "cc_13") {
+        bench.circuit = cc_circuit(13);
+        bench.expected = cc_expected(13);
+    } else if (name == "xor_5") {
+        bench.circuit = xor5_circuit();
+    } else {
+        return std::nullopt;
+    }
+    return bench;
+}
+
+std::vector<std::string>
+regular_benchmark_names()
+{
+    return {"rd32",  "4mod5", "multiply_13", "system_9",
+            "bv_10", "cc_10", "xor_5"};
+}
+
+}  // namespace caqr::apps

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Oracle-style benchmark circuits (BV, XOR, counterfeit-coin) and the
+ * named-benchmark registry used by the evaluation harnesses.
+ */
+#ifndef CAQR_APPS_BENCHMARKS_H
+#define CAQR_APPS_BENCHMARKS_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace caqr::apps {
+
+/**
+ * Bernstein–Vazirani over @p num_qubits total qubits (num_qubits - 1
+ * data qubits + 1 ancilla, paper Fig 1). @p secret has num_qubits - 1
+ * bits (empty = all ones, the paper's star-graph worst case). Data
+ * qubit i is measured into clbit i.
+ */
+circuit::Circuit bv_circuit(int num_qubits,
+                            const std::vector<int>& secret = {},
+                            bool measured = true);
+
+/// Expected classical outcome of bv_circuit (clbit-0-leftmost string).
+std::string bv_expected(int num_qubits,
+                        const std::vector<int>& secret = {});
+
+/**
+ * XOR_5: 5-qubit parity circuit — q0..q3 data fan CX into q4.
+ */
+circuit::Circuit xor5_circuit(bool measured = true);
+
+/**
+ * Counterfeit-coin-style circuit over @p num_qubits qubits
+ * (num_qubits - 1 coins + 1 balance ancilla): superpose coins, phase
+ * kickback from the fake-coin subset, decode. @p fake marks fake coins
+ * (empty = alternating pattern). Deterministic outcome, so TVD /
+ * success rate have a ground truth.
+ */
+circuit::Circuit cc_circuit(int num_qubits,
+                            const std::vector<int>& fake = {},
+                            bool measured = true);
+
+/// Expected classical outcome of cc_circuit.
+std::string cc_expected(int num_qubits, const std::vector<int>& fake = {});
+
+/// A named benchmark instance.
+struct Benchmark
+{
+    std::string name;
+    circuit::Circuit circuit;
+    /// Expected outcome string when the circuit is deterministic.
+    std::optional<std::string> expected;
+};
+
+/**
+ * Registry lookup for the paper's regular benchmarks: "rd32", "4mod5",
+ * "multiply_13", "system_9", "bv_5", "bv_10", "cc_10", "cc_13",
+ * "xor_5". Returns nullopt for unknown names.
+ */
+std::optional<Benchmark> get_benchmark(const std::string& name);
+
+/// Names accepted by get_benchmark, in the paper's Table 1 order.
+std::vector<std::string> regular_benchmark_names();
+
+}  // namespace caqr::apps
+
+#endif  // CAQR_APPS_BENCHMARKS_H

@@ -1,0 +1,73 @@
+#include "apps/qaoa.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace caqr::apps {
+
+circuit::Circuit
+qaoa_circuit(const graph::UndirectedGraph& problem, const QaoaParams& params,
+             bool measured)
+{
+    CAQR_CHECK(params.gammas.size() == params.betas.size(),
+               "QAOA needs one (gamma, beta) pair per layer");
+    const int n = problem.num_nodes();
+    circuit::Circuit c(n, measured ? n : 0);
+    for (int q = 0; q < n; ++q) c.h(q);
+    for (int layer = 0; layer < params.layers(); ++layer) {
+        for (const auto& [u, v] : problem.edges()) {
+            c.rzz(2.0 * params.gammas[static_cast<std::size_t>(layer)], u,
+                  v);
+        }
+        for (int q = 0; q < n; ++q) {
+            c.rx(2.0 * params.betas[static_cast<std::size_t>(layer)], q);
+        }
+    }
+    if (measured) {
+        for (int q = 0; q < n; ++q) c.measure(q, q);
+    }
+    return c;
+}
+
+double
+maxcut_expectation(const sim::Counts& counts,
+                   const graph::UndirectedGraph& problem,
+                   const std::vector<int>& clbit_of)
+{
+    std::size_t total = 0;
+    double weighted = 0.0;
+    for (const auto& [key, count] : counts) {
+        int cut = 0;
+        for (const auto& [u, v] : problem.edges()) {
+            const std::size_t bu = static_cast<std::size_t>(
+                clbit_of.empty() ? u : clbit_of[u]);
+            const std::size_t bv = static_cast<std::size_t>(
+                clbit_of.empty() ? v : clbit_of[v]);
+            CAQR_CHECK(bu < key.size() && bv < key.size(),
+                       "clbit index outside outcome string");
+            if (key[bu] != key[bv]) ++cut;
+        }
+        weighted += static_cast<double>(cut) * static_cast<double>(count);
+        total += count;
+    }
+    return total == 0 ? 0.0 : weighted / static_cast<double>(total);
+}
+
+int
+brute_force_maxcut(const graph::UndirectedGraph& problem)
+{
+    const int n = problem.num_nodes();
+    CAQR_CHECK(n <= 24, "brute force limited to 24 nodes");
+    int best = 0;
+    for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << n); ++mask) {
+        int cut = 0;
+        for (const auto& [u, v] : problem.edges()) {
+            if (((mask >> u) ^ (mask >> v)) & 1) ++cut;
+        }
+        best = std::max(best, cut);
+    }
+    return best;
+}
+
+}  // namespace caqr::apps

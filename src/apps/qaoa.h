@@ -1,0 +1,54 @@
+/**
+ * @file
+ * QAOA for max-cut: circuit construction from a problem graph, energy
+ * evaluation from measurement histograms, and a brute-force reference
+ * for small instances.
+ *
+ * The paper's commuting-gate benchmarks are depth-1 QAOA circuits whose
+ * RZZ ("CPHASE") cost gates all commute — the property the commuting
+ * variants of QS-/SR-CaQR exploit.
+ */
+#ifndef CAQR_APPS_QAOA_H
+#define CAQR_APPS_QAOA_H
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "graph/undirected_graph.h"
+#include "sim/simulator.h"
+
+namespace caqr::apps {
+
+/// QAOA parameters (one (γ, β) pair per layer).
+struct QaoaParams
+{
+    std::vector<double> gammas;
+    std::vector<double> betas;
+
+    int layers() const { return static_cast<int>(gammas.size()); }
+};
+
+/**
+ * Builds the max-cut QAOA circuit for @p problem: H on all qubits, then
+ * per layer RZZ(2γ) per edge and RX(2β) per qubit; measures qubit i
+ * into clbit i when @p measured.
+ */
+circuit::Circuit qaoa_circuit(const graph::UndirectedGraph& problem,
+                              const QaoaParams& params,
+                              bool measured = true);
+
+/**
+ * Average cut value over @p counts, where the bit for problem node v is
+ * clbits[clbit_of[v]] (identity when empty). Higher is better; the
+ * optimizer minimizes the negation (paper Figs 15/16).
+ */
+double maxcut_expectation(const sim::Counts& counts,
+                          const graph::UndirectedGraph& problem,
+                          const std::vector<int>& clbit_of = {});
+
+/// Exact maximum cut by exhaustive search (n <= 24).
+int brute_force_maxcut(const graph::UndirectedGraph& problem);
+
+}  // namespace caqr::apps
+
+#endif  // CAQR_APPS_QAOA_H

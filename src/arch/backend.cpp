@@ -1,0 +1,128 @@
+#include "arch/backend.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "arch/heavy_hex.h"
+#include "circuit/dag.h"
+#include "circuit/schedule.h"
+#include "util/logging.h"
+
+namespace caqr::arch {
+
+Backend::Backend(std::string name, graph::UndirectedGraph topology,
+                 Calibration calibration)
+    : name_(std::move(name)),
+      topology_(std::move(topology)),
+      calibration_(std::move(calibration)),
+      distances_(topology_.all_pairs_distances())
+{
+    CAQR_CHECK(calibration_.num_qubits() == topology_.num_nodes(),
+               "calibration does not cover the topology");
+}
+
+Backend
+Backend::fake_mumbai()
+{
+    auto topology = mumbai_coupling();
+    auto calibration = Calibration::synthesize(topology, /*seed=*/27);
+    return Backend("FakeMumbai", std::move(topology),
+                   std::move(calibration));
+}
+
+Backend
+Backend::scaled_heavy_hex(int min_qubits, unsigned seed)
+{
+    auto topology = arch::scaled_heavy_hex(min_qubits);
+    auto calibration = Calibration::synthesize(topology, seed);
+    return Backend("HeavyHex" + std::to_string(topology.num_nodes()),
+                   std::move(topology), std::move(calibration));
+}
+
+int
+Backend::distance(int a, int b) const
+{
+    CAQR_CHECK(a >= 0 && a < num_qubits() && b >= 0 && b < num_qubits(),
+               "physical qubit id out of range");
+    return distances_[static_cast<std::size_t>(a)]
+                     [static_cast<std::size_t>(b)];
+}
+
+double
+CalibratedDurations::duration(const circuit::Instruction& instr) const
+{
+    using circuit::GateKind;
+    using circuit::LogicalDurations;
+
+    switch (instr.kind) {
+      case GateKind::kBarrier:
+        return 0.0;
+      case GateKind::kMeasure:
+        return LogicalDurations::kMeasure;
+      case GateKind::kReset:
+        return LogicalDurations::kBuiltinReset;
+      default:
+        break;
+    }
+    if (instr.has_condition()) return LogicalDurations::kConditionedGate;
+    if (circuit::is_two_qubit(instr.kind)) {
+        const int a = instr.qubits[0];
+        const int b = instr.qubits[1];
+        double cx = LogicalDurations::kTwoQubitGate;
+        if (backend_->calibration().has_link(a, b)) {
+            cx = backend_->calibration().link(a, b).cx_duration_dt;
+        }
+        return instr.kind == GateKind::kSwap ? 3 * cx : cx;
+    }
+    if (instr.kind == GateKind::kCcx) {
+        return 6 * LogicalDurations::kTwoQubitGate;
+    }
+    return LogicalDurations::kOneQubitGate;
+}
+
+double
+estimated_success_probability(const circuit::Circuit& circuit,
+                              const Backend& backend)
+{
+    using circuit::GateKind;
+    const Calibration& cal = backend.calibration();
+
+    double esp = 1.0;
+    for (const auto& instr : circuit.instructions()) {
+        switch (instr.kind) {
+          case GateKind::kBarrier:
+            break;
+          case GateKind::kMeasure:
+          case GateKind::kReset:
+            esp *= 1.0 - cal.qubit(instr.qubits[0]).readout_error;
+            break;
+          default:
+            if (circuit::is_two_qubit(instr.kind)) {
+                const int a = instr.qubits[0];
+                const int b = instr.qubits[1];
+                double err = 0.02;
+                if (cal.has_link(a, b)) err = cal.link(a, b).cx_error;
+                const int copies =
+                    instr.kind == GateKind::kSwap ? 3 : 1;
+                for (int i = 0; i < copies; ++i) esp *= 1.0 - err;
+            } else {
+                esp *= 1.0 - cal.qubit(instr.qubits[0]).sx_error;
+            }
+            break;
+        }
+    }
+
+    // Idle decoherence from an ASAP schedule.
+    CalibratedDurations model(backend);
+    circuit::Schedule schedule(circuit, model);
+    for (int q = 0; q < circuit.num_qubits(); ++q) {
+        const auto& act = schedule.activity(q);
+        if (!act.touched) continue;
+        const double idle_seconds = act.idle() * circuit::kSecondsPerDt;
+        const double t1_seconds = cal.qubit(q).t1_us * 1e-6;
+        esp *= std::exp(-idle_seconds / t1_seconds);
+    }
+    return esp;
+}
+
+}  // namespace caqr::arch

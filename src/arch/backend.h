@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Backend = topology + calibration, plus the device-aware duration
+ * model and the estimated-success-probability (ESP) fidelity metric.
+ */
+#ifndef CAQR_ARCH_BACKEND_H
+#define CAQR_ARCH_BACKEND_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/calibration.h"
+#include "circuit/circuit.h"
+#include "circuit/timing.h"
+#include "graph/undirected_graph.h"
+
+namespace caqr::arch {
+
+/// A quantum device model: coupling graph + calibration + distances.
+class Backend
+{
+  public:
+    Backend(std::string name, graph::UndirectedGraph topology,
+            Calibration calibration);
+
+    /// 27-qubit dynamic-circuit-capable device modeled on IBM Mumbai.
+    static Backend fake_mumbai();
+
+    /// Heavy-hex device with at least @p min_qubits qubits.
+    static Backend scaled_heavy_hex(int min_qubits, unsigned seed = 7);
+
+    const std::string& name() const { return name_; }
+    const graph::UndirectedGraph& topology() const { return topology_; }
+    const Calibration& calibration() const { return calibration_; }
+    int num_qubits() const { return topology_.num_nodes(); }
+
+    /// Hop distance between physical qubits (precomputed APSP).
+    int distance(int a, int b) const;
+
+    /// True if @p a and @p b share a physical link.
+    bool
+    are_adjacent(int a, int b) const
+    {
+        return topology_.has_edge(a, b);
+    }
+
+  private:
+    std::string name_;
+    graph::UndirectedGraph topology_;
+    Calibration calibration_;
+    std::vector<std::vector<int>> distances_;
+};
+
+/**
+ * Duration model calibrated to a backend: CX durations come from the
+ * link table (operands are *physical* qubit ids), SWAPs cost three CX
+ * of that link, measurements/resets and conditioned gates use the
+ * logical-model constants.
+ */
+class CalibratedDurations : public circuit::DurationModel
+{
+  public:
+    explicit CalibratedDurations(const Backend& backend)
+        : backend_(&backend) {}
+
+    double duration(const circuit::Instruction& instr) const override;
+
+  private:
+    const Backend* backend_;
+};
+
+/**
+ * Estimated success probability of a hardware-mapped circuit:
+ * Π (1 - gate error) over all gates × Π (1 - readout error) over all
+ * measurements, with idle decoherence folded in as
+ * exp(-idle_time / T1) per qubit (computed from an ASAP schedule).
+ * This is the fidelity estimate CaQR's tradeoff tuning can target.
+ */
+double estimated_success_probability(const circuit::Circuit& circuit,
+                                     const Backend& backend);
+
+}  // namespace caqr::arch
+
+#endif  // CAQR_ARCH_BACKEND_H

@@ -1,0 +1,76 @@
+#include "arch/heavy_hex.h"
+
+#include <vector>
+
+#include "util/logging.h"
+
+namespace caqr::arch {
+
+graph::UndirectedGraph
+heavy_hex_lattice(int rows, int cols)
+{
+    CAQR_CHECK(rows >= 1 && cols >= 2, "heavy-hex needs rows>=1, cols>=2");
+
+    // Row qubits first, row-major.
+    auto row_qubit = [cols](int r, int c) { return r * cols + c; };
+    int next_id = rows * cols;
+
+    graph::UndirectedGraph graph(rows * cols);
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c + 1 < cols; ++c) {
+            graph.add_edge(row_qubit(r, c), row_qubit(r, c + 1));
+        }
+    }
+    // Connectors between row r and r+1 at every fourth column, offset
+    // by two on alternating row gaps (IBM Falcon/Eagle pattern).
+    for (int r = 0; r + 1 < rows; ++r) {
+        const int offset = (r % 2 == 0) ? 0 : 2;
+        for (int c = offset; c < cols; c += 4) {
+            const int connector = graph.add_node();
+            (void)next_id;
+            graph.add_edge(row_qubit(r, c), connector);
+            graph.add_edge(connector, row_qubit(r + 1, c));
+        }
+    }
+    return graph;
+}
+
+graph::UndirectedGraph
+scaled_heavy_hex(int min_qubits)
+{
+    CAQR_CHECK(min_qubits >= 1, "qubit demand must be positive");
+    // Candidate shapes roughly matching IBM's scaling steps.
+    struct Shape { int rows, cols; };
+    static constexpr Shape kShapes[] = {
+        {2, 5},  {3, 5},  {3, 9},  {4, 9},  {5, 9},
+        {5, 13}, {7, 13}, {7, 15}, {9, 15}, {11, 15}, {13, 17},
+    };
+    for (const auto& shape : kShapes) {
+        auto graph = heavy_hex_lattice(shape.rows, shape.cols);
+        if (graph.num_nodes() >= min_qubits) return graph;
+    }
+    // Beyond the table: grow rows at 17 columns until large enough.
+    int rows = 13;
+    for (;;) {
+        rows += 2;
+        auto graph = heavy_hex_lattice(rows, 17);
+        if (graph.num_nodes() >= min_qubits) return graph;
+    }
+}
+
+graph::UndirectedGraph
+mumbai_coupling()
+{
+    graph::UndirectedGraph graph(27);
+    static constexpr int kEdges[][2] = {
+        {0, 1},   {1, 2},   {2, 3},   {3, 5},   {1, 4},   {4, 7},
+        {5, 8},   {6, 7},   {7, 10},  {8, 9},   {8, 11},  {10, 12},
+        {12, 13}, {13, 14}, {11, 14}, {12, 15}, {15, 18}, {14, 16},
+        {16, 19}, {17, 18}, {18, 21}, {19, 20}, {19, 22}, {21, 23},
+        {23, 24}, {24, 25}, {22, 25}, {25, 26},
+    };
+    for (const auto& edge : kEdges) graph.add_edge(edge[0], edge[1]);
+    return graph;
+}
+
+}  // namespace caqr::arch

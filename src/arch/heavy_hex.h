@@ -1,0 +1,40 @@
+/**
+ * @file
+ * IBM heavy-hex lattice generators (paper §4.1: "Both QS-CaQR and
+ * SR-CaQR are using IBM heavy-hex as the backends. When the qubit
+ * number is large, we use the scaled heavy-hex architecture.").
+ *
+ * A heavy-hex lattice consists of horizontal rows of qubits joined by
+ * sparse vertical "connector" qubits every fourth column, with the
+ * connector columns offset by two between successive row gaps — the
+ * degree-≤3 topology used by IBM Falcon/Hummingbird/Eagle processors.
+ */
+#ifndef CAQR_ARCH_HEAVY_HEX_H
+#define CAQR_ARCH_HEAVY_HEX_H
+
+#include "graph/undirected_graph.h"
+
+namespace caqr::arch {
+
+/**
+ * Generates a heavy-hex lattice with @p rows horizontal chains of
+ * @p cols qubits each, plus the connector qubits between them.
+ * Row qubits are numbered row-major first, connectors after.
+ */
+graph::UndirectedGraph heavy_hex_lattice(int rows, int cols);
+
+/**
+ * Smallest heavy-hex lattice (by total qubit count) from a fixed family
+ * of row/column shapes that contains at least @p min_qubits qubits.
+ */
+graph::UndirectedGraph scaled_heavy_hex(int min_qubits);
+
+/**
+ * The 27-qubit IBM Falcon coupling graph (ibmq_mumbai and siblings),
+ * reproduced edge-for-edge.
+ */
+graph::UndirectedGraph mumbai_coupling();
+
+}  // namespace caqr::arch
+
+#endif  // CAQR_ARCH_HEAVY_HEX_H

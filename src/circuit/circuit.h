@@ -1,0 +1,168 @@
+/**
+ * @file
+ * The quantum circuit IR: a linear sequence of instructions over
+ * indexed qubits and classical bits, with first-class support for the
+ * dynamic-circuit primitives (mid-circuit measurement, reset, and
+ * classically-conditioned gates) that qubit reuse is built on.
+ */
+#ifndef CAQR_CIRCUIT_CIRCUIT_H
+#define CAQR_CIRCUIT_CIRCUIT_H
+
+#include <string>
+#include <vector>
+
+#include "circuit/gate.h"
+#include "graph/undirected_graph.h"
+
+namespace caqr::circuit {
+
+/// One operation in a circuit.
+struct Instruction
+{
+    GateKind kind = GateKind::kBarrier;
+    std::vector<int> qubits;   ///< operand qubit ids
+    std::vector<double> params;  ///< rotation angles, if any
+    int clbit = -1;            ///< measurement result bit (kMeasure only)
+    int condition_bit = -1;    ///< classical control bit, or -1 if none
+    int condition_value = 1;   ///< required value of the control bit
+
+    bool has_condition() const { return condition_bit >= 0; }
+    bool
+    uses_qubit(int q) const
+    {
+        for (int operand : qubits) {
+            if (operand == q) return true;
+        }
+        return false;
+    }
+};
+
+/**
+ * A quantum circuit over `num_qubits()` qubits and `num_clbits()`
+ * classical bits. Instructions execute in program order subject to the
+ * usual commutation of operations on disjoint (qu)bits; CircuitDag
+ * derives the dependency structure.
+ */
+class Circuit
+{
+  public:
+    Circuit() = default;
+    Circuit(int num_qubits, int num_clbits);
+
+    int num_qubits() const { return num_qubits_; }
+    int num_clbits() const { return num_clbits_; }
+
+    /// Appends a fresh qubit / classical bit; returns its id.
+    int add_qubit() { return num_qubits_++; }
+    int add_clbit() { return num_clbits_++; }
+
+    const std::vector<Instruction>& instructions() const { return instrs_; }
+    std::size_t size() const { return instrs_.size(); }
+    const Instruction& at(std::size_t i) const { return instrs_[i]; }
+
+    /// Appends an arbitrary instruction after validating operand ranges
+    /// and arity.
+    void append(Instruction instr);
+
+    /// @name Builder helpers
+    /// @{
+    void h(int q) { append_simple(GateKind::kH, {q}); }
+    void x(int q) { append_simple(GateKind::kX, {q}); }
+    void y(int q) { append_simple(GateKind::kY, {q}); }
+    void z(int q) { append_simple(GateKind::kZ, {q}); }
+    void s(int q) { append_simple(GateKind::kS, {q}); }
+    void sdg(int q) { append_simple(GateKind::kSdg, {q}); }
+    void t(int q) { append_simple(GateKind::kT, {q}); }
+    void tdg(int q) { append_simple(GateKind::kTdg, {q}); }
+    void rx(double theta, int q) { append_param(GateKind::kRx, {theta}, {q}); }
+    void ry(double theta, int q) { append_param(GateKind::kRy, {theta}, {q}); }
+    void rz(double theta, int q) { append_param(GateKind::kRz, {theta}, {q}); }
+    void
+    u(double theta, double phi, double lambda, int q)
+    {
+        append_param(GateKind::kU, {theta, phi, lambda}, {q});
+    }
+    void cx(int control, int target)
+    {
+        append_simple(GateKind::kCx, {control, target});
+    }
+    void cz(int a, int b) { append_simple(GateKind::kCz, {a, b}); }
+    void
+    rzz(double theta, int a, int b)
+    {
+        append_param(GateKind::kRzz, {theta}, {a, b});
+    }
+    void swap_gate(int a, int b) { append_simple(GateKind::kSwap, {a, b}); }
+    void ccx(int c0, int c1, int target)
+    {
+        append_simple(GateKind::kCcx, {c0, c1, target});
+    }
+    void measure(int q, int clbit);
+    void reset(int q) { append_simple(GateKind::kReset, {q}); }
+    void barrier();
+
+    /// Classically-conditioned X: applies X(q) iff clbit == value.
+    /// This is the fast "measure + conditional reset" idiom of paper
+    /// Fig 2(b); emit it right after measure(q, clbit) to reuse q.
+    void x_if(int q, int clbit, int value = 1);
+
+    /// Classically-conditioned Z (feed-forward phase correction, e.g.
+    /// the teleportation protocol's second correction).
+    void z_if(int q, int clbit, int value = 1);
+    /// @}
+
+    /// Number of two-qubit unitary gates (CX/CZ/RZZ/SWAP count once).
+    int two_qubit_gate_count() const;
+
+    /// Number of SWAP gates.
+    int swap_count() const;
+
+    /// Number of measurement operations.
+    int measure_count() const;
+
+    /// Qubits touched by at least one instruction.
+    int active_qubit_count() const;
+
+    /**
+     * Qubit interaction graph: one node per qubit, an edge wherever some
+     * two-qubit gate acts on the pair (paper Fig 5). Barriers and
+     * measurements contribute nothing.
+     */
+    graph::UndirectedGraph interaction_graph() const;
+
+    /// Indices (into instructions()) of the operations touching qubit q,
+    /// in program order. Barriers are excluded.
+    std::vector<int> instructions_on_qubit(int q) const;
+
+    /**
+     * Returns a copy with qubit ids remapped through @p mapping
+     * (mapping[old] = new). The target qubit count is
+     * max(mapping)+1 unless @p new_num_qubits >= 0 overrides it.
+     */
+    Circuit remap_qubits(const std::vector<int>& mapping,
+                         int new_num_qubits = -1) const;
+
+    /**
+     * Returns an equivalent circuit with idle wires removed: active
+     * qubits are renumbered densely in ascending order. If
+     * @p old_of_new is non-null it receives the original qubit id of
+     * each new wire. Classical bits are untouched.
+     */
+    Circuit compacted(std::vector<int>* old_of_new = nullptr) const;
+
+    /// Human-readable multi-line listing (debugging aid).
+    std::string to_string() const;
+
+  private:
+    void append_simple(GateKind kind, std::vector<int> qubits);
+    void append_param(GateKind kind, std::vector<double> params,
+                      std::vector<int> qubits);
+
+    int num_qubits_ = 0;
+    int num_clbits_ = 0;
+    std::vector<Instruction> instrs_;
+};
+
+}  // namespace caqr::circuit
+
+#endif  // CAQR_CIRCUIT_CIRCUIT_H

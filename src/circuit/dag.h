@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Gate-dependency DAG over a circuit (paper §3.2.1).
+ *
+ * One node per instruction; edges follow the per-qubit and per-clbit
+ * program order (a barrier orders everything before it against
+ * everything after it). The DAG answers the queries the CaQR passes
+ * need: depth / duration via weighted critical path, per-qubit gate
+ * groups, qubit-level dependence (Condition 2), and critical-path
+ * membership (used by SR-CaQR's gate delaying).
+ */
+#ifndef CAQR_CIRCUIT_DAG_H
+#define CAQR_CIRCUIT_DAG_H
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "circuit/timing.h"
+#include "graph/digraph.h"
+
+namespace caqr::circuit {
+
+/// Immutable dependency DAG of a circuit.
+class CircuitDag
+{
+  public:
+    /// Builds the DAG; @p circuit must outlive this object.
+    explicit CircuitDag(const Circuit& circuit);
+
+    const Circuit& circuit() const { return *circuit_; }
+
+    /// Underlying digraph; node i corresponds to instruction i.
+    const graph::Digraph& graph() const { return graph_; }
+
+    /// Circuit depth: critical path under unit weights per non-barrier
+    /// instruction.
+    int depth() const;
+
+    /// Circuit duration (dt) under @p model.
+    double duration(const DurationModel& model) const;
+
+    /// Instruction indices acting on qubit @p q, program order.
+    const std::vector<int>& nodes_on_qubit(int q) const;
+
+    /**
+     * True if some operation on @p qi transitively depends on some
+     * operation on @p qj — i.e. reuse pair (qi -> qj) violates
+     * Condition 2 because gates on qi cannot all finish before gates on
+     * qj start. The transitive closure is computed lazily and cached.
+     */
+    bool qubit_depends_on(int qi, int qj) const;
+
+    /// True if qubits qi and qj share at least one gate (Condition 1
+    /// violation for the reuse pair).
+    bool qubits_share_gate(int qi, int qj) const;
+
+    /**
+     * Critical-path membership per instruction under @p model: node u is
+     * on a critical path iff its earliest and latest completion times
+     * coincide. Barriers are reported as non-critical.
+     */
+    std::vector<bool> critical_nodes(const DurationModel& model) const;
+
+    /**
+     * Critical path length if a measurement/reset dummy node is spliced
+     * between the gates on @p qi and the gates on @p qj (the tentative
+     * reuse evaluation of §3.2.1). @p dummy_weight is the dummy node's
+     * duration (measure + conditioned reset under the model in use).
+     * Returns the resulting weighted critical path; the circuit itself
+     * is not modified.
+     */
+    double reuse_critical_path(int qi, int qj, const DurationModel& model,
+                               double dummy_weight) const;
+
+  private:
+    const std::vector<std::uint64_t>& closure_row(int node) const;
+
+    const Circuit* circuit_;
+    graph::Digraph graph_;
+    std::vector<std::vector<int>> per_qubit_;
+    mutable std::vector<std::vector<std::uint64_t>> closure_;  // lazy
+};
+
+}  // namespace caqr::circuit
+
+#endif  // CAQR_CIRCUIT_DAG_H

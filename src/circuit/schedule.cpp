@@ -1,0 +1,61 @@
+#include "circuit/schedule.h"
+
+#include <algorithm>
+
+#include "circuit/dag.h"
+#include "util/logging.h"
+
+namespace caqr::circuit {
+
+Schedule::Schedule(const Circuit& circuit, const DurationModel& model)
+    : circuit_(&circuit),
+      activity_(static_cast<std::size_t>(circuit.num_qubits()))
+{
+    duration_.reserve(circuit.size());
+    for (const auto& instr : circuit.instructions()) {
+        duration_.push_back(model.duration(instr));
+    }
+
+    CircuitDag dag(circuit);
+    finish_ = dag.graph().earliest_completion(duration_);
+    for (double f : finish_) makespan_ = std::max(makespan_, f);
+
+    prev_finish_.resize(circuit.size());
+    std::vector<double> last_finish(
+        static_cast<std::size_t>(circuit.num_qubits()), -1.0);
+    for (std::size_t i = 0; i < circuit.size(); ++i) {
+        const auto& instr = circuit.at(i);
+        prev_finish_[i].reserve(instr.qubits.size());
+        for (int q : instr.qubits) {
+            prev_finish_[i].push_back(last_finish[q]);
+            last_finish[q] = std::max(last_finish[q], finish_[i]);
+
+            auto& act = activity_[static_cast<std::size_t>(q)];
+            const double s = finish_[i] - duration_[i];
+            if (!act.touched || s < act.first_start) {
+                act.first_start = act.touched
+                                      ? std::min(act.first_start, s)
+                                      : s;
+            }
+            act.touched = true;
+            act.last_finish = std::max(act.last_finish, finish_[i]);
+            act.busy += duration_[i];
+        }
+    }
+}
+
+double
+Schedule::idle_gap_before(std::size_t index, int q) const
+{
+    const auto& instr = circuit_->at(index);
+    for (std::size_t slot = 0; slot < instr.qubits.size(); ++slot) {
+        if (instr.qubits[slot] != q) continue;
+        const double prev = prev_finish_[index][slot];
+        if (prev < 0.0) return 0.0;
+        const double gap = start(index) - prev;
+        return gap > 1e-9 ? gap : 0.0;
+    }
+    return 0.0;
+}
+
+}  // namespace caqr::circuit

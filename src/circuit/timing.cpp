@@ -1,0 +1,34 @@
+#include "circuit/timing.h"
+
+namespace caqr::circuit {
+
+double
+LogicalDurations::duration(const Instruction& instr) const
+{
+    switch (instr.kind) {
+      case GateKind::kBarrier:
+        return 0.0;
+      case GateKind::kMeasure:
+        return kMeasure;
+      case GateKind::kReset:
+        return kBuiltinReset;
+      case GateKind::kSwap:
+        return kSwapGate;
+      case GateKind::kCcx:
+        // Standard 6-CX decomposition dominates.
+        return 6 * kTwoQubitGate;
+      default:
+        break;
+    }
+    if (instr.has_condition()) return kConditionedGate;
+    if (is_two_qubit(instr.kind)) return kTwoQubitGate;
+    return kOneQubitGate;
+}
+
+double
+UnitDepthModel::duration(const Instruction& instr) const
+{
+    return instr.kind == GateKind::kBarrier ? 0.0 : 1.0;
+}
+
+}  // namespace caqr::circuit

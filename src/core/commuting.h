@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Commuting-gate (QAOA-style) qubit reuse — paper §3.2.2.
+ *
+ * A depth-1 QAOA circuit is fully described by its problem graph: one
+ * commuting RZZ gate per edge, framed by H prologues and RX epilogues.
+ * With no fixed gate order, reuse legality reduces to Condition 1
+ * (no shared gate = no edge) plus acyclicity of the *imposed*
+ * dependence graph (Condition 2), and the scheduler is free to order
+ * gates to make reuse cheap:
+ *
+ *   Step 1  impose dependencies: all gates on a reuse source precede
+ *           the measurement node, which precedes all gates on the
+ *           target;
+ *   Step 2  freeze gates with unresolved dependencies; weight the
+ *           remaining gates, prioritizing those that unblock reuse;
+ *   Step 3  schedule a maximum-weight matching of the remaining
+ *           interaction graph per time step (Blossom; greedy for large
+ *           instances per the paper's noted optimization).
+ *
+ * The graph-coloring bound of §3.2.2 ("Maximal Qubit Saving") gives the
+ * minimum achievable qubit count.
+ */
+#ifndef CAQR_CORE_COMMUTING_H
+#define CAQR_CORE_COMMUTING_H
+
+#include <optional>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "core/reuse_analysis.h"
+#include "graph/undirected_graph.h"
+
+namespace caqr::core {
+
+/// A commuting-gate workload: the QAOA problem graph plus the angles
+/// used when a concrete circuit is materialized. With `layers > 1`
+/// (multi-layer QAOA), each edge contributes one RZZ per layer and
+/// each qubit gets an RX mixer between its layers; gates *within* a
+/// layer commute, layers are ordered per qubit. Per-layer angles come
+/// from `gammas`/`betas` when provided (padded with `gamma`/`beta`).
+struct CommutingSpec
+{
+    graph::UndirectedGraph interaction;
+    double gamma = 0.7;
+    double beta = 0.3;
+    int layers = 1;
+    std::vector<double> gammas;  ///< optional per-layer cost angles
+    std::vector<double> betas;   ///< optional per-layer mixer angles
+
+    /// Cost angle of layer @p layer.
+    double
+    gamma_at(int layer) const
+    {
+        return layer < static_cast<int>(gammas.size())
+                   ? gammas[static_cast<std::size_t>(layer)]
+                   : gamma;
+    }
+    /// Mixer angle of layer @p layer.
+    double
+    beta_at(int layer) const
+    {
+        return layer < static_cast<int>(betas.size())
+                   ? betas[static_cast<std::size_t>(layer)]
+                   : beta;
+    }
+};
+
+/// Outcome of scheduling + materializing a commuting workload under a
+/// set of reuse pairs.
+struct CommutingSchedule
+{
+    circuit::Circuit circuit;    ///< dynamic circuit, one wire per color
+    std::vector<int> wire_of;    ///< problem node -> wire it ran on
+    int wires_used = 0;
+    int rounds = 0;              ///< matching layers consumed
+    int depth = 0;
+    double duration_dt = 0.0;
+};
+
+/// Scheduling knobs.
+struct CommutingOptions
+{
+    /// Edge-count threshold above which greedy matching replaces the
+    /// exact Blossom solver.
+    int exact_matching_limit = 300;
+    /// Weight given to gates that unblock a pending reuse (>1 per
+    /// paper Step 2).
+    long long reuse_priority_weight = 4;
+};
+
+/**
+ * Validates a reuse-pair set for @p interaction: Condition 1 per pair,
+ * each qubit source/target of at most one pair (wires form chains), and
+ * gate-level acyclicity of the imposed dependence graph. With
+ * @p layers > 1 the dependence graph is built over per-layer gate
+ * instances (a qubit's layer-(l+1) gates depend on its layer-l gates
+ * through the mixer), which is strictly more restrictive — e.g. any
+ * pair whose endpoints share a neighbor is invalid for p >= 2.
+ */
+bool commuting_pairs_valid(const graph::UndirectedGraph& interaction,
+                           const std::vector<ReusePair>& pairs,
+                           int layers = 1);
+
+/**
+ * Schedules and materializes @p spec under @p pairs (must be valid).
+ * Each problem node q measures into clbit q, so max-cut expectations
+ * use the identity clbit map regardless of reuse.
+ */
+CommutingSchedule schedule_commuting(const CommutingSpec& spec,
+                                     const std::vector<ReusePair>& pairs,
+                                     const CommutingOptions& options = {});
+
+/**
+ * Minimum qubits achievable for a commuting workload: the chromatic
+ * number of the interaction graph (exact for small graphs, DSATUR
+ * upper bound beyond @p exact_limit nodes).
+ */
+int min_qubits_by_coloring(const graph::UndirectedGraph& interaction,
+                           int exact_limit = 24);
+
+/**
+ * Budget-directed scheduling (paper §2.2: "a tool that can
+ * automatically generate transformed circuit with (near-)minimal
+ * depth/duration for any qubit reuse count"): run the matching
+ * scheduler with exactly @p budget wires, assigning problem qubits to
+ * wires dynamically — a wire is reused (measure + conditional reset)
+ * as soon as its occupant retires. Unlike incremental pair selection,
+ * the produced schedule is a feasibility witness, so deep savings are
+ * reachable even when every *incremental* pair addition would cycle.
+ *
+ * Returns std::nullopt when the activation policy deadlocks at this
+ * budget (budget below the workload's concurrency requirement).
+ * @p pairs_out, if non-null, receives the implied reuse pairs
+ * (consecutive occupants per wire).
+ */
+std::optional<CommutingSchedule> schedule_with_budget(
+    const CommutingSpec& spec, int budget,
+    const CommutingOptions& options = {},
+    std::vector<ReusePair>* pairs_out = nullptr);
+
+}  // namespace caqr::core
+
+#endif  // CAQR_CORE_COMMUTING_H

@@ -1,0 +1,367 @@
+#include "core/qs_caqr.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "circuit/dag.h"
+#include "circuit/timing.h"
+#include "core/reuse_transform.h"
+#include "util/logging.h"
+
+namespace caqr::core {
+
+namespace {
+
+/// Fills metrics of a version from its circuit.
+void
+fill_version_metrics(QsVersion* version)
+{
+    circuit::CircuitDag dag(version->circuit);
+    version->qubits = version->circuit.active_qubit_count();
+    version->depth = dag.depth();
+    circuit::LogicalDurations durations;
+    version->duration_dt = dag.duration(durations);
+}
+
+}  // namespace
+
+const QsVersion&
+QsCaqrResult::best_by_depth() const
+{
+    CAQR_CHECK(!versions.empty(), "no versions generated");
+    const QsVersion* best = &versions.front();
+    for (const auto& version : versions) {
+        if (version.depth < best->depth) best = &version;
+    }
+    return *best;
+}
+
+const QsVersion&
+QsCaqrResult::best_by_duration() const
+{
+    CAQR_CHECK(!versions.empty(), "no versions generated");
+    const QsVersion* best = &versions.front();
+    for (const auto& version : versions) {
+        if (version.duration_dt < best->duration_dt) best = &version;
+    }
+    return *best;
+}
+
+namespace {
+
+/// Pair-selection policy for one greedy sweep.
+enum class SweepPolicy {
+    /// Minimize the post-splice critical path (the paper's §3.2.1 rule).
+    kMetricFirst,
+    /// Prefer the earliest-finishing target, breaking ties by critical
+    /// path. This chains wires in temporal order and avoids the
+    /// "crossed merge" dead ends that pure cost greed can steer into,
+    /// reliably reaching the minimum qubit count (e.g. BV_n -> 2).
+    kOrderFirst,
+};
+
+std::vector<QsVersion>
+run_sweep(const circuit::Circuit& circuit, const QsCaqrOptions& options,
+          SweepPolicy policy)
+{
+    std::vector<QsVersion> versions;
+
+    QsVersion original;
+    original.circuit = circuit;
+    original.orig_of.resize(static_cast<std::size_t>(circuit.num_qubits()));
+    for (int q = 0; q < circuit.num_qubits(); ++q) {
+        original.orig_of[static_cast<std::size_t>(q)] = q;
+    }
+    fill_version_metrics(&original);
+    versions.push_back(std::move(original));
+
+    circuit::LogicalDurations durations;
+    circuit::UnitDepthModel unit;
+    const bool by_duration = options.metric == ReuseMetric::kDuration;
+    const double dummy_weight =
+        by_duration ? circuit::LogicalDurations::kMeasure +
+                          circuit::LogicalDurations::kConditionedGate
+                    : 1.0;
+    const circuit::DurationModel& model =
+        by_duration ? static_cast<const circuit::DurationModel&>(durations)
+                    : static_cast<const circuit::DurationModel&>(unit);
+
+    while (options.target_qubits < 0 ||
+           versions.back().qubits > options.target_qubits) {
+        const auto& current = versions.back();
+        circuit::CircuitDag dag(current.circuit);
+        const auto pairs = find_reuse_pairs(dag);
+        if (pairs.empty()) break;
+
+        // ASAP finish time per qubit (for the order-preserving policy).
+        std::vector<double> weights;
+        weights.reserve(current.circuit.size());
+        for (const auto& instr : current.circuit.instructions()) {
+            weights.push_back(model.duration(instr));
+        }
+        const auto finish = dag.graph().earliest_completion(weights);
+        auto qubit_finish = [&](int q) {
+            double latest = 0.0;
+            for (int node : dag.nodes_on_qubit(q)) {
+                latest = std::max(latest, finish[node]);
+            }
+            return latest;
+        };
+
+        double best_primary = std::numeric_limits<double>::infinity();
+        double best_secondary = std::numeric_limits<double>::infinity();
+        ReusePair best{};
+        for (const auto& pair : pairs) {
+            const double cost = dag.reuse_critical_path(
+                pair.source, pair.target, model, dummy_weight);
+            double primary = cost;
+            double secondary = qubit_finish(pair.target);
+            if (policy == SweepPolicy::kOrderFirst) {
+                std::swap(primary, secondary);
+            }
+            if (primary < best_primary - 1e-9 ||
+                (primary < best_primary + 1e-9 &&
+                 secondary < best_secondary - 1e-9)) {
+                best_primary = primary;
+                best_secondary = secondary;
+                best = pair;
+            }
+        }
+
+        QsVersion next;
+        next.applied = current.applied;
+        next.applied.push_back(
+            ReusePair{current.orig_of[static_cast<std::size_t>(best.source)],
+                      current.orig_of[static_cast<std::size_t>(best.target)]});
+        auto transformed =
+            apply_reuse(current.circuit, best, current.orig_of);
+        next.circuit = std::move(transformed.circuit);
+        next.orig_of = std::move(transformed.orig_of);
+        fill_version_metrics(&next);
+        versions.push_back(std::move(next));
+    }
+    return versions;
+}
+
+}  // namespace
+
+QsCaqrResult
+qs_caqr(const circuit::Circuit& circuit, const QsCaqrOptions& options)
+{
+    // Two sweeps explore complementary regions of the search space
+    // (paper: "we explore the search space of qubit reuse ... and
+    // choose the best reuse strategy"): the cost-greedy sweep finds
+    // efficient shallow savings, the order-preserving sweep reaches
+    // deep savings. Merge by qubit count, best metric wins.
+    const auto metric_sweep =
+        run_sweep(circuit, options, SweepPolicy::kMetricFirst);
+    const auto order_sweep =
+        run_sweep(circuit, options, SweepPolicy::kOrderFirst);
+
+    const bool by_duration = options.metric == ReuseMetric::kDuration;
+    auto metric_of = [by_duration](const QsVersion& version) {
+        return by_duration ? version.duration_dt
+                           : static_cast<double>(version.depth);
+    };
+
+    std::map<int, const QsVersion*> by_count;
+    for (const auto* sweep : {&metric_sweep, &order_sweep}) {
+        for (const auto& version : *sweep) {
+            auto [it, inserted] = by_count.try_emplace(version.qubits,
+                                                       &version);
+            if (!inserted && metric_of(version) < metric_of(*it->second)) {
+                it->second = &version;
+            }
+        }
+    }
+
+    QsCaqrResult result;
+    for (auto it = by_count.rbegin(); it != by_count.rend(); ++it) {
+        result.versions.push_back(*it->second);
+    }
+    result.reached_target =
+        options.target_qubits < 0 ||
+        result.versions.back().qubits <= options.target_qubits;
+    return result;
+}
+
+namespace {
+
+/// One greedy commuting sweep. When @p evaluate_candidates is true
+/// every valid candidate (up to the budget) is scheduled and the
+/// cheapest (by duration) wins — the paper's §3.2.2 evaluation. When
+/// false, candidates follow the *temporal order* of the current
+/// schedule — source retiring earliest, target retiring latest — and
+/// the first valid one is committed. Temporal chaining never crosses
+/// the schedule's time arrow, so it reaches the deep-saving region
+/// (paper Fig 3: 64 -> ~5 qubits) that duration greed dead-ends
+/// before.
+std::vector<QsCommutingVersion>
+run_commuting_sweep(const CommutingSpec& spec,
+                    const QsCommutingOptions& options,
+                    bool evaluate_candidates)
+{
+    const auto& interaction = spec.interaction;
+    const int n = interaction.num_nodes();
+
+    std::vector<QsCommutingVersion> versions;
+    QsCommutingVersion base;
+    base.schedule = schedule_commuting(spec, {}, options.scheduling);
+    base.qubits = base.schedule.wires_used;
+    versions.push_back(std::move(base));
+
+    std::vector<bool> is_source(static_cast<std::size_t>(n), false);
+    std::vector<bool> is_target(static_cast<std::size_t>(n), false);
+
+    while (options.target_qubits < 0 ||
+           versions.back().qubits > options.target_qubits) {
+        const auto& current = versions.back();
+
+        // Retirement position of each problem qubit in the current
+        // schedule (= position of its measurement).
+        std::vector<int> retire_pos(static_cast<std::size_t>(n), 0);
+        for (std::size_t i = 0; i < current.schedule.circuit.size();
+             ++i) {
+            const auto& instr = current.schedule.circuit.at(i);
+            if (instr.kind == circuit::GateKind::kMeasure &&
+                instr.clbit >= 0 && instr.clbit < n) {
+                retire_pos[instr.clbit] = static_cast<int>(i);
+            }
+        }
+
+        struct Candidate
+        {
+            ReusePair pair;
+            long long heuristic;
+        };
+        std::vector<Candidate> candidates;
+        for (int s = 0; s < n; ++s) {
+            if (is_source[s]) continue;
+            for (int t = 0; t < n; ++t) {
+                if (s == t || is_target[t]) continue;
+                if (interaction.has_edge(s, t)) continue;
+                long long heuristic;
+                if (evaluate_candidates) {
+                    // Cheap-first pre-ranking for the evaluation budget.
+                    heuristic =
+                        interaction.degree(s) + interaction.degree(t);
+                } else {
+                    // Temporal order: earliest-retiring source first,
+                    // latest-retiring target first.
+                    const long long span = static_cast<long long>(
+                        current.schedule.circuit.size() + 1);
+                    heuristic = static_cast<long long>(retire_pos[s]) *
+                                    span -
+                                retire_pos[t];
+                }
+                candidates.push_back({ReusePair{s, t}, heuristic});
+            }
+        }
+        if (candidates.empty()) break;
+        std::stable_sort(candidates.begin(), candidates.end(),
+                         [](const Candidate& a, const Candidate& b) {
+                             return a.heuristic < b.heuristic;
+                         });
+
+        double best_cost = std::numeric_limits<double>::infinity();
+        const Candidate* best = nullptr;
+        CommutingSchedule best_schedule;
+        int evaluated = 0;
+        for (const auto& candidate : candidates) {
+            if (evaluated >= options.max_candidates) break;
+            auto pairs = current.pairs;
+            pairs.push_back(candidate.pair);
+            if (!commuting_pairs_valid(interaction, pairs, spec.layers)) continue;
+            auto schedule =
+                schedule_commuting(spec, pairs, options.scheduling);
+            if (schedule.duration_dt < best_cost) {
+                best_cost = schedule.duration_dt;
+                best = &candidate;
+                best_schedule = std::move(schedule);
+            }
+            if (!evaluate_candidates) break;  // temporal: take it
+            ++evaluated;
+        }
+        if (best == nullptr) break;  // every candidate was cyclic
+
+        QsCommutingVersion next;
+        next.pairs = current.pairs;
+        next.pairs.push_back(best->pair);
+        next.schedule = std::move(best_schedule);
+        next.qubits = next.schedule.wires_used;
+        is_source[best->pair.source] = true;
+        is_target[best->pair.target] = true;
+        versions.push_back(std::move(next));
+    }
+    return versions;
+}
+
+}  // namespace
+
+QsCommutingResult
+qs_caqr_commuting(const CommutingSpec& spec,
+                  const QsCommutingOptions& options)
+{
+    QsCommutingResult result;
+    result.coloring_bound = min_qubits_by_coloring(spec.interaction);
+
+    const auto eval_sweep =
+        run_commuting_sweep(spec, options, /*evaluate_candidates=*/true);
+    const auto chain_sweep =
+        run_commuting_sweep(spec, options, /*evaluate_candidates=*/false);
+
+    // Budget-directed phase: the incremental sweeps dead-end once the
+    // accumulated dependence graph makes every further pair cyclic;
+    // direct budget scheduling (paper §2.2) reaches the deep-saving
+    // region down toward the coloring bound.
+    std::vector<QsCommutingVersion> budget_versions;
+    {
+        int start = spec.interaction.num_nodes();
+        for (const auto* sweep : {&eval_sweep, &chain_sweep}) {
+            if (!sweep->empty()) {
+                start = std::min(start, sweep->back().qubits);
+            }
+        }
+        const int floor_count =
+            std::max(1, options.target_qubits >= 0
+                            ? options.target_qubits
+                            : result.coloring_bound);
+        for (int budget = start - 1; budget >= floor_count; --budget) {
+            std::vector<ReusePair> pairs;
+            auto schedule = schedule_with_budget(spec, budget,
+                                                 options.scheduling,
+                                                 &pairs);
+            if (!schedule.has_value()) break;  // infeasible below here
+            QsCommutingVersion version;
+            version.pairs = std::move(pairs);
+            version.schedule = std::move(*schedule);
+            version.qubits = version.schedule.wires_used;
+            budget_versions.push_back(std::move(version));
+        }
+    }
+
+    std::map<int, const QsCommutingVersion*> by_count;
+    for (const auto* sweep :
+         std::initializer_list<const std::vector<QsCommutingVersion>*>{
+             &eval_sweep, &chain_sweep, &budget_versions}) {
+        for (const auto& version : *sweep) {
+            auto [it, inserted] =
+                by_count.try_emplace(version.qubits, &version);
+            if (!inserted && version.schedule.duration_dt <
+                                 it->second->schedule.duration_dt) {
+                it->second = &version;
+            }
+        }
+    }
+    for (auto it = by_count.rbegin(); it != by_count.rend(); ++it) {
+        result.versions.push_back(*it->second);
+    }
+
+    result.reached_target =
+        options.target_qubits < 0 ||
+        result.versions.back().qubits <= options.target_qubits;
+    return result;
+}
+
+}  // namespace caqr::core

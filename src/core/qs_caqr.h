@@ -1,0 +1,102 @@
+/**
+ * @file
+ * QS-CaQR — qubit-saving compiler pass (paper §3.2).
+ *
+ * Given a circuit and a qubit budget, repeatedly commits the reuse pair
+ * whose tentative measurement/reset splice yields the best critical
+ * path (depth or duration), one saved qubit per step, until the budget
+ * is met or no valid pair remains. All intermediate versions are
+ * retained so a budget *range* yields a family of circuits for
+ * downstream selection (paper: "generate multiple transformed versions
+ * and choose the one with the best circuit duration or fidelity").
+ *
+ * Commuting workloads (QAOA) go through the §3.2.2 machinery instead:
+ * candidate pairs are validated against the incrementally-imposed
+ * dependence graph and evaluated by the matching-based scheduler.
+ */
+#ifndef CAQR_CORE_QS_CAQR_H
+#define CAQR_CORE_QS_CAQR_H
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "core/commuting.h"
+#include "core/reuse_analysis.h"
+
+namespace caqr::core {
+
+/// Optimization metric for pair selection.
+enum class ReuseMetric { kDepth, kDuration };
+
+/// One generated circuit version.
+struct QsVersion
+{
+    circuit::Circuit circuit;
+    std::vector<int> orig_of;          ///< wire -> original qubit id
+    std::vector<ReusePair> applied;    ///< pairs in original qubit ids
+    int qubits = 0;                    ///< active qubit count
+    int depth = 0;
+    double duration_dt = 0.0;
+};
+
+/// QS-CaQR options for regular circuits.
+struct QsCaqrOptions
+{
+    /// Stop once this many qubits is reached; -1 = squeeze to minimum.
+    int target_qubits = -1;
+    ReuseMetric metric = ReuseMetric::kDuration;
+};
+
+/// Result: versions[k] uses (original - k) qubits.
+struct QsCaqrResult
+{
+    std::vector<QsVersion> versions;
+    bool reached_target = false;
+
+    /// Version with the fewest qubits (maximal reuse).
+    const QsVersion& max_reuse() const { return versions.back(); }
+
+    /// Version minimizing the selection metric value stored in
+    /// depth/duration_dt.
+    const QsVersion& best_by_depth() const;
+    const QsVersion& best_by_duration() const;
+};
+
+/// Runs QS-CaQR on a regular (non-commuting) circuit.
+QsCaqrResult qs_caqr(const circuit::Circuit& circuit,
+                     const QsCaqrOptions& options = {});
+
+/// Options for the commuting-workload search.
+struct QsCommutingOptions
+{
+    int target_qubits = -1;
+    /// Candidate pairs evaluated per step (heuristically pre-ranked);
+    /// bounds compile time on large graphs.
+    int max_candidates = 48;
+    CommutingOptions scheduling;
+};
+
+/// One commuting version: the pair set and its materialized schedule.
+struct QsCommutingVersion
+{
+    std::vector<ReusePair> pairs;
+    CommutingSchedule schedule;
+    int qubits = 0;
+};
+
+/// Commuting search result.
+struct QsCommutingResult
+{
+    std::vector<QsCommutingVersion> versions;
+    /// Chromatic-number lower bound on achievable qubit count.
+    int coloring_bound = 0;
+    bool reached_target = false;
+};
+
+/// Runs QS-CaQR on a commuting workload.
+QsCommutingResult qs_caqr_commuting(const CommutingSpec& spec,
+                                    const QsCommutingOptions& options = {});
+
+}  // namespace caqr::core
+
+#endif  // CAQR_CORE_QS_CAQR_H

@@ -1,0 +1,60 @@
+#include "core/reuse_analysis.h"
+
+#include "circuit/timing.h"
+#include "core/qs_caqr.h"
+#include "core/reuse_transform.h"
+#include "util/logging.h"
+
+namespace caqr::core {
+
+bool
+is_valid_reuse_pair(const circuit::CircuitDag& dag, int source, int target)
+{
+    const auto& circuit = dag.circuit();
+    if (source == target) return false;
+    if (source < 0 || source >= circuit.num_qubits()) return false;
+    if (target < 0 || target >= circuit.num_qubits()) return false;
+    if (dag.nodes_on_qubit(source).empty() ||
+        dag.nodes_on_qubit(target).empty()) {
+        return false;
+    }
+    // Condition 1: no shared gate.
+    if (dag.qubits_share_gate(source, target)) return false;
+    // Condition 2: nothing on `source` may depend on anything on
+    // `target`.
+    return !dag.qubit_depends_on(source, target);
+}
+
+std::vector<ReusePair>
+find_reuse_pairs(const circuit::CircuitDag& dag)
+{
+    std::vector<ReusePair> pairs;
+    const int k = dag.circuit().num_qubits();
+    for (int source = 0; source < k; ++source) {
+        for (int target = 0; target < k; ++target) {
+            if (is_valid_reuse_pair(dag, source, target)) {
+                pairs.push_back(ReusePair{source, target});
+            }
+        }
+    }
+    return pairs;
+}
+
+ReuseAdvice
+advise_reuse(const circuit::Circuit& circuit)
+{
+    ReuseAdvice advice;
+    advice.active_qubits = circuit.active_qubit_count();
+
+    // The full QS-CaQR sweep is the most faithful probe: it explores
+    // both greedy policies, so the estimate matches what the compiler
+    // can actually deliver.
+    const auto sweep = qs_caqr(circuit, QsCaqrOptions{});
+    advice.any_opportunity = sweep.versions.size() > 1;
+    advice.original_depth = sweep.versions.front().depth;
+    advice.min_qubits_estimate = sweep.versions.back().qubits;
+    advice.max_reuse_depth = sweep.versions.back().depth;
+    return advice;
+}
+
+}  // namespace caqr::core

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Qubit-reuse legality analysis (paper §3.1).
+ *
+ * A reuse pair (qi -> qj) means: measure-and-reset qi after its last
+ * operation, then run qj's operations on the same wire. It is legal iff
+ *
+ *   Condition 1 — qi and qj never share a gate, and
+ *   Condition 2 — no operation on qi depends (transitively) on an
+ *                 operation on qj; equivalently, splicing the
+ *                 measurement/reset node between the two gate groups
+ *                 leaves the DAG acyclic.
+ */
+#ifndef CAQR_CORE_REUSE_ANALYSIS_H
+#define CAQR_CORE_REUSE_ANALYSIS_H
+
+#include <vector>
+
+#include "circuit/dag.h"
+
+namespace caqr::core {
+
+/// A directed reuse pair: wire of `source` is reused by `target`.
+struct ReusePair
+{
+    int source = -1;  ///< qubit measured & reset (qi)
+    int target = -1;  ///< qubit whose gates move onto qi's wire (qj)
+
+    friend bool
+    operator==(const ReusePair& a, const ReusePair& b)
+    {
+        return a.source == b.source && a.target == b.target;
+    }
+};
+
+/// True if (source -> target) satisfies Conditions 1 and 2 on @p dag.
+/// Qubits with no operations are never part of a valid pair (there is
+/// nothing to save).
+bool is_valid_reuse_pair(const circuit::CircuitDag& dag, int source,
+                         int target);
+
+/// All valid reuse pairs of @p dag (O(k^2) legality checks over the
+/// cached transitive closure).
+std::vector<ReusePair> find_reuse_pairs(const circuit::CircuitDag& dag);
+
+/**
+ * Quick benefit probe (paper §1: "a method for identifying whether
+ * qubit reuse will be beneficial for a given application").
+ */
+struct ReuseAdvice
+{
+    bool any_opportunity = false;
+    int active_qubits = 0;
+    /// Qubits reachable by greedily exhausting depth-best reuse pairs.
+    int min_qubits_estimate = 0;
+    /// Depth of the original circuit.
+    int original_depth = 0;
+    /// Depth of the maximally-reused circuit found by the greedy probe.
+    int max_reuse_depth = 0;
+};
+
+/// Runs the greedy probe on @p circuit.
+ReuseAdvice advise_reuse(const circuit::Circuit& circuit);
+
+}  // namespace caqr::core
+
+#endif  // CAQR_CORE_REUSE_ANALYSIS_H

@@ -1,0 +1,603 @@
+#include "core/sr_caqr.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "circuit/dag.h"
+#include "circuit/timing.h"
+#include "transpile/decompose.h"
+#include "util/logging.h"
+
+namespace caqr::core {
+
+namespace {
+
+using circuit::Circuit;
+using circuit::GateKind;
+using circuit::Instruction;
+
+/// Mutable compilation state for the SR-CaQR engine.
+struct SrState
+{
+    const Circuit* logical;
+    const arch::Backend* backend;
+    const SrCaqrOptions* options;
+
+    Circuit output;
+    std::vector<int> phys_of;      // logical -> physical or -1
+    std::vector<int> logical_of;   // physical -> logical or -1
+    std::vector<bool> ever_used;   // physical touched at least once
+    std::vector<int> remaining_ops;  // per logical qubit
+    int swaps_added = 0;
+    int reuses = 0;
+};
+
+/// Total operation count per logical qubit (for "map the qubit with
+/// more gates first", paper §3.3.1 Step 2).
+std::vector<int>
+ops_per_qubit(const Circuit& circuit)
+{
+    std::vector<int> count(static_cast<std::size_t>(circuit.num_qubits()),
+                           0);
+    for (const auto& instr : circuit.instructions()) {
+        for (int q : instr.qubits) ++count[q];
+    }
+    return count;
+}
+
+/// Free physical qubits = not currently hosting a logical qubit.
+bool
+is_free(const SrState& state, int phys)
+{
+    return state.logical_of[phys] < 0;
+}
+
+/// Seeds the first operand of a gate: a free physical qubit that is
+/// well connected and close to the device center; lookahead pulls it
+/// toward already-mapped future partners.
+int
+pick_seed_phys(const SrState& state, int logical_q)
+{
+    const auto& backend = *state.backend;
+    const auto& topology = backend.topology();
+    const int np = backend.num_qubits();
+
+    // Future partners of logical_q that are already mapped.
+    std::vector<int> partners;
+    for (const auto& instr : state.logical->instructions()) {
+        if (!circuit::is_two_qubit(instr.kind)) continue;
+        if (!instr.uses_qubit(logical_q)) continue;
+        for (int other : instr.qubits) {
+            if (other != logical_q && state.phys_of[other] >= 0) {
+                partners.push_back(state.phys_of[other]);
+            }
+        }
+    }
+
+    int best = -1;
+    double best_score = -std::numeric_limits<double>::infinity();
+    for (int p = 0; p < np; ++p) {
+        if (!is_free(state, p)) continue;
+        double score;
+        if (partners.empty()) {
+            // No placed partner: well-connected central qubit.
+            long long total_dist = 0;
+            for (int other = 0; other < np; ++other) {
+                const int d = backend.distance(p, other);
+                total_dist += d < 0 ? np : d;
+            }
+            score = topology.degree(p) -
+                    static_cast<double>(total_dist) / (np * np);
+        } else {
+            // Placed partners dominate: sit as close to them as
+            // possible, with connectivity as a mild tie-break.
+            double total_dist = 0.0;
+            for (int partner : partners) {
+                const int d = backend.distance(p, partner);
+                total_dist += d < 0 ? np : d;
+            }
+            score = -state.options->lookahead_weight * total_dist +
+                    0.25 * topology.degree(p);
+        }
+        if (state.options->error_aware) {
+            score -= backend.calibration().qubit(p).readout_error;
+            score -= backend.calibration().best_incident_cx_error(
+                topology, p);
+        }
+        if (score > best_score) {
+            best_score = score;
+            best = p;
+        }
+    }
+    CAQR_CHECK(best >= 0, "no free physical qubit available");
+    return best;
+}
+
+/// Places the second operand next to an already-mapped partner:
+/// minimum distance, then error tie-breaks (paper Step 2).
+int
+pick_adjacent_phys(const SrState& state, int partner_phys)
+{
+    const auto& backend = *state.backend;
+    int best = -1;
+    double best_key = std::numeric_limits<double>::infinity();
+    for (int p = 0; p < backend.num_qubits(); ++p) {
+        if (!is_free(state, p)) continue;
+        const int d = backend.distance(p, partner_phys);
+        double key = static_cast<double>(d < 0 ? backend.num_qubits() : d);
+        // A reclaimed wire serializes behind its reset: prefer a fresh
+        // wire at equal distance, reuse when it is strictly closer.
+        if (state.ever_used[p]) key += 0.5;
+        if (state.options->error_aware) {
+            key += backend.calibration().qubit(p).readout_error;
+            if (backend.are_adjacent(p, partner_phys)) {
+                key +=
+                    backend.calibration().link(p, partner_phys).cx_error;
+            }
+        }
+        if (key < best_key) {
+            best_key = key;
+            best = p;
+        }
+    }
+    CAQR_CHECK(best >= 0, "no free physical qubit available");
+    return best;
+}
+
+void
+assign(SrState& state, int logical_q, int phys)
+{
+    state.phys_of[logical_q] = phys;
+    if (state.logical_of[phys] >= 0 || state.ever_used[phys]) {
+        // Reassigning a previously-used wire = a qubit reuse event.
+        ++state.reuses;
+    }
+    state.logical_of[phys] = logical_q;
+    state.ever_used[phys] = true;
+}
+
+/// Distance with disconnected pairs treated as very far.
+int
+safe_distance(const arch::Backend& backend, int a, int b)
+{
+    const int d = backend.distance(a, b);
+    return d < 0 ? backend.num_qubits() * 2 : d;
+}
+
+/// Applies a SWAP on physical link (pa, pb), updating the mapping.
+void
+apply_swap(SrState& state, int pa, int pb)
+{
+    Instruction swap_instr;
+    swap_instr.kind = GateKind::kSwap;
+    swap_instr.qubits = {pa, pb};
+    state.output.append(std::move(swap_instr));
+    ++state.swaps_added;
+    state.ever_used[pa] = true;
+    state.ever_used[pb] = true;
+
+    const int la = state.logical_of[pa];
+    const int lb = state.logical_of[pb];
+    if (la >= 0) state.phys_of[la] = pb;
+    if (lb >= 0) state.phys_of[lb] = pa;
+    std::swap(state.logical_of[pa], state.logical_of[pb]);
+}
+
+/// Emits one logical instruction (operands must be mapped & routed).
+void
+emit(SrState& state, const Instruction& instr)
+{
+    Instruction mapped = instr;
+    for (auto& q : mapped.qubits) {
+        CAQR_CHECK(state.phys_of[q] >= 0, "emitting unmapped qubit");
+        q = state.phys_of[q];
+        state.ever_used[q] = true;
+    }
+    state.output.append(std::move(mapped));
+}
+
+/// Reclaims operand qubits that have no remaining operations
+/// (paper Step 4): conditional reset, then back to the free pool.
+void
+reclaim_finished(SrState& state, const Instruction& executed,
+                 const Instruction& logical_instr)
+{
+    for (std::size_t slot = 0; slot < logical_instr.qubits.size();
+         ++slot) {
+        const int lq = logical_instr.qubits[slot];
+        if (--state.remaining_ops[lq] > 0) continue;
+
+        const int phys = state.phys_of[lq];
+        // Reset so the wire re-enters the pool clean: conditional X on
+        // the just-written clbit when the last op was a measurement,
+        // otherwise measure into a scratch bit first.
+        if (logical_instr.kind == GateKind::kMeasure) {
+            state.output.x_if(phys, executed.clbit, 1);
+        } else {
+            const int scratch = state.output.add_clbit();
+            state.output.measure(phys, scratch);
+            state.output.x_if(phys, scratch, 1);
+        }
+        state.logical_of[phys] = -1;
+        state.phys_of[lq] = -1;
+    }
+}
+
+}  // namespace
+
+namespace {
+
+SrCaqrResult sr_caqr_single(const Circuit& input,
+                            const arch::Backend& backend,
+                            const SrCaqrOptions& options);
+
+}  // namespace
+
+SrCaqrResult
+sr_caqr(const Circuit& input, const arch::Backend& backend,
+        const SrCaqrOptions& options)
+{
+    // Heuristic-perturbation trials around the placement and SWAP
+    // scoring weights; fewest SWAPs wins (duration tie-break).
+    struct Variant
+    {
+        double lookahead;
+        double swap_lookahead;
+    };
+    static constexpr Variant kVariants[] = {
+        {1.0, 1.0}, {0.5, 0.5}, {2.0, 2.0}, {1.0, 0.25}};
+
+    SrCaqrResult best;
+    bool have_best = false;
+    const int trials = std::max(1, options.trials);
+    for (int trial = 0; trial < trials && trial < 4; ++trial) {
+        SrCaqrOptions variant = options;
+        variant.lookahead_weight *= kVariants[trial].lookahead;
+        variant.swap_lookahead_weight *= kVariants[trial].swap_lookahead;
+        auto result = sr_caqr_single(input, backend, variant);
+        const bool better =
+            !have_best || result.swaps_added < best.swaps_added ||
+            (result.swaps_added == best.swaps_added &&
+             result.duration_dt < best.duration_dt);
+        if (better) {
+            best = std::move(result);
+            have_best = true;
+        }
+    }
+    return best;
+}
+
+namespace {
+
+SrCaqrResult
+sr_caqr_single(const Circuit& input, const arch::Backend& backend,
+               const SrCaqrOptions& options)
+{
+    const Circuit logical = transpile::decompose_ccx(input);
+    CAQR_CHECK(logical.num_qubits() <= backend.num_qubits(),
+               "circuit does not fit the backend");
+
+    circuit::CircuitDag dag(logical);
+    circuit::LogicalDurations durations;
+    std::vector<double> weights;
+    weights.reserve(logical.size());
+    for (const auto& instr : logical.instructions()) {
+        weights.push_back(durations.duration(instr));
+    }
+    const auto earliest = dag.graph().earliest_completion(weights);
+    const auto latest = dag.graph().latest_completion(weights);
+
+    SrState state;
+    state.logical = &logical;
+    state.backend = &backend;
+    state.options = &options;
+    state.output = Circuit(backend.num_qubits(), logical.num_clbits());
+    state.phys_of.assign(static_cast<std::size_t>(logical.num_qubits()),
+                         -1);
+    state.logical_of.assign(
+        static_cast<std::size_t>(backend.num_qubits()), -1);
+    state.ever_used.assign(
+        static_cast<std::size_t>(backend.num_qubits()), false);
+    state.remaining_ops = ops_per_qubit(logical);
+
+    const int num_nodes = dag.graph().num_nodes();
+    std::vector<int> preds_left(static_cast<std::size_t>(num_nodes));
+    std::vector<int> frontier;
+    for (int node = 0; node < num_nodes; ++node) {
+        preds_left[node] = dag.graph().in_degree(node);
+        if (preds_left[node] == 0) frontier.push_back(node);
+    }
+
+    // Maps the unmapped operands of @p node per paper Step 2.
+    auto map_operands = [&](int node) {
+        const Instruction& instr =
+            logical.at(static_cast<std::size_t>(node));
+        std::vector<int> unmapped;
+        for (int q : instr.qubits) {
+            if (state.phys_of[q] < 0) unmapped.push_back(q);
+        }
+        if (unmapped.size() == 2) {
+            // Busier qubit first (it constrains the future more).
+            int first = unmapped[0];
+            int second = unmapped[1];
+            if (state.remaining_ops[second] > state.remaining_ops[first]) {
+                std::swap(first, second);
+            }
+            assign(state, first, pick_seed_phys(state, first));
+            assign(state, second,
+                   pick_adjacent_phys(state, state.phys_of[first]));
+        } else if (unmapped.size() == 1) {
+            const int lq = unmapped[0];
+            int partner_phys = -1;
+            for (int q : instr.qubits) {
+                if (q != lq) partner_phys = state.phys_of[q];
+            }
+            assign(state, lq,
+                   partner_phys >= 0
+                       ? pick_adjacent_phys(state, partner_phys)
+                       : pick_seed_phys(state, lq));
+        }
+    };
+
+    // Lookahead window: upcoming two-qubit gates (successor closure of
+    // the frontier) whose operands are already mapped.
+    constexpr int kLookaheadSize = 20;
+    const double kLookaheadWeight = options.swap_lookahead_weight;
+    auto lookahead_set = [&](const std::vector<int>& frontier_nodes) {
+        std::vector<int> result;
+        std::vector<int> queue = frontier_nodes;
+        std::vector<bool> seen(static_cast<std::size_t>(num_nodes),
+                               false);
+        for (int node : queue) seen[node] = true;
+        std::size_t head = 0;
+        while (head < queue.size() &&
+               static_cast<int>(result.size()) < kLookaheadSize) {
+            const int node = queue[head++];
+            for (int succ : dag.graph().successors(node)) {
+                if (seen[succ]) continue;
+                seen[succ] = true;
+                queue.push_back(succ);
+                const auto& instr =
+                    logical.at(static_cast<std::size_t>(succ));
+                if (circuit::is_two_qubit(instr.kind) &&
+                    state.phys_of[instr.qubits[0]] >= 0 &&
+                    state.phys_of[instr.qubits[1]] >= 0) {
+                    result.push_back(succ);
+                }
+            }
+        }
+        return result;
+    };
+
+    std::vector<double> decay(
+        static_cast<std::size_t>(backend.num_qubits()), 0.0);
+    int executed_batches = 0;
+    int swap_streak = 0;
+    long long stall_guard = 0;
+    const long long stall_limit =
+        4LL * num_nodes * backend.num_qubits() + 1000;
+
+    while (!frontier.empty()) {
+        // A) Execute every frontier gate that is mapped and
+        // hardware-compliant; this retires qubits as early as possible.
+        std::vector<int> still_blocked;
+        std::vector<int> newly_ready;
+        bool executed_any = false;
+        for (int node : frontier) {
+            const Instruction& instr =
+                logical.at(static_cast<std::size_t>(node));
+            bool ready = true;
+            for (int q : instr.qubits) {
+                if (state.phys_of[q] < 0) ready = false;
+            }
+            if (ready && circuit::is_two_qubit(instr.kind)) {
+                ready = backend.are_adjacent(state.phys_of[instr.qubits[0]],
+                                             state.phys_of[instr.qubits[1]]);
+            }
+            if (!ready) {
+                still_blocked.push_back(node);
+                continue;
+            }
+            emit(state, instr);
+            reclaim_finished(state, instr, instr);
+            executed_any = true;
+            for (int succ : dag.graph().successors(node)) {
+                if (--preds_left[succ] == 0) newly_ready.push_back(succ);
+            }
+        }
+        frontier = std::move(still_blocked);
+        frontier.insert(frontier.end(), newly_ready.begin(),
+                        newly_ready.end());
+        if (executed_any) {
+            swap_streak = 0;
+            if (++executed_batches % 5 == 0) {
+                std::fill(decay.begin(), decay.end(), 0.0);
+            }
+            continue;
+        }
+        CAQR_CHECK(stall_guard++ < stall_limit,
+                   "SR-CaQR failed to make progress");
+
+        // B) Mapping decisions: critical gates with unmapped operands
+        // map now; non-critical ones stay delayed while routed gates
+        // can still make progress (paper Step 2's delaying rule).
+        std::vector<int> blocked_mapped;
+        std::vector<int> need_mapping;
+        for (int node : frontier) {
+            const Instruction& instr =
+                logical.at(static_cast<std::size_t>(node));
+            bool unmapped = false;
+            for (int q : instr.qubits) {
+                if (state.phys_of[q] < 0) unmapped = true;
+            }
+            (unmapped ? need_mapping : blocked_mapped).push_back(node);
+        }
+        std::vector<int> to_map;
+        for (int node : need_mapping) {
+            if (!options.delay_noncritical ||
+                std::abs(earliest[node] - latest[node]) < 1e-9) {
+                to_map.push_back(node);
+            }
+        }
+        if (to_map.empty() && blocked_mapped.empty()) {
+            // Everything is delayed: force the most urgent gate.
+            CAQR_CHECK(!need_mapping.empty(), "frontier inconsistent");
+            to_map.push_back(*std::min_element(
+                need_mapping.begin(), need_mapping.end(),
+                [&](int a, int b) { return latest[a] < latest[b]; }));
+        }
+        if (!to_map.empty()) {
+            std::sort(to_map.begin(), to_map.end(), [&](int a, int b) {
+                return earliest[a] < earliest[b];
+            });
+            for (int node : to_map) map_operands(node);
+            continue;  // re-scan: mapped gates may now be executable
+        }
+
+        // C) All frontier gates are mapped but blocked: pick one SWAP
+        // with SABRE-style scoring over the blocked set + lookahead.
+        // If speculative SWAPs fail to unblock anything for too long
+        // (heuristic livelock), force-route the most urgent gate with
+        // strictly distance-reducing hops — guaranteed progress.
+        if (++swap_streak > 2 * backend.num_qubits()) {
+            const int urgent = *std::min_element(
+                blocked_mapped.begin(), blocked_mapped.end(),
+                [&](int a, int b) { return latest[a] < latest[b]; });
+            const auto& instr =
+                logical.at(static_cast<std::size_t>(urgent));
+            while (!backend.are_adjacent(state.phys_of[instr.qubits[0]],
+                                         state.phys_of[instr.qubits[1]])) {
+                const int pa = state.phys_of[instr.qubits[0]];
+                const int pb = state.phys_of[instr.qubits[1]];
+                int best_nb = -1;
+                for (int nb : backend.topology().neighbors(pa)) {
+                    if (safe_distance(backend, nb, pb) <
+                        safe_distance(backend, pa, pb)) {
+                        best_nb = nb;
+                        break;
+                    }
+                }
+                CAQR_CHECK(best_nb >= 0, "no distance-reducing hop");
+                apply_swap(state, pa, best_nb);
+            }
+            swap_streak = 0;
+            continue;
+        }
+        const auto extended = lookahead_set(frontier);
+        std::set<std::pair<int, int>> candidates;
+        for (int node : blocked_mapped) {
+            const auto& instr =
+                logical.at(static_cast<std::size_t>(node));
+            for (int operand : instr.qubits) {
+                const int p = state.phys_of[operand];
+                for (int nb : backend.topology().neighbors(p)) {
+                    candidates.insert({std::min(p, nb), std::max(p, nb)});
+                }
+            }
+        }
+        CAQR_CHECK(!candidates.empty(), "no candidate swaps available");
+
+        auto swap_cost = [&](int pa, int pb) {
+            auto mapped = [&](int lq) {
+                const int p = state.phys_of[lq];
+                if (p == pa) return pb;
+                if (p == pb) return pa;
+                return p;
+            };
+            double front_cost = 0.0;
+            for (int node : blocked_mapped) {
+                const auto& instr =
+                    logical.at(static_cast<std::size_t>(node));
+                front_cost += safe_distance(backend,
+                                            mapped(instr.qubits[0]),
+                                            mapped(instr.qubits[1]));
+            }
+            front_cost /= static_cast<double>(blocked_mapped.size());
+            double look_cost = 0.0;
+            if (!extended.empty()) {
+                for (int node : extended) {
+                    const auto& instr =
+                        logical.at(static_cast<std::size_t>(node));
+                    look_cost += safe_distance(backend,
+                                               mapped(instr.qubits[0]),
+                                               mapped(instr.qubits[1]));
+                }
+                look_cost *=
+                    kLookaheadWeight / static_cast<double>(extended.size());
+            }
+            double score = (std::max(decay[pa], decay[pb]) + 1.0) *
+                           (front_cost + look_cost);
+            if (state.options->error_aware &&
+                backend.calibration().has_link(pa, pb)) {
+                score += backend.calibration().link(pa, pb).cx_error;
+            }
+            return score;
+        };
+
+        double best_score = std::numeric_limits<double>::infinity();
+        std::pair<int, int> best{-1, -1};
+        for (const auto& cand : candidates) {
+            const double score = swap_cost(cand.first, cand.second);
+            if (score < best_score) {
+                best_score = score;
+                best = cand;
+            }
+        }
+        apply_swap(state, best.first, best.second);
+        decay[best.first] += 0.001;
+        decay[best.second] += 0.001;
+    }
+
+    SrCaqrResult result;
+    result.swaps_added = state.swaps_added;
+    result.reuses = state.reuses;
+    result.physical_qubits_used = static_cast<int>(std::count(
+        state.ever_used.begin(), state.ever_used.end(), true));
+    circuit::CircuitDag out_dag(state.output);
+    result.depth = out_dag.depth();
+    arch::CalibratedDurations model(backend);
+    result.duration_dt = out_dag.duration(model);
+    result.circuit = std::move(state.output);
+    return result;
+}
+
+}  // namespace
+
+SrCaqrResult
+sr_caqr_commuting(const CommutingSpec& spec, const arch::Backend& backend,
+                  const SrCaqrOptions& options,
+                  const QsCommutingOptions& qs_options)
+{
+    // Step 1 (paper §3.3.2): sweep reuse levels with QS-CaQR and
+    // materialize their partial orders. The "sweet point" is the level
+    // whose *mapped* circuit minimizes SWAPs (duration as tie-break) —
+    // SWAP reduction is SR-CaQR's objective.
+    auto qs = qs_caqr_commuting(spec, qs_options);
+
+    // Probe every reuse level (the sweep is one version per count).
+    std::vector<std::size_t> probe(qs.versions.size());
+    for (std::size_t i = 0; i < probe.size(); ++i) probe[i] = i;
+
+    // Steps 2-4: the materialized circuits carry the imposed reuse
+    // dependencies; the regular engine applies delaying, error-aware
+    // mapping, and reclamation on top of each.
+    SrCaqrResult best_result;
+    bool have_best = false;
+    for (std::size_t index : probe) {
+        auto result =
+            sr_caqr(qs.versions[index].schedule.circuit, backend, options);
+        const bool better =
+            !have_best ||
+            result.swaps_added < best_result.swaps_added ||
+            (result.swaps_added == best_result.swaps_added &&
+             result.duration_dt < best_result.duration_dt);
+        if (better) {
+            best_result = std::move(result);
+            have_best = true;
+        }
+    }
+    return best_result;
+}
+
+}  // namespace caqr::core

@@ -1,0 +1,90 @@
+#include "core/tradeoff.h"
+
+#include "circuit/dag.h"
+#include "transpile/transpiler.h"
+
+namespace caqr::core {
+
+namespace {
+
+void
+fill_compiled_metrics(TradeoffPoint* point, const circuit::Circuit& circuit,
+                      const arch::Backend* backend, bool keep_rzz)
+{
+    if (backend == nullptr) return;
+    transpile::TranspileOptions options;
+    options.keep_rzz = keep_rzz;
+    auto compiled = transpile::transpile(circuit, *backend, options);
+    point->compiled_depth = compiled.depth;
+    point->compiled_duration_dt = compiled.duration_dt;
+    point->swaps = compiled.swaps_added;
+}
+
+}  // namespace
+
+std::vector<TradeoffPoint>
+explore_tradeoff(const circuit::Circuit& circuit,
+                 const arch::Backend* backend, const QsCaqrOptions& options)
+{
+    QsCaqrOptions sweep = options;
+    sweep.target_qubits = -1;  // squeeze to the minimum
+    auto result = qs_caqr(circuit, sweep);
+
+    std::vector<TradeoffPoint> points;
+    points.reserve(result.versions.size());
+    for (const auto& version : result.versions) {
+        TradeoffPoint point;
+        point.qubits = version.qubits;
+        point.logical_depth = version.depth;
+        point.logical_duration_dt = version.duration_dt;
+        fill_compiled_metrics(&point, version.circuit, backend,
+                              /*keep_rzz=*/false);
+        points.push_back(point);
+    }
+    return points;
+}
+
+EspSelection
+select_best_by_esp(const QsCaqrResult& result, const arch::Backend& backend)
+{
+    EspSelection best;
+    bool have_best = false;
+    for (std::size_t index = 0; index < result.versions.size(); ++index) {
+        auto compiled =
+            transpile::transpile(result.versions[index].circuit, backend);
+        const double esp =
+            arch::estimated_success_probability(compiled.circuit, backend);
+        if (!have_best || esp > best.esp) {
+            best.version_index = index;
+            best.esp = esp;
+            best.compiled = std::move(compiled.circuit);
+            have_best = true;
+        }
+    }
+    return best;
+}
+
+std::vector<TradeoffPoint>
+explore_tradeoff_commuting(const CommutingSpec& spec,
+                           const arch::Backend* backend,
+                           const QsCommutingOptions& options)
+{
+    QsCommutingOptions sweep = options;
+    sweep.target_qubits = -1;
+    auto result = qs_caqr_commuting(spec, sweep);
+
+    std::vector<TradeoffPoint> points;
+    points.reserve(result.versions.size());
+    for (const auto& version : result.versions) {
+        TradeoffPoint point;
+        point.qubits = version.qubits;
+        point.logical_depth = version.schedule.depth;
+        point.logical_duration_dt = version.schedule.duration_dt;
+        fill_compiled_metrics(&point, version.schedule.circuit, backend,
+                              /*keep_rzz=*/true);
+        points.push_back(point);
+    }
+    return points;
+}
+
+}  // namespace caqr::core

@@ -1,0 +1,122 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace caqr::graph {
+
+namespace {
+
+long long
+target_edge_count(int num_nodes, double density)
+{
+    const double pairs =
+        static_cast<double>(num_nodes) * (num_nodes - 1) / 2.0;
+    return std::llround(density * pairs);
+}
+
+/// Seeds connectivity with a uniform random spanning tree (random node
+/// permutation, attach each node to a random predecessor).
+void
+seed_spanning_tree(UndirectedGraph& graph, util::Rng& rng)
+{
+    const int n = graph.num_nodes();
+    std::vector<int> order(static_cast<std::size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+    for (int i = 1; i < n; ++i) {
+        const int prev = order[static_cast<std::size_t>(
+            rng.next_int(0, i - 1))];
+        graph.add_edge(order[static_cast<std::size_t>(i)], prev);
+    }
+}
+
+}  // namespace
+
+UndirectedGraph
+random_graph(int num_nodes, double density, util::Rng& rng)
+{
+    CAQR_CHECK(num_nodes >= 0, "node count must be non-negative");
+    CAQR_CHECK(density >= 0.0 && density <= 1.0, "density must be in [0,1]");
+    UndirectedGraph graph(num_nodes);
+    if (num_nodes < 2) return graph;
+
+    const long long target = target_edge_count(num_nodes, density);
+    if (target >= num_nodes - 1) seed_spanning_tree(graph, rng);
+
+    long long guard = 0;
+    const long long max_attempts = 50LL * target + 1000;
+    while (graph.num_edges() < target && guard++ < max_attempts) {
+        const int u = rng.next_int(0, num_nodes - 1);
+        const int v = rng.next_int(0, num_nodes - 1);
+        if (u != v) graph.add_edge(u, v);
+    }
+    return graph;
+}
+
+UndirectedGraph
+power_law_graph(int num_nodes, double triangle_prob, util::Rng& rng, int m)
+{
+    CAQR_CHECK(num_nodes >= 0, "node count must be non-negative");
+    CAQR_CHECK(triangle_prob >= 0.0 && triangle_prob <= 1.0,
+               "triangle probability must be in [0,1]");
+    CAQR_CHECK(m >= 1, "attachment count must be positive");
+    UndirectedGraph graph(num_nodes);
+    if (num_nodes < 2) return graph;
+    m = std::min(m, num_nodes - 1);
+
+    // Repeated-endpoint list: sampling it is degree-proportional.
+    std::vector<int> endpoints;
+    // Seed: a path over the first m+1 nodes.
+    const int seed_nodes = std::min(num_nodes, m + 1);
+    for (int v = 1; v < seed_nodes; ++v) {
+        graph.add_edge(v - 1, v);
+        endpoints.push_back(v - 1);
+        endpoints.push_back(v);
+    }
+
+    for (int v = seed_nodes; v < num_nodes; ++v) {
+        int last_target = -1;
+        for (int k = 0; k < m;) {
+            int other = -1;
+            // Triangle step (Holme–Kim): close a triangle through the
+            // previous preferential target's neighborhood.
+            if (k > 0 && last_target >= 0 &&
+                rng.next_bool(triangle_prob) &&
+                graph.degree(last_target) > 0) {
+                const auto& nbrs = graph.neighbors(last_target);
+                other = nbrs[static_cast<std::size_t>(
+                    rng.next_below(nbrs.size()))];
+            }
+            if (other < 0 || other == v || graph.has_edge(v, other)) {
+                other = endpoints[static_cast<std::size_t>(
+                    rng.next_below(endpoints.size()))];
+            }
+            if (other == v || graph.has_edge(v, other)) {
+                // Saturated corner: uniform retry.
+                other = rng.next_int(0, v - 1);
+                if (graph.has_edge(v, other)) continue;
+            }
+            graph.add_edge(v, other);
+            endpoints.push_back(v);
+            endpoints.push_back(other);
+            last_target = other;
+            ++k;
+        }
+    }
+    return graph;
+}
+
+double
+graph_density(const UndirectedGraph& graph)
+{
+    const int n = graph.num_nodes();
+    if (n < 2) return 0.0;
+    return static_cast<double>(graph.num_edges()) /
+           (static_cast<double>(n) * (n - 1) / 2.0);
+}
+
+}  // namespace caqr::graph

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Problem-graph generators for the QAOA benchmarks.
+ *
+ * The paper evaluates QAOA max-cut on two families, both at a target
+ * edge density: uniform random graphs ("random") and preferential-
+ * attachment graphs ("power-law"). Power-law graphs have many
+ * low-degree vertices, which is exactly what creates cheap qubit-reuse
+ * opportunities (paper §4.2.2).
+ */
+#ifndef CAQR_GRAPH_GENERATORS_H
+#define CAQR_GRAPH_GENERATORS_H
+
+#include "graph/undirected_graph.h"
+#include "util/rng.h"
+
+namespace caqr::graph {
+
+/**
+ * Erdős–Rényi G(n, m) graph with exactly
+ * round(density * n * (n - 1) / 2) edges, sampled uniformly and
+ * guaranteed connected when density permits (a random spanning tree is
+ * seeded first, then remaining edges are sampled).
+ */
+UndirectedGraph random_graph(int num_nodes, double density, util::Rng& rng);
+
+/**
+ * Holme–Kim power-law cluster graph: preferential attachment with
+ * @p m edges per arriving node, each non-first attachment closing a
+ * triangle with probability @p triangle_prob. This is the standard
+ * "power-law graph with density p" parameterization of QAOA papers:
+ * a few hubs, many degree-~m leaves (edge count ≈ m·(n−m)), which is
+ * what makes deep qubit reuse possible (paper §4.2.2: the power-law
+ * graph "contains more vertices with low degrees ... those qubits
+ * could be reused easily").
+ */
+UndirectedGraph power_law_graph(int num_nodes, double triangle_prob,
+                                util::Rng& rng, int m = 2);
+
+/// Achieved edge density of @p graph: |E| / C(n, 2); 0 for n < 2.
+double graph_density(const UndirectedGraph& graph);
+
+}  // namespace caqr::graph
+
+#endif  // CAQR_GRAPH_GENERATORS_H

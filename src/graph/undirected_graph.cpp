@@ -1,0 +1,104 @@
+#include "graph/undirected_graph.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace caqr::graph {
+
+UndirectedGraph::UndirectedGraph(int num_nodes)
+    : adj_(static_cast<std::size_t>(num_nodes))
+{
+    CAQR_CHECK(num_nodes >= 0, "node count must be non-negative");
+}
+
+int
+UndirectedGraph::add_node()
+{
+    adj_.emplace_back();
+    return num_nodes() - 1;
+}
+
+bool
+UndirectedGraph::add_edge(int u, int v)
+{
+    CAQR_CHECK(u >= 0 && u < num_nodes(), "edge endpoint out of range");
+    CAQR_CHECK(v >= 0 && v < num_nodes(), "edge endpoint out of range");
+    if (u == v || has_edge(u, v)) return false;
+    adj_[u].push_back(v);
+    adj_[v].push_back(u);
+    edges_.emplace_back(std::min(u, v), std::max(u, v));
+    return true;
+}
+
+bool
+UndirectedGraph::remove_edge(int u, int v)
+{
+    if (!has_edge(u, v)) return false;
+    auto erase_from = [](std::vector<int>& list, int value) {
+        list.erase(std::find(list.begin(), list.end(), value));
+    };
+    erase_from(adj_[u], v);
+    erase_from(adj_[v], u);
+    const std::pair<int, int> key{std::min(u, v), std::max(u, v)};
+    edges_.erase(std::find(edges_.begin(), edges_.end(), key));
+    return true;
+}
+
+bool
+UndirectedGraph::has_edge(int u, int v) const
+{
+    if (u < 0 || v < 0 || u >= num_nodes() || v >= num_nodes()) return false;
+    const auto& list = adj_[u];
+    return std::find(list.begin(), list.end(), v) != list.end();
+}
+
+int
+UndirectedGraph::max_degree() const
+{
+    int best = 0;
+    for (int u = 0; u < num_nodes(); ++u) best = std::max(best, degree(u));
+    return best;
+}
+
+std::vector<int>
+UndirectedGraph::bfs_distances(int source) const
+{
+    CAQR_CHECK(source >= 0 && source < num_nodes(), "source out of range");
+    std::vector<int> dist(static_cast<std::size_t>(num_nodes()), -1);
+    std::queue<int> frontier;
+    dist[source] = 0;
+    frontier.push(source);
+    while (!frontier.empty()) {
+        const int u = frontier.front();
+        frontier.pop();
+        for (int v : adj_[u]) {
+            if (dist[v] < 0) {
+                dist[v] = dist[u] + 1;
+                frontier.push(v);
+            }
+        }
+    }
+    return dist;
+}
+
+std::vector<std::vector<int>>
+UndirectedGraph::all_pairs_distances() const
+{
+    std::vector<std::vector<int>> result;
+    result.reserve(static_cast<std::size_t>(num_nodes()));
+    for (int u = 0; u < num_nodes(); ++u) result.push_back(bfs_distances(u));
+    return result;
+}
+
+bool
+UndirectedGraph::is_connected() const
+{
+    if (num_nodes() == 0) return true;
+    auto dist = bfs_distances(0);
+    return std::all_of(dist.begin(), dist.end(),
+                       [](int d) { return d >= 0; });
+}
+
+}  // namespace caqr::graph

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Undirected graph used for qubit interaction graphs, hardware coupling
+ * graphs, and QAOA problem graphs. Provides BFS distances / all-pairs
+ * shortest paths (for SWAP routing) and basic structural queries.
+ */
+#ifndef CAQR_GRAPH_UNDIRECTED_GRAPH_H
+#define CAQR_GRAPH_UNDIRECTED_GRAPH_H
+
+#include <utility>
+#include <vector>
+
+namespace caqr::graph {
+
+/// Simple undirected graph over dense integer node ids; at most one edge
+/// per node pair (duplicate insertions are ignored), no self loops.
+class UndirectedGraph
+{
+  public:
+    UndirectedGraph() = default;
+    explicit UndirectedGraph(int num_nodes);
+
+    int add_node();
+
+    /// Adds edge {u, v}; duplicates and self loops are ignored.
+    /// @return true if the edge was newly inserted.
+    bool add_edge(int u, int v);
+
+    /// Removes edge {u, v} if present. @return true if it existed.
+    bool remove_edge(int u, int v);
+
+    bool has_edge(int u, int v) const;
+
+    int num_nodes() const { return static_cast<int>(adj_.size()); }
+    int num_edges() const { return static_cast<int>(edges_.size()); }
+
+    const std::vector<int>& neighbors(int u) const { return adj_[u]; }
+    int degree(int u) const { return static_cast<int>(adj_[u].size()); }
+    int max_degree() const;
+
+    /// Edge list in insertion order (removed edges excluded).
+    const std::vector<std::pair<int, int>>& edges() const { return edges_; }
+
+    /// BFS hop distances from @p source; unreachable nodes get -1.
+    std::vector<int> bfs_distances(int source) const;
+
+    /// All-pairs shortest-path hop distances (BFS per node); -1 where
+    /// unreachable. O(V*(V+E)).
+    std::vector<std::vector<int>> all_pairs_distances() const;
+
+    /// True if every node is reachable from node 0 (or the graph is
+    /// empty).
+    bool is_connected() const;
+
+  private:
+    std::vector<std::vector<int>> adj_;
+    std::vector<std::pair<int, int>> edges_;
+};
+
+}  // namespace caqr::graph
+
+#endif  // CAQR_GRAPH_UNDIRECTED_GRAPH_H

@@ -1,0 +1,126 @@
+#include "opt/nelder_mead.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace caqr::opt {
+
+OptimizeResult
+nelder_mead(const Objective& objective, std::vector<double> start,
+            const NelderMeadOptions& options)
+{
+    const std::size_t n = start.size();
+    CAQR_CHECK(n >= 1, "need at least one parameter");
+
+    OptimizeResult result;
+    result.best_value = std::numeric_limits<double>::infinity();
+
+    auto evaluate = [&](const std::vector<double>& params) {
+        const double value = objective(params);
+        ++result.evaluations;
+        result.history.push_back(value);
+        if (value < result.best_value) {
+            result.best_value = value;
+            result.best_params = params;
+        }
+        result.best_history.push_back(result.best_value);
+        return value;
+    };
+
+    // Initial simplex: start + unit steps along each axis.
+    std::vector<std::vector<double>> simplex;
+    std::vector<double> values;
+    simplex.push_back(start);
+    values.push_back(evaluate(start));
+    for (std::size_t d = 0; d < n; ++d) {
+        auto vertex = start;
+        vertex[d] += options.initial_step;
+        simplex.push_back(vertex);
+        values.push_back(evaluate(vertex));
+        if (result.evaluations >= options.max_evaluations) break;
+    }
+
+    constexpr double kAlpha = 1.0;   // reflection
+    constexpr double kGamma = 2.0;   // expansion
+    constexpr double kRho = 0.5;     // contraction
+    constexpr double kSigma = 0.5;   // shrink
+
+    while (result.evaluations + 2 <= options.max_evaluations &&
+           simplex.size() == n + 1) {
+        // Order vertices by objective value.
+        std::vector<std::size_t> order(simplex.size());
+        for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+        std::sort(order.begin(), order.end(), [&](std::size_t a,
+                                                  std::size_t b) {
+            return values[a] < values[b];
+        });
+
+        const double spread = values[order.back()] - values[order.front()];
+        if (spread < options.tolerance) break;
+
+        const std::size_t worst = order.back();
+        const std::size_t second_worst = order[order.size() - 2];
+        const std::size_t best = order.front();
+
+        // Centroid of all but the worst vertex.
+        std::vector<double> centroid(n, 0.0);
+        for (std::size_t i = 0; i < simplex.size(); ++i) {
+            if (i == worst) continue;
+            for (std::size_t d = 0; d < n; ++d) {
+                centroid[d] += simplex[i][d];
+            }
+        }
+        for (double& coord : centroid) coord /= static_cast<double>(n);
+
+        auto blend = [&](double t) {
+            std::vector<double> point(n);
+            for (std::size_t d = 0; d < n; ++d) {
+                point[d] = centroid[d] + t * (centroid[d] - simplex[worst][d]);
+            }
+            return point;
+        };
+
+        const auto reflected = blend(kAlpha);
+        const double reflected_value = evaluate(reflected);
+
+        if (reflected_value < values[best]) {
+            const auto expanded = blend(kGamma);
+            const double expanded_value = evaluate(expanded);
+            if (expanded_value < reflected_value) {
+                simplex[worst] = expanded;
+                values[worst] = expanded_value;
+            } else {
+                simplex[worst] = reflected;
+                values[worst] = reflected_value;
+            }
+            continue;
+        }
+        if (reflected_value < values[second_worst]) {
+            simplex[worst] = reflected;
+            values[worst] = reflected_value;
+            continue;
+        }
+        const auto contracted = blend(-kRho);
+        const double contracted_value = evaluate(contracted);
+        if (contracted_value < values[worst]) {
+            simplex[worst] = contracted;
+            values[worst] = contracted_value;
+            continue;
+        }
+        // Shrink toward the best vertex.
+        for (std::size_t i = 0; i < simplex.size(); ++i) {
+            if (i == best) continue;
+            if (result.evaluations >= options.max_evaluations) break;
+            for (std::size_t d = 0; d < n; ++d) {
+                simplex[i][d] = simplex[best][d] +
+                                kSigma * (simplex[i][d] - simplex[best][d]);
+            }
+            values[i] = evaluate(simplex[i]);
+        }
+    }
+    return result;
+}
+
+}  // namespace caqr::opt

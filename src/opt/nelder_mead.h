@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Nelder–Mead derivative-free minimizer driving the QAOA classical
+ * loop. Substitutes for the paper's COBYLA (same zeroth-order query
+ * model; see DESIGN.md §4). Records the best-so-far objective after
+ * every function evaluation so convergence curves (paper Figs 15/16)
+ * can be plotted per round.
+ */
+#ifndef CAQR_OPT_NELDER_MEAD_H
+#define CAQR_OPT_NELDER_MEAD_H
+
+#include <functional>
+#include <vector>
+
+namespace caqr::opt {
+
+/// Objective: maps a parameter vector to a scalar to minimize.
+using Objective = std::function<double(const std::vector<double>&)>;
+
+/// Optimization trace and result.
+struct OptimizeResult
+{
+    std::vector<double> best_params;
+    double best_value = 0.0;
+    /// history[k] = objective value of evaluation k (in query order).
+    std::vector<double> history;
+    /// best_history[k] = best objective seen up to evaluation k.
+    std::vector<double> best_history;
+    int evaluations = 0;
+};
+
+/// Nelder–Mead options.
+struct NelderMeadOptions
+{
+    int max_evaluations = 100;
+    double initial_step = 0.4;   ///< simplex edge length
+    double tolerance = 1e-6;     ///< spread termination threshold
+};
+
+/// Minimizes @p objective from @p start.
+OptimizeResult nelder_mead(const Objective& objective,
+                           std::vector<double> start,
+                           const NelderMeadOptions& options = {});
+
+}  // namespace caqr::opt
+
+#endif  // CAQR_OPT_NELDER_MEAD_H

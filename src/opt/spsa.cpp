@@ -1,0 +1,66 @@
+#include "opt/spsa.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace caqr::opt {
+
+OptimizeResult
+spsa(const Objective& objective, std::vector<double> start,
+     const SpsaOptions& options)
+{
+    const std::size_t n = start.size();
+    CAQR_CHECK(n >= 1, "need at least one parameter");
+
+    OptimizeResult result;
+    result.best_value = std::numeric_limits<double>::infinity();
+    util::Rng rng(options.seed);
+
+    auto evaluate = [&](const std::vector<double>& params) {
+        const double value = objective(params);
+        ++result.evaluations;
+        result.history.push_back(value);
+        if (value < result.best_value) {
+            result.best_value = value;
+            result.best_params = params;
+        }
+        result.best_history.push_back(result.best_value);
+        return value;
+    };
+
+    std::vector<double> params = start;
+    evaluate(params);
+
+    constexpr double kStability = 10.0;
+    for (int k = 1;
+         result.evaluations + 3 <= options.max_evaluations; ++k) {
+        const double ak =
+            options.a / std::pow(k + kStability, options.alpha);
+        const double ck = options.c / std::pow(k, options.gamma);
+
+        std::vector<double> delta(n);
+        for (double& d : delta) d = rng.next_bool(0.5) ? 1.0 : -1.0;
+
+        auto plus = params;
+        auto minus = params;
+        for (std::size_t d = 0; d < n; ++d) {
+            plus[d] += ck * delta[d];
+            minus[d] -= ck * delta[d];
+        }
+        const double f_plus = evaluate(plus);
+        const double f_minus = evaluate(minus);
+
+        for (std::size_t d = 0; d < n; ++d) {
+            const double gradient =
+                (f_plus - f_minus) / (2.0 * ck * delta[d]);
+            params[d] -= ak * gradient;
+        }
+    }
+    if (result.evaluations < options.max_evaluations) evaluate(params);
+    return result;
+}
+
+}  // namespace caqr::opt

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * SPSA (simultaneous perturbation stochastic approximation) — the
+ * standard alternative optimizer for noisy quantum objectives; two
+ * evaluations per iteration regardless of dimension.
+ */
+#ifndef CAQR_OPT_SPSA_H
+#define CAQR_OPT_SPSA_H
+
+#include <cstdint>
+
+#include "opt/nelder_mead.h"
+
+namespace caqr::opt {
+
+/// SPSA hyperparameters (Spall's standard schedule).
+struct SpsaOptions
+{
+    int max_evaluations = 100;
+    double a = 0.2;        ///< step-size numerator
+    double c = 0.15;       ///< perturbation size
+    double alpha = 0.602;  ///< step-size decay exponent
+    double gamma = 0.101;  ///< perturbation decay exponent
+    std::uint64_t seed = 99;
+};
+
+/// Minimizes @p objective from @p start with SPSA.
+OptimizeResult spsa(const Objective& objective, std::vector<double> start,
+                    const SpsaOptions& options = {});
+
+}  // namespace caqr::opt
+
+#endif  // CAQR_OPT_SPSA_H

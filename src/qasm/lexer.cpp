@@ -1,0 +1,115 @@
+#include "qasm/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace caqr::qasm {
+
+std::vector<Token>
+tokenize(const std::string& source, std::string* error)
+{
+    std::vector<Token> tokens;
+    int line = 1;
+    std::size_t i = 0;
+    const std::size_t n = source.size();
+
+    auto fail = [&](const std::string& message) {
+        if (error) {
+            std::ostringstream os;
+            os << "line " << line << ": " << message;
+            *error = os.str();
+        }
+        tokens.clear();
+    };
+
+    while (i < n) {
+        const char c = source[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+            while (i < n && source[i] != '\n') ++i;
+            continue;
+        }
+
+        Token token;
+        token.line = line;
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::size_t start = i;
+            while (i < n && (std::isalnum(static_cast<unsigned char>(
+                                 source[i])) ||
+                             source[i] == '_')) {
+                ++i;
+            }
+            token.kind = TokenKind::kIdentifier;
+            token.text = source.substr(start, i - start);
+        } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                   (c == '.' && i + 1 < n &&
+                    std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+            std::size_t start = i;
+            while (i < n && (std::isdigit(static_cast<unsigned char>(
+                                 source[i])) ||
+                             source[i] == '.' || source[i] == 'e' ||
+                             source[i] == 'E' ||
+                             ((source[i] == '+' || source[i] == '-') && i > start &&
+                              (source[i - 1] == 'e' || source[i - 1] == 'E')))) {
+                ++i;
+            }
+            token.kind = TokenKind::kNumber;
+            token.text = source.substr(start, i - start);
+            token.number = std::strtod(token.text.c_str(), nullptr);
+        } else if (c == '"') {
+            std::size_t start = ++i;
+            while (i < n && source[i] != '"') ++i;
+            if (i >= n) {
+                fail("unterminated string literal");
+                return tokens;
+            }
+            token.kind = TokenKind::kString;
+            token.text = source.substr(start, i - start);
+            ++i;
+        } else if (c == '-' && i + 1 < n && source[i + 1] == '>') {
+            token.kind = TokenKind::kArrow;
+            token.text = "->";
+            i += 2;
+        } else if (c == '=' && i + 1 < n && source[i + 1] == '=') {
+            token.kind = TokenKind::kEqualEqual;
+            token.text = "==";
+            i += 2;
+        } else {
+            switch (c) {
+              case '[': token.kind = TokenKind::kLBracket; break;
+              case ']': token.kind = TokenKind::kRBracket; break;
+              case '(': token.kind = TokenKind::kLParen; break;
+              case ')': token.kind = TokenKind::kRParen; break;
+              case ',': token.kind = TokenKind::kComma; break;
+              case ';': token.kind = TokenKind::kSemicolon; break;
+              case '+': token.kind = TokenKind::kPlus; break;
+              case '-': token.kind = TokenKind::kMinus; break;
+              case '*': token.kind = TokenKind::kStar; break;
+              case '/': token.kind = TokenKind::kSlash; break;
+              default:
+                fail(std::string("unexpected character '") + c + "'");
+                return tokens;
+            }
+            token.text = std::string(1, c);
+            ++i;
+        }
+        tokens.push_back(std::move(token));
+    }
+
+    Token end;
+    end.kind = TokenKind::kEnd;
+    end.line = line;
+    tokens.push_back(end);
+    return tokens;
+}
+
+}  // namespace caqr::qasm

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Tokenizer for the OpenQASM 2.0 subset accepted by the parser.
+ */
+#ifndef CAQR_QASM_LEXER_H
+#define CAQR_QASM_LEXER_H
+
+#include <string>
+#include <vector>
+
+namespace caqr::qasm {
+
+/// Token categories.
+enum class TokenKind {
+    kIdentifier,  ///< qreg, creg, gate names, register names, pi
+    kNumber,      ///< integer or real literal
+    kString,      ///< double-quoted string (include paths)
+    kLBracket,    ///< [
+    kRBracket,    ///< ]
+    kLParen,      ///< (
+    kRParen,      ///< )
+    kComma,       ///< ,
+    kSemicolon,   ///< ;
+    kArrow,       ///< ->
+    kEqualEqual,  ///< ==
+    kPlus,        ///< +
+    kMinus,       ///< -
+    kStar,        ///< *
+    kSlash,       ///< /
+    kEnd,         ///< end of input
+};
+
+/// One lexical token with its source line for diagnostics.
+struct Token
+{
+    TokenKind kind = TokenKind::kEnd;
+    std::string text;
+    double number = 0.0;
+    int line = 0;
+};
+
+/**
+ * Tokenizes @p source. Handles `//` line comments and whitespace.
+ * On a lexical error, sets @p error and returns an empty vector.
+ */
+std::vector<Token> tokenize(const std::string& source, std::string* error);
+
+}  // namespace caqr::qasm
+
+#endif  // CAQR_QASM_LEXER_H

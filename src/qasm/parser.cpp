@@ -1,0 +1,458 @@
+#include "qasm/parser.h"
+
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "qasm/lexer.h"
+
+namespace caqr::qasm {
+
+namespace {
+
+/// Register descriptor: base offset into the flat index space + size.
+struct Register
+{
+    int offset = 0;
+    int size = 0;
+};
+
+/// Recursive-descent parser over the token stream.
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+    ParseResult
+    run()
+    {
+        parse_header();
+        while (ok_ && !check(TokenKind::kEnd)) {
+            parse_statement();
+        }
+        ParseResult result;
+        if (ok_) {
+            result.circuit = std::move(circuit_);
+        } else {
+            result.error = error_;
+        }
+        return result;
+    }
+
+  private:
+    std::vector<Token> tokens_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+    std::string error_;
+    circuit::Circuit circuit_;
+    std::map<std::string, Register> qregs_;
+    std::map<std::string, Register> cregs_;
+
+    const Token& peek() const { return tokens_[pos_]; }
+
+    const Token&
+    advance()
+    {
+        const Token& token = tokens_[pos_];
+        if (token.kind != TokenKind::kEnd) ++pos_;
+        return token;
+    }
+
+    bool check(TokenKind kind) const { return peek().kind == kind; }
+
+    bool
+    match(TokenKind kind)
+    {
+        if (!check(kind)) return false;
+        advance();
+        return true;
+    }
+
+    void
+    fail(const std::string& message)
+    {
+        if (!ok_) return;
+        ok_ = false;
+        std::ostringstream os;
+        os << "line " << peek().line << ": " << message;
+        error_ = os.str();
+    }
+
+    void
+    expect(TokenKind kind, const std::string& what)
+    {
+        if (!match(kind)) fail("expected " + what);
+    }
+
+    bool
+    match_identifier(const std::string& text)
+    {
+        if (check(TokenKind::kIdentifier) && peek().text == text) {
+            advance();
+            return true;
+        }
+        return false;
+    }
+
+    void
+    parse_header()
+    {
+        if (match_identifier("OPENQASM")) {
+            expect(TokenKind::kNumber, "version number");
+            expect(TokenKind::kSemicolon, "';'");
+        }
+    }
+
+    // ---- expressions (constant folding) --------------------------------
+
+    double
+    parse_expression()
+    {
+        double value = parse_term();
+        for (;;) {
+            if (match(TokenKind::kPlus)) {
+                value += parse_term();
+            } else if (match(TokenKind::kMinus)) {
+                value -= parse_term();
+            } else {
+                return value;
+            }
+        }
+    }
+
+    double
+    parse_term()
+    {
+        double value = parse_unary();
+        for (;;) {
+            if (match(TokenKind::kStar)) {
+                value *= parse_unary();
+            } else if (match(TokenKind::kSlash)) {
+                const double rhs = parse_unary();
+                if (rhs == 0.0) {
+                    fail("division by zero in parameter expression");
+                    return 0.0;
+                }
+                value /= rhs;
+            } else {
+                return value;
+            }
+        }
+    }
+
+    double
+    parse_unary()
+    {
+        if (match(TokenKind::kMinus)) return -parse_unary();
+        if (match(TokenKind::kPlus)) return parse_unary();
+        if (match(TokenKind::kLParen)) {
+            const double value = parse_expression();
+            expect(TokenKind::kRParen, "')'");
+            return value;
+        }
+        if (check(TokenKind::kNumber)) return advance().number;
+        if (check(TokenKind::kIdentifier) && peek().text == "pi") {
+            advance();
+            return 3.14159265358979323846;
+        }
+        fail("expected parameter expression");
+        return 0.0;
+    }
+
+    // ---- operands -------------------------------------------------------
+
+    /// Parses `name` or `name[i]`; returns flat indices (whole register
+    /// when no subscript is given).
+    std::vector<int>
+    parse_operand(const std::map<std::string, Register>& table,
+                  const char* what)
+    {
+        if (!check(TokenKind::kIdentifier)) {
+            fail(std::string("expected ") + what + " operand");
+            return {};
+        }
+        const std::string name = advance().text;
+        auto it = table.find(name);
+        if (it == table.end()) {
+            fail("unknown register '" + name + "'");
+            return {};
+        }
+        const Register& reg = it->second;
+        if (match(TokenKind::kLBracket)) {
+            if (!check(TokenKind::kNumber)) {
+                fail("expected register index");
+                return {};
+            }
+            const int index = static_cast<int>(advance().number);
+            expect(TokenKind::kRBracket, "']'");
+            if (index < 0 || index >= reg.size) {
+                fail("register index out of range for '" + name + "'");
+                return {};
+            }
+            return {reg.offset + index};
+        }
+        std::vector<int> all;
+        for (int i = 0; i < reg.size; ++i) all.push_back(reg.offset + i);
+        return all;
+    }
+
+    // ---- statements -----------------------------------------------------
+
+    void
+    parse_register_decl(bool quantum)
+    {
+        if (!check(TokenKind::kIdentifier)) {
+            fail("expected register name");
+            return;
+        }
+        const std::string name = advance().text;
+        expect(TokenKind::kLBracket, "'['");
+        if (!check(TokenKind::kNumber)) {
+            fail("expected register size");
+            return;
+        }
+        const int size = static_cast<int>(advance().number);
+        expect(TokenKind::kRBracket, "']'");
+        expect(TokenKind::kSemicolon, "';'");
+        if (!ok_) return;
+        if (size <= 0) {
+            fail("register size must be positive");
+            return;
+        }
+        auto& table = quantum ? qregs_ : cregs_;
+        if (table.count(name)) {
+            fail("duplicate register '" + name + "'");
+            return;
+        }
+        Register reg;
+        reg.size = size;
+        if (quantum) {
+            reg.offset = circuit_.num_qubits();
+            for (int i = 0; i < size; ++i) circuit_.add_qubit();
+        } else {
+            reg.offset = circuit_.num_clbits();
+            for (int i = 0; i < size; ++i) circuit_.add_clbit();
+        }
+        table[name] = reg;
+    }
+
+    void
+    parse_measure()
+    {
+        auto qubits = parse_operand(qregs_, "quantum");
+        expect(TokenKind::kArrow, "'->'");
+        auto clbits = parse_operand(cregs_, "classical");
+        expect(TokenKind::kSemicolon, "';'");
+        if (!ok_) return;
+        if (qubits.size() != clbits.size()) {
+            fail("measure operand sizes do not match");
+            return;
+        }
+        for (std::size_t i = 0; i < qubits.size(); ++i) {
+            circuit_.measure(qubits[i], clbits[i]);
+        }
+    }
+
+    void
+    parse_if()
+    {
+        expect(TokenKind::kLParen, "'('");
+        if (!check(TokenKind::kIdentifier)) {
+            fail("expected classical register in condition");
+            return;
+        }
+        const std::string name = advance().text;
+        auto it = cregs_.find(name);
+        if (it == cregs_.end()) {
+            fail("unknown classical register '" + name + "'");
+            return;
+        }
+        int bit;
+        if (match(TokenKind::kLBracket)) {
+            if (!check(TokenKind::kNumber)) {
+                fail("expected bit index");
+                return;
+            }
+            const int index = static_cast<int>(advance().number);
+            expect(TokenKind::kRBracket, "']'");
+            if (index < 0 || index >= it->second.size) {
+                fail("condition bit out of range");
+                return;
+            }
+            bit = it->second.offset + index;
+        } else if (it->second.size == 1) {
+            bit = it->second.offset;
+        } else {
+            fail("whole-register conditions require a 1-bit register; "
+                 "use the c[k] extension");
+            return;
+        }
+        expect(TokenKind::kEqualEqual, "'=='");
+        if (!check(TokenKind::kNumber)) {
+            fail("expected condition value");
+            return;
+        }
+        const int value = static_cast<int>(advance().number);
+        expect(TokenKind::kRParen, "')'");
+        if (!ok_) return;
+        if (value != 0 && value != 1) {
+            fail("single-bit condition value must be 0 or 1");
+            return;
+        }
+        parse_gate_application(bit, value);
+    }
+
+    void
+    parse_gate_application(int condition_bit = -1, int condition_value = 1)
+    {
+        if (!check(TokenKind::kIdentifier)) {
+            fail("expected gate name");
+            return;
+        }
+        const std::string name = advance().text;
+        circuit::GateKind kind;
+        if (!circuit::gate_kind_from_name(name, &kind) ||
+            kind == circuit::GateKind::kMeasure ||
+            kind == circuit::GateKind::kBarrier) {
+            fail("unsupported gate '" + name + "'");
+            return;
+        }
+
+        std::vector<double> params;
+        if (match(TokenKind::kLParen)) {
+            if (!check(TokenKind::kRParen)) {
+                params.push_back(parse_expression());
+                while (match(TokenKind::kComma)) {
+                    params.push_back(parse_expression());
+                }
+            }
+            expect(TokenKind::kRParen, "')'");
+        }
+        if (ok_ && static_cast<int>(params.size()) !=
+                       circuit::gate_num_params(kind)) {
+            fail("wrong parameter count for gate '" + name + "'");
+            return;
+        }
+
+        std::vector<std::vector<int>> operands;
+        operands.push_back(parse_operand(qregs_, "quantum"));
+        while (match(TokenKind::kComma)) {
+            operands.push_back(parse_operand(qregs_, "quantum"));
+        }
+        expect(TokenKind::kSemicolon, "';'");
+        if (!ok_) return;
+
+        const int arity = circuit::gate_arity(kind);
+        if (static_cast<int>(operands.size()) != arity) {
+            // Whole-register broadcast only for single-qubit gates.
+            if (!(arity == 1 && operands.size() == 1)) {
+                fail("wrong operand count for gate '" + name + "'");
+                return;
+            }
+        }
+        // Broadcast: all operand vectors must have equal length (or be
+        // scalar); QASM 2.0 semantics.
+        std::size_t length = 1;
+        for (const auto& ops : operands) {
+            if (ops.size() > 1) {
+                if (length > 1 && ops.size() != length) {
+                    fail("mismatched broadcast lengths");
+                    return;
+                }
+                length = ops.size();
+            }
+        }
+        for (std::size_t rep = 0; rep < length; ++rep) {
+            circuit::Instruction instr;
+            instr.kind = kind;
+            instr.params = params;
+            instr.condition_bit = condition_bit;
+            instr.condition_value = condition_value;
+            for (const auto& ops : operands) {
+                instr.qubits.push_back(
+                    ops.size() == 1 ? ops[0] : ops[rep]);
+            }
+            circuit_.append(std::move(instr));
+        }
+    }
+
+    void
+    parse_statement()
+    {
+        if (match_identifier("include")) {
+            expect(TokenKind::kString, "include path");
+            expect(TokenKind::kSemicolon, "';'");
+            return;
+        }
+        if (match_identifier("qreg")) {
+            parse_register_decl(/*quantum=*/true);
+            return;
+        }
+        if (match_identifier("creg")) {
+            parse_register_decl(/*quantum=*/false);
+            return;
+        }
+        if (match_identifier("measure")) {
+            parse_measure();
+            return;
+        }
+        if (match_identifier("reset")) {
+            auto qubits = parse_operand(qregs_, "quantum");
+            expect(TokenKind::kSemicolon, "';'");
+            if (!ok_) return;
+            for (int q : qubits) circuit_.reset(q);
+            return;
+        }
+        if (match_identifier("barrier")) {
+            // Operands are parsed and discarded: the IR barrier is global.
+            if (check(TokenKind::kIdentifier)) {
+                parse_operand(qregs_, "quantum");
+                while (match(TokenKind::kComma)) {
+                    parse_operand(qregs_, "quantum");
+                }
+            }
+            expect(TokenKind::kSemicolon, "';'");
+            if (ok_) circuit_.barrier();
+            return;
+        }
+        if (match_identifier("if")) {
+            parse_if();
+            return;
+        }
+        parse_gate_application();
+    }
+};
+
+}  // namespace
+
+ParseResult
+parse_file(const std::string& path)
+{
+    std::ifstream file(path);
+    if (!file) {
+        ParseResult result;
+        result.error = "cannot open '" + path + "'";
+        return result;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    return parse(buffer.str());
+}
+
+ParseResult
+parse(const std::string& source)
+{
+    std::string lex_error;
+    auto tokens = tokenize(source, &lex_error);
+    if (tokens.empty()) {
+        ParseResult result;
+        result.error = lex_error.empty() ? "empty input" : lex_error;
+        return result;
+    }
+    Parser parser(std::move(tokens));
+    return parser.run();
+}
+
+}  // namespace caqr::qasm

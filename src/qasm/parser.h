@@ -1,0 +1,53 @@
+/**
+ * @file
+ * OpenQASM 2.0 parser producing the circuit IR.
+ *
+ * Supported subset (everything the benchmark suite and CaQR output
+ * need):
+ *   - `OPENQASM 2.0;` header, `include "...";` (accepted and ignored)
+ *   - `qreg name[n];` / `creg name[n];` (multiple registers; flattened
+ *     to dense indices in declaration order)
+ *   - gate applications for the IR vocabulary (h, x, ..., cx, rzz, ...)
+ *     with constant-folded parameter expressions (`pi`, + - * /, unary
+ *     minus, parentheses)
+ *   - whole-register broadcast for single-qubit gates (`h q;`)
+ *   - `measure q[i] -> c[j];` (and whole-register broadcast)
+ *   - `reset q[i];`
+ *   - `barrier ...;` (operands ignored; acts as a full barrier)
+ *   - **dynamic-circuit extension**: `if (c[k] == v) <gate>;` with a
+ *     single-bit condition, matching the conditioned-gate IR. Standard
+ *     QASM 2.0 whole-register `if (c == v)` is accepted when the
+ *     register has one bit.
+ *
+ * Gate subroutine definitions (`gate ... { }`) and `opaque` are not
+ * supported; the benchmarks are generated in terms of primitive gates.
+ */
+#ifndef CAQR_QASM_PARSER_H
+#define CAQR_QASM_PARSER_H
+
+#include <optional>
+#include <string>
+
+#include "circuit/circuit.h"
+
+namespace caqr::qasm {
+
+/// Result of a parse: the circuit, or an error description.
+struct ParseResult
+{
+    std::optional<circuit::Circuit> circuit;
+    std::string error;  ///< non-empty iff circuit is nullopt
+
+    bool ok() const { return circuit.has_value(); }
+};
+
+/// Parses OpenQASM 2.0 source text.
+ParseResult parse(const std::string& source);
+
+/// Reads and parses a .qasm file; reports I/O failures via the error
+/// field.
+ParseResult parse_file(const std::string& path);
+
+}  // namespace caqr::qasm
+
+#endif  // CAQR_QASM_PARSER_H

@@ -1,0 +1,53 @@
+#include "qasm/printer.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace caqr::qasm {
+
+std::string
+to_qasm(const circuit::Circuit& circuit)
+{
+    std::ostringstream os;
+    os << "OPENQASM 2.0;\n";
+    os << "include \"qelib1.inc\";\n";
+    if (circuit.num_qubits() > 0) {
+        os << "qreg q[" << circuit.num_qubits() << "];\n";
+    }
+    if (circuit.num_clbits() > 0) {
+        os << "creg c[" << circuit.num_clbits() << "];\n";
+    }
+
+    os << std::setprecision(17);
+    for (const auto& instr : circuit.instructions()) {
+        if (instr.kind == circuit::GateKind::kBarrier) {
+            os << "barrier q;\n";
+            continue;
+        }
+        if (instr.has_condition()) {
+            os << "if (c[" << instr.condition_bit
+               << "] == " << instr.condition_value << ") ";
+        }
+        if (instr.kind == circuit::GateKind::kMeasure) {
+            os << "measure q[" << instr.qubits[0] << "] -> c["
+               << instr.clbit << "];\n";
+            continue;
+        }
+        os << circuit::gate_name(instr.kind);
+        if (!instr.params.empty()) {
+            os << "(";
+            for (std::size_t i = 0; i < instr.params.size(); ++i) {
+                if (i) os << ",";
+                os << instr.params[i];
+            }
+            os << ")";
+        }
+        for (std::size_t i = 0; i < instr.qubits.size(); ++i) {
+            os << (i ? "," : " ") << "q[" << instr.qubits[i] << "]";
+        }
+        os << ";\n";
+    }
+    return os.str();
+}
+
+}  // namespace caqr::qasm

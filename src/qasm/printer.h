@@ -1,0 +1,24 @@
+/**
+ * @file
+ * OpenQASM 2.0 emitter for the circuit IR.
+ *
+ * Output uses one flat `q` quantum register and one flat `c` classical
+ * register. Classically-conditioned gates are emitted with the
+ * single-bit extension `if (c[k] == v) ...` documented in parser.h, so
+ * print → parse round-trips exactly.
+ */
+#ifndef CAQR_QASM_PRINTER_H
+#define CAQR_QASM_PRINTER_H
+
+#include <string>
+
+#include "circuit/circuit.h"
+
+namespace caqr::qasm {
+
+/// Serializes @p circuit as OpenQASM 2.0 text.
+std::string to_qasm(const circuit::Circuit& circuit);
+
+}  // namespace caqr::qasm
+
+#endif  // CAQR_QASM_PRINTER_H

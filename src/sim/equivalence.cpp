@@ -1,0 +1,64 @@
+#include "sim/equivalence.h"
+
+#include <cmath>
+
+#include "sim/statevector.h"
+#include "util/logging.h"
+
+namespace caqr::sim {
+
+circuit::Circuit
+random_product_state_prep(int num_qubits, util::Rng& rng)
+{
+    circuit::Circuit prep(num_qubits, 0);
+    constexpr double kTau = 6.28318530717958647692;
+    for (int q = 0; q < num_qubits; ++q) {
+        // theta ~ arccos-uniform for Bloch-sphere uniformity.
+        const double theta = std::acos(1.0 - 2.0 * rng.next_double());
+        prep.u(theta, rng.next_double() * kTau,
+               rng.next_double() * kTau, q);
+    }
+    return prep;
+}
+
+bool
+unitarily_equivalent(const circuit::Circuit& a, const circuit::Circuit& b,
+                     const EquivalenceOptions& options)
+{
+    CAQR_CHECK(a.num_qubits() == b.num_qubits(),
+               "equivalence requires equal qubit counts");
+    for (const auto* circuit : {&a, &b}) {
+        for (const auto& instr : circuit->instructions()) {
+            CAQR_CHECK(circuit::is_unitary(instr.kind) ||
+                           instr.kind == circuit::GateKind::kBarrier,
+                       "equivalence check requires unitary circuits");
+            CAQR_CHECK(!instr.has_condition(),
+                       "equivalence check requires unconditioned gates");
+        }
+    }
+
+    util::Rng rng(options.seed);
+    for (int probe = 0; probe < options.num_probes; ++probe) {
+        const auto prep = random_product_state_prep(a.num_qubits(), rng);
+        StateVector sv_a(a.num_qubits());
+        StateVector sv_b(b.num_qubits());
+        for (const auto& instr : prep.instructions()) {
+            sv_a.apply(instr);
+            sv_b.apply(instr);
+        }
+        for (const auto& instr : a.instructions()) {
+            if (instr.kind == circuit::GateKind::kBarrier) continue;
+            sv_a.apply(instr);
+        }
+        for (const auto& instr : b.instructions()) {
+            if (instr.kind == circuit::GateKind::kBarrier) continue;
+            sv_b.apply(instr);
+        }
+        if (std::abs(sv_a.fidelity(sv_b) - 1.0) > options.tolerance) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace caqr::sim

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Circuit equivalence checking by randomized state probing.
+ *
+ * Two unitary circuits over the same qubit count are compared by
+ * evolving a batch of random product states through both and checking
+ * state fidelities (a unitary that agrees on enough random states is
+ * the same up to global phase with overwhelming probability). Used by
+ * the test suite to validate decompositions and transformations beyond
+ * the |0...0> input.
+ */
+#ifndef CAQR_SIM_EQUIVALENCE_H
+#define CAQR_SIM_EQUIVALENCE_H
+
+#include "circuit/circuit.h"
+#include "util/rng.h"
+
+namespace caqr::sim {
+
+/// Options for the probabilistic equivalence check.
+struct EquivalenceOptions
+{
+    int num_probes = 8;
+    double tolerance = 1e-9;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * True if @p a and @p b act identically (up to global phase) on
+ * random product input states. Both circuits must be purely unitary
+ * (no measure/reset/conditioned operations) and have the same qubit
+ * count.
+ */
+bool unitarily_equivalent(const circuit::Circuit& a,
+                          const circuit::Circuit& b,
+                          const EquivalenceOptions& options = {});
+
+/**
+ * Prepares a random product state preparation circuit on @p num_qubits
+ * qubits (per-qubit U(θ, φ, λ) with Haar-ish angles). Useful for
+ * randomized testing.
+ */
+circuit::Circuit random_product_state_prep(int num_qubits,
+                                           util::Rng& rng);
+
+}  // namespace caqr::sim
+
+#endif  // CAQR_SIM_EQUIVALENCE_H

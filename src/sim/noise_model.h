@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Stochastic noise model for shot-based simulation, standing in for the
+ * paper's IBM Mumbai hardware runs (see DESIGN.md substitutions).
+ *
+ * Three channels, all Pauli-twirled for statevector compatibility:
+ *  - depolarizing gate error: after each gate, each operand qubit takes
+ *    a uniform X/Y/Z with the gate's error probability;
+ *  - readout error: each measured classical bit flips with the qubit's
+ *    readout error probability;
+ *  - idle decoherence: for each idle gap (from an ASAP schedule), the
+ *    qubit takes X with (1-e^{-t/T1})/2 and Z with (1-e^{-t/T2})/2.
+ *
+ * These channels are driven by exactly the quantities CaQR optimizes —
+ * two-qubit gate count, qubit usage, and schedule length — so relative
+ * fidelity comparisons (Table 3, Figs 15/16) are preserved.
+ */
+#ifndef CAQR_SIM_NOISE_MODEL_H
+#define CAQR_SIM_NOISE_MODEL_H
+
+#include "arch/backend.h"
+#include "circuit/circuit.h"
+
+namespace caqr::sim {
+
+/// Noise parameters; probabilities are per-application.
+class NoiseModel
+{
+  public:
+    /// Noiseless model.
+    static NoiseModel ideal();
+
+    /**
+     * Uniform noise: @p p1 per 1q gate, @p p2 per operand qubit of a 2q
+     * gate, @p readout per measurement. No idle decoherence (no
+     * calibration to derive T1/T2 from).
+     */
+    static NoiseModel uniform(double p1, double p2, double readout);
+
+    /**
+     * Calibration-driven noise for circuits whose qubit ids are
+     * *physical* ids of @p backend. Enables idle decoherence.
+     * @p backend must outlive the model.
+     */
+    static NoiseModel from_backend(const arch::Backend& backend);
+
+    bool is_ideal() const { return !enabled_; }
+    bool has_backend() const { return backend_ != nullptr; }
+    const arch::Backend* backend() const { return backend_; }
+
+    /// Per-operand-qubit depolarizing probability for @p instr.
+    double gate_error(const circuit::Instruction& instr) const;
+
+    /// Readout flip probability for measuring physical/logical qubit q.
+    double readout_error(int q) const;
+
+    /// T1 / T2 for qubit q in dt cycles (used for idle decoherence);
+    /// returns false if idle noise is disabled.
+    bool coherence_dt(int q, double* t1_dt, double* t2_dt) const;
+
+  private:
+    bool enabled_ = false;
+    double p1_ = 0.0;
+    double p2_ = 0.0;
+    double readout_ = 0.0;
+    const arch::Backend* backend_ = nullptr;
+};
+
+}  // namespace caqr::sim
+
+#endif  // CAQR_SIM_NOISE_MODEL_H

@@ -1,0 +1,211 @@
+#include "sim/simulator.h"
+
+#include <cmath>
+#include <vector>
+
+#include "circuit/dag.h"
+#include "circuit/schedule.h"
+#include "circuit/timing.h"
+#include "sim/statevector.h"
+#include "util/logging.h"
+
+namespace caqr::sim {
+
+namespace {
+
+/// Precomputed idle-decoherence parameters preceding one instruction,
+/// per operand qubit: T1 relaxation as an amplitude-damping trajectory
+/// (gamma) plus pure dephasing (p_phaseflip from T_phi, where
+/// 1/T_phi = 1/T2 - 1/(2*T1)).
+struct IdleNoise
+{
+    int qubit = -1;
+    double gamma = 0.0;        ///< amplitude-damping probability
+    double p_phaseflip = 0.0;  ///< pure-dephasing Z probability
+};
+
+/// Derives per-instruction idle noise from an ASAP schedule.
+std::vector<std::vector<IdleNoise>>
+precompute_idle_noise(const circuit::Circuit& circuit,
+                      const NoiseModel& noise)
+{
+    std::vector<std::vector<IdleNoise>> result(circuit.size());
+    if (!noise.has_backend()) return result;
+
+    arch::CalibratedDurations model(*noise.backend());
+    circuit::Schedule schedule(circuit, model);
+
+    for (std::size_t i = 0; i < circuit.size(); ++i) {
+        const auto& instr = circuit.at(i);
+        for (int q : instr.qubits) {
+            const double gap = schedule.idle_gap_before(i, q);
+            if (gap <= 0.0) continue;
+            double t1_dt, t2_dt;
+            if (!noise.coherence_dt(q, &t1_dt, &t2_dt)) continue;
+            IdleNoise idle;
+            idle.qubit = q;
+            idle.gamma = 1.0 - std::exp(-gap / t1_dt);
+            // Pure dephasing rate: 1/Tphi = 1/T2 - 1/(2*T1).
+            const double inv_tphi =
+                std::max(0.0, 1.0 / t2_dt - 0.5 / t1_dt);
+            idle.p_phaseflip = (1.0 - std::exp(-gap * inv_tphi)) / 2.0;
+            result[i].push_back(idle);
+        }
+    }
+    return result;
+}
+
+void
+inject_depolarizing(StateVector& sv, int q, util::Rng& rng)
+{
+    static const char paulis[3] = {'X', 'Y', 'Z'};
+    sv.apply_pauli(paulis[rng.next_int(0, 2)], q);
+}
+
+std::string
+clbits_to_key(const std::vector<int>& clbits)
+{
+    std::string key(clbits.size(), '0');
+    for (std::size_t i = 0; i < clbits.size(); ++i) {
+        if (clbits[i]) key[i] = '1';
+    }
+    return key;
+}
+
+}  // namespace
+
+Counts
+simulate(const circuit::Circuit& raw_circuit, const SimOptions& options,
+         const NoiseModel& noise)
+{
+    // Simulate in the active-qubit subspace: physical circuits carry
+    // every backend wire, but idle wires stay |0> forever. Noise
+    // lookups (calibration, idle decoherence) use the raw/physical
+    // instruction; the statevector uses the compacted one.
+    const auto idle_noise = precompute_idle_noise(raw_circuit, noise);
+    std::vector<int> old_of_new;
+    const circuit::Circuit circuit = raw_circuit.compacted(&old_of_new);
+    std::vector<int> new_of_old(
+        static_cast<std::size_t>(raw_circuit.num_qubits()), -1);
+    for (std::size_t w = 0; w < old_of_new.size(); ++w) {
+        new_of_old[old_of_new[w]] = static_cast<int>(w);
+    }
+
+    util::Rng rng(options.seed);
+    Counts counts;
+
+    for (std::size_t shot = 0; shot < options.shots; ++shot) {
+        StateVector sv(circuit.num_qubits());
+        std::vector<int> clbits(
+            static_cast<std::size_t>(circuit.num_clbits()), 0);
+
+        for (std::size_t i = 0; i < circuit.size(); ++i) {
+            const auto& instr = circuit.at(i);
+            const auto& raw_instr = raw_circuit.at(i);
+            if (instr.kind == circuit::GateKind::kBarrier) continue;
+
+            for (const auto& idle : idle_noise[i]) {
+                const int wire = new_of_old[idle.qubit];
+                sv.apply_amplitude_damping(wire, idle.gamma, rng);
+                if (rng.next_bool(idle.p_phaseflip)) {
+                    sv.apply_pauli('Z', wire);
+                }
+            }
+
+            if (instr.has_condition() &&
+                clbits[instr.condition_bit] != instr.condition_value) {
+                continue;
+            }
+
+            switch (instr.kind) {
+              case circuit::GateKind::kMeasure: {
+                int outcome = sv.measure(instr.qubits[0], rng);
+                if (rng.next_bool(
+                        noise.readout_error(raw_instr.qubits[0]))) {
+                    outcome ^= 1;
+                }
+                clbits[instr.clbit] = outcome;
+                break;
+              }
+              case circuit::GateKind::kReset:
+                sv.reset(instr.qubits[0], rng);
+                break;
+              default: {
+                sv.apply(instr);
+                const double p = noise.gate_error(raw_instr);
+                if (p > 0.0) {
+                    for (int q : instr.qubits) {
+                        if (rng.next_bool(p)) {
+                            inject_depolarizing(sv, q, rng);
+                        }
+                    }
+                }
+                break;
+              }
+            }
+        }
+        ++counts[clbits_to_key(clbits)];
+    }
+    return counts;
+}
+
+std::map<std::string, double>
+exact_distribution(const circuit::Circuit& raw_circuit, double cutoff)
+{
+    const circuit::Circuit circuit = raw_circuit.compacted();
+    StateVector sv(circuit.num_qubits());
+    std::vector<int> qubit_to_clbit(
+        static_cast<std::size_t>(circuit.num_qubits()), -1);
+    std::vector<bool> measured(
+        static_cast<std::size_t>(circuit.num_qubits()), false);
+
+    for (const auto& instr : circuit.instructions()) {
+        if (instr.kind == circuit::GateKind::kBarrier) continue;
+        CAQR_CHECK(!instr.has_condition(),
+                   "exact_distribution: conditioned gates unsupported");
+        CAQR_CHECK(instr.kind != circuit::GateKind::kReset,
+                   "exact_distribution: reset unsupported");
+        for (int q : instr.qubits) {
+            CAQR_CHECK(!measured[q],
+                       "exact_distribution: measurement must be terminal");
+        }
+        if (instr.kind == circuit::GateKind::kMeasure) {
+            measured[instr.qubits[0]] = true;
+            qubit_to_clbit[instr.qubits[0]] = instr.clbit;
+            continue;
+        }
+        sv.apply(instr);
+    }
+
+    std::map<std::string, double> distribution;
+    const auto& amps = sv.amplitudes();
+    for (std::size_t basis = 0; basis < amps.size(); ++basis) {
+        const double prob = std::norm(amps[basis]);
+        if (prob < cutoff) continue;
+        std::string key(static_cast<std::size_t>(circuit.num_clbits()),
+                        '0');
+        for (int q = 0; q < circuit.num_qubits(); ++q) {
+            const int bit = qubit_to_clbit[q];
+            if (bit >= 0 && (basis >> q) & 1) {
+                key[static_cast<std::size_t>(bit)] = '1';
+            }
+        }
+        distribution[key] += prob;
+    }
+    return distribution;
+}
+
+double
+success_rate(const Counts& counts, const std::string& expected)
+{
+    std::size_t total = 0;
+    std::size_t hits = 0;
+    for (const auto& [key, count] : counts) {
+        total += count;
+        if (key == expected) hits += count;
+    }
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+}
+
+}  // namespace caqr::sim

@@ -1,0 +1,299 @@
+#include "sim/statevector.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace caqr::sim {
+
+namespace {
+
+using Complex = std::complex<double>;
+
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kInvSqrt2 = 0.70710678118654752440;
+
+}  // namespace
+
+StateVector::StateVector(int num_qubits)
+    : num_qubits_(num_qubits),
+      amps_(std::size_t{1} << num_qubits, Complex(0.0, 0.0))
+{
+    CAQR_CHECK(num_qubits >= 0 && num_qubits <= 26,
+               "statevector limited to 26 qubits");
+    amps_[0] = Complex(1.0, 0.0);
+}
+
+StateVector
+StateVector::from_amplitudes(std::vector<Complex> amplitudes)
+{
+    int num_qubits = 0;
+    while ((std::size_t{1} << num_qubits) < amplitudes.size()) {
+        ++num_qubits;
+    }
+    CAQR_CHECK((std::size_t{1} << num_qubits) == amplitudes.size(),
+               "amplitude vector size must be a power of two");
+    StateVector sv(num_qubits);
+    sv.amps_ = std::move(amplitudes);
+    return sv;
+}
+
+void
+StateVector::apply_1q(int q, const Complex matrix[2][2])
+{
+    CAQR_CHECK(q >= 0 && q < num_qubits_, "qubit out of range");
+    const std::size_t stride = std::size_t{1} << q;
+    const std::size_t size = amps_.size();
+    for (std::size_t base = 0; base < size; base += 2 * stride) {
+        for (std::size_t offset = 0; offset < stride; ++offset) {
+            const std::size_t i0 = base + offset;
+            const std::size_t i1 = i0 + stride;
+            const Complex a0 = amps_[i0];
+            const Complex a1 = amps_[i1];
+            amps_[i0] = matrix[0][0] * a0 + matrix[0][1] * a1;
+            amps_[i1] = matrix[1][0] * a0 + matrix[1][1] * a1;
+        }
+    }
+}
+
+void
+StateVector::apply_pauli(char pauli, int q)
+{
+    static const Complex x[2][2] = {{0, 1}, {1, 0}};
+    static const Complex y[2][2] = {{0, Complex(0, -1)}, {Complex(0, 1), 0}};
+    static const Complex z[2][2] = {{1, 0}, {0, -1}};
+    switch (pauli) {
+      case 'X': apply_1q(q, x); break;
+      case 'Y': apply_1q(q, y); break;
+      case 'Z': apply_1q(q, z); break;
+      default: util::panic("unknown Pauli label");
+    }
+}
+
+void
+StateVector::apply(const circuit::Instruction& instr)
+{
+    using circuit::GateKind;
+    CAQR_CHECK(circuit::is_unitary(instr.kind),
+               "apply() requires a unitary instruction");
+
+    const auto& q = instr.qubits;
+    switch (instr.kind) {
+      case GateKind::kH: {
+        const Complex m[2][2] = {{kInvSqrt2, kInvSqrt2},
+                                 {kInvSqrt2, -kInvSqrt2}};
+        apply_1q(q[0], m);
+        return;
+      }
+      case GateKind::kX: apply_pauli('X', q[0]); return;
+      case GateKind::kY: apply_pauli('Y', q[0]); return;
+      case GateKind::kZ: apply_pauli('Z', q[0]); return;
+      case GateKind::kS: {
+        const Complex m[2][2] = {{1, 0}, {0, Complex(0, 1)}};
+        apply_1q(q[0], m);
+        return;
+      }
+      case GateKind::kSdg: {
+        const Complex m[2][2] = {{1, 0}, {0, Complex(0, -1)}};
+        apply_1q(q[0], m);
+        return;
+      }
+      case GateKind::kT: {
+        const Complex m[2][2] = {
+            {1, 0}, {0, std::polar(1.0, kPi / 4)}};
+        apply_1q(q[0], m);
+        return;
+      }
+      case GateKind::kTdg: {
+        const Complex m[2][2] = {
+            {1, 0}, {0, std::polar(1.0, -kPi / 4)}};
+        apply_1q(q[0], m);
+        return;
+      }
+      case GateKind::kRx: {
+        const double half = instr.params[0] / 2;
+        const Complex m[2][2] = {
+            {std::cos(half), Complex(0, -std::sin(half))},
+            {Complex(0, -std::sin(half)), std::cos(half)}};
+        apply_1q(q[0], m);
+        return;
+      }
+      case GateKind::kRy: {
+        const double half = instr.params[0] / 2;
+        const Complex m[2][2] = {{std::cos(half), -std::sin(half)},
+                                 {std::sin(half), std::cos(half)}};
+        apply_1q(q[0], m);
+        return;
+      }
+      case GateKind::kRz: {
+        const double half = instr.params[0] / 2;
+        const Complex m[2][2] = {{std::polar(1.0, -half), 0},
+                                 {0, std::polar(1.0, half)}};
+        apply_1q(q[0], m);
+        return;
+      }
+      case GateKind::kU: {
+        const double theta = instr.params[0];
+        const double phi = instr.params[1];
+        const double lambda = instr.params[2];
+        const Complex m[2][2] = {
+            {std::cos(theta / 2),
+             -std::polar(1.0, lambda) * std::sin(theta / 2)},
+            {std::polar(1.0, phi) * std::sin(theta / 2),
+             std::polar(1.0, phi + lambda) * std::cos(theta / 2)}};
+        apply_1q(q[0], m);
+        return;
+      }
+      case GateKind::kCx: {
+        const std::size_t control = std::size_t{1} << q[0];
+        const std::size_t target = std::size_t{1} << q[1];
+        for (std::size_t i = 0; i < amps_.size(); ++i) {
+            if ((i & control) && !(i & target)) {
+                std::swap(amps_[i], amps_[i | target]);
+            }
+        }
+        return;
+      }
+      case GateKind::kCz: {
+        const std::size_t mask =
+            (std::size_t{1} << q[0]) | (std::size_t{1} << q[1]);
+        for (std::size_t i = 0; i < amps_.size(); ++i) {
+            if ((i & mask) == mask) amps_[i] = -amps_[i];
+        }
+        return;
+      }
+      case GateKind::kRzz: {
+        // exp(-i θ/2 Z⊗Z): phase e^{-iθ/2} on equal bits, e^{+iθ/2}
+        // on differing bits.
+        const double half = instr.params[0] / 2;
+        const Complex same = std::polar(1.0, -half);
+        const Complex diff = std::polar(1.0, half);
+        const std::size_t b0 = std::size_t{1} << q[0];
+        const std::size_t b1 = std::size_t{1} << q[1];
+        for (std::size_t i = 0; i < amps_.size(); ++i) {
+            const bool bit0 = (i & b0) != 0;
+            const bool bit1 = (i & b1) != 0;
+            amps_[i] *= (bit0 == bit1) ? same : diff;
+        }
+        return;
+      }
+      case GateKind::kSwap: {
+        const std::size_t b0 = std::size_t{1} << q[0];
+        const std::size_t b1 = std::size_t{1} << q[1];
+        for (std::size_t i = 0; i < amps_.size(); ++i) {
+            const bool bit0 = (i & b0) != 0;
+            const bool bit1 = (i & b1) != 0;
+            if (bit0 && !bit1) {
+                std::swap(amps_[i], amps_[(i & ~b0) | b1]);
+            }
+        }
+        return;
+      }
+      case GateKind::kCcx: {
+        const std::size_t c0 = std::size_t{1} << q[0];
+        const std::size_t c1 = std::size_t{1} << q[1];
+        const std::size_t target = std::size_t{1} << q[2];
+        for (std::size_t i = 0; i < amps_.size(); ++i) {
+            if ((i & c0) && (i & c1) && !(i & target)) {
+                std::swap(amps_[i], amps_[i | target]);
+            }
+        }
+        return;
+      }
+      default:
+        util::panic("unhandled unitary gate");
+    }
+}
+
+double
+StateVector::prob_one(int q) const
+{
+    CAQR_CHECK(q >= 0 && q < num_qubits_, "qubit out of range");
+    const std::size_t bit = std::size_t{1} << q;
+    double prob = 0.0;
+    for (std::size_t i = 0; i < amps_.size(); ++i) {
+        if (i & bit) prob += std::norm(amps_[i]);
+    }
+    return prob;
+}
+
+int
+StateVector::measure(int q, util::Rng& rng)
+{
+    const double p1 = prob_one(q);
+    const int outcome = rng.next_double() < p1 ? 1 : 0;
+    const std::size_t bit = std::size_t{1} << q;
+    const double keep_prob = outcome ? p1 : 1.0 - p1;
+    const double norm =
+        keep_prob > 1e-300 ? 1.0 / std::sqrt(keep_prob) : 0.0;
+    for (std::size_t i = 0; i < amps_.size(); ++i) {
+        const bool is_one = (i & bit) != 0;
+        if (is_one == (outcome == 1)) {
+            amps_[i] *= norm;
+        } else {
+            amps_[i] = Complex(0.0, 0.0);
+        }
+    }
+    return outcome;
+}
+
+void
+StateVector::reset(int q, util::Rng& rng)
+{
+    if (measure(q, rng) == 1) apply_pauli('X', q);
+}
+
+void
+StateVector::apply_amplitude_damping(int q, double gamma, util::Rng& rng)
+{
+    CAQR_CHECK(gamma >= 0.0 && gamma <= 1.0,
+               "damping probability out of range");
+    if (gamma <= 0.0) return;
+    const double p1 = prob_one(q);
+    const double p_jump = gamma * p1;
+    const std::size_t bit = std::size_t{1} << q;
+
+    if (rng.next_double() < p_jump) {
+        // Jump: K1 = sqrt(gamma)|0><1| — move all |1> amplitude to |0>.
+        const double norm = p1 > 1e-300 ? 1.0 / std::sqrt(p1) : 0.0;
+        for (std::size_t i = 0; i < amps_.size(); ++i) {
+            if (i & bit) {
+                amps_[i & ~bit] = amps_[i] * norm;
+                amps_[i] = Complex(0.0, 0.0);
+            }
+        }
+        return;
+    }
+    // No-jump: K0 = diag(1, sqrt(1-gamma)), then renormalize by the
+    // no-jump probability 1 - gamma * p1.
+    const double damp = std::sqrt(1.0 - gamma);
+    const double norm = 1.0 / std::sqrt(1.0 - p_jump);
+    for (std::size_t i = 0; i < amps_.size(); ++i) {
+        amps_[i] *= (i & bit) ? damp * norm : norm;
+    }
+}
+
+std::uint64_t
+StateVector::sample(util::Rng& rng) const
+{
+    double r = rng.next_double();
+    for (std::size_t i = 0; i < amps_.size(); ++i) {
+        r -= std::norm(amps_[i]);
+        if (r <= 0.0) return i;
+    }
+    return amps_.size() - 1;
+}
+
+double
+StateVector::fidelity(const StateVector& other) const
+{
+    CAQR_CHECK(num_qubits_ == other.num_qubits_,
+               "fidelity requires equal qubit counts");
+    Complex inner(0.0, 0.0);
+    for (std::size_t i = 0; i < amps_.size(); ++i) {
+        inner += std::conj(amps_[i]) * other.amps_[i];
+    }
+    return std::norm(inner);
+}
+
+}  // namespace caqr::sim

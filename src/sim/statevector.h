@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Dense statevector with the operations needed to execute dynamic
+ * circuits: unitary gates, projective measurement with collapse, and
+ * reset. Usable up to ~20 qubits; the benchmark suite never exceeds 14.
+ *
+ * Qubit q corresponds to bit q of the amplitude index (little-endian).
+ */
+#ifndef CAQR_SIM_STATEVECTOR_H
+#define CAQR_SIM_STATEVECTOR_H
+
+#include <complex>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "util/rng.h"
+
+namespace caqr::sim {
+
+/// Dense 2^n complex statevector.
+class StateVector
+{
+  public:
+    /// Initializes |0...0>.
+    explicit StateVector(int num_qubits);
+
+    /// Builds a state from explicit amplitudes (size must be a power of
+    /// two; the vector is used as-is, normalization is the caller's
+    /// responsibility).
+    static StateVector from_amplitudes(
+        std::vector<std::complex<double>> amplitudes);
+
+    int num_qubits() const { return num_qubits_; }
+
+    /// Raw amplitude access (index bit q = qubit q).
+    const std::vector<std::complex<double>>& amplitudes() const
+    {
+        return amps_;
+    }
+
+    /// Applies a unitary instruction (measure/reset/barrier rejected;
+    /// classical conditions are the caller's responsibility).
+    void apply(const circuit::Instruction& instr);
+
+    /// Applies an arbitrary 2x2 unitary to qubit @p q.
+    void apply_1q(int q, const std::complex<double> matrix[2][2]);
+
+    /// Applies a Pauli ('X','Y','Z') to qubit @p q (noise injection).
+    void apply_pauli(char pauli, int q);
+
+    /// Probability that measuring @p q yields 1.
+    double prob_one(int q) const;
+
+    /// Measures @p q, collapses and renormalizes; returns the outcome.
+    int measure(int q, util::Rng& rng);
+
+    /// Measures @p q and flips to |0> if the outcome was 1 (hardware
+    /// "measure + conditional X" reset idiom).
+    void reset(int q, util::Rng& rng);
+
+    /**
+     * One amplitude-damping trajectory step on qubit @p q with decay
+     * probability @p gamma (= 1 - e^{-t/T1} for an idle window t):
+     * with probability gamma * P(|1>) the excitation decays (jump to
+     * |0>), otherwise the no-jump Kraus K0 = diag(1, sqrt(1-gamma)) is
+     * applied and the state renormalized. Exact single-trajectory
+     * unraveling of the T1 channel.
+     */
+    void apply_amplitude_damping(int q, double gamma, util::Rng& rng);
+
+    /// Samples a full computational-basis outcome without collapsing.
+    std::uint64_t sample(util::Rng& rng) const;
+
+    /// Inner-product fidelity |<this|other>|^2.
+    double fidelity(const StateVector& other) const;
+
+  private:
+    int num_qubits_;
+    std::vector<std::complex<double>> amps_;
+};
+
+}  // namespace caqr::sim
+
+#endif  // CAQR_SIM_STATEVECTOR_H

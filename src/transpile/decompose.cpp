@@ -1,0 +1,73 @@
+#include "transpile/decompose.h"
+
+namespace caqr::transpile {
+
+namespace {
+
+using circuit::Circuit;
+using circuit::GateKind;
+using circuit::Instruction;
+
+/// Emits the standard CCX decomposition (6 CX + 1q gates).
+void
+emit_ccx(Circuit& out, int c0, int c1, int target)
+{
+    out.h(target);
+    out.cx(c1, target);
+    out.tdg(target);
+    out.cx(c0, target);
+    out.t(target);
+    out.cx(c1, target);
+    out.tdg(target);
+    out.cx(c0, target);
+    out.t(c1);
+    out.t(target);
+    out.h(target);
+    out.cx(c0, c1);
+    out.t(c0);
+    out.tdg(c1);
+    out.cx(c0, c1);
+}
+
+Circuit
+lower(const Circuit& input, bool full)
+{
+    Circuit out(input.num_qubits(), input.num_clbits());
+    for (const auto& instr : input.instructions()) {
+        if (instr.kind == GateKind::kCcx) {
+            emit_ccx(out, instr.qubits[0], instr.qubits[1],
+                     instr.qubits[2]);
+            continue;
+        }
+        if (full && instr.kind == GateKind::kRzz) {
+            out.cx(instr.qubits[0], instr.qubits[1]);
+            out.rz(instr.params[0], instr.qubits[1]);
+            out.cx(instr.qubits[0], instr.qubits[1]);
+            continue;
+        }
+        if (full && instr.kind == GateKind::kCz) {
+            out.h(instr.qubits[1]);
+            out.cx(instr.qubits[0], instr.qubits[1]);
+            out.h(instr.qubits[1]);
+            continue;
+        }
+        out.append(instr);
+    }
+    return out;
+}
+
+}  // namespace
+
+Circuit
+decompose_to_native(const Circuit& input)
+{
+    return lower(input, /*full=*/true);
+}
+
+Circuit
+decompose_ccx(const Circuit& input)
+{
+    return lower(input, /*full=*/false);
+}
+
+}  // namespace caqr::transpile

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Gate decomposition to the native set of IBM-style hardware:
+ * {CX, single-qubit gates, measure, reset, conditioned X}.
+ *
+ * RZZ → CX·RZ·CX, CZ → H·CX·H, CCX → the standard 6-CX network.
+ * SWAPs are left intact (the duration/fidelity models charge them as
+ * three CX); routing inserts them and the metrics count them.
+ */
+#ifndef CAQR_TRANSPILE_DECOMPOSE_H
+#define CAQR_TRANSPILE_DECOMPOSE_H
+
+#include "circuit/circuit.h"
+
+namespace caqr::transpile {
+
+/// Returns a circuit over the native gate set, preserving semantics.
+circuit::Circuit decompose_to_native(const circuit::Circuit& input);
+
+/// Lowers only CCX gates (used by generators before logical analysis so
+/// that the reuse passes see two-qubit structure).
+circuit::Circuit decompose_ccx(const circuit::Circuit& input);
+
+}  // namespace caqr::transpile
+
+#endif  // CAQR_TRANSPILE_DECOMPOSE_H

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Peephole circuit optimization: self-inverse gate cancellation and
+ * rotation merging — the single-/two-qubit cleanup Qiskit's
+ * optimization level 3 performs, completing our baseline-transpiler
+ * stand-in (paper §4.1 uses "IBM Qiskit ... with optimization level 3
+ * turned on" as the comparison point).
+ *
+ * Rules (applied to fixpoint):
+ *  - adjacent self-inverse pairs cancel: H·H, X·X, Y·Y, Z·Z, CX·CX,
+ *    CZ·CZ, SWAP·SWAP (same operand order for 2q gates; CZ/SWAP/RZZ
+ *    are symmetric and also cancel with swapped operands);
+ *  - inverse pairs cancel: S·Sdg, Sdg·S, T·Tdg, Tdg·T;
+ *  - adjacent same-axis rotations merge: RX/RY/RZ/RZZ(a)·(b) → (a+b),
+ *    and a merged angle ≈ 0 (mod 2π) drops entirely;
+ *  - classically-conditioned gates, measurements, resets, and barriers
+ *    are optimization fences on the qubits they touch.
+ *
+ * Semantics preservation is enforced by randomized unitary-equivalence
+ * tests (see tests/peephole_test.cpp).
+ */
+#ifndef CAQR_TRANSPILE_PEEPHOLE_H
+#define CAQR_TRANSPILE_PEEPHOLE_H
+
+#include "circuit/circuit.h"
+
+namespace caqr::transpile {
+
+/// Statistics of one optimization run.
+struct PeepholeStats
+{
+    int cancelled_pairs = 0;   ///< self-inverse / inverse pairs removed
+    int merged_rotations = 0;  ///< rotation pairs folded into one
+    int dropped_identity = 0;  ///< ~zero-angle rotations removed
+    int passes = 0;            ///< fixpoint iterations
+};
+
+/// Optimizes @p input to fixpoint; @p stats (optional) receives totals.
+circuit::Circuit peephole_optimize(const circuit::Circuit& input,
+                                   PeepholeStats* stats = nullptr);
+
+}  // namespace caqr::transpile
+
+#endif  // CAQR_TRANSPILE_PEEPHOLE_H

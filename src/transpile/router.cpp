@@ -1,0 +1,273 @@
+#include "transpile/router.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "circuit/dag.h"
+#include "util/logging.h"
+
+namespace caqr::transpile {
+
+namespace {
+
+using circuit::Circuit;
+using circuit::GateKind;
+using circuit::Instruction;
+
+/// Mutable routing state shared by the helper routines.
+struct RouterState
+{
+    const Circuit* logical;
+    const arch::Backend* backend;
+    const RouterOptions* options;
+
+    Circuit output;
+    std::vector<int> phys_of;   // logical -> physical
+    std::vector<int> logical_of;  // physical -> logical or -1
+    std::vector<int> remaining_preds;  // per DAG node
+    std::vector<int> frontier;         // DAG nodes ready to consider
+    std::vector<double> decay;         // per physical qubit
+    int swaps_added = 0;
+};
+
+bool
+is_always_executable(const Instruction& instr)
+{
+    return !circuit::is_two_qubit(instr.kind);
+}
+
+/// Distance with disconnected pairs treated as very far.
+int
+safe_distance(const arch::Backend& backend, int a, int b)
+{
+    const int d = backend.distance(a, b);
+    return d < 0 ? backend.num_qubits() * 2 : d;
+}
+
+/// Emits one logical instruction through the current mapping.
+void
+emit(RouterState& state, const Instruction& instr)
+{
+    Instruction mapped = instr;
+    for (auto& q : mapped.qubits) q = state.phys_of[q];
+    state.output.append(std::move(mapped));
+}
+
+/// Collects up to options.lookahead_size upcoming two-qubit gates
+/// reachable from the frontier (successor closure, BFS order).
+std::vector<int>
+lookahead_set(const RouterState& state, const circuit::CircuitDag& dag)
+{
+    std::vector<int> result;
+    std::set<int> seen(state.frontier.begin(), state.frontier.end());
+    std::vector<int> queue = state.frontier;
+    std::size_t head = 0;
+    while (head < queue.size() &&
+           static_cast<int>(result.size()) < state.options->lookahead_size) {
+        const int node = queue[head++];
+        for (int succ : dag.graph().successors(node)) {
+            if (!seen.insert(succ).second) continue;
+            queue.push_back(succ);
+            const auto& instr = state.logical->at(
+                static_cast<std::size_t>(succ));
+            if (circuit::is_two_qubit(instr.kind)) {
+                result.push_back(succ);
+                if (static_cast<int>(result.size()) >=
+                    state.options->lookahead_size) {
+                    break;
+                }
+            }
+        }
+    }
+    return result;
+}
+
+/// Heuristic score of applying SWAP on physical link (pa, pb); lower is
+/// better.
+double
+swap_score(const RouterState& state, const std::vector<int>& front_2q,
+           const std::vector<int>& extended, int pa, int pb)
+{
+    const auto& backend = *state.backend;
+    // Apply the hypothetical swap to a local copy of the mapping.
+    auto mapped = [&](int logical_q) {
+        const int p = state.phys_of[logical_q];
+        if (p == pa) return pb;
+        if (p == pb) return pa;
+        return p;
+    };
+
+    double front_cost = 0.0;
+    for (int node : front_2q) {
+        const auto& instr = state.logical->at(static_cast<std::size_t>(node));
+        front_cost += safe_distance(backend, mapped(instr.qubits[0]),
+                                    mapped(instr.qubits[1]));
+    }
+    if (!front_2q.empty()) front_cost /= static_cast<double>(front_2q.size());
+
+    double look_cost = 0.0;
+    if (!extended.empty()) {
+        for (int node : extended) {
+            const auto& instr =
+                state.logical->at(static_cast<std::size_t>(node));
+            look_cost += safe_distance(backend, mapped(instr.qubits[0]),
+                                       mapped(instr.qubits[1]));
+        }
+        look_cost *= state.options->lookahead_weight /
+                     static_cast<double>(extended.size());
+    }
+
+    const double decay_factor =
+        std::max(state.decay[pa], state.decay[pb]) + 1.0;
+    double score = decay_factor * (front_cost + look_cost);
+
+    if (state.options->error_aware &&
+        state.backend->calibration().has_link(pa, pb)) {
+        // Small bias toward reliable links; never dominates distance.
+        score += state.backend->calibration().link(pa, pb).cx_error;
+    }
+    return score;
+}
+
+}  // namespace
+
+RoutingResult
+route(const Circuit& logical, const arch::Backend& backend,
+      const Layout& initial, const RouterOptions& options)
+{
+    CAQR_CHECK(is_valid_layout(initial, logical, backend),
+               "invalid initial layout");
+
+    circuit::CircuitDag dag(logical);
+    const int num_nodes = dag.graph().num_nodes();
+
+    RouterState state;
+    state.logical = &logical;
+    state.backend = &backend;
+    state.options = &options;
+    state.output = Circuit(backend.num_qubits(), logical.num_clbits());
+    state.phys_of = initial;
+    state.logical_of.assign(static_cast<std::size_t>(backend.num_qubits()),
+                            -1);
+    for (int l = 0; l < logical.num_qubits(); ++l) {
+        state.logical_of[initial[l]] = l;
+    }
+    state.decay.assign(static_cast<std::size_t>(backend.num_qubits()), 0.0);
+    state.remaining_preds.resize(static_cast<std::size_t>(num_nodes));
+    for (int node = 0; node < num_nodes; ++node) {
+        state.remaining_preds[node] = dag.graph().in_degree(node);
+        if (state.remaining_preds[node] == 0) state.frontier.push_back(node);
+    }
+
+    int executed_groups = 0;
+    long long stall_guard = 0;
+    const long long stall_limit =
+        4LL * num_nodes * backend.num_qubits() + 1000;
+
+    while (!state.frontier.empty()) {
+        // Execute everything currently executable.
+        std::vector<int> still_blocked;
+        std::vector<int> newly_ready;
+        bool executed_any = false;
+        for (int node : state.frontier) {
+            const auto& instr =
+                logical.at(static_cast<std::size_t>(node));
+            bool runnable = is_always_executable(instr);
+            if (!runnable) {
+                const int pa = state.phys_of[instr.qubits[0]];
+                const int pb = state.phys_of[instr.qubits[1]];
+                runnable = backend.are_adjacent(pa, pb);
+            }
+            if (!runnable) {
+                still_blocked.push_back(node);
+                continue;
+            }
+            emit(state, instr);
+            executed_any = true;
+            for (int succ : dag.graph().successors(node)) {
+                if (--state.remaining_preds[succ] == 0) {
+                    newly_ready.push_back(succ);
+                }
+            }
+        }
+        state.frontier = std::move(still_blocked);
+        state.frontier.insert(state.frontier.end(), newly_ready.begin(),
+                              newly_ready.end());
+        if (executed_any) {
+            if (++executed_groups % options.decay_reset_interval == 0) {
+                std::fill(state.decay.begin(), state.decay.end(), 0.0);
+            }
+            continue;
+        }
+
+        CAQR_CHECK(stall_guard++ < stall_limit,
+                   "router failed to make progress (disconnected device?)");
+
+        // All frontier gates are blocked two-qubit gates: pick a SWAP.
+        std::vector<int> front_2q = state.frontier;
+        const auto extended = lookahead_set(state, dag);
+
+        // Candidate swaps: physical edges touching any involved qubit.
+        std::set<std::pair<int, int>> candidates;
+        for (int node : front_2q) {
+            const auto& instr =
+                logical.at(static_cast<std::size_t>(node));
+            for (int operand : instr.qubits) {
+                const int p = state.phys_of[operand];
+                for (int nb : backend.topology().neighbors(p)) {
+                    candidates.insert({std::min(p, nb), std::max(p, nb)});
+                }
+            }
+        }
+        CAQR_CHECK(!candidates.empty(), "no candidate swaps available");
+
+        double best_score = std::numeric_limits<double>::infinity();
+        std::pair<int, int> best{-1, -1};
+        for (const auto& cand : candidates) {
+            const double score = swap_score(state, front_2q, extended,
+                                            cand.first, cand.second);
+            if (score < best_score) {
+                best_score = score;
+                best = cand;
+            }
+        }
+
+        // Apply the SWAP physically and logically.
+        const auto [pa, pb] = best;
+        Instruction swap_instr;
+        swap_instr.kind = GateKind::kSwap;
+        swap_instr.qubits = {pa, pb};
+        state.output.append(std::move(swap_instr));
+        ++state.swaps_added;
+
+        const int la = state.logical_of[pa];
+        const int lb = state.logical_of[pb];
+        if (la >= 0) state.phys_of[la] = pb;
+        if (lb >= 0) state.phys_of[lb] = pa;
+        std::swap(state.logical_of[pa], state.logical_of[pb]);
+        state.decay[pa] += options.decay_delta;
+        state.decay[pb] += options.decay_delta;
+    }
+
+    RoutingResult result;
+    result.circuit = std::move(state.output);
+    result.swaps_added = state.swaps_added;
+    result.final_layout = std::move(state.phys_of);
+    return result;
+}
+
+bool
+is_hardware_compliant(const Circuit& physical, const arch::Backend& backend)
+{
+    if (physical.num_qubits() > backend.num_qubits()) return false;
+    for (const auto& instr : physical.instructions()) {
+        if (!circuit::is_two_qubit(instr.kind)) continue;
+        if (!backend.are_adjacent(instr.qubits[0], instr.qubits[1])) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace caqr::transpile

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * SABRE-style SWAP routing (Li, Ding & Xie, ASPLOS'19), the algorithmic
+ * family behind Qiskit's optimization-level-3 routing — our stand-in
+ * for the paper's Qiskit baseline.
+ *
+ * The router walks the gate-dependency DAG with a front layer, executes
+ * hardware-compliant gates eagerly, and otherwise inserts the SWAP that
+ * minimizes a distance heuristic over the front layer plus a lookahead
+ * window, with per-qubit decay to avoid ping-ponging.
+ */
+#ifndef CAQR_TRANSPILE_ROUTER_H
+#define CAQR_TRANSPILE_ROUTER_H
+
+#include "arch/backend.h"
+#include "circuit/circuit.h"
+#include "transpile/layout.h"
+
+namespace caqr::transpile {
+
+/// Tunables for the router.
+struct RouterOptions
+{
+    /// Weight of the lookahead window in the SWAP score.
+    double lookahead_weight = 0.5;
+    /// Number of upcoming two-qubit gates considered as lookahead.
+    int lookahead_size = 20;
+    /// Decay added to a physical qubit each time a SWAP moves it.
+    double decay_delta = 0.001;
+    /// Front-layer executions between decay resets.
+    int decay_reset_interval = 5;
+    /// Prefer SWAPs over low-error links when scores tie (error-aware
+    /// variability handling, paper §3.3.1 Step 3).
+    bool error_aware = true;
+};
+
+/// Routing outcome.
+struct RoutingResult
+{
+    circuit::Circuit circuit;  ///< physical circuit over backend qubits
+    int swaps_added = 0;
+    Layout final_layout;       ///< logical -> physical after execution
+};
+
+/**
+ * Routes @p logical onto @p backend starting from @p initial layout.
+ * The result contains SWAP gates on physical links only; every
+ * two-qubit gate in the output acts on adjacent physical qubits.
+ */
+RoutingResult route(const circuit::Circuit& logical,
+                    const arch::Backend& backend, const Layout& initial,
+                    const RouterOptions& options = {});
+
+/// True if every two-qubit gate of @p physical acts on a physical link.
+bool is_hardware_compliant(const circuit::Circuit& physical,
+                           const arch::Backend& backend);
+
+}  // namespace caqr::transpile
+
+#endif  // CAQR_TRANSPILE_ROUTER_H

@@ -1,0 +1,65 @@
+#include "transpile/transpiler.h"
+
+#include <algorithm>
+
+#include "circuit/dag.h"
+#include "transpile/decompose.h"
+#include "transpile/peephole.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace caqr::transpile {
+
+TranspileResult
+transpile(const circuit::Circuit& logical, const arch::Backend& backend,
+          const TranspileOptions& options)
+{
+    circuit::Circuit native = options.keep_rzz
+                                  ? decompose_ccx(logical)
+                                  : decompose_to_native(logical);
+    if (options.peephole) native = peephole_optimize(native);
+
+    const Layout base_layout = greedy_layout(native, backend);
+
+    TranspileResult best;
+    bool have_best = false;
+    util::Rng rng(0xCA0Full);
+
+    const int trials = std::max(1, options.trials);
+    for (int trial = 0; trial < trials; ++trial) {
+        Layout layout = base_layout;
+        if (trial > 0) {
+            // Perturb: swap two random assignments.
+            if (layout.size() >= 2) {
+                const auto i = static_cast<std::size_t>(
+                    rng.next_below(layout.size()));
+                const auto j = static_cast<std::size_t>(
+                    rng.next_below(layout.size()));
+                std::swap(layout[i], layout[j]);
+            }
+        }
+        auto routed = route(native, backend, layout, options.router);
+        if (!have_best || routed.swaps_added < best.swaps_added) {
+            best.circuit = std::move(routed.circuit);
+            best.initial_layout = layout;
+            best.final_layout = std::move(routed.final_layout);
+            best.swaps_added = routed.swaps_added;
+            have_best = true;
+        }
+    }
+
+    fill_metrics(&best, backend);
+    return best;
+}
+
+void
+fill_metrics(TranspileResult* result, const arch::Backend& backend)
+{
+    CAQR_CHECK(result != nullptr, "null result");
+    circuit::CircuitDag dag(result->circuit);
+    result->depth = dag.depth();
+    arch::CalibratedDurations model(backend);
+    result->duration_dt = dag.duration(model);
+}
+
+}  // namespace caqr::transpile

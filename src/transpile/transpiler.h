@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The baseline transpilation pipeline (stand-in for "IBM Qiskit with
+ * optimization level 3", paper §4.1): native-gate decomposition →
+ * greedy interaction-aware layout → SABRE routing → metrics.
+ */
+#ifndef CAQR_TRANSPILE_TRANSPILER_H
+#define CAQR_TRANSPILE_TRANSPILER_H
+
+#include "arch/backend.h"
+#include "circuit/circuit.h"
+#include "transpile/layout.h"
+#include "transpile/router.h"
+
+namespace caqr::transpile {
+
+/// Aggregate result of a full transpilation.
+struct TranspileResult
+{
+    circuit::Circuit circuit;   ///< hardware-compliant physical circuit
+    Layout initial_layout;      ///< logical -> physical before routing
+    Layout final_layout;        ///< logical -> physical after routing
+    int swaps_added = 0;
+    int depth = 0;              ///< physical circuit depth
+    double duration_dt = 0.0;   ///< calibrated duration (dt)
+};
+
+/// Pipeline options.
+struct TranspileOptions
+{
+    RouterOptions router;
+    /// Keep RZZ/CZ as two-qubit primitives (true) or lower them to
+    /// CX + rotations (false). Logical-level depth studies keep them.
+    bool keep_rzz = false;
+    /// Number of routing trials with perturbed layouts; best (fewest
+    /// SWAPs) wins. Mirrors SABRE's multi-seed practice.
+    int trials = 1;
+    /// Run peephole gate cancellation / rotation merging before layout
+    /// (part of the optimization-level-3 behavior being modeled).
+    bool peephole = true;
+};
+
+/// Runs the full pipeline.
+TranspileResult transpile(const circuit::Circuit& logical,
+                          const arch::Backend& backend,
+                          const TranspileOptions& options = {});
+
+/// Computes depth / duration metrics for a physical circuit.
+void fill_metrics(TranspileResult* result, const arch::Backend& backend);
+
+}  // namespace caqr::transpile
+
+#endif  // CAQR_TRANSPILE_TRANSPILER_H

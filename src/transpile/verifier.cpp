@@ -1,0 +1,102 @@
+#include "transpile/verifier.h"
+
+#include <sstream>
+
+namespace caqr::transpile {
+
+namespace {
+
+using circuit::GateKind;
+
+void
+add_issue(VerifierReport* report, std::size_t index,
+          const std::string& message, bool warning = false)
+{
+    report->issues.push_back(VerifierIssue{index, message, warning});
+}
+
+}  // namespace
+
+VerifierReport
+verify_circuit(const circuit::Circuit& circuit,
+               const arch::Backend* backend)
+{
+    VerifierReport report;
+
+    // Which clbits have been written so far, and by which instruction.
+    std::vector<int> written_by(
+        static_cast<std::size_t>(circuit.num_clbits()), -1);
+    // Last measurement instruction per qubit (-1 = none since start or
+    // since the last non-measure op).
+    std::vector<int> last_measure(
+        static_cast<std::size_t>(circuit.num_qubits()), -1);
+
+    for (std::size_t i = 0; i < circuit.size(); ++i) {
+        const auto& instr = circuit.at(i);
+
+        if (backend != nullptr) {
+            if (circuit.num_qubits() > backend->num_qubits()) {
+                add_issue(&report, i,
+                          "circuit wider than the target backend");
+                break;
+            }
+            if (circuit::is_two_qubit(instr.kind) &&
+                !backend->are_adjacent(instr.qubits[0],
+                                       instr.qubits[1])) {
+                std::ostringstream os;
+                os << circuit::gate_name(instr.kind) << " on non-adjacent "
+                   << "physical qubits " << instr.qubits[0] << ","
+                   << instr.qubits[1];
+                add_issue(&report, i, os.str());
+            }
+        }
+
+        if (instr.has_condition()) {
+            if (instr.condition_bit < 0 ||
+                instr.condition_bit >= circuit.num_clbits()) {
+                add_issue(&report, i, "condition bit out of range");
+            } else if (written_by[instr.condition_bit] < 0) {
+                std::ostringstream os;
+                os << "conditioned gate reads clbit "
+                   << instr.condition_bit
+                   << " before any measurement writes it";
+                add_issue(&report, i, os.str());
+            }
+            // Reuse idiom: conditional X on a wire should follow that
+            // wire's own measurement (the reset reads the fresh
+            // outcome).
+            if (instr.kind == GateKind::kX &&
+                instr.condition_bit >= 0 &&
+                instr.condition_bit < circuit.num_clbits() &&
+                written_by[instr.condition_bit] >= 0) {
+                const auto& writer = circuit.at(static_cast<std::size_t>(
+                    written_by[instr.condition_bit]));
+                if (writer.qubits[0] != instr.qubits[0]) {
+                    std::ostringstream os;
+                    os << "conditional-X on qubit " << instr.qubits[0]
+                       << " reads a measurement of qubit "
+                       << writer.qubits[0]
+                       << " (cross-wire feed-forward: fine for "
+                          "teleportation-style protocols, not the "
+                          "reuse idiom)";
+                    add_issue(&report, i, os.str(), /*warning=*/true);
+                }
+            }
+        }
+
+        switch (instr.kind) {
+          case GateKind::kMeasure:
+            written_by[instr.clbit] = static_cast<int>(i);
+            last_measure[instr.qubits[0]] = static_cast<int>(i);
+            break;
+          case GateKind::kBarrier:
+            break;
+          default:
+            for (int q : instr.qubits) last_measure[q] = -1;
+            break;
+        }
+    }
+    return report;
+}
+
+}  // namespace caqr::transpile

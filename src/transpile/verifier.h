@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Compiled-circuit verifier: structural well-formedness checks that a
+ * production compiler runs as an assertion pass over its own output.
+ *
+ * Checks, per circuit:
+ *  - hardware compliance: every two-qubit gate acts on a physical link
+ *    of the target backend (when one is given);
+ *  - feed-forward sanity: every classically-conditioned gate reads a
+ *    clbit that was written by an earlier measurement;
+ *  - measurement sanity: no two measurements write the same clbit
+ *    without an intervening read is *allowed* (reuse overwrites scratch
+ *    bits), but measuring an operand after its wire was reset without
+ *    re-initialization is flagged;
+ *  - reuse idiom: each conditional-X reset immediately follows (in the
+ *    dependency sense) the measurement whose clbit it reads, on the
+ *    same wire.
+ */
+#ifndef CAQR_TRANSPILE_VERIFIER_H
+#define CAQR_TRANSPILE_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+#include "arch/backend.h"
+#include "circuit/circuit.h"
+
+namespace caqr::transpile {
+
+/// One verifier finding.
+struct VerifierIssue
+{
+    std::size_t instruction = 0;  ///< index into the circuit
+    std::string message;
+    bool warning = false;  ///< informational (does not fail ok())
+};
+
+/// Result of a verification run.
+struct VerifierReport
+{
+    std::vector<VerifierIssue> issues;
+
+    /// True when no *error*-severity issue was found.
+    bool
+    ok() const
+    {
+        for (const auto& issue : issues) {
+            if (!issue.warning) return false;
+        }
+        return true;
+    }
+
+    int
+    warning_count() const
+    {
+        int count = 0;
+        for (const auto& issue : issues) {
+            if (issue.warning) ++count;
+        }
+        return count;
+    }
+};
+
+/**
+ * Verifies @p circuit. When @p backend is non-null, two-qubit gates
+ * must sit on physical links. Never mutates anything; pure analysis.
+ */
+VerifierReport verify_circuit(const circuit::Circuit& circuit,
+                              const arch::Backend* backend = nullptr);
+
+}  // namespace caqr::transpile
+
+#endif  // CAQR_TRANSPILE_VERIFIER_H

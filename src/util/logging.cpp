@@ -1,0 +1,53 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace caqr::util {
+
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+const char*
+level_name(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo:  return "INFO";
+      case LogLevel::kWarn:  return "WARN";
+      case LogLevel::kError: return "ERROR";
+      case LogLevel::kOff:   return "OFF";
+    }
+    return "?";
+}
+
+}  // namespace
+
+LogLevel
+log_level()
+{
+    return g_level;
+}
+
+void
+set_log_level(LogLevel level)
+{
+    g_level = level;
+}
+
+void
+log_message(LogLevel level, const std::string& message)
+{
+    if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+    std::fprintf(stderr, "[caqr %s] %s\n", level_name(level), message.c_str());
+}
+
+void
+panic(const std::string& message)
+{
+    std::fprintf(stderr, "[caqr PANIC] %s\n", message.c_str());
+    std::abort();
+}
+
+}  // namespace caqr::util

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Minimal leveled logging for the CaQR library.
+ *
+ * The library itself logs sparingly (mostly at Debug level from the
+ * compiler passes); benches and examples raise the level for progress
+ * reporting. Fatal errors in library code indicate programming errors
+ * (precondition violations), mirroring the panic/fatal split used by
+ * systems simulators.
+ */
+#ifndef CAQR_UTIL_LOGGING_H
+#define CAQR_UTIL_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace caqr::util {
+
+/// Severity levels, ordered from most to least verbose.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Returns the currently active global log level (default: kWarn).
+LogLevel log_level();
+
+/// Sets the global log level. Thread-compatible but not thread-safe.
+void set_log_level(LogLevel level);
+
+/// Emits one log record to stderr if @p level passes the global filter.
+void log_message(LogLevel level, const std::string& message);
+
+/// Aborts the process after printing @p message; use for precondition
+/// violations that indicate a bug in the caller, never for user input.
+[[noreturn]] void panic(const std::string& message);
+
+namespace detail {
+
+/// Stream-style log record builder used by the CAQR_LOG macro.
+class LogRecord
+{
+  public:
+    explicit LogRecord(LogLevel level) : level_(level) {}
+    ~LogRecord() { log_message(level_, stream_.str()); }
+
+    LogRecord(const LogRecord&) = delete;
+    LogRecord& operator=(const LogRecord&) = delete;
+
+    template <typename T>
+    LogRecord&
+    operator<<(const T& value)
+    {
+        stream_ << value;
+        return *this;
+    }
+
+  private:
+    LogLevel level_;
+    std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace caqr::util
+
+/// Stream-style logging: CAQR_LOG(kInfo) << "compiled " << n << " gates";
+#define CAQR_LOG(level) \
+    ::caqr::util::detail::LogRecord(::caqr::util::LogLevel::level)
+
+/// Precondition check that panics (aborts) with a message on failure.
+#define CAQR_CHECK(cond, msg)                                          \
+    do {                                                               \
+        if (!(cond)) {                                                 \
+            ::caqr::util::panic(std::string("CHECK failed: ") + #cond + \
+                                " — " + (msg));                        \
+        }                                                              \
+    } while (0)
+
+#endif  // CAQR_UTIL_LOGGING_H

@@ -1,0 +1,98 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace caqr::util {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t& x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t
+Rng::next_u64()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double
+Rng::next_double()
+{
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t
+Rng::next_below(std::uint64_t bound)
+{
+    CAQR_CHECK(bound > 0, "next_below requires a positive bound");
+    // Lemire's multiply-shift with rejection for exact uniformity.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+        std::uint64_t threshold = -bound % bound;
+        while (lo < threshold) {
+            x = next_u64();
+            m = static_cast<__uint128_t>(x) * bound;
+            lo = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+int
+Rng::next_int(int lo, int hi)
+{
+    CAQR_CHECK(lo <= hi, "next_int requires lo <= hi");
+    return lo + static_cast<int>(next_below(
+                    static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+bool
+Rng::next_bool(double p)
+{
+    return next_double() < p;
+}
+
+double
+Rng::next_gaussian()
+{
+    double u1 = next_double();
+    double u2 = next_double();
+    if (u1 <= 0.0) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+}  // namespace caqr::util

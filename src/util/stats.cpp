@@ -1,0 +1,88 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace caqr::util {
+
+double
+mean(const std::vector<double>& values)
+{
+    if (values.empty()) return 0.0;
+    double sum = 0.0;
+    for (double v : values) sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+stddev(const std::vector<double>& values)
+{
+    if (values.size() < 2) return 0.0;
+    const double m = mean(values);
+    double accum = 0.0;
+    for (double v : values) accum += (v - m) * (v - m);
+    return std::sqrt(accum / static_cast<double>(values.size() - 1));
+}
+
+double
+median(std::vector<double> values)
+{
+    if (values.empty()) return 0.0;
+    std::sort(values.begin(), values.end());
+    const std::size_t n = values.size();
+    if (n % 2 == 1) return values[n / 2];
+    return 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+double
+min_value(const std::vector<double>& values)
+{
+    if (values.empty()) return 0.0;
+    return *std::min_element(values.begin(), values.end());
+}
+
+double
+max_value(const std::vector<double>& values)
+{
+    if (values.empty()) return 0.0;
+    return *std::max_element(values.begin(), values.end());
+}
+
+double
+total_variation_distance(const std::map<std::string, double>& p,
+                         const std::map<std::string, double>& q)
+{
+    double p_total = 0.0;
+    double q_total = 0.0;
+    for (const auto& [_, v] : p) p_total += v;
+    for (const auto& [_, v] : q) q_total += v;
+    if (p_total <= 0.0 || q_total <= 0.0) return p_total != q_total ? 1.0 : 0.0;
+
+    std::set<std::string> keys;
+    for (const auto& [k, _] : p) keys.insert(k);
+    for (const auto& [k, _] : q) keys.insert(k);
+
+    double distance = 0.0;
+    for (const auto& key : keys) {
+        auto ip = p.find(key);
+        auto iq = q.find(key);
+        const double pv = ip == p.end() ? 0.0 : ip->second / p_total;
+        const double qv = iq == q.end() ? 0.0 : iq->second / q_total;
+        distance += std::abs(pv - qv);
+    }
+    return 0.5 * distance;
+}
+
+double
+total_variation_distance(const std::map<std::string, std::size_t>& p,
+                         const std::map<std::string, std::size_t>& q)
+{
+    std::map<std::string, double> pd;
+    std::map<std::string, double> qd;
+    for (const auto& [k, v] : p) pd[k] = static_cast<double>(v);
+    for (const auto& [k, v] : q) qd[k] = static_cast<double>(v);
+    return total_variation_distance(pd, qd);
+}
+
+}  // namespace caqr::util

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Small statistics helpers used by benches and the noise/fidelity analysis.
+ */
+#ifndef CAQR_UTIL_STATS_H
+#define CAQR_UTIL_STATS_H
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace caqr::util {
+
+/// Arithmetic mean of @p values (0 for an empty vector).
+double mean(const std::vector<double>& values);
+
+/// Sample standard deviation (0 if fewer than two values).
+double stddev(const std::vector<double>& values);
+
+/// Median (average of middle two for even sizes; 0 for empty input).
+double median(std::vector<double> values);
+
+/// Minimum / maximum; both return 0 for empty input.
+double min_value(const std::vector<double>& values);
+double max_value(const std::vector<double>& values);
+
+/**
+ * Total variation distance between two discrete distributions expressed
+ * as histograms over outcome strings. Missing keys count as zero mass.
+ * Both histograms are normalized by their own total counts first.
+ *
+ * TVD = (1/2) * sum_x |p(x) - q(x)| — the metric the paper reports in
+ * Table 3 (0 = identical, 1 = disjoint support).
+ */
+double total_variation_distance(const std::map<std::string, double>& p,
+                                const std::map<std::string, double>& q);
+
+/// Convenience overload for integer shot-count histograms.
+double total_variation_distance(
+    const std::map<std::string, std::size_t>& p,
+    const std::map<std::string, std::size_t>& q);
+
+}  // namespace caqr::util
+
+#endif  // CAQR_UTIL_STATS_H

@@ -1,0 +1,78 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace caqr::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+}
+
+void
+Table::add_row(std::vector<std::string> cells)
+{
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream& os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    if (!title_.empty()) os << title_ << "\n";
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+               << row[c];
+        }
+        os << "\n";
+    };
+    emit_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t w : widths) total += w + 2;
+    os << std::string(total, '-') << "\n";
+    for (const auto& row : rows_) emit_row(row);
+}
+
+void
+Table::print_csv(std::ostream& os) const
+{
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            std::string cell = row[c];
+            std::replace(cell.begin(), cell.end(), ',', ';');
+            os << cell;
+            if (c + 1 < row.size()) os << ",";
+        }
+        os << "\n";
+    };
+    emit_row(headers_);
+    for (const auto& row : rows_) emit_row(row);
+}
+
+std::string
+Table::fmt(double value, int digits)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(digits) << value;
+    return ss.str();
+}
+
+std::string
+Table::fmt(long long value)
+{
+    return std::to_string(value);
+}
+
+}  // namespace caqr::util

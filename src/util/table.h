@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Aligned ASCII table / CSV emitter used by the benchmark harnesses to
+ * print the paper's tables and figure series.
+ */
+#ifndef CAQR_UTIL_TABLE_H
+#define CAQR_UTIL_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace caqr::util {
+
+/// Column-aligned text table with an optional title, printable as ASCII
+/// (for terminals) or CSV (for plotting scripts).
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /// Appends one row; pads/truncates to the header width.
+    void add_row(std::vector<std::string> cells);
+
+    /// Sets an optional title printed above the table.
+    void set_title(std::string title) { title_ = std::move(title); }
+
+    /// Renders with aligned columns and a header separator.
+    void print(std::ostream& os) const;
+
+    /// Renders as RFC-4180-ish CSV (no quoting of embedded commas needed
+    /// for our numeric content; commas in cells are replaced by ';').
+    void print_csv(std::ostream& os) const;
+
+    std::size_t num_rows() const { return rows_.size(); }
+
+    /// Formats a double with @p digits decimal places.
+    static std::string fmt(double value, int digits = 2);
+
+    /// Formats an integral count.
+    static std::string fmt(long long value);
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace caqr::util
+
+#endif  // CAQR_UTIL_TABLE_H

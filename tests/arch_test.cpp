@@ -1,0 +1,143 @@
+/// Tests for hardware models: heavy-hex lattices, calibration,
+/// backends, durations, ESP.
+#include <gtest/gtest.h>
+
+#include "arch/backend.h"
+#include "arch/calibration.h"
+#include "arch/heavy_hex.h"
+#include "circuit/timing.h"
+
+namespace caqr {
+namespace {
+
+TEST(HeavyHex, MumbaiHas27QubitsAnd28Links)
+{
+    const auto g = arch::mumbai_coupling();
+    EXPECT_EQ(g.num_nodes(), 27);
+    EXPECT_EQ(g.num_edges(), 28);
+    EXPECT_TRUE(g.is_connected());
+    EXPECT_LE(g.max_degree(), 3);
+}
+
+TEST(HeavyHex, LatticeIsConnectedDegreeBounded)
+{
+    for (const auto [rows, cols] : {std::pair{2, 5}, {3, 9}, {5, 13}}) {
+        const auto g = arch::heavy_hex_lattice(rows, cols);
+        EXPECT_TRUE(g.is_connected()) << rows << "x" << cols;
+        EXPECT_LE(g.max_degree(), 3) << rows << "x" << cols;
+        EXPECT_GT(g.num_nodes(), rows * cols);  // connectors exist
+    }
+}
+
+TEST(HeavyHex, ScaledCoversDemand)
+{
+    for (int demand : {5, 27, 64, 128, 300}) {
+        const auto g = arch::scaled_heavy_hex(demand);
+        EXPECT_GE(g.num_nodes(), demand);
+        EXPECT_TRUE(g.is_connected());
+        EXPECT_LE(g.max_degree(), 3);
+    }
+}
+
+TEST(Calibration, SynthesizedValuesInFalconRanges)
+{
+    const auto topology = arch::mumbai_coupling();
+    const auto cal = arch::Calibration::synthesize(topology);
+    for (int q = 0; q < topology.num_nodes(); ++q) {
+        const auto& qc = cal.qubit(q);
+        EXPECT_GE(qc.readout_error, 0.01);
+        EXPECT_LE(qc.readout_error, 0.04);
+        EXPECT_GE(qc.t1_us, 70.0);
+        EXPECT_LE(qc.t1_us, 130.0);
+        EXPECT_LE(qc.t2_us, qc.t1_us);
+        EXPECT_GT(qc.t2_us, 0.0);
+    }
+    for (const auto& [a, b] : topology.edges()) {
+        ASSERT_TRUE(cal.has_link(a, b));
+        const auto& lc = cal.link(a, b);
+        EXPECT_GE(lc.cx_error, 0.005);
+        EXPECT_LE(lc.cx_error, 0.02);
+        EXPECT_GE(lc.cx_duration_dt, 800.0);
+        EXPECT_LE(lc.cx_duration_dt, 2600.0);
+    }
+}
+
+TEST(Calibration, DeterministicPerSeed)
+{
+    const auto topology = arch::mumbai_coupling();
+    const auto a = arch::Calibration::synthesize(topology, 5);
+    const auto b = arch::Calibration::synthesize(topology, 5);
+    EXPECT_DOUBLE_EQ(a.qubit(7).readout_error, b.qubit(7).readout_error);
+    const auto c = arch::Calibration::synthesize(topology, 6);
+    EXPECT_NE(a.qubit(7).readout_error, c.qubit(7).readout_error);
+}
+
+TEST(Calibration, LinkLookupIsSymmetric)
+{
+    const auto topology = arch::mumbai_coupling();
+    const auto cal = arch::Calibration::synthesize(topology);
+    EXPECT_DOUBLE_EQ(cal.link(0, 1).cx_error, cal.link(1, 0).cx_error);
+}
+
+TEST(Backend, FakeMumbaiDistances)
+{
+    const auto backend = arch::Backend::fake_mumbai();
+    EXPECT_EQ(backend.num_qubits(), 27);
+    EXPECT_EQ(backend.distance(0, 0), 0);
+    EXPECT_EQ(backend.distance(0, 1), 1);
+    EXPECT_TRUE(backend.are_adjacent(0, 1));
+    EXPECT_FALSE(backend.are_adjacent(0, 3));
+    EXPECT_EQ(backend.distance(0, 3), backend.distance(3, 0));
+    EXPECT_GE(backend.distance(0, 26), 5);
+}
+
+TEST(Backend, CalibratedDurationsUseLinkTable)
+{
+    const auto backend = arch::Backend::fake_mumbai();
+    arch::CalibratedDurations model(backend);
+
+    circuit::Instruction cx;
+    cx.kind = circuit::GateKind::kCx;
+    cx.qubits = {0, 1};
+    const double d01 = model.duration(cx);
+    EXPECT_DOUBLE_EQ(d01,
+                     backend.calibration().link(0, 1).cx_duration_dt);
+
+    circuit::Instruction swap_instr;
+    swap_instr.kind = circuit::GateKind::kSwap;
+    swap_instr.qubits = {0, 1};
+    EXPECT_DOUBLE_EQ(model.duration(swap_instr), 3 * d01);
+}
+
+TEST(Backend, EspBoundsAndMonotonicity)
+{
+    const auto backend = arch::Backend::fake_mumbai();
+    circuit::Circuit small(27, 2);
+    small.h(0);
+    small.cx(0, 1);
+    small.measure(0, 0);
+    small.measure(1, 1);
+    const double esp_small =
+        arch::estimated_success_probability(small, backend);
+    EXPECT_GT(esp_small, 0.0);
+    EXPECT_LE(esp_small, 1.0);
+
+    // Adding gates can only reduce ESP.
+    circuit::Circuit big(27, 2);
+    big.h(0);
+    for (int i = 0; i < 10; ++i) big.cx(0, 1);
+    big.measure(0, 0);
+    big.measure(1, 1);
+    EXPECT_LT(arch::estimated_success_probability(big, backend),
+              esp_small);
+}
+
+TEST(Backend, ScaledHeavyHexFactory)
+{
+    const auto backend = arch::Backend::scaled_heavy_hex(64);
+    EXPECT_GE(backend.num_qubits(), 64);
+    EXPECT_TRUE(backend.topology().is_connected());
+}
+
+}  // namespace
+}  // namespace caqr

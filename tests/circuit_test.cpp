@@ -1,0 +1,172 @@
+/// Tests for the circuit IR: builders, validation, metrics, remapping.
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.h"
+#include "circuit/gate.h"
+
+namespace caqr {
+namespace {
+
+using circuit::Circuit;
+using circuit::GateKind;
+using circuit::Instruction;
+
+TEST(Gate, ArityTable)
+{
+    EXPECT_EQ(circuit::gate_arity(GateKind::kH), 1);
+    EXPECT_EQ(circuit::gate_arity(GateKind::kCx), 2);
+    EXPECT_EQ(circuit::gate_arity(GateKind::kCcx), 3);
+    EXPECT_EQ(circuit::gate_arity(GateKind::kBarrier), 0);
+    EXPECT_EQ(circuit::gate_num_params(GateKind::kRz), 1);
+    EXPECT_EQ(circuit::gate_num_params(GateKind::kU), 3);
+}
+
+TEST(Gate, Classification)
+{
+    EXPECT_TRUE(circuit::is_two_qubit(GateKind::kRzz));
+    EXPECT_FALSE(circuit::is_two_qubit(GateKind::kH));
+    EXPECT_TRUE(circuit::is_unitary(GateKind::kSwap));
+    EXPECT_FALSE(circuit::is_unitary(GateKind::kMeasure));
+    EXPECT_FALSE(circuit::is_unitary(GateKind::kBarrier));
+}
+
+TEST(Gate, NameRoundTrip)
+{
+    for (GateKind kind :
+         {GateKind::kH, GateKind::kX, GateKind::kRz, GateKind::kCx,
+          GateKind::kRzz, GateKind::kMeasure, GateKind::kReset}) {
+        GateKind parsed;
+        ASSERT_TRUE(
+            circuit::gate_kind_from_name(circuit::gate_name(kind), &parsed));
+        EXPECT_EQ(parsed, kind);
+    }
+    GateKind dummy;
+    EXPECT_FALSE(circuit::gate_kind_from_name("nope", &dummy));
+}
+
+TEST(Circuit, BuilderProducesInstructions)
+{
+    Circuit c(3, 3);
+    c.h(0);
+    c.cx(0, 1);
+    c.rz(0.5, 2);
+    c.measure(1, 1);
+    ASSERT_EQ(c.size(), 4u);
+    EXPECT_EQ(c.at(0).kind, GateKind::kH);
+    EXPECT_EQ(c.at(1).qubits, (std::vector<int>{0, 1}));
+    EXPECT_DOUBLE_EQ(c.at(2).params[0], 0.5);
+    EXPECT_EQ(c.at(3).clbit, 1);
+}
+
+TEST(Circuit, ConditionedGate)
+{
+    Circuit c(1, 2);
+    c.x_if(0, 1, 1);
+    ASSERT_EQ(c.size(), 1u);
+    EXPECT_TRUE(c.at(0).has_condition());
+    EXPECT_EQ(c.at(0).condition_bit, 1);
+    EXPECT_EQ(c.at(0).condition_value, 1);
+}
+
+TEST(Circuit, GateCounts)
+{
+    Circuit c(4, 4);
+    c.h(0);
+    c.cx(0, 1);
+    c.cz(1, 2);
+    c.rzz(0.3, 2, 3);
+    c.swap_gate(0, 3);
+    c.measure(0, 0);
+    c.measure(1, 1);
+    EXPECT_EQ(c.two_qubit_gate_count(), 4);
+    EXPECT_EQ(c.swap_count(), 1);
+    EXPECT_EQ(c.measure_count(), 2);
+}
+
+TEST(Circuit, ActiveQubitCount)
+{
+    Circuit c(5, 0);
+    c.h(0);
+    c.cx(0, 2);
+    EXPECT_EQ(c.num_qubits(), 5);
+    EXPECT_EQ(c.active_qubit_count(), 2);
+}
+
+TEST(Circuit, InteractionGraph)
+{
+    Circuit c(4, 0);
+    c.cx(0, 1);
+    c.cx(0, 1);  // duplicate edge collapses
+    c.rzz(0.1, 1, 2);
+    c.h(3);
+    const auto g = c.interaction_graph();
+    EXPECT_EQ(g.num_edges(), 2);
+    EXPECT_TRUE(g.has_edge(0, 1));
+    EXPECT_TRUE(g.has_edge(1, 2));
+    EXPECT_EQ(g.degree(3), 0);
+}
+
+TEST(Circuit, InstructionsOnQubit)
+{
+    Circuit c(3, 3);
+    c.h(0);
+    c.cx(0, 1);
+    c.barrier();
+    c.h(1);
+    c.measure(0, 0);
+    const auto on0 = c.instructions_on_qubit(0);
+    EXPECT_EQ(on0, (std::vector<int>{0, 1, 4}));
+    const auto on2 = c.instructions_on_qubit(2);
+    EXPECT_TRUE(on2.empty());
+}
+
+TEST(Circuit, RemapQubits)
+{
+    Circuit c(3, 3);
+    c.h(0);
+    c.cx(0, 2);
+    c.measure(2, 2);
+    const auto mapped = c.remap_qubits({2, 1, 0});
+    EXPECT_EQ(mapped.at(0).qubits[0], 2);
+    EXPECT_EQ(mapped.at(1).qubits, (std::vector<int>{2, 0}));
+    EXPECT_EQ(mapped.at(2).clbit, 2);  // clbits untouched
+}
+
+TEST(Circuit, RemapWithExplicitWidth)
+{
+    Circuit c(2, 0);
+    c.h(1);
+    const auto mapped = c.remap_qubits({0, 1}, 10);
+    EXPECT_EQ(mapped.num_qubits(), 10);
+}
+
+TEST(Circuit, AddQubitAndClbit)
+{
+    Circuit c(1, 0);
+    EXPECT_EQ(c.add_qubit(), 1);
+    EXPECT_EQ(c.add_clbit(), 0);
+    EXPECT_EQ(c.num_qubits(), 2);
+    EXPECT_EQ(c.num_clbits(), 1);
+}
+
+TEST(Circuit, ToStringMentionsGates)
+{
+    Circuit c(2, 2);
+    c.h(0);
+    c.measure(0, 1);
+    const auto text = c.to_string();
+    EXPECT_NE(text.find("h q0"), std::string::npos);
+    EXPECT_NE(text.find("-> c1"), std::string::npos);
+}
+
+TEST(CircuitDeath, RejectsBadOperands)
+{
+    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    Circuit c(2, 1);
+    EXPECT_DEATH(c.h(5), "out of range");
+    EXPECT_DEATH(c.cx(1, 1), "identical operands");
+    EXPECT_DEATH(c.measure(0, 3), "clbit out of range");
+}
+
+}  // namespace
+}  // namespace caqr

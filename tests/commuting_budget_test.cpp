@@ -1,0 +1,218 @@
+/// Tests for budget-directed commuting scheduling (schedule_with_budget)
+/// and the vertex-separation activation machinery behind it.
+#include <gtest/gtest.h>
+
+#include "apps/benchmarks.h"
+#include "apps/qaoa.h"
+#include "core/commuting.h"
+#include "arch/backend.h"
+#include "core/qs_caqr.h"
+#include "core/tradeoff.h"
+#include "transpile/transpiler.h"
+#include "graph/generators.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace caqr {
+namespace {
+
+using core::CommutingSpec;
+
+CommutingSpec
+power_law_spec(int n, unsigned seed)
+{
+    util::Rng rng(seed);
+    CommutingSpec spec;
+    spec.interaction = graph::power_law_graph(n, 0.3, rng);
+    return spec;
+}
+
+TEST(BudgetSchedule, FullBudgetAlwaysFeasible)
+{
+    const auto spec = power_law_spec(16, 1);
+    const auto schedule =
+        core::schedule_with_budget(spec, spec.interaction.num_nodes());
+    ASSERT_TRUE(schedule.has_value());
+    EXPECT_EQ(schedule->circuit.two_qubit_gate_count(),
+              spec.interaction.num_edges());
+    EXPECT_EQ(schedule->circuit.measure_count(), 16);
+}
+
+TEST(BudgetSchedule, WiresRespectBudget)
+{
+    const auto spec = power_law_spec(20, 2);
+    for (int budget : {20, 12, 8}) {
+        const auto schedule = core::schedule_with_budget(spec, budget);
+        if (!schedule.has_value()) continue;
+        EXPECT_LE(schedule->wires_used, budget) << "budget=" << budget;
+        EXPECT_LE(schedule->circuit.num_qubits(), budget);
+    }
+}
+
+TEST(BudgetSchedule, ReachesWellBelowNodeCount)
+{
+    // Hub-dominated graphs must admit deep savings (paper Fig 3).
+    const auto spec = power_law_spec(32, 3);
+    int deepest = 32;
+    for (int budget = 31; budget >= 2; --budget) {
+        const auto schedule = core::schedule_with_budget(spec, budget);
+        if (!schedule.has_value()) break;
+        deepest = schedule->wires_used;
+    }
+    EXPECT_LE(deepest, 16) << "power-law 32 should save >= half";
+}
+
+TEST(BudgetSchedule, NeverBeatsColoringBound)
+{
+    const auto spec = power_law_spec(18, 4);
+    const int bound = core::min_qubits_by_coloring(spec.interaction);
+    for (int budget = 18; budget >= 1; --budget) {
+        const auto schedule = core::schedule_with_budget(spec, budget);
+        if (!schedule.has_value()) break;
+        EXPECT_GE(schedule->wires_used, bound);
+    }
+}
+
+TEST(BudgetSchedule, ImpliedPairsAreValid)
+{
+    const auto spec = power_law_spec(14, 5);
+    std::vector<core::ReusePair> pairs;
+    const auto schedule = core::schedule_with_budget(spec, 7, {}, &pairs);
+    ASSERT_TRUE(schedule.has_value());
+    EXPECT_EQ(pairs.size(),
+              static_cast<std::size_t>(14 - schedule->wires_used));
+    EXPECT_TRUE(core::commuting_pairs_valid(spec.interaction, pairs));
+}
+
+TEST(BudgetSchedule, DeadlockReportedNotCrashed)
+{
+    // A clique needs one wire per node: any smaller budget must be
+    // reported infeasible.
+    graph::UndirectedGraph clique(5);
+    for (int u = 0; u < 5; ++u) {
+        for (int v = u + 1; v < 5; ++v) clique.add_edge(u, v);
+    }
+    CommutingSpec spec;
+    spec.interaction = clique;
+    EXPECT_TRUE(core::schedule_with_budget(spec, 5).has_value());
+    EXPECT_FALSE(core::schedule_with_budget(spec, 4).has_value());
+    EXPECT_FALSE(core::schedule_with_budget(spec, 2).has_value());
+}
+
+TEST(BudgetSchedule, DurationGrowsAsBudgetShrinks)
+{
+    const auto spec = power_law_spec(24, 6);
+    double previous = 0.0;
+    for (int budget : {24, 12, 8}) {
+        const auto schedule = core::schedule_with_budget(spec, budget);
+        if (!schedule.has_value()) break;
+        if (previous > 0.0) {
+            EXPECT_GE(schedule->duration_dt, previous * 0.95)
+                << "budget=" << budget;
+        }
+        previous = schedule->duration_dt;
+    }
+}
+
+TEST(BudgetSchedule, PreservesQaoaEnergy)
+{
+    // The budget-scheduled dynamic circuit must sample the same
+    // max-cut energy as the plain QAOA circuit at equal angles.
+    auto spec = power_law_spec(8, 7);
+    spec.gamma = 0.5;
+    spec.beta = 0.35;
+
+    apps::QaoaParams params;
+    params.gammas = {spec.gamma};
+    params.betas = {spec.beta};
+    const auto plain = apps::qaoa_circuit(spec.interaction, params);
+    const auto plain_counts =
+        sim::simulate(plain, {.shots = 8192, .seed = 71});
+    const double plain_energy =
+        apps::maxcut_expectation(plain_counts, spec.interaction);
+
+    const auto schedule = core::schedule_with_budget(spec, 4);
+    ASSERT_TRUE(schedule.has_value());
+    ASSERT_LT(schedule->wires_used, 8);
+    const auto counts =
+        sim::simulate(schedule->circuit, {.shots = 8192, .seed = 72});
+    const double energy =
+        apps::maxcut_expectation(counts, spec.interaction);
+    EXPECT_NEAR(energy, plain_energy, 0.35);
+}
+
+TEST(BudgetSchedule, SingletonAndEmptyGraphs)
+{
+    CommutingSpec empty;
+    empty.interaction = graph::UndirectedGraph(0);
+    const auto schedule = core::schedule_with_budget(empty, 1);
+    ASSERT_TRUE(schedule.has_value());
+    EXPECT_EQ(schedule->wires_used, 0);
+
+    CommutingSpec singles;
+    singles.interaction = graph::UndirectedGraph(3);  // no edges
+    const auto s = core::schedule_with_budget(singles, 1);
+    ASSERT_TRUE(s.has_value());
+    EXPECT_EQ(s->wires_used, 1);  // all three rotate through one wire
+    EXPECT_EQ(s->circuit.measure_count(), 3);
+}
+
+/// Property sweep: for random graphs and every feasible budget, the
+/// schedule covers all gates, respects the budget, and its implied
+/// pairs validate.
+class BudgetProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BudgetProperty, FeasibleBudgetsAreSound)
+{
+    util::Rng rng(7000 + GetParam());
+    const int n = 6 + GetParam() % 8;
+    CommutingSpec spec;
+    spec.interaction = graph::random_graph(n, 0.25, rng);
+
+    bool was_feasible = true;
+    for (int budget = n; budget >= 1; --budget) {
+        std::vector<core::ReusePair> pairs;
+        const auto schedule =
+            core::schedule_with_budget(spec, budget, {}, &pairs);
+        if (!schedule.has_value()) {
+            was_feasible = false;
+            continue;
+        }
+        // Once infeasible, feasibility should not reappear much lower;
+        // (not guaranteed in theory for greedy activation, so we only
+        // check soundness of feasible points).
+        (void)was_feasible;
+        EXPECT_LE(schedule->wires_used, budget);
+        EXPECT_EQ(schedule->circuit.two_qubit_gate_count(),
+                  spec.interaction.num_edges());
+        EXPECT_EQ(schedule->circuit.measure_count(), n);
+        EXPECT_TRUE(
+            core::commuting_pairs_valid(spec.interaction, pairs));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, BudgetProperty,
+                         ::testing::Range(0, 12));
+
+TEST(EspSelection, PicksAVersionAndReportsEsp)
+{
+    const auto backend = arch::Backend::fake_mumbai();
+    const auto sweep = core::qs_caqr(apps::bv_circuit(8));
+    const auto pick = core::select_best_by_esp(sweep, backend);
+    EXPECT_LT(pick.version_index, sweep.versions.size());
+    EXPECT_GT(pick.esp, 0.0);
+    EXPECT_LE(pick.esp, 1.0);
+    EXPECT_GT(pick.compiled.size(), 0u);
+
+    // The chosen ESP must be >= the baseline version's ESP.
+    auto baseline =
+        transpile::transpile(sweep.versions.front().circuit, backend);
+    EXPECT_GE(pick.esp + 1e-12,
+              arch::estimated_success_probability(baseline.circuit,
+                                                  backend));
+}
+
+}  // namespace
+}  // namespace caqr

@@ -1,0 +1,179 @@
+/// Tests for the gate-dependency DAG: structure, depth/duration,
+/// criticality, and the reuse legality queries it backs.
+#include <gtest/gtest.h>
+
+#include "apps/benchmarks.h"
+#include "circuit/dag.h"
+#include "circuit/timing.h"
+
+namespace caqr {
+namespace {
+
+using circuit::Circuit;
+using circuit::CircuitDag;
+using circuit::LogicalDurations;
+using circuit::UnitDepthModel;
+
+TEST(Dag, LinearChainDepth)
+{
+    Circuit c(1, 0);
+    c.h(0);
+    c.x(0);
+    c.z(0);
+    CircuitDag dag(c);
+    EXPECT_EQ(dag.depth(), 3);
+    EXPECT_EQ(dag.graph().num_edges(), 2);
+}
+
+TEST(Dag, ParallelGatesShareDepth)
+{
+    Circuit c(3, 0);
+    c.h(0);
+    c.h(1);
+    c.h(2);
+    CircuitDag dag(c);
+    EXPECT_EQ(dag.depth(), 1);
+    EXPECT_EQ(dag.graph().num_edges(), 0);
+}
+
+TEST(Dag, TwoQubitGateJoinsWires)
+{
+    Circuit c(2, 0);
+    c.h(0);
+    c.h(1);
+    c.cx(0, 1);
+    c.h(1);
+    CircuitDag dag(c);
+    EXPECT_EQ(dag.depth(), 3);
+    EXPECT_TRUE(dag.graph().has_edge(0, 2));
+    EXPECT_TRUE(dag.graph().has_edge(1, 2));
+    EXPECT_TRUE(dag.graph().has_edge(2, 3));
+}
+
+TEST(Dag, BarrierOrdersAcrossWires)
+{
+    Circuit c(2, 0);
+    c.h(0);
+    c.barrier();
+    c.h(1);
+    CircuitDag dag(c);
+    // Without the barrier depth would be 1; the barrier forces h(1)
+    // after h(0).
+    EXPECT_EQ(dag.depth(), 2);
+}
+
+TEST(Dag, ClassicalDependencyMeasureThenConditioned)
+{
+    Circuit c(2, 1);
+    c.measure(0, 0);
+    c.x_if(1, 0, 1);
+    CircuitDag dag(c);
+    EXPECT_TRUE(dag.graph().has_edge(0, 1));
+}
+
+TEST(Dag, DurationUsesModelWeights)
+{
+    Circuit c(2, 2);
+    c.h(0);
+    c.cx(0, 1);
+    c.measure(1, 1);
+    CircuitDag dag(c);
+    LogicalDurations model;
+    EXPECT_DOUBLE_EQ(dag.duration(model),
+                     LogicalDurations::kOneQubitGate +
+                         LogicalDurations::kTwoQubitGate +
+                         LogicalDurations::kMeasure);
+}
+
+TEST(Dag, ConditionedGateUsesFeedforwardDuration)
+{
+    Circuit c(1, 1);
+    c.measure(0, 0);
+    c.x_if(0, 0, 1);
+    CircuitDag dag(c);
+    LogicalDurations model;
+    // The paper's Fig 2(b) pair: 15,600 + 867 = 16,467 dt.
+    EXPECT_DOUBLE_EQ(dag.duration(model), 16'467.0);
+}
+
+TEST(Dag, BuiltinResetIsSlower)
+{
+    Circuit c(1, 1);
+    c.measure(0, 0);
+    c.reset(0);
+    CircuitDag dag(c);
+    LogicalDurations model;
+    // Fig 2(a): 15,600 + 17,579 = 33,179 dt, ~2x the conditional form.
+    EXPECT_DOUBLE_EQ(dag.duration(model), 33'179.0);
+}
+
+TEST(Dag, NodesOnQubit)
+{
+    Circuit c(2, 0);
+    c.h(0);
+    c.cx(0, 1);
+    c.h(1);
+    CircuitDag dag(c);
+    EXPECT_EQ(dag.nodes_on_qubit(0), (std::vector<int>{0, 1}));
+    EXPECT_EQ(dag.nodes_on_qubit(1), (std::vector<int>{1, 2}));
+}
+
+TEST(Dag, QubitsShareGate)
+{
+    Circuit c(3, 0);
+    c.cx(0, 1);
+    CircuitDag dag(c);
+    EXPECT_TRUE(dag.qubits_share_gate(0, 1));
+    EXPECT_TRUE(dag.qubits_share_gate(1, 0));
+    EXPECT_FALSE(dag.qubits_share_gate(0, 2));
+}
+
+TEST(Dag, QubitDependsOnTransitively)
+{
+    // Fig 7-style: g(q0,q1), g(q1,q2): ops on q2 depend on ops on q0.
+    Circuit c(3, 0);
+    c.cx(0, 1);
+    c.cx(1, 2);
+    CircuitDag dag(c);
+    EXPECT_TRUE(dag.qubit_depends_on(2, 0));
+    EXPECT_FALSE(dag.qubit_depends_on(0, 2));
+}
+
+TEST(Dag, CriticalNodes)
+{
+    Circuit c(3, 0);
+    c.h(0);   // node 0: on the 2-deep path
+    c.x(0);   // node 1
+    c.h(1);   // node 2: slack 1
+    CircuitDag dag(c);
+    UnitDepthModel unit;
+    const auto critical = dag.critical_nodes(unit);
+    EXPECT_TRUE(critical[0]);
+    EXPECT_TRUE(critical[1]);
+    EXPECT_FALSE(critical[2]);
+}
+
+TEST(Dag, ReuseCriticalPathAddsDummy)
+{
+    // Two independent wires; reusing q0's wire for q1 serializes them.
+    Circuit c(2, 0);
+    c.h(0);
+    c.h(1);
+    CircuitDag dag(c);
+    UnitDepthModel unit;
+    EXPECT_DOUBLE_EQ(dag.reuse_critical_path(0, 1, unit, 1.0), 3.0);
+    EXPECT_DOUBLE_EQ(dag.reuse_critical_path(0, 1, unit, 0.0), 2.0);
+}
+
+TEST(Dag, BvStructureMatchesPaper)
+{
+    // BV over n qubits: depth is constant-ish (H layer, CX fan-in
+    // serializes on the ancilla, H layer, measure).
+    const auto bv = apps::bv_circuit(5);
+    CircuitDag dag(bv);
+    // Ancilla wire dominates: X, H, 4 serialized CXs, H, measure = 8.
+    EXPECT_EQ(dag.depth(), 8);
+}
+
+}  // namespace
+}  // namespace caqr

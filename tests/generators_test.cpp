@@ -1,0 +1,105 @@
+/// Tests for problem-graph generators (QAOA inputs).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace caqr {
+namespace {
+
+TEST(Generators, RandomGraphHitsDensityTarget)
+{
+    util::Rng rng(1);
+    for (int n : {16, 32, 64}) {
+        const auto g = graph::random_graph(n, 0.3, rng);
+        EXPECT_EQ(g.num_nodes(), n);
+        EXPECT_NEAR(graph::graph_density(g), 0.3, 0.02) << "n=" << n;
+    }
+}
+
+TEST(Generators, RandomGraphIsConnectedAtModerateDensity)
+{
+    util::Rng rng(2);
+    for (int trial = 0; trial < 5; ++trial) {
+        const auto g = graph::random_graph(24, 0.3, rng);
+        EXPECT_TRUE(g.is_connected());
+    }
+}
+
+TEST(Generators, RandomGraphDeterministicPerSeed)
+{
+    util::Rng rng_a(77);
+    util::Rng rng_b(77);
+    const auto a = graph::random_graph(20, 0.25, rng_a);
+    const auto b = graph::random_graph(20, 0.25, rng_b);
+    EXPECT_EQ(a.edges(), b.edges());
+}
+
+TEST(Generators, PowerLawEdgeCountFollowsAttachment)
+{
+    util::Rng rng(3);
+    for (int n : {16, 32, 64}) {
+        const auto g = graph::power_law_graph(n, 0.3, rng, /*m=*/2);
+        EXPECT_EQ(g.num_nodes(), n);
+        // Holme–Kim: ~m edges per arriving node.
+        EXPECT_NEAR(static_cast<double>(g.num_edges()), 2.0 * n,
+                    0.25 * n)
+            << "n=" << n;
+        EXPECT_TRUE(g.is_connected());
+    }
+}
+
+TEST(Generators, PowerLawIsMoreSkewedThanRandom)
+{
+    util::Rng rng(4);
+    const int n = 64;
+    const auto pl = graph::power_law_graph(n, 0.3, rng);
+    // Random graph at the same edge count for a fair comparison.
+    const auto er =
+        graph::random_graph(n, graph::graph_density(pl), rng);
+
+    auto max_degree = [n](const graph::UndirectedGraph& g) {
+        int max_deg = 0;
+        for (int u = 0; u < n; ++u) {
+            max_deg = std::max(max_deg, g.degree(u));
+        }
+        return max_deg;
+    };
+    // Preferential attachment concentrates degree on hubs.
+    EXPECT_GT(max_degree(pl), max_degree(er));
+}
+
+TEST(Generators, PowerLawHasManyLowDegreeVertices)
+{
+    util::Rng rng(14);
+    const auto g = graph::power_law_graph(64, 0.3, rng);
+    int low_degree = 0;
+    for (int u = 0; u < 64; ++u) {
+        if (g.degree(u) <= 3) ++low_degree;
+    }
+    // Paper §4.2.2: the power-law graph "contains more vertices with
+    // low degrees" — the reuse fuel.
+    EXPECT_GT(low_degree, 24);
+}
+
+TEST(Generators, SmallAndDegenerateCases)
+{
+    util::Rng rng(5);
+    EXPECT_EQ(graph::random_graph(0, 0.3, rng).num_nodes(), 0);
+    EXPECT_EQ(graph::random_graph(1, 0.3, rng).num_edges(), 0);
+    EXPECT_EQ(graph::power_law_graph(1, 0.3, rng).num_edges(), 0);
+    const auto g = graph::random_graph(2, 1.0, rng);
+    EXPECT_EQ(g.num_edges(), 1);
+    EXPECT_DOUBLE_EQ(graph::graph_density(g), 1.0);
+}
+
+TEST(Generators, ZeroDensityYieldsNoEdges)
+{
+    util::Rng rng(6);
+    EXPECT_EQ(graph::random_graph(10, 0.0, rng).num_edges(), 0);
+}
+
+}  // namespace
+}  // namespace caqr

@@ -1,0 +1,182 @@
+/// Tests for multi-layer (p >= 2) QAOA support in the commuting
+/// schedulers: gate-instance counts, layer ordering, semantic
+/// equivalence with the plain p-layer circuit, and reuse under layers.
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "apps/qaoa.h"
+#include "core/commuting.h"
+#include "core/qs_caqr.h"
+#include "graph/generators.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace caqr {
+namespace {
+
+using core::CommutingSpec;
+
+CommutingSpec
+two_layer_spec(int n, unsigned seed)
+{
+    util::Rng rng(seed);
+    CommutingSpec spec;
+    spec.interaction = graph::random_graph(n, 0.4, rng);
+    spec.layers = 2;
+    spec.gammas = {0.45, 0.25};
+    spec.betas = {0.35, 0.55};
+    return spec;
+}
+
+TEST(MultiLayer, GateInstanceCount)
+{
+    const auto spec = two_layer_spec(8, 1);
+    const auto schedule = core::schedule_commuting(spec, {});
+    EXPECT_EQ(schedule.circuit.two_qubit_gate_count(),
+              2 * spec.interaction.num_edges());
+    // One mixer per layer per qubit.
+    int rx_count = 0;
+    for (const auto& instr : schedule.circuit.instructions()) {
+        if (instr.kind == circuit::GateKind::kRx) ++rx_count;
+    }
+    EXPECT_EQ(rx_count, 2 * 8);
+    EXPECT_EQ(schedule.circuit.measure_count(), 8);
+}
+
+TEST(MultiLayer, PerLayerAnglesApplied)
+{
+    const auto spec = two_layer_spec(6, 2);
+    const auto schedule = core::schedule_commuting(spec, {});
+    int first_layer = 0;
+    int second_layer = 0;
+    for (const auto& instr : schedule.circuit.instructions()) {
+        if (instr.kind != circuit::GateKind::kRzz) continue;
+        if (std::abs(instr.params[0] - 2 * 0.45) < 1e-12) ++first_layer;
+        if (std::abs(instr.params[0] - 2 * 0.25) < 1e-12) ++second_layer;
+    }
+    EXPECT_EQ(first_layer, spec.interaction.num_edges());
+    EXPECT_EQ(second_layer, spec.interaction.num_edges());
+}
+
+TEST(MultiLayer, MatchesPlainTwoLayerCircuitEnergy)
+{
+    auto spec = two_layer_spec(7, 3);
+
+    apps::QaoaParams params;
+    params.gammas = spec.gammas;
+    params.betas = spec.betas;
+    const auto plain = apps::qaoa_circuit(spec.interaction, params);
+    const auto plain_counts =
+        sim::simulate(plain, {.shots = 8192, .seed = 31});
+    const double plain_energy =
+        apps::maxcut_expectation(plain_counts, spec.interaction);
+
+    // No-reuse schedule must be *exactly* equivalent (same terminal
+    // measurement distribution).
+    const auto schedule = core::schedule_commuting(spec, {});
+    const auto sched_counts =
+        sim::simulate(schedule.circuit, {.shots = 8192, .seed = 32});
+    const double sched_energy =
+        apps::maxcut_expectation(sched_counts, spec.interaction);
+    EXPECT_NEAR(sched_energy, plain_energy, 0.3);
+}
+
+TEST(MultiLayer, ReusePairsStillWork)
+{
+    auto spec = two_layer_spec(8, 4);
+    // Find any valid pair and schedule with it.
+    core::ReusePair pair{-1, -1};
+    for (int s = 0; s < 8 && pair.source < 0; ++s) {
+        for (int t = 0; t < 8; ++t) {
+            if (s == t || spec.interaction.has_edge(s, t)) continue;
+            if (core::commuting_pairs_valid(spec.interaction,
+                                            {core::ReusePair{s, t}},
+                                            spec.layers)) {
+                pair = core::ReusePair{s, t};
+                break;
+            }
+        }
+    }
+    ASSERT_GE(pair.source, 0) << "no valid pair in this instance";
+
+    const auto schedule = core::schedule_commuting(spec, {pair});
+    EXPECT_EQ(schedule.wires_used, 7);
+    EXPECT_EQ(schedule.circuit.two_qubit_gate_count(),
+              2 * spec.interaction.num_edges());
+    // Energy still matches the plain two-layer circuit.
+    apps::QaoaParams params;
+    params.gammas = spec.gammas;
+    params.betas = spec.betas;
+    const auto plain = apps::qaoa_circuit(spec.interaction, params);
+    const double e_plain = apps::maxcut_expectation(
+        sim::simulate(plain, {.shots = 8192, .seed = 41}),
+        spec.interaction);
+    const double e_reused = apps::maxcut_expectation(
+        sim::simulate(schedule.circuit, {.shots = 8192, .seed = 42}),
+        spec.interaction);
+    EXPECT_NEAR(e_reused, e_plain, 0.35);
+}
+
+TEST(MultiLayer, BudgetSchedulerHandlesLayers)
+{
+    util::Rng rng(5);
+    CommutingSpec spec;
+    spec.interaction = graph::power_law_graph(12, 0.3, rng);
+    spec.layers = 2;
+
+    // Multi-layer co-activity raises the wire floor; find the deepest
+    // feasible budget and validate it.
+    std::optional<core::CommutingSchedule> deepest;
+    for (int budget = 12; budget >= 2; --budget) {
+        auto schedule = core::schedule_with_budget(spec, budget);
+        if (!schedule.has_value()) break;
+        deepest = std::move(schedule);
+    }
+    ASSERT_TRUE(deepest.has_value());
+    EXPECT_LT(deepest->wires_used, 12);  // some saving must survive p=2
+    EXPECT_EQ(deepest->circuit.two_qubit_gate_count(),
+              2 * spec.interaction.num_edges());
+    EXPECT_EQ(deepest->circuit.measure_count(), 12);
+}
+
+TEST(MultiLayer, DeeperCircuitsThanSingleLayer)
+{
+    auto spec = two_layer_spec(10, 6);
+    auto single = spec;
+    single.layers = 1;
+    const auto two = core::schedule_commuting(spec, {});
+    const auto one = core::schedule_commuting(single, {});
+    EXPECT_GT(two.depth, one.depth);
+    EXPECT_GT(two.duration_dt, one.duration_dt);
+}
+
+TEST(MultiLayer, ThreeLayersSchedule)
+{
+    util::Rng rng(7);
+    CommutingSpec spec;
+    spec.interaction = graph::random_graph(6, 0.5, rng);
+    spec.layers = 3;
+    const auto schedule = core::schedule_commuting(spec, {});
+    EXPECT_EQ(schedule.circuit.two_qubit_gate_count(),
+              3 * spec.interaction.num_edges());
+    int rx_count = 0;
+    for (const auto& instr : schedule.circuit.instructions()) {
+        if (instr.kind == circuit::GateKind::kRx) ++rx_count;
+    }
+    EXPECT_EQ(rx_count, 3 * 6);
+}
+
+TEST(MultiLayer, QsSweepWithLayers)
+{
+    auto spec = two_layer_spec(9, 8);
+    const auto result = core::qs_caqr_commuting(spec);
+    EXPECT_GE(result.versions.size(), 2u);
+    for (const auto& version : result.versions) {
+        EXPECT_EQ(version.schedule.circuit.two_qubit_gate_count(),
+                  2 * spec.interaction.num_edges());
+    }
+    EXPECT_LT(result.versions.back().qubits, 9);
+}
+
+}  // namespace
+}  // namespace caqr

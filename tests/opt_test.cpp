@@ -1,0 +1,108 @@
+/// Tests for the derivative-free optimizers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opt/nelder_mead.h"
+#include "opt/spsa.h"
+#include "util/rng.h"
+
+namespace caqr {
+namespace {
+
+double
+quadratic(const std::vector<double>& x)
+{
+    double value = 0.0;
+    for (std::size_t d = 0; d < x.size(); ++d) {
+        const double target = 1.0 + static_cast<double>(d);
+        value += (x[d] - target) * (x[d] - target);
+    }
+    return value;
+}
+
+TEST(NelderMead, Minimizes1D)
+{
+    const auto result =
+        opt::nelder_mead([](const std::vector<double>& x) {
+            return (x[0] - 3.0) * (x[0] - 3.0);
+        }, {0.0}, {.max_evaluations = 120});
+    EXPECT_NEAR(result.best_params[0], 3.0, 1e-2);
+    EXPECT_NEAR(result.best_value, 0.0, 1e-3);
+}
+
+TEST(NelderMead, Minimizes2DQuadratic)
+{
+    const auto result = opt::nelder_mead(quadratic, {0.0, 0.0},
+                                         {.max_evaluations = 200});
+    EXPECT_NEAR(result.best_params[0], 1.0, 0.05);
+    EXPECT_NEAR(result.best_params[1], 2.0, 0.05);
+}
+
+TEST(NelderMead, RespectsEvaluationBudget)
+{
+    const auto result =
+        opt::nelder_mead(quadratic, {5.0, 5.0}, {.max_evaluations = 30});
+    EXPECT_LE(result.evaluations, 30);
+    EXPECT_EQ(result.history.size(),
+              static_cast<std::size_t>(result.evaluations));
+}
+
+TEST(NelderMead, BestHistoryIsMonotone)
+{
+    const auto result = opt::nelder_mead(quadratic, {4.0, -3.0},
+                                         {.max_evaluations = 100});
+    for (std::size_t i = 1; i < result.best_history.size(); ++i) {
+        EXPECT_LE(result.best_history[i], result.best_history[i - 1]);
+    }
+    EXPECT_DOUBLE_EQ(result.best_history.back(), result.best_value);
+}
+
+TEST(NelderMead, HandlesNonConvexValley)
+{
+    // Rosenbrock-style curved valley.
+    auto rosenbrock = [](const std::vector<double>& x) {
+        const double a = 1.0 - x[0];
+        const double b = x[1] - x[0] * x[0];
+        return a * a + 20.0 * b * b;
+    };
+    const auto result = opt::nelder_mead(rosenbrock, {-1.0, 1.0},
+                                         {.max_evaluations = 400});
+    EXPECT_LT(result.best_value, 0.05);
+}
+
+TEST(Spsa, MinimizesNoisyQuadratic)
+{
+    util::Rng noise(7);
+    auto noisy = [&noise](const std::vector<double>& x) {
+        return quadratic(x) + 0.01 * noise.next_gaussian();
+    };
+    const auto result = opt::spsa(noisy, {4.0, -2.0},
+                                  {.max_evaluations = 300, .a = 0.4});
+    EXPECT_NEAR(result.best_params[0], 1.0, 0.4);
+    EXPECT_NEAR(result.best_params[1], 2.0, 0.4);
+}
+
+TEST(Spsa, DeterministicPerSeed)
+{
+    auto objective = quadratic;
+    opt::SpsaOptions options;
+    options.max_evaluations = 50;
+    options.seed = 123;
+    const auto a = opt::spsa(objective, {0.0, 0.0}, options);
+    const auto b = opt::spsa(objective, {0.0, 0.0}, options);
+    EXPECT_EQ(a.history, b.history);
+}
+
+TEST(Spsa, RespectsBudgetAndHistory)
+{
+    const auto result =
+        opt::spsa(quadratic, {1.0}, {.max_evaluations = 41});
+    EXPECT_LE(result.evaluations, 41);
+    for (std::size_t i = 1; i < result.best_history.size(); ++i) {
+        EXPECT_LE(result.best_history[i], result.best_history[i - 1]);
+    }
+}
+
+}  // namespace
+}  // namespace caqr

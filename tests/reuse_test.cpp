@@ -1,0 +1,200 @@
+/// Tests for reuse legality (Conditions 1 & 2) and the reuse circuit
+/// transform, including semantics preservation under simulation.
+#include <gtest/gtest.h>
+
+#include "apps/benchmarks.h"
+#include "circuit/dag.h"
+#include "core/reuse_analysis.h"
+#include "core/reuse_transform.h"
+#include "sim/simulator.h"
+#include "util/stats.h"
+
+namespace caqr {
+namespace {
+
+using circuit::Circuit;
+using circuit::CircuitDag;
+using core::ReusePair;
+
+TEST(ReuseConditions, SharedGateViolatesCondition1)
+{
+    Circuit c(2, 0);
+    c.cx(0, 1);
+    CircuitDag dag(c);
+    EXPECT_FALSE(core::is_valid_reuse_pair(dag, 0, 1));
+    EXPECT_FALSE(core::is_valid_reuse_pair(dag, 1, 0));
+}
+
+TEST(ReuseConditions, IndependentWiresAreReusable)
+{
+    Circuit c(2, 0);
+    c.h(0);
+    c.h(1);
+    CircuitDag dag(c);
+    EXPECT_TRUE(core::is_valid_reuse_pair(dag, 0, 1));
+    EXPECT_TRUE(core::is_valid_reuse_pair(dag, 1, 0));
+}
+
+TEST(ReuseConditions, Fig7DependencyViolatesCondition2)
+{
+    // Paper Fig 7: g(q4,q2), g(q2,q3), g(q3,q1). Ops on q1 depend on
+    // ops on q4 transitively, so (q1 -> q4) is invalid while
+    // (q4 -> q1) is valid.
+    Circuit c(5, 0);
+    c.cx(4, 2);
+    c.cx(2, 3);
+    c.cx(3, 1);
+    CircuitDag dag(c);
+    EXPECT_FALSE(core::is_valid_reuse_pair(dag, 1, 4));
+    EXPECT_TRUE(core::is_valid_reuse_pair(dag, 4, 1));
+}
+
+TEST(ReuseConditions, IdleQubitsAreNotCandidates)
+{
+    Circuit c(3, 0);
+    c.h(0);
+    CircuitDag dag(c);
+    // Qubits 1 and 2 have no operations: nothing to reuse.
+    EXPECT_FALSE(core::is_valid_reuse_pair(dag, 0, 1));
+    EXPECT_FALSE(core::is_valid_reuse_pair(dag, 1, 0));
+    EXPECT_FALSE(core::is_valid_reuse_pair(dag, 0, 0));
+}
+
+TEST(ReuseConditions, BvPairsMatchPaper)
+{
+    // In BV every data qubit can be reused by any other data qubit
+    // (they only share the ancilla), but never with the ancilla.
+    const auto bv = apps::bv_circuit(5);
+    CircuitDag dag(bv);
+    const auto pairs = core::find_reuse_pairs(dag);
+    EXPECT_FALSE(pairs.empty());
+    for (const auto& pair : pairs) {
+        EXPECT_NE(pair.source, 4);
+        EXPECT_NE(pair.target, 4);
+    }
+    // The CX fan-in serializes on the ancilla in program order, so
+    // only forward pairs (earlier data qubit reused by later) satisfy
+    // Condition 2: C(4,2) = 6 ordered pairs.
+    EXPECT_EQ(pairs.size(), 6u);
+}
+
+TEST(ReuseTransform, ReducesQubitCountByOne)
+{
+    const auto bv = apps::bv_circuit(5);
+    auto result = core::apply_reuse(bv, ReusePair{0, 1});
+    EXPECT_EQ(result.circuit.num_qubits(), 4);
+    EXPECT_EQ(result.circuit.num_clbits(), bv.num_clbits());
+    EXPECT_EQ(result.orig_of.size(), 4u);
+}
+
+TEST(ReuseTransform, InsertsConditionalReset)
+{
+    const auto bv = apps::bv_circuit(5);
+    auto result = core::apply_reuse(bv, ReusePair{0, 1});
+    int conditioned = 0;
+    for (const auto& instr : result.circuit.instructions()) {
+        if (instr.has_condition()) ++conditioned;
+    }
+    EXPECT_EQ(conditioned, 1);
+    // No built-in reset — the fast Fig 2(b) idiom only.
+    for (const auto& instr : result.circuit.instructions()) {
+        EXPECT_NE(instr.kind, circuit::GateKind::kReset);
+    }
+}
+
+TEST(ReuseTransform, PreservesBvSemantics)
+{
+    const auto bv = apps::bv_circuit(5);
+    auto result = core::apply_reuse(bv, ReusePair{0, 1});
+    const auto counts =
+        sim::simulate(result.circuit, {.shots = 256, .seed = 31});
+    ASSERT_EQ(counts.size(), 1u);
+    EXPECT_EQ(counts.begin()->first, apps::bv_expected(5));
+}
+
+TEST(ReuseTransform, ChainedReuseDownToTwoQubits)
+{
+    // The paper's Fig 1 flow: reuse one wire for q1..q4 sequentially.
+    auto current = apps::bv_circuit(5);
+    std::vector<int> orig;
+    for (int step = 0; step < 3; ++step) {
+        CircuitDag dag(current);
+        // Reuse wire 0 (originally q0) for the next data wire.
+        ASSERT_TRUE(core::is_valid_reuse_pair(dag, 0, 1));
+        auto result = core::apply_reuse(current, ReusePair{0, 1},
+                                        std::move(orig));
+        current = std::move(result.circuit);
+        orig = std::move(result.orig_of);
+    }
+    EXPECT_EQ(current.num_qubits(), 2);
+    const auto counts = sim::simulate(current, {.shots = 256, .seed = 32});
+    ASSERT_EQ(counts.size(), 1u);
+    EXPECT_EQ(counts.begin()->first, apps::bv_expected(5));
+}
+
+TEST(ReuseTransform, SourceWithoutMeasureGetsScratchBit)
+{
+    Circuit c(2, 0);
+    c.h(0);
+    c.z(0);
+    c.h(1);
+    auto result = core::apply_reuse(c, ReusePair{0, 1});
+    // A scratch clbit must have been added for the inserted measure.
+    EXPECT_EQ(result.circuit.num_clbits(), 1);
+    EXPECT_EQ(result.circuit.measure_count(), 1);
+}
+
+TEST(ReuseTransform, OrigOfTracksWireIdentity)
+{
+    const auto bv = apps::bv_circuit(5);
+    auto result = core::apply_reuse(bv, ReusePair{2, 3});
+    // Wire that hosted q2 keeps identity 2; q3's wire is gone; qubit 4
+    // shifts down to wire 3.
+    EXPECT_EQ(result.orig_of[2], 2);
+    EXPECT_EQ(result.orig_of[3], 4);
+}
+
+TEST(ReuseTransformDeath, RejectsInvalidPair)
+{
+    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    Circuit c(2, 0);
+    c.cx(0, 1);
+    EXPECT_DEATH(core::apply_reuse(c, ReusePair{0, 1}), "invalid pair");
+}
+
+TEST(Advise, BvHasOpportunities)
+{
+    const auto advice = core::advise_reuse(apps::bv_circuit(6));
+    EXPECT_TRUE(advice.any_opportunity);
+    EXPECT_EQ(advice.active_qubits, 6);
+    EXPECT_EQ(advice.min_qubits_estimate, 2);  // paper: BV_n -> 2
+    EXPECT_GE(advice.max_reuse_depth, advice.original_depth);
+}
+
+TEST(Advise, FullyEntangledCircuitHasNone)
+{
+    // GHZ chain: every pair shares a gate or depends transitively in
+    // both directions only through shared gates: a chain 0-1-2 does
+    // allow (0 -> 2)? q2's gate depends on q0's, so (2 -> 0) invalid,
+    // (0 -> 2) valid! Make it a triangle so no pair is free.
+    Circuit c(3, 0);
+    c.cx(0, 1);
+    c.cx(1, 2);
+    c.cx(0, 2);
+    const auto advice = core::advise_reuse(c);
+    EXPECT_FALSE(advice.any_opportunity);
+    EXPECT_EQ(advice.min_qubits_estimate, 3);
+}
+
+TEST(Advise, ChainAllowsForwardReuse)
+{
+    Circuit c(3, 0);
+    c.cx(0, 1);
+    c.cx(1, 2);
+    const auto advice = core::advise_reuse(c);
+    EXPECT_TRUE(advice.any_opportunity);
+    EXPECT_EQ(advice.min_qubits_estimate, 2);
+}
+
+}  // namespace
+}  // namespace caqr

@@ -1,0 +1,176 @@
+/// Tests for the ASAP Schedule artifact and calibration snapshot I/O.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "arch/backend.h"
+#include "arch/calibration.h"
+#include "arch/heavy_hex.h"
+#include "circuit/circuit.h"
+#include "circuit/schedule.h"
+#include "circuit/timing.h"
+
+namespace caqr {
+namespace {
+
+using circuit::Circuit;
+using circuit::LogicalDurations;
+using circuit::Schedule;
+
+TEST(Schedule, LinearChainTimes)
+{
+    Circuit c(1, 1);
+    c.h(0);                 // 160
+    c.x(0);                 // 160
+    c.measure(0, 0);        // 15600
+    LogicalDurations model;
+    Schedule schedule(c, model);
+    EXPECT_DOUBLE_EQ(schedule.start(0), 0.0);
+    EXPECT_DOUBLE_EQ(schedule.finish(0), 160.0);
+    EXPECT_DOUBLE_EQ(schedule.start(1), 160.0);
+    EXPECT_DOUBLE_EQ(schedule.finish(2), 160.0 + 160.0 + 15'600.0);
+    EXPECT_DOUBLE_EQ(schedule.makespan(), schedule.finish(2));
+}
+
+TEST(Schedule, ParallelWiresOverlap)
+{
+    Circuit c(2, 0);
+    c.h(0);
+    c.h(1);
+    LogicalDurations model;
+    Schedule schedule(c, model);
+    EXPECT_DOUBLE_EQ(schedule.start(0), 0.0);
+    EXPECT_DOUBLE_EQ(schedule.start(1), 0.0);
+    EXPECT_DOUBLE_EQ(schedule.makespan(), 160.0);
+}
+
+TEST(Schedule, IdleGapBeforeLateGate)
+{
+    // q1 idles while q0 runs a long chain, then a CX joins them.
+    Circuit c(2, 0);
+    c.h(1);                 // finishes at 160
+    for (int i = 0; i < 5; ++i) c.h(0);  // q0 busy until 800
+    c.cx(0, 1);             // starts at 800; q1 idled 800 - 160 = 640
+    LogicalDurations model;
+    Schedule schedule(c, model);
+    const std::size_t cx_index = c.size() - 1;
+    EXPECT_DOUBLE_EQ(schedule.idle_gap_before(cx_index, 1), 640.0);
+    EXPECT_DOUBLE_EQ(schedule.idle_gap_before(cx_index, 0), 0.0);
+    // Untouched operand / non-operand queries return 0.
+    EXPECT_DOUBLE_EQ(schedule.idle_gap_before(0, 0), 0.0);
+}
+
+TEST(Schedule, ActivityAccounting)
+{
+    Circuit c(2, 0);
+    c.h(0);
+    c.h(0);
+    c.h(1);
+    LogicalDurations model;
+    Schedule schedule(c, model);
+    const auto& a0 = schedule.activity(0);
+    EXPECT_TRUE(a0.touched);
+    EXPECT_DOUBLE_EQ(a0.busy, 320.0);
+    EXPECT_DOUBLE_EQ(a0.idle(), 0.0);
+    const auto& a1 = schedule.activity(1);
+    EXPECT_DOUBLE_EQ(a1.busy, 160.0);
+}
+
+TEST(Schedule, UntouchedQubit)
+{
+    Circuit c(3, 0);
+    c.h(0);
+    LogicalDurations model;
+    Schedule schedule(c, model);
+    EXPECT_FALSE(schedule.activity(2).touched);
+}
+
+TEST(CalibrationIo, RoundTripPreservesValues)
+{
+    const auto topology = arch::mumbai_coupling();
+    const auto original = arch::Calibration::synthesize(topology, 11);
+    std::string error;
+    const auto parsed =
+        arch::Calibration::deserialize(original.serialize(), &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(parsed->num_qubits(), original.num_qubits());
+    for (int q = 0; q < original.num_qubits(); ++q) {
+        EXPECT_DOUBLE_EQ(parsed->qubit(q).readout_error,
+                         original.qubit(q).readout_error);
+        EXPECT_DOUBLE_EQ(parsed->qubit(q).t1_us, original.qubit(q).t1_us);
+        EXPECT_DOUBLE_EQ(parsed->qubit(q).sx_error,
+                         original.qubit(q).sx_error);
+    }
+    for (const auto& [a, b] : topology.edges()) {
+        ASSERT_TRUE(parsed->has_link(a, b));
+        EXPECT_DOUBLE_EQ(parsed->link(a, b).cx_error,
+                         original.link(a, b).cx_error);
+        EXPECT_DOUBLE_EQ(parsed->link(a, b).cx_duration_dt,
+                         original.link(a, b).cx_duration_dt);
+    }
+}
+
+TEST(CalibrationIo, CommentsAndBlanksIgnored)
+{
+    const std::string text =
+        "# header comment\n"
+        "\n"
+        "qubit 0 0.02 100 80 0.0003\n"
+        "# trailing comment\n"
+        "link 0 1 0.01 1500\n";
+    std::string error;
+    const auto parsed = arch::Calibration::deserialize(text, &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_DOUBLE_EQ(parsed->qubit(0).readout_error, 0.02);
+    EXPECT_TRUE(parsed->has_link(1, 0));
+}
+
+TEST(CalibrationIo, MalformedRecordsReportLine)
+{
+    std::string error;
+    EXPECT_FALSE(arch::Calibration::deserialize("qubit x y\n", &error)
+                     .has_value());
+    EXPECT_NE(error.find("line 1"), std::string::npos);
+    EXPECT_FALSE(
+        arch::Calibration::deserialize("link 0 0 0.1 100\n", &error)
+            .has_value());
+    EXPECT_FALSE(
+        arch::Calibration::deserialize("frobnicate 1\n", &error)
+            .has_value());
+}
+
+TEST(CalibrationIo, FileRoundTrip)
+{
+    const auto topology = arch::mumbai_coupling();
+    const auto original = arch::Calibration::synthesize(topology, 13);
+    const std::string path = "/tmp/caqr_calibration_test.txt";
+    ASSERT_TRUE(original.save_file(path));
+    std::string error;
+    const auto loaded = arch::Calibration::load_file(path, &error);
+    ASSERT_TRUE(loaded.has_value()) << error;
+    EXPECT_DOUBLE_EQ(loaded->qubit(5).t1_us, original.qubit(5).t1_us);
+    std::remove(path.c_str());
+
+    EXPECT_FALSE(arch::Calibration::load_file("/nope/nope.txt", &error)
+                     .has_value());
+    EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+TEST(CalibrationIo, LoadedSnapshotDrivesABackend)
+{
+    // End-to-end: synthesize, snapshot, reload, and build a backend
+    // from the reloaded calibration.
+    const auto topology = arch::mumbai_coupling();
+    const auto snapshot = arch::Calibration::synthesize(topology, 17);
+    std::string error;
+    auto reloaded =
+        arch::Calibration::deserialize(snapshot.serialize(), &error);
+    ASSERT_TRUE(reloaded.has_value()) << error;
+    const arch::Backend backend("Reloaded", topology,
+                                std::move(*reloaded));
+    EXPECT_EQ(backend.num_qubits(), 27);
+    EXPECT_GT(backend.calibration().link(0, 1).cx_duration_dt, 0.0);
+}
+
+}  // namespace
+}  // namespace caqr

@@ -1,0 +1,336 @@
+/// Tests for the statevector simulator, dynamic-circuit execution, and
+/// the noise model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/backend.h"
+#include "circuit/circuit.h"
+#include "sim/noise_model.h"
+#include "sim/simulator.h"
+#include "sim/statevector.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace caqr {
+namespace {
+
+using circuit::Circuit;
+using sim::NoiseModel;
+using sim::SimOptions;
+using sim::StateVector;
+
+TEST(StateVector, InitialState)
+{
+    StateVector sv(2);
+    EXPECT_DOUBLE_EQ(std::norm(sv.amplitudes()[0]), 1.0);
+    EXPECT_DOUBLE_EQ(sv.prob_one(0), 0.0);
+    EXPECT_DOUBLE_EQ(sv.prob_one(1), 0.0);
+}
+
+TEST(StateVector, HadamardFiftyFifty)
+{
+    StateVector sv(1);
+    Circuit c(1, 0);
+    c.h(0);
+    sv.apply(c.at(0));
+    EXPECT_NEAR(sv.prob_one(0), 0.5, 1e-12);
+}
+
+TEST(StateVector, BellState)
+{
+    StateVector sv(2);
+    Circuit c(2, 0);
+    c.h(0);
+    c.cx(0, 1);
+    sv.apply(c.at(0));
+    sv.apply(c.at(1));
+    const auto& amps = sv.amplitudes();
+    EXPECT_NEAR(std::norm(amps[0]), 0.5, 1e-12);
+    EXPECT_NEAR(std::norm(amps[3]), 0.5, 1e-12);
+    EXPECT_NEAR(std::norm(amps[1]), 0.0, 1e-12);
+}
+
+TEST(StateVector, PauliAlgebra)
+{
+    StateVector sv(1);
+    sv.apply_pauli('X', 0);
+    EXPECT_NEAR(sv.prob_one(0), 1.0, 1e-12);
+    sv.apply_pauli('X', 0);
+    EXPECT_NEAR(sv.prob_one(0), 0.0, 1e-12);
+    // Z on |0> is identity up to nothing observable.
+    sv.apply_pauli('Z', 0);
+    EXPECT_NEAR(sv.prob_one(0), 0.0, 1e-12);
+}
+
+TEST(StateVector, RotationAngles)
+{
+    StateVector sv(1);
+    Circuit c(1, 0);
+    c.rx(3.14159265358979, 0);  // X rotation by pi = X up to phase
+    sv.apply(c.at(0));
+    EXPECT_NEAR(sv.prob_one(0), 1.0, 1e-9);
+}
+
+TEST(StateVector, RzzPhases)
+{
+    // RZZ on |++> then H⊗H: checks relative phases move population.
+    StateVector sv(2);
+    Circuit c(2, 0);
+    c.h(0);
+    c.h(1);
+    c.rzz(3.14159265358979, 0, 1);  // theta = pi
+    c.h(0);
+    c.h(1);
+    for (std::size_t i = 0; i < c.size(); ++i) sv.apply(c.at(i));
+    // exp(-i pi/2 ZZ) |++> = (|00> ... ) — resulting H-basis state is
+    // fully transferred to |11> (up to global phase).
+    EXPECT_NEAR(std::norm(sv.amplitudes()[3]), 1.0, 1e-9);
+}
+
+TEST(StateVector, CzVersusCx)
+{
+    // CZ = H(target) CX H(target).
+    StateVector a(2);
+    StateVector b(2);
+    Circuit prep(2, 0);
+    prep.h(0);
+    prep.h(1);
+    a.apply(prep.at(0));
+    a.apply(prep.at(1));
+    b.apply(prep.at(0));
+    b.apply(prep.at(1));
+
+    Circuit cz(2, 0);
+    cz.cz(0, 1);
+    a.apply(cz.at(0));
+
+    Circuit sandwich(2, 0);
+    sandwich.h(1);
+    sandwich.cx(0, 1);
+    sandwich.h(1);
+    for (std::size_t i = 0; i < sandwich.size(); ++i) {
+        b.apply(sandwich.at(i));
+    }
+    EXPECT_NEAR(a.fidelity(b), 1.0, 1e-9);
+}
+
+TEST(StateVector, SwapExchangesStates)
+{
+    StateVector sv(2);
+    sv.apply_pauli('X', 0);  // |01> (qubit0 = 1)
+    Circuit c(2, 0);
+    c.swap_gate(0, 1);
+    sv.apply(c.at(0));
+    EXPECT_NEAR(sv.prob_one(0), 0.0, 1e-12);
+    EXPECT_NEAR(sv.prob_one(1), 1.0, 1e-12);
+}
+
+TEST(StateVector, CcxTruthTable)
+{
+    for (int c0 = 0; c0 < 2; ++c0) {
+        for (int c1 = 0; c1 < 2; ++c1) {
+            StateVector sv(3);
+            if (c0) sv.apply_pauli('X', 0);
+            if (c1) sv.apply_pauli('X', 1);
+            Circuit c(3, 0);
+            c.ccx(0, 1, 2);
+            sv.apply(c.at(0));
+            EXPECT_NEAR(sv.prob_one(2), (c0 && c1) ? 1.0 : 0.0, 1e-12);
+        }
+    }
+}
+
+TEST(StateVector, MeasureCollapses)
+{
+    util::Rng rng(1);
+    StateVector sv(1);
+    Circuit c(1, 0);
+    c.h(0);
+    sv.apply(c.at(0));
+    const int outcome = sv.measure(0, rng);
+    EXPECT_NEAR(sv.prob_one(0), outcome ? 1.0 : 0.0, 1e-12);
+    // Re-measuring is deterministic.
+    EXPECT_EQ(sv.measure(0, rng), outcome);
+}
+
+TEST(StateVector, ResetForcesGround)
+{
+    util::Rng rng(2);
+    for (int trial = 0; trial < 10; ++trial) {
+        StateVector sv(1);
+        Circuit c(1, 0);
+        c.h(0);
+        sv.apply(c.at(0));
+        sv.reset(0, rng);
+        EXPECT_NEAR(sv.prob_one(0), 0.0, 1e-12);
+    }
+}
+
+TEST(Simulator, DeterministicCircuit)
+{
+    Circuit c(1, 1);
+    c.x(0);
+    c.measure(0, 0);
+    const auto counts = sim::simulate(c, {.shots = 100, .seed = 3});
+    ASSERT_EQ(counts.size(), 1u);
+    EXPECT_EQ(counts.at("1"), 100u);
+}
+
+TEST(Simulator, BellCorrelations)
+{
+    Circuit c(2, 2);
+    c.h(0);
+    c.cx(0, 1);
+    c.measure(0, 0);
+    c.measure(1, 1);
+    const auto counts = sim::simulate(c, {.shots = 4000, .seed = 4});
+    std::size_t same = 0;
+    std::size_t total = 0;
+    for (const auto& [key, count] : counts) {
+        total += count;
+        if (key == "00" || key == "11") same += count;
+    }
+    EXPECT_EQ(same, total);
+    EXPECT_NEAR(static_cast<double>(counts.at("00")) / total, 0.5, 0.05);
+}
+
+TEST(Simulator, MidCircuitMeasureAndConditionalReset)
+{
+    // Prepare |1>, measure, conditionally flip back to |0>, reuse for
+    // a second measurement: second bit must be 0.
+    Circuit c(1, 2);
+    c.x(0);
+    c.measure(0, 0);
+    c.x_if(0, 0, 1);
+    c.measure(0, 1);
+    const auto counts = sim::simulate(c, {.shots = 200, .seed = 5});
+    ASSERT_EQ(counts.size(), 1u);
+    EXPECT_EQ(counts.begin()->first, "10");
+}
+
+TEST(Simulator, ConditionNotTakenLeavesState)
+{
+    Circuit c(1, 2);
+    c.measure(0, 0);     // always 0
+    c.x_if(0, 0, 1);     // not taken
+    c.measure(0, 1);
+    const auto counts = sim::simulate(c, {.shots = 50, .seed = 6});
+    EXPECT_EQ(counts.begin()->first, "00");
+}
+
+TEST(Simulator, SeedReproducibility)
+{
+    Circuit c(2, 2);
+    c.h(0);
+    c.h(1);
+    c.measure(0, 0);
+    c.measure(1, 1);
+    const auto a = sim::simulate(c, {.shots = 500, .seed = 7});
+    const auto b = sim::simulate(c, {.shots = 500, .seed = 7});
+    EXPECT_EQ(a, b);
+}
+
+TEST(Simulator, ExactDistributionMatchesSampling)
+{
+    Circuit c(2, 2);
+    c.h(0);
+    c.cx(0, 1);
+    c.measure(0, 0);
+    c.measure(1, 1);
+    const auto exact = sim::exact_distribution(c);
+    ASSERT_EQ(exact.size(), 2u);
+    EXPECT_NEAR(exact.at("00"), 0.5, 1e-12);
+    EXPECT_NEAR(exact.at("11"), 0.5, 1e-12);
+
+    const auto counts = sim::simulate(c, {.shots = 8000, .seed = 8});
+    std::map<std::string, double> sampled;
+    for (const auto& [key, count] : counts) {
+        sampled[key] = static_cast<double>(count);
+    }
+    EXPECT_LT(util::total_variation_distance(exact, sampled), 0.03);
+}
+
+TEST(Simulator, SuccessRate)
+{
+    sim::Counts counts = {{"01", 75}, {"11", 25}};
+    EXPECT_DOUBLE_EQ(sim::success_rate(counts, "01"), 0.75);
+    EXPECT_DOUBLE_EQ(sim::success_rate(counts, "00"), 0.0);
+}
+
+TEST(Noise, UniformGateErrorsDegradeOutcome)
+{
+    Circuit c(1, 1);
+    c.x(0);
+    c.measure(0, 0);
+    const auto noisy = sim::simulate(
+        c, {.shots = 4000, .seed = 9},
+        NoiseModel::uniform(/*p1=*/0.2, /*p2=*/0.0, /*readout=*/0.0));
+    // Depolarizing X-or-Y flips the outcome ~2/3 * 0.2 of the time.
+    const double success = sim::success_rate(noisy, "1");
+    EXPECT_LT(success, 0.98);
+    EXPECT_GT(success, 0.75);
+}
+
+TEST(Noise, ReadoutErrorFlipsBits)
+{
+    Circuit c(1, 1);
+    c.measure(0, 0);
+    const auto counts = sim::simulate(
+        c, {.shots = 10'000, .seed = 10},
+        NoiseModel::uniform(0.0, 0.0, /*readout=*/0.1));
+    EXPECT_NEAR(sim::success_rate(counts, "0"), 0.9, 0.02);
+}
+
+TEST(Noise, IdealModelReportsZeroErrors)
+{
+    const auto model = NoiseModel::ideal();
+    EXPECT_TRUE(model.is_ideal());
+    circuit::Instruction cx;
+    cx.kind = circuit::GateKind::kCx;
+    cx.qubits = {0, 1};
+    EXPECT_DOUBLE_EQ(model.gate_error(cx), 0.0);
+    EXPECT_DOUBLE_EQ(model.readout_error(0), 0.0);
+}
+
+TEST(Noise, BackendModelUsesCalibration)
+{
+    const auto backend = arch::Backend::fake_mumbai();
+    const auto model = NoiseModel::from_backend(backend);
+    circuit::Instruction cx;
+    cx.kind = circuit::GateKind::kCx;
+    cx.qubits = {0, 1};
+    EXPECT_DOUBLE_EQ(model.gate_error(cx),
+                     backend.calibration().link(0, 1).cx_error);
+    EXPECT_DOUBLE_EQ(model.readout_error(5),
+                     backend.calibration().qubit(5).readout_error);
+    double t1, t2;
+    EXPECT_TRUE(model.coherence_dt(3, &t1, &t2));
+    EXPECT_GT(t1, 0.0);
+    EXPECT_GE(t1, t2);
+}
+
+TEST(Noise, NoisierBackendRunsHaveHigherTvd)
+{
+    const auto backend = arch::Backend::fake_mumbai();
+    // 3 adjacent physical qubits: GHZ-ish circuit on 0-1-2.
+    Circuit c(27, 3);
+    c.h(0);
+    c.cx(0, 1);
+    c.cx(1, 2);
+    c.measure(0, 0);
+    c.measure(1, 1);
+    c.measure(2, 2);
+
+    const auto ideal_counts = sim::simulate(c, {.shots = 4000, .seed = 11});
+    const auto noisy_counts =
+        sim::simulate(c, {.shots = 4000, .seed = 11},
+                      NoiseModel::from_backend(backend));
+    const double tvd =
+        util::total_variation_distance(ideal_counts, noisy_counts);
+    EXPECT_GT(tvd, 0.005);
+    EXPECT_LT(tvd, 0.5);
+}
+
+}  // namespace
+}  // namespace caqr

@@ -1,0 +1,188 @@
+/// Tests for SR-CaQR: hardware compliance, qubit reclamation, SWAP
+/// behavior, and semantics preservation.
+#include <gtest/gtest.h>
+
+#include "apps/benchmarks.h"
+#include "apps/qaoa.h"
+#include "arch/backend.h"
+#include "core/sr_caqr.h"
+#include "graph/generators.h"
+#include "sim/simulator.h"
+#include "transpile/router.h"
+#include "transpile/transpiler.h"
+#include "util/rng.h"
+
+namespace caqr {
+namespace {
+
+using circuit::Circuit;
+
+TEST(SrCaqr, OutputIsHardwareCompliant)
+{
+    const auto backend = arch::Backend::fake_mumbai();
+    for (const auto& name : apps::regular_benchmark_names()) {
+        const auto bench = apps::get_benchmark(name);
+        ASSERT_TRUE(bench.has_value());
+        const auto result = core::sr_caqr(bench->circuit, backend);
+        EXPECT_TRUE(
+            transpile::is_hardware_compliant(result.circuit, backend))
+            << name;
+        EXPECT_GE(result.swaps_added, 0) << name;
+        EXPECT_GT(result.depth, 0) << name;
+    }
+}
+
+TEST(SrCaqr, BvFiveNeedsNoSwaps)
+{
+    // Paper Fig 5: with one reuse the BV star fits heavy-hex directly.
+    const auto backend = arch::Backend::fake_mumbai();
+    const auto result = core::sr_caqr(apps::bv_circuit(5), backend);
+    EXPECT_EQ(result.swaps_added, 0);
+    EXPECT_LE(result.physical_qubits_used, 5);
+}
+
+TEST(SrCaqr, ReclaimsQubits)
+{
+    // BV_10 retires data qubits as it goes; SR-CaQR should reuse wires
+    // and touch well under 10 physical qubits.
+    const auto backend = arch::Backend::fake_mumbai();
+    const auto result = core::sr_caqr(apps::bv_circuit(10), backend);
+    EXPECT_GT(result.reuses, 0);
+    EXPECT_LT(result.physical_qubits_used, 10);
+}
+
+TEST(SrCaqr, PreservesBvSemantics)
+{
+    const auto backend = arch::Backend::fake_mumbai();
+    for (int n : {5, 8}) {
+        const auto result = core::sr_caqr(apps::bv_circuit(n), backend);
+        const auto counts =
+            sim::simulate(result.circuit, {.shots = 128, .seed = 61});
+        ASSERT_EQ(counts.size(), 1u) << "n=" << n;
+        EXPECT_EQ(counts.begin()->first, apps::bv_expected(n)) << "n=" << n;
+    }
+}
+
+TEST(SrCaqr, PreservesCcSemantics)
+{
+    const auto backend = arch::Backend::fake_mumbai();
+    const auto result = core::sr_caqr(apps::cc_circuit(10), backend);
+    const auto counts =
+        sim::simulate(result.circuit, {.shots = 128, .seed = 62});
+    ASSERT_EQ(counts.size(), 1u);
+    EXPECT_EQ(counts.begin()->first, apps::cc_expected(10));
+}
+
+TEST(SrCaqr, NoWorseSwapsThanBaselineOnStarCircuits)
+{
+    // The headline SR claim: reuse alleviates connectivity pressure, so
+    // SR-CaQR needs at most as many SWAPs as the no-reuse baseline on
+    // star-shaped circuits.
+    const auto backend = arch::Backend::fake_mumbai();
+    for (int n : {5, 8, 10}) {
+        const auto bv = apps::bv_circuit(n);
+        const auto sr = core::sr_caqr(bv, backend);
+        const auto baseline = transpile::transpile(bv, backend);
+        EXPECT_LE(sr.swaps_added, baseline.swaps_added) << "n=" << n;
+    }
+}
+
+TEST(SrCaqr, HandlesCcxCircuits)
+{
+    const auto backend = arch::Backend::fake_mumbai();
+    const auto bench = apps::get_benchmark("multiply_13");
+    ASSERT_TRUE(bench.has_value());
+    const auto result = core::sr_caqr(bench->circuit, backend);
+    EXPECT_TRUE(transpile::is_hardware_compliant(result.circuit, backend));
+    // CCX must have been lowered.
+    for (const auto& instr : result.circuit.instructions()) {
+        EXPECT_NE(instr.kind, circuit::GateKind::kCcx);
+    }
+}
+
+TEST(SrCaqrCommuting, CompliantAndFewerQubits)
+{
+    util::Rng rng(7);
+    core::CommutingSpec spec;
+    spec.interaction = graph::random_graph(8, 0.35, rng);
+    const auto backend = arch::Backend::fake_mumbai();
+    const auto result = core::sr_caqr_commuting(spec, backend);
+    EXPECT_TRUE(transpile::is_hardware_compliant(result.circuit, backend));
+    EXPECT_LT(result.physical_qubits_used, 8 + 1);
+    EXPECT_EQ(result.circuit.two_qubit_gate_count() -
+                  result.swaps_added,
+              spec.interaction.num_edges());
+}
+
+TEST(SrCaqrCommuting, EnergyMatchesPlainCircuit)
+{
+    util::Rng rng(8);
+    core::CommutingSpec spec;
+    spec.interaction = graph::random_graph(6, 0.4, rng);
+    spec.gamma = 0.5;
+    spec.beta = 0.3;
+    const auto backend = arch::Backend::fake_mumbai();
+    const auto result = core::sr_caqr_commuting(spec, backend);
+
+    apps::QaoaParams params;
+    params.gammas = {spec.gamma};
+    params.betas = {spec.beta};
+    const auto plain = apps::qaoa_circuit(spec.interaction, params);
+
+    const auto plain_counts =
+        sim::simulate(plain, {.shots = 8192, .seed = 63});
+    const auto mapped_counts =
+        sim::simulate(result.circuit, {.shots = 8192, .seed = 64});
+    const double e_plain =
+        apps::maxcut_expectation(plain_counts, spec.interaction);
+    const double e_mapped =
+        apps::maxcut_expectation(mapped_counts, spec.interaction);
+    EXPECT_NEAR(e_mapped, e_plain, 0.3);
+}
+
+/// Property sweep: SR-CaQR preserves deterministic outcomes of random
+/// Clifford-with-measure circuits.
+class SrSemantics : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SrSemantics, DeterministicCircuitsKeepOutcomes)
+{
+    util::Rng rng(6000 + GetParam());
+    const int nq = 3 + GetParam() % 3;
+    // X/CX circuits are deterministic in the computational basis.
+    Circuit logical(nq, nq);
+    for (int step = 0; step < 12; ++step) {
+        const int q = rng.next_int(0, nq - 1);
+        int other = rng.next_int(0, nq - 1);
+        if (other == q) other = (q + 1) % nq;
+        if (rng.next_bool(0.4)) {
+            logical.x(q);
+        } else {
+            logical.cx(q, other);
+        }
+    }
+    for (int q = 0; q < nq; ++q) logical.measure(q, q);
+
+    const auto expected = sim::exact_distribution(logical);
+    ASSERT_EQ(expected.size(), 1u);
+
+    const auto backend = arch::Backend::fake_mumbai();
+    const auto result = core::sr_caqr(logical, backend);
+    ASSERT_TRUE(transpile::is_hardware_compliant(result.circuit, backend));
+    const auto counts =
+        sim::simulate(result.circuit, {.shots = 64,
+                                       .seed = 65 + static_cast<unsigned>(
+                                                        GetParam())});
+    ASSERT_EQ(counts.size(), 1u);
+    // Compare only the logical clbits (SR-CaQR may append scratch
+    // bits for resets of unmeasured wires).
+    EXPECT_EQ(counts.begin()->first.substr(0, expected.begin()->first.size()),
+              expected.begin()->first);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCircuits, SrSemantics,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace caqr

@@ -1,0 +1,224 @@
+/// Tests for the baseline transpiler: decomposition, layout, SABRE
+/// routing, and semantics preservation end to end.
+#include <gtest/gtest.h>
+
+#include "apps/benchmarks.h"
+#include "arch/backend.h"
+#include "circuit/dag.h"
+#include "sim/simulator.h"
+#include <complex>
+
+#include "sim/statevector.h"
+#include "transpile/decompose.h"
+#include "transpile/layout.h"
+#include "transpile/router.h"
+#include "transpile/transpiler.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace caqr {
+namespace {
+
+using circuit::Circuit;
+using circuit::GateKind;
+
+TEST(Decompose, CcxLowersToSixCx)
+{
+    Circuit c(3, 0);
+    c.ccx(0, 1, 2);
+    const auto lowered = transpile::decompose_ccx(c);
+    int cx_count = 0;
+    for (const auto& instr : lowered.instructions()) {
+        EXPECT_NE(instr.kind, GateKind::kCcx);
+        if (instr.kind == GateKind::kCx) ++cx_count;
+    }
+    EXPECT_EQ(cx_count, 6);
+}
+
+TEST(Decompose, CcxPreservesSemantics)
+{
+    // Exhaustive over the 8 basis inputs.
+    for (int input = 0; input < 8; ++input) {
+        Circuit direct(3, 3);
+        Circuit lowered_src(3, 3);
+        for (int b = 0; b < 3; ++b) {
+            if ((input >> b) & 1) {
+                direct.x(b);
+                lowered_src.x(b);
+            }
+        }
+        direct.ccx(0, 1, 2);
+        lowered_src.ccx(0, 1, 2);
+        for (int b = 0; b < 3; ++b) {
+            direct.measure(b, b);
+            lowered_src.measure(b, b);
+        }
+        const auto lowered = transpile::decompose_ccx(lowered_src);
+        const auto da = sim::exact_distribution(direct);
+        const auto db = sim::exact_distribution(lowered);
+        EXPECT_LT(util::total_variation_distance(da, db), 1e-9)
+            << "input=" << input;
+    }
+}
+
+TEST(Decompose, RzzAndCzLowered)
+{
+    Circuit c(2, 0);
+    c.rzz(0.7, 0, 1);
+    c.cz(0, 1);
+    const auto native = transpile::decompose_to_native(c);
+    for (const auto& instr : native.instructions()) {
+        EXPECT_NE(instr.kind, GateKind::kRzz);
+        EXPECT_NE(instr.kind, GateKind::kCz);
+    }
+    // RZZ -> CX RZ CX, CZ -> H CX H.
+    EXPECT_EQ(native.two_qubit_gate_count(), 3);
+}
+
+TEST(Layout, TrivialIsIdentity)
+{
+    const auto backend = arch::Backend::fake_mumbai();
+    Circuit c(5, 0);
+    const auto layout = transpile::trivial_layout(c, backend);
+    for (int i = 0; i < 5; ++i) EXPECT_EQ(layout[i], i);
+    EXPECT_TRUE(transpile::is_valid_layout(layout, c, backend));
+}
+
+TEST(Layout, GreedyIsValidAndInteractionAware)
+{
+    const auto backend = arch::Backend::fake_mumbai();
+    const auto bv = apps::bv_circuit(5);
+    const auto layout = transpile::greedy_layout(bv, backend);
+    EXPECT_TRUE(transpile::is_valid_layout(layout, bv, backend));
+    // The BV ancilla (highest degree) should land on a degree-3 hub.
+    EXPECT_EQ(backend.topology().degree(layout[4]), 3);
+}
+
+TEST(Router, AlreadyCompliantCircuitNeedsNoSwaps)
+{
+    const auto backend = arch::Backend::fake_mumbai();
+    Circuit c(2, 2);
+    c.h(0);
+    c.cx(0, 1);
+    c.measure(0, 0);
+    c.measure(1, 1);
+    const auto result =
+        transpile::route(c, backend, transpile::trivial_layout(c, backend));
+    EXPECT_EQ(result.swaps_added, 0);
+    EXPECT_TRUE(transpile::is_hardware_compliant(result.circuit, backend));
+}
+
+TEST(Router, DistantQubitsGetSwaps)
+{
+    const auto backend = arch::Backend::fake_mumbai();
+    Circuit c(27, 0);
+    c.cx(0, 26);  // far corners of the lattice
+    const auto result =
+        transpile::route(c, backend, transpile::trivial_layout(c, backend));
+    EXPECT_GT(result.swaps_added, 0);
+    EXPECT_TRUE(transpile::is_hardware_compliant(result.circuit, backend));
+}
+
+TEST(Router, StarCircuitOnDegreeLimitedDevice)
+{
+    // BV_5's interaction star has degree 4 > heavy-hex max degree 3,
+    // so the baseline must insert at least one SWAP (paper Fig 5).
+    const auto backend = arch::Backend::fake_mumbai();
+    const auto bv = apps::bv_circuit(5);
+    const auto layout = transpile::greedy_layout(bv, backend);
+    const auto result = transpile::route(bv, backend, layout);
+    EXPECT_GE(result.swaps_added, 1);
+    EXPECT_TRUE(transpile::is_hardware_compliant(result.circuit, backend));
+}
+
+TEST(Transpiler, PipelineProducesMetrics)
+{
+    const auto backend = arch::Backend::fake_mumbai();
+    const auto bv = apps::bv_circuit(5);
+    const auto result = transpile::transpile(bv, backend);
+    EXPECT_TRUE(transpile::is_hardware_compliant(result.circuit, backend));
+    EXPECT_GT(result.depth, 0);
+    EXPECT_GT(result.duration_dt, 0.0);
+    EXPECT_TRUE(transpile::is_valid_layout(result.initial_layout,
+                                           transpile::decompose_to_native(bv),
+                                           backend));
+}
+
+TEST(Transpiler, MultiTrialNeverWorse)
+{
+    const auto backend = arch::Backend::fake_mumbai();
+    const auto bv = apps::bv_circuit(8);
+    transpile::TranspileOptions single;
+    single.trials = 1;
+    transpile::TranspileOptions multi;
+    multi.trials = 5;
+    const auto a = transpile::transpile(bv, backend, single);
+    const auto b = transpile::transpile(bv, backend, multi);
+    EXPECT_LE(b.swaps_added, a.swaps_added);
+}
+
+/// Property: routing preserves circuit semantics. The routed unitary,
+/// read through the final layout, must equal the logical unitary's
+/// action on |0...0> up to global phase, SWAPs included.
+class RoutingSemantics : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RoutingSemantics, StatevectorsMatchThroughFinalLayout)
+{
+    util::Rng rng(4000 + GetParam());
+    const int nq = 3 + GetParam() % 4;
+    Circuit logical(nq, 0);
+    for (int step = 0; step < 16; ++step) {
+        const int q = rng.next_int(0, nq - 1);
+        int other = rng.next_int(0, nq - 1);
+        if (other == q) other = (q + 1) % nq;
+        switch (rng.next_int(0, 3)) {
+          case 0: logical.h(q); break;
+          case 1: logical.rz(rng.next_double() * 3.0, q); break;
+          case 2: logical.cx(q, other); break;
+          case 3: logical.rzz(rng.next_double(), q, other); break;
+        }
+    }
+
+    // Small heavy-hex device so full statevectors stay tractable.
+    const auto backend = arch::Backend::scaled_heavy_hex(nq + 2);
+    ASSERT_LE(backend.num_qubits(), 20);
+    transpile::TranspileOptions options;
+    options.keep_rzz = true;
+    const auto routed = transpile::transpile(logical, backend, options);
+    ASSERT_TRUE(transpile::is_hardware_compliant(routed.circuit, backend));
+
+    sim::StateVector logical_sv(nq);
+    for (const auto& instr : logical.instructions()) {
+        logical_sv.apply(instr);
+    }
+    sim::StateVector routed_sv(backend.num_qubits());
+    for (const auto& instr : routed.circuit.instructions()) {
+        routed_sv.apply(instr);
+    }
+
+    // Embed the logical state at the routed circuit's final layout.
+    std::vector<std::complex<double>> embedded(
+        std::size_t{1} << backend.num_qubits(),
+        std::complex<double>(0.0, 0.0));
+    const auto& amps = logical_sv.amplitudes();
+    for (std::size_t basis = 0; basis < amps.size(); ++basis) {
+        std::size_t phys_index = 0;
+        for (int l = 0; l < nq; ++l) {
+            if ((basis >> l) & 1) {
+                phys_index |= std::size_t{1} << routed.final_layout[l];
+            }
+        }
+        embedded[phys_index] = amps[basis];
+    }
+    const auto expected =
+        sim::StateVector::from_amplitudes(std::move(embedded));
+    EXPECT_NEAR(routed_sv.fidelity(expected), 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCircuits, RoutingSemantics,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace caqr
