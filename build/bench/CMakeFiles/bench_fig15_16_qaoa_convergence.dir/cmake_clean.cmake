@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_16_qaoa_convergence.dir/bench_fig15_16_qaoa_convergence.cpp.o"
+  "CMakeFiles/bench_fig15_16_qaoa_convergence.dir/bench_fig15_16_qaoa_convergence.cpp.o.d"
+  "bench_fig15_16_qaoa_convergence"
+  "bench_fig15_16_qaoa_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_16_qaoa_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

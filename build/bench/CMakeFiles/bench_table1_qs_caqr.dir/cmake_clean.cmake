@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_qs_caqr.dir/bench_table1_qs_caqr.cpp.o"
+  "CMakeFiles/bench_table1_qs_caqr.dir/bench_table1_qs_caqr.cpp.o.d"
+  "bench_table1_qs_caqr"
+  "bench_table1_qs_caqr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_qs_caqr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

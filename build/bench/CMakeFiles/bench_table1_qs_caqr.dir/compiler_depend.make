@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table1_qs_caqr.
+# This may be replaced when dependencies are built.

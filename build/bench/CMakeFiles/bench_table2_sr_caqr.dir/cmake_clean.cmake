@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_sr_caqr.dir/bench_table2_sr_caqr.cpp.o"
+  "CMakeFiles/bench_table2_sr_caqr.dir/bench_table2_sr_caqr.cpp.o.d"
+  "bench_table2_sr_caqr"
+  "bench_table2_sr_caqr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_sr_caqr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

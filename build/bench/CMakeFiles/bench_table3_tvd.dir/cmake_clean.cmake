@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_tvd.dir/bench_table3_tvd.cpp.o"
+  "CMakeFiles/bench_table3_tvd.dir/bench_table3_tvd.cpp.o.d"
+  "bench_table3_tvd"
+  "bench_table3_tvd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_tvd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swap_reduction.dir/swap_reduction.cpp.o"
+  "CMakeFiles/swap_reduction.dir/swap_reduction.cpp.o.d"
+  "swap_reduction"
+  "swap_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swap_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teleportation.dir/teleportation.cpp.o"
+  "CMakeFiles/teleportation.dir/teleportation.cpp.o.d"
+  "teleportation"
+  "teleportation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teleportation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

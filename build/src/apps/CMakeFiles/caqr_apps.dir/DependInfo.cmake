@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/arithmetic.cpp" "src/apps/CMakeFiles/caqr_apps.dir/arithmetic.cpp.o" "gcc" "src/apps/CMakeFiles/caqr_apps.dir/arithmetic.cpp.o.d"
+  "/root/repo/src/apps/benchmarks.cpp" "src/apps/CMakeFiles/caqr_apps.dir/benchmarks.cpp.o" "gcc" "src/apps/CMakeFiles/caqr_apps.dir/benchmarks.cpp.o.d"
+  "/root/repo/src/apps/qaoa.cpp" "src/apps/CMakeFiles/caqr_apps.dir/qaoa.cpp.o" "gcc" "src/apps/CMakeFiles/caqr_apps.dir/qaoa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/caqr_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/caqr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/caqr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/caqr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/caqr_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caqr_apps.dir/arithmetic.cpp.o"
+  "CMakeFiles/caqr_apps.dir/arithmetic.cpp.o.d"
+  "CMakeFiles/caqr_apps.dir/benchmarks.cpp.o"
+  "CMakeFiles/caqr_apps.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/caqr_apps.dir/qaoa.cpp.o"
+  "CMakeFiles/caqr_apps.dir/qaoa.cpp.o.d"
+  "libcaqr_apps.a"
+  "libcaqr_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caqr_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

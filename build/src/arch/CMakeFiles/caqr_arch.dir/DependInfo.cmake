@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/backend.cpp" "src/arch/CMakeFiles/caqr_arch.dir/backend.cpp.o" "gcc" "src/arch/CMakeFiles/caqr_arch.dir/backend.cpp.o.d"
+  "/root/repo/src/arch/calibration.cpp" "src/arch/CMakeFiles/caqr_arch.dir/calibration.cpp.o" "gcc" "src/arch/CMakeFiles/caqr_arch.dir/calibration.cpp.o.d"
+  "/root/repo/src/arch/heavy_hex.cpp" "src/arch/CMakeFiles/caqr_arch.dir/heavy_hex.cpp.o" "gcc" "src/arch/CMakeFiles/caqr_arch.dir/heavy_hex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/caqr_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/caqr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/caqr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caqr_arch.dir/backend.cpp.o"
+  "CMakeFiles/caqr_arch.dir/backend.cpp.o.d"
+  "CMakeFiles/caqr_arch.dir/calibration.cpp.o"
+  "CMakeFiles/caqr_arch.dir/calibration.cpp.o.d"
+  "CMakeFiles/caqr_arch.dir/heavy_hex.cpp.o"
+  "CMakeFiles/caqr_arch.dir/heavy_hex.cpp.o.d"
+  "libcaqr_arch.a"
+  "libcaqr_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caqr_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/circuit.cpp" "src/circuit/CMakeFiles/caqr_circuit.dir/circuit.cpp.o" "gcc" "src/circuit/CMakeFiles/caqr_circuit.dir/circuit.cpp.o.d"
+  "/root/repo/src/circuit/dag.cpp" "src/circuit/CMakeFiles/caqr_circuit.dir/dag.cpp.o" "gcc" "src/circuit/CMakeFiles/caqr_circuit.dir/dag.cpp.o.d"
+  "/root/repo/src/circuit/gate.cpp" "src/circuit/CMakeFiles/caqr_circuit.dir/gate.cpp.o" "gcc" "src/circuit/CMakeFiles/caqr_circuit.dir/gate.cpp.o.d"
+  "/root/repo/src/circuit/schedule.cpp" "src/circuit/CMakeFiles/caqr_circuit.dir/schedule.cpp.o" "gcc" "src/circuit/CMakeFiles/caqr_circuit.dir/schedule.cpp.o.d"
+  "/root/repo/src/circuit/timing.cpp" "src/circuit/CMakeFiles/caqr_circuit.dir/timing.cpp.o" "gcc" "src/circuit/CMakeFiles/caqr_circuit.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/caqr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/caqr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

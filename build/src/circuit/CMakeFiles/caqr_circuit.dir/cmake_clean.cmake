@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caqr_circuit.dir/circuit.cpp.o"
+  "CMakeFiles/caqr_circuit.dir/circuit.cpp.o.d"
+  "CMakeFiles/caqr_circuit.dir/dag.cpp.o"
+  "CMakeFiles/caqr_circuit.dir/dag.cpp.o.d"
+  "CMakeFiles/caqr_circuit.dir/gate.cpp.o"
+  "CMakeFiles/caqr_circuit.dir/gate.cpp.o.d"
+  "CMakeFiles/caqr_circuit.dir/schedule.cpp.o"
+  "CMakeFiles/caqr_circuit.dir/schedule.cpp.o.d"
+  "CMakeFiles/caqr_circuit.dir/timing.cpp.o"
+  "CMakeFiles/caqr_circuit.dir/timing.cpp.o.d"
+  "libcaqr_circuit.a"
+  "libcaqr_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caqr_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/commuting.cpp" "src/core/CMakeFiles/caqr_core.dir/commuting.cpp.o" "gcc" "src/core/CMakeFiles/caqr_core.dir/commuting.cpp.o.d"
+  "/root/repo/src/core/qs_caqr.cpp" "src/core/CMakeFiles/caqr_core.dir/qs_caqr.cpp.o" "gcc" "src/core/CMakeFiles/caqr_core.dir/qs_caqr.cpp.o.d"
+  "/root/repo/src/core/reuse_analysis.cpp" "src/core/CMakeFiles/caqr_core.dir/reuse_analysis.cpp.o" "gcc" "src/core/CMakeFiles/caqr_core.dir/reuse_analysis.cpp.o.d"
+  "/root/repo/src/core/reuse_transform.cpp" "src/core/CMakeFiles/caqr_core.dir/reuse_transform.cpp.o" "gcc" "src/core/CMakeFiles/caqr_core.dir/reuse_transform.cpp.o.d"
+  "/root/repo/src/core/sr_caqr.cpp" "src/core/CMakeFiles/caqr_core.dir/sr_caqr.cpp.o" "gcc" "src/core/CMakeFiles/caqr_core.dir/sr_caqr.cpp.o.d"
+  "/root/repo/src/core/tradeoff.cpp" "src/core/CMakeFiles/caqr_core.dir/tradeoff.cpp.o" "gcc" "src/core/CMakeFiles/caqr_core.dir/tradeoff.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/caqr_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/caqr_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/caqr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/transpile/CMakeFiles/caqr_transpile.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/caqr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

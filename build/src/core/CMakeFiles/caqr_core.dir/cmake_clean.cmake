@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caqr_core.dir/commuting.cpp.o"
+  "CMakeFiles/caqr_core.dir/commuting.cpp.o.d"
+  "CMakeFiles/caqr_core.dir/qs_caqr.cpp.o"
+  "CMakeFiles/caqr_core.dir/qs_caqr.cpp.o.d"
+  "CMakeFiles/caqr_core.dir/reuse_analysis.cpp.o"
+  "CMakeFiles/caqr_core.dir/reuse_analysis.cpp.o.d"
+  "CMakeFiles/caqr_core.dir/reuse_transform.cpp.o"
+  "CMakeFiles/caqr_core.dir/reuse_transform.cpp.o.d"
+  "CMakeFiles/caqr_core.dir/sr_caqr.cpp.o"
+  "CMakeFiles/caqr_core.dir/sr_caqr.cpp.o.d"
+  "CMakeFiles/caqr_core.dir/tradeoff.cpp.o"
+  "CMakeFiles/caqr_core.dir/tradeoff.cpp.o.d"
+  "libcaqr_core.a"
+  "libcaqr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caqr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

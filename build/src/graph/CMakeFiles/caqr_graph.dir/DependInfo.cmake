@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/coloring.cpp" "src/graph/CMakeFiles/caqr_graph.dir/coloring.cpp.o" "gcc" "src/graph/CMakeFiles/caqr_graph.dir/coloring.cpp.o.d"
+  "/root/repo/src/graph/digraph.cpp" "src/graph/CMakeFiles/caqr_graph.dir/digraph.cpp.o" "gcc" "src/graph/CMakeFiles/caqr_graph.dir/digraph.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/graph/CMakeFiles/caqr_graph.dir/generators.cpp.o" "gcc" "src/graph/CMakeFiles/caqr_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/graph/matching.cpp" "src/graph/CMakeFiles/caqr_graph.dir/matching.cpp.o" "gcc" "src/graph/CMakeFiles/caqr_graph.dir/matching.cpp.o.d"
+  "/root/repo/src/graph/undirected_graph.cpp" "src/graph/CMakeFiles/caqr_graph.dir/undirected_graph.cpp.o" "gcc" "src/graph/CMakeFiles/caqr_graph.dir/undirected_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/caqr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caqr_graph.dir/coloring.cpp.o"
+  "CMakeFiles/caqr_graph.dir/coloring.cpp.o.d"
+  "CMakeFiles/caqr_graph.dir/digraph.cpp.o"
+  "CMakeFiles/caqr_graph.dir/digraph.cpp.o.d"
+  "CMakeFiles/caqr_graph.dir/generators.cpp.o"
+  "CMakeFiles/caqr_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/caqr_graph.dir/matching.cpp.o"
+  "CMakeFiles/caqr_graph.dir/matching.cpp.o.d"
+  "CMakeFiles/caqr_graph.dir/undirected_graph.cpp.o"
+  "CMakeFiles/caqr_graph.dir/undirected_graph.cpp.o.d"
+  "libcaqr_graph.a"
+  "libcaqr_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caqr_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

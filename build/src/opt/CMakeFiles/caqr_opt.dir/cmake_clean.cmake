@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caqr_opt.dir/nelder_mead.cpp.o"
+  "CMakeFiles/caqr_opt.dir/nelder_mead.cpp.o.d"
+  "CMakeFiles/caqr_opt.dir/spsa.cpp.o"
+  "CMakeFiles/caqr_opt.dir/spsa.cpp.o.d"
+  "libcaqr_opt.a"
+  "libcaqr_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caqr_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

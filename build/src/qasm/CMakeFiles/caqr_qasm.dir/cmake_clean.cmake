@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caqr_qasm.dir/lexer.cpp.o"
+  "CMakeFiles/caqr_qasm.dir/lexer.cpp.o.d"
+  "CMakeFiles/caqr_qasm.dir/parser.cpp.o"
+  "CMakeFiles/caqr_qasm.dir/parser.cpp.o.d"
+  "CMakeFiles/caqr_qasm.dir/printer.cpp.o"
+  "CMakeFiles/caqr_qasm.dir/printer.cpp.o.d"
+  "libcaqr_qasm.a"
+  "libcaqr_qasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caqr_qasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/equivalence.cpp" "src/sim/CMakeFiles/caqr_sim.dir/equivalence.cpp.o" "gcc" "src/sim/CMakeFiles/caqr_sim.dir/equivalence.cpp.o.d"
+  "/root/repo/src/sim/noise_model.cpp" "src/sim/CMakeFiles/caqr_sim.dir/noise_model.cpp.o" "gcc" "src/sim/CMakeFiles/caqr_sim.dir/noise_model.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/caqr_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/caqr_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/statevector.cpp" "src/sim/CMakeFiles/caqr_sim.dir/statevector.cpp.o" "gcc" "src/sim/CMakeFiles/caqr_sim.dir/statevector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/caqr_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/caqr_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/caqr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/caqr_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caqr_sim.dir/equivalence.cpp.o"
+  "CMakeFiles/caqr_sim.dir/equivalence.cpp.o.d"
+  "CMakeFiles/caqr_sim.dir/noise_model.cpp.o"
+  "CMakeFiles/caqr_sim.dir/noise_model.cpp.o.d"
+  "CMakeFiles/caqr_sim.dir/simulator.cpp.o"
+  "CMakeFiles/caqr_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/caqr_sim.dir/statevector.cpp.o"
+  "CMakeFiles/caqr_sim.dir/statevector.cpp.o.d"
+  "libcaqr_sim.a"
+  "libcaqr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caqr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcaqr_sim.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transpile/decompose.cpp" "src/transpile/CMakeFiles/caqr_transpile.dir/decompose.cpp.o" "gcc" "src/transpile/CMakeFiles/caqr_transpile.dir/decompose.cpp.o.d"
+  "/root/repo/src/transpile/layout.cpp" "src/transpile/CMakeFiles/caqr_transpile.dir/layout.cpp.o" "gcc" "src/transpile/CMakeFiles/caqr_transpile.dir/layout.cpp.o.d"
+  "/root/repo/src/transpile/peephole.cpp" "src/transpile/CMakeFiles/caqr_transpile.dir/peephole.cpp.o" "gcc" "src/transpile/CMakeFiles/caqr_transpile.dir/peephole.cpp.o.d"
+  "/root/repo/src/transpile/router.cpp" "src/transpile/CMakeFiles/caqr_transpile.dir/router.cpp.o" "gcc" "src/transpile/CMakeFiles/caqr_transpile.dir/router.cpp.o.d"
+  "/root/repo/src/transpile/transpiler.cpp" "src/transpile/CMakeFiles/caqr_transpile.dir/transpiler.cpp.o" "gcc" "src/transpile/CMakeFiles/caqr_transpile.dir/transpiler.cpp.o.d"
+  "/root/repo/src/transpile/verifier.cpp" "src/transpile/CMakeFiles/caqr_transpile.dir/verifier.cpp.o" "gcc" "src/transpile/CMakeFiles/caqr_transpile.dir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/caqr_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/caqr_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/caqr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/caqr_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

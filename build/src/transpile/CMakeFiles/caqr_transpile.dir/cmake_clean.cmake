@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caqr_transpile.dir/decompose.cpp.o"
+  "CMakeFiles/caqr_transpile.dir/decompose.cpp.o.d"
+  "CMakeFiles/caqr_transpile.dir/layout.cpp.o"
+  "CMakeFiles/caqr_transpile.dir/layout.cpp.o.d"
+  "CMakeFiles/caqr_transpile.dir/peephole.cpp.o"
+  "CMakeFiles/caqr_transpile.dir/peephole.cpp.o.d"
+  "CMakeFiles/caqr_transpile.dir/router.cpp.o"
+  "CMakeFiles/caqr_transpile.dir/router.cpp.o.d"
+  "CMakeFiles/caqr_transpile.dir/transpiler.cpp.o"
+  "CMakeFiles/caqr_transpile.dir/transpiler.cpp.o.d"
+  "CMakeFiles/caqr_transpile.dir/verifier.cpp.o"
+  "CMakeFiles/caqr_transpile.dir/verifier.cpp.o.d"
+  "libcaqr_transpile.a"
+  "libcaqr_transpile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caqr_transpile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

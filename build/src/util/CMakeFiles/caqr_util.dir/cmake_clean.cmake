@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caqr_util.dir/logging.cpp.o"
+  "CMakeFiles/caqr_util.dir/logging.cpp.o.d"
+  "CMakeFiles/caqr_util.dir/rng.cpp.o"
+  "CMakeFiles/caqr_util.dir/rng.cpp.o.d"
+  "CMakeFiles/caqr_util.dir/stats.cpp.o"
+  "CMakeFiles/caqr_util.dir/stats.cpp.o.d"
+  "CMakeFiles/caqr_util.dir/table.cpp.o"
+  "CMakeFiles/caqr_util.dir/table.cpp.o.d"
+  "libcaqr_util.a"
+  "libcaqr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caqr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

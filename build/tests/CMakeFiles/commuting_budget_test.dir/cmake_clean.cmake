@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commuting_budget_test.dir/commuting_budget_test.cpp.o"
+  "CMakeFiles/commuting_budget_test.dir/commuting_budget_test.cpp.o.d"
+  "commuting_budget_test"
+  "commuting_budget_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commuting_budget_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qasm_test.dir/qasm_test.cpp.o"
+  "CMakeFiles/qasm_test.dir/qasm_test.cpp.o.d"
+  "qasm_test"
+  "qasm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qasm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qs_caqr_test.dir/qs_caqr_test.cpp.o"
+  "CMakeFiles/qs_caqr_test.dir/qs_caqr_test.cpp.o.d"
+  "qs_caqr_test"
+  "qs_caqr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qs_caqr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

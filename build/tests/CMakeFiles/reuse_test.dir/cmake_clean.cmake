@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reuse_test.dir/reuse_test.cpp.o"
+  "CMakeFiles/reuse_test.dir/reuse_test.cpp.o.d"
+  "reuse_test"
+  "reuse_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reuse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

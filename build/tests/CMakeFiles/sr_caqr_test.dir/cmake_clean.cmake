@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sr_caqr_test.dir/sr_caqr_test.cpp.o"
+  "CMakeFiles/sr_caqr_test.dir/sr_caqr_test.cpp.o.d"
+  "sr_caqr_test"
+  "sr_caqr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sr_caqr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
