@@ -5,19 +5,130 @@
  * O(k n^3) for general circuits and O(k^3 n^4) worst case for QAOA
  * (Blossom matching per candidate), noting the worst case is not hit
  * in practice.
+ *
+ * The binary first sweeps the evaluation-engine thread count over the
+ * circuits/ corpus and emits a CSV (per-circuit wall clock at 1, 2, 4,
+ * and hardware threads, speedup vs serial, and a check that every
+ * thread count produced bit-identical versions), then runs the
+ * google-benchmark scaling study.
  */
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "apps/benchmarks.h"
 #include "arch/backend.h"
 #include "core/qs_caqr.h"
 #include "core/sr_caqr.h"
 #include "graph/generators.h"
+#include "qasm/parser.h"
+#include "qasm/printer.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace {
 
 using namespace caqr;
+
+// ---------------------------------------------------------------------
+// Thread-count sweep over the circuits/ corpus
+// ---------------------------------------------------------------------
+
+/// Serialized fingerprint of a full result: any divergence between
+/// thread counts — chosen pairs, wire layout, emitted gates — shows up.
+std::string
+result_fingerprint(const core::QsCaqrResult& result)
+{
+    std::string fp;
+    for (const auto& version : result.versions) {
+        fp += std::to_string(version.qubits) + ":" +
+              std::to_string(version.depth) + ":" +
+              std::to_string(version.duration_dt) + "\n";
+        for (const auto& pair : version.applied) {
+            fp += std::to_string(pair.source) + ">" +
+                  std::to_string(pair.target) + ";";
+        }
+        fp += qasm::to_qasm(version.circuit);
+    }
+    return fp;
+}
+
+/// Best-of-@p reps wall-clock milliseconds for one full qs_caqr run.
+double
+time_qs_caqr_ms(const circuit::Circuit& circuit, int threads, int reps)
+{
+    core::QsCaqrOptions options;
+    options.num_threads = threads;
+    double best = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+        const auto start = std::chrono::steady_clock::now();
+        auto result = core::qs_caqr(circuit, options);
+        const auto stop = std::chrono::steady_clock::now();
+        benchmark::DoNotOptimize(result.versions.size());
+        const double ms =
+            std::chrono::duration<double, std::milli>(stop - start)
+                .count();
+        if (rep == 0 || ms < best) best = ms;
+    }
+    return best;
+}
+
+void
+run_thread_sweep()
+{
+    const std::vector<std::string> corpus = {
+        "4mod5", "rd32",  "xor_5",       "system_9",
+        "cc_10", "bv_10", "multiply_13", "bv_64",
+    };
+    const int hardware = util::ThreadPool::resolve_threads(0);
+    std::vector<int> thread_counts = {1, 2, 4, hardware};
+    std::sort(thread_counts.begin(), thread_counts.end());
+    thread_counts.erase(
+        std::unique(thread_counts.begin(), thread_counts.end()),
+        thread_counts.end());
+
+    std::printf("circuit,qubits,gates,threads,best_ms,speedup,identical\n");
+    for (const auto& name : corpus) {
+        const std::string path =
+            std::string(CAQR_CIRCUITS_DIR) + "/" + name + ".qasm";
+        const auto parsed = qasm::parse_file(path);
+        if (!parsed.ok()) {
+            std::fprintf(stderr, "skipping %s: %s\n", path.c_str(),
+                         parsed.error.c_str());
+            continue;
+        }
+        const auto& circuit = *parsed.circuit;
+
+        core::QsCaqrOptions serial;
+        serial.num_threads = 1;
+        const std::string baseline_fp =
+            result_fingerprint(core::qs_caqr(circuit, serial));
+
+        double serial_ms = 0.0;
+        for (int threads : thread_counts) {
+            const double ms = time_qs_caqr_ms(circuit, threads, 3);
+            if (threads == 1) serial_ms = ms;
+
+            core::QsCaqrOptions options;
+            options.num_threads = threads;
+            const bool identical =
+                result_fingerprint(core::qs_caqr(circuit, options)) ==
+                baseline_fp;
+            std::printf("%s,%d,%zu,%d,%.3f,%.2f,%s\n", name.c_str(),
+                        circuit.num_qubits(), circuit.size(), threads, ms,
+                        serial_ms > 0.0 ? serial_ms / ms : 1.0,
+                        identical ? "yes" : "NO");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scaling study (google-benchmark)
+// ---------------------------------------------------------------------
 
 void
 BM_QsCaqrBv(benchmark::State& state)
@@ -32,6 +143,21 @@ BM_QsCaqrBv(benchmark::State& state)
 }
 BENCHMARK(BM_QsCaqrBv)->Arg(4)->Arg(6)->Arg(8)->Arg(12)->Arg(16)
     ->Complexity(benchmark::oAuto)->Unit(benchmark::kMillisecond);
+
+void
+BM_QsCaqrBvThreads(benchmark::State& state)
+{
+    // Same search at a fixed size, sweeping the engine thread count.
+    const auto circuit = apps::bv_circuit(32);
+    core::QsCaqrOptions options;
+    options.num_threads = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        auto result = core::qs_caqr(circuit, options);
+        benchmark::DoNotOptimize(result.versions.size());
+    }
+}
+BENCHMARK(BM_QsCaqrBvThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(0)
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_SrCaqrBv(benchmark::State& state)
@@ -83,4 +209,12 @@ BENCHMARK(BM_ReusePairEnumeration)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    run_thread_sweep();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/caqr_util.dir/stats.cpp.o.d"
   "CMakeFiles/caqr_util.dir/table.cpp.o"
   "CMakeFiles/caqr_util.dir/table.cpp.o.d"
+  "CMakeFiles/caqr_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/caqr_util.dir/thread_pool.cpp.o.d"
   "libcaqr_util.a"
   "libcaqr_util.pdb"
 )

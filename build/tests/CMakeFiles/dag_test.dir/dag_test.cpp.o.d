@@ -296,4 +296,5 @@ tests/CMakeFiles/dag_test.dir/dag_test.cpp.o: \
  /root/repo/src/apps/benchmarks.h /root/repo/src/circuit/circuit.h \
  /root/repo/src/circuit/gate.h /root/repo/src/graph/undirected_graph.h \
  /root/repo/src/circuit/dag.h /root/repo/src/circuit/timing.h \
- /root/repo/src/graph/digraph.h
+ /root/repo/src/graph/digraph.h /root/repo/src/core/reuse_analysis.h \
+ /root/repo/src/core/reuse_transform.h /root/repo/src/util/rng.h

@@ -301,4 +301,5 @@ tests/CMakeFiles/qs_caqr_test.dir/qs_caqr_test.cpp.o: \
  /root/repo/src/util/rng.h /root/repo/src/core/commuting.h \
  /root/repo/src/core/reuse_analysis.h /root/repo/src/circuit/dag.h \
  /root/repo/src/graph/digraph.h /root/repo/src/core/qs_caqr.h \
- /root/repo/src/graph/generators.h /root/repo/src/util/stats.h
+ /root/repo/src/graph/generators.h /root/repo/src/qasm/parser.h \
+ /root/repo/src/qasm/printer.h /root/repo/src/util/stats.h

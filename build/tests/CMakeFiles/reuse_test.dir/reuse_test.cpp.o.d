@@ -296,8 +296,9 @@ tests/CMakeFiles/reuse_test.dir/reuse_test.cpp.o: \
  /root/repo/src/apps/benchmarks.h /root/repo/src/circuit/circuit.h \
  /root/repo/src/circuit/gate.h /root/repo/src/graph/undirected_graph.h \
  /root/repo/src/circuit/dag.h /root/repo/src/circuit/timing.h \
- /root/repo/src/graph/digraph.h /root/repo/src/core/reuse_analysis.h \
- /root/repo/src/core/reuse_transform.h /root/repo/src/sim/simulator.h \
+ /root/repo/src/graph/digraph.h /root/repo/src/core/qs_caqr.h \
+ /root/repo/src/core/commuting.h /root/repo/src/core/reuse_analysis.h \
+ /root/repo/src/core/reuse_transform.h /root/repo/src/sim/equivalence.h \
+ /root/repo/src/util/rng.h /root/repo/src/sim/simulator.h \
  /root/repo/src/sim/noise_model.h /root/repo/src/arch/backend.h \
- /root/repo/src/arch/calibration.h /root/repo/src/util/rng.h \
- /root/repo/src/util/stats.h
+ /root/repo/src/arch/calibration.h /root/repo/src/util/stats.h

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/threadpool_test.cpp" "tests/CMakeFiles/threadpool_test.dir/threadpool_test.cpp.o" "gcc" "tests/CMakeFiles/threadpool_test.dir/threadpool_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/caqr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/caqr_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/caqr_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/caqr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/transpile/CMakeFiles/caqr_transpile.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/caqr_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/qasm/CMakeFiles/caqr_qasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/caqr_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/caqr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/caqr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

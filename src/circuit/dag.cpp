@@ -2,6 +2,7 @@
 #include "circuit/dag.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "util/logging.h"
 
@@ -101,11 +102,76 @@ CircuitDag::nodes_on_qubit(int q) const
     return per_qubit_[q];
 }
 
+const std::vector<std::vector<std::uint64_t>>&
+CircuitDag::closure() const
+{
+    if (closure_.empty() && graph_.num_nodes() > 0) {
+        closure_ = graph_.transitive_closure();
+    }
+    return closure_;
+}
+
+std::vector<std::vector<std::uint64_t>>
+CircuitDag::take_closure()
+{
+    closure();  // force computation
+    return std::move(closure_);
+}
+
+void
+CircuitDag::seed_closure(
+    const std::vector<std::vector<std::uint64_t>>& prev_closure,
+    const std::vector<int>& node_map)
+{
+    CAQR_CHECK(closure_.empty(),
+               "seed_closure called on an already-computed closure");
+    const int n = graph_.num_nodes();
+    CAQR_CHECK(prev_closure.size() == node_map.size(),
+               "node_map does not match the previous closure");
+    const std::size_t words = (static_cast<std::size_t>(n) + 63) / 64;
+    closure_.assign(static_cast<std::size_t>(n),
+                    std::vector<std::uint64_t>(words, 0));
+
+    std::vector<bool> inserted(static_cast<std::size_t>(n), true);
+    for (int mapped : node_map) {
+        CAQR_CHECK(mapped >= 0 && mapped < n, "node_map entry out of range");
+        inserted[static_cast<std::size_t>(mapped)] = false;
+    }
+
+    // Surviving instructions keep their mutual reachability.
+    for (std::size_t old_u = 0; old_u < node_map.size(); ++old_u) {
+        auto& row = closure_[static_cast<std::size_t>(node_map[old_u])];
+        const auto& prev_row = prev_closure[old_u];
+        for (std::size_t w = 0; w < prev_row.size(); ++w) {
+            std::uint64_t bits = prev_row[w];
+            while (bits != 0) {
+                const int old_v = static_cast<int>(w) * 64 +
+                                  std::countr_zero(bits);
+                bits &= bits - 1;
+                const int new_v = node_map[static_cast<std::size_t>(old_v)];
+                row[static_cast<std::size_t>(new_v) >> 6] |=
+                    1ULL << (static_cast<std::size_t>(new_v) & 63);
+            }
+        }
+    }
+
+    // The spliced measure/reset nodes only add dependencies through
+    // their own incident edges; replay those incrementally.
+    for (int v = 0; v < n; ++v) {
+        if (!inserted[static_cast<std::size_t>(v)]) continue;
+        for (int p : graph_.predecessors(v)) {
+            graph::Digraph::closure_add_edge(closure_, p, v);
+        }
+        for (int s : graph_.successors(v)) {
+            graph::Digraph::closure_add_edge(closure_, v, s);
+        }
+    }
+}
+
 const std::vector<std::uint64_t>&
 CircuitDag::closure_row(int node) const
 {
-    if (closure_.empty()) closure_ = graph_.transitive_closure();
-    return closure_[static_cast<std::size_t>(node)];
+    return closure()[static_cast<std::size_t>(node)];
 }
 
 bool

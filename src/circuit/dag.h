@@ -73,6 +73,32 @@ class CircuitDag
     double reuse_critical_path(int qi, int qj, const DurationModel& model,
                                double dummy_weight) const;
 
+    /// Full transitive closure over the instruction DAG (computed
+    /// lazily on first use, then cached).
+    const std::vector<std::vector<std::uint64_t>>& closure() const;
+
+    /// Moves the cached closure out (forcing computation first). Used
+    /// to carry reachability across a committed reuse splice; the cache
+    /// reverts to lazy from-scratch computation afterwards.
+    std::vector<std::vector<std::uint64_t>> take_closure();
+
+    /**
+     * Pre-seeds the lazy closure cache from the closure of the circuit
+     * a committed reuse splice was applied to, instead of recomputing
+     * it wholesale. @p node_map is apply_reuse's instruction index map
+     * (old index -> index in this DAG's circuit, every entry >= 0).
+     *
+     * A splice only *adds* dependencies: surviving instructions keep
+     * their mutual reachability, and the spliced measure/reset
+     * instructions (the indices absent from @p node_map) contribute
+     * exactly the edges incident to them, which are replayed through
+     * Digraph::closure_add_edge. The seeded matrix is identical to a
+     * from-scratch transitive closure of this DAG.
+     */
+    void seed_closure(
+        const std::vector<std::vector<std::uint64_t>>& prev_closure,
+        const std::vector<int>& node_map);
+
   private:
     const std::vector<std::uint64_t>& closure_row(int node) const;
 

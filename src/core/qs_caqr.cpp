@@ -1,13 +1,17 @@
 #include "core/qs_caqr.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <limits>
 #include <map>
+#include <memory>
+#include <utility>
 
 #include "circuit/dag.h"
 #include "circuit/timing.h"
 #include "core/reuse_transform.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace caqr::core {
 
@@ -23,6 +27,30 @@ fill_version_metrics(QsVersion* version)
     circuit::LogicalDurations durations;
     version->duration_dt = dag.duration(durations);
 }
+
+/// Lazily-constructed thread pool shared by the sweeps of one search.
+/// The pool is only spun up once a step actually has enough parallel
+/// work to amortize it (tiny circuits stay serial end to end).
+struct EvalContext
+{
+    int threads = 1;
+    std::unique_ptr<util::ThreadPool> pool;
+
+    util::ThreadPool*
+    acquire()
+    {
+        if (threads > 1 && pool == nullptr) {
+            pool = std::make_unique<util::ThreadPool>(threads - 1);
+        }
+        return pool.get();
+    }
+};
+
+/// Below these thresholds a batch runs inline: the per-task overhead of
+/// the pool would exceed the work (tasks ~ candidates, work ~ tasks x
+/// instructions walked per tentative splice).
+constexpr std::size_t kMinParallelTasks = 8;
+constexpr std::size_t kMinParallelWork = 1024;
 
 }  // namespace
 
@@ -61,9 +89,25 @@ enum class SweepPolicy {
     kOrderFirst,
 };
 
+/**
+ * Memoized tentative-splice result for one candidate, keyed by the
+ * *original* qubit ids so entries survive wire renumbering. A splice
+ * of (qi -> qj) only creates paths through the dummy node, so its cost
+ * is max(critical_path, qf[qi] + dummy + qt[qj]) where qf/qt are the
+ * qubits' latest ASAP finish / longest suffix. The entry is therefore
+ * exactly reusable whenever qf and qt are unchanged by the previously
+ * committed pair — only the global critical path term needs refreshing.
+ */
+struct CandidateMemo
+{
+    double qubit_finish = 0.0;  ///< qf at evaluation time
+    double qubit_tail = 0.0;    ///< qt at evaluation time
+    double through = 0.0;       ///< qf + dummy_weight + qt
+};
+
 std::vector<QsVersion>
 run_sweep(const circuit::Circuit& circuit, const QsCaqrOptions& options,
-          SweepPolicy policy)
+          SweepPolicy policy, EvalContext* ctx)
 {
     std::vector<QsVersion> versions;
 
@@ -87,36 +131,103 @@ run_sweep(const circuit::Circuit& circuit, const QsCaqrOptions& options,
         by_duration ? static_cast<const circuit::DurationModel&>(durations)
                     : static_cast<const circuit::DurationModel&>(unit);
 
+    // Reachability carried across committed splices (incremental
+    // transitive-closure maintenance) and the per-candidate memo.
+    std::vector<std::vector<std::uint64_t>> carried_closure;
+    std::vector<int> carried_map;
+    std::map<std::pair<int, int>, CandidateMemo> memo;
+
     while (options.target_qubits < 0 ||
            versions.back().qubits > options.target_qubits) {
         const auto& current = versions.back();
         circuit::CircuitDag dag(current.circuit);
+        if (!carried_closure.empty()) {
+            dag.seed_closure(carried_closure, carried_map);
+        }
         const auto pairs = find_reuse_pairs(dag);
         if (pairs.empty()) break;
 
-        // ASAP finish time per qubit (for the order-preserving policy).
         std::vector<double> weights;
         weights.reserve(current.circuit.size());
         for (const auto& instr : current.circuit.instructions()) {
             weights.push_back(model.duration(instr));
         }
         const auto finish = dag.graph().earliest_completion(weights);
-        auto qubit_finish = [&](int q) {
-            double latest = 0.0;
+        const auto tail = dag.graph().longest_from(weights);
+        double critical = 0.0;
+        for (double f : finish) critical = std::max(critical, f);
+
+        const int num_qubits = current.circuit.num_qubits();
+        std::vector<double> qubit_finish(
+            static_cast<std::size_t>(num_qubits), 0.0);
+        std::vector<double> qubit_tail(
+            static_cast<std::size_t>(num_qubits), 0.0);
+        for (int q = 0; q < num_qubits; ++q) {
             for (int node : dag.nodes_on_qubit(q)) {
-                latest = std::max(latest, finish[node]);
+                qubit_finish[q] = std::max(qubit_finish[q], finish[node]);
+                qubit_tail[q] = std::max(qubit_tail[q], tail[node]);
             }
-            return latest;
+        }
+        auto memo_key = [&](const ReusePair& pair) {
+            return std::make_pair(
+                current.orig_of[static_cast<std::size_t>(pair.source)],
+                current.orig_of[static_cast<std::size_t>(pair.target)]);
         };
 
+        // Split candidates into memo hits and the batch that needs a
+        // real tentative-splice evaluation.
+        std::vector<double> costs(pairs.size(), 0.0);
+        std::vector<std::size_t> misses;
+        for (std::size_t i = 0; i < pairs.size(); ++i) {
+            const auto& pair = pairs[i];
+            const auto it = memo.find(memo_key(pair));
+            if (it != memo.end() &&
+                it->second.qubit_finish == qubit_finish[pair.source] &&
+                it->second.qubit_tail == qubit_tail[pair.target]) {
+                costs[i] = std::max(critical, it->second.through);
+            } else {
+                misses.push_back(i);
+            }
+        }
+
+        auto evaluate = [&](std::size_t m) {
+            const auto& pair = pairs[misses[m]];
+            return dag.reuse_critical_path(pair.source, pair.target, model,
+                                           dummy_weight);
+        };
+        std::vector<double> miss_costs;
+        util::ThreadPool* pool =
+            (ctx != nullptr && misses.size() >= kMinParallelTasks &&
+             misses.size() * current.circuit.size() >= kMinParallelWork)
+                ? ctx->acquire()
+                : nullptr;
+        if (pool != nullptr) {
+            miss_costs = pool->map(misses.size(), evaluate);
+        } else {
+            miss_costs.resize(misses.size());
+            for (std::size_t m = 0; m < misses.size(); ++m) {
+                miss_costs[m] = evaluate(m);
+            }
+        }
+        for (std::size_t m = 0; m < misses.size(); ++m) {
+            const std::size_t i = misses[m];
+            const auto& pair = pairs[i];
+            costs[i] = miss_costs[m];
+            memo[memo_key(pair)] = CandidateMemo{
+                qubit_finish[pair.source], qubit_tail[pair.target],
+                qubit_finish[pair.source] + dummy_weight +
+                    qubit_tail[pair.target]};
+        }
+
+        // Sequential selection in candidate order: the winner does not
+        // depend on thread count or evaluation interleaving.
         double best_primary = std::numeric_limits<double>::infinity();
         double best_secondary = std::numeric_limits<double>::infinity();
         ReusePair best{};
-        for (const auto& pair : pairs) {
-            const double cost = dag.reuse_critical_path(
-                pair.source, pair.target, model, dummy_weight);
-            double primary = cost;
-            double secondary = qubit_finish(pair.target);
+        for (std::size_t i = 0; i < pairs.size(); ++i) {
+            const auto& pair = pairs[i];
+            double primary = costs[i];
+            double secondary = qubit_finish[pair.target];
             if (policy == SweepPolicy::kOrderFirst) {
                 std::swap(primary, secondary);
             }
@@ -134,8 +245,9 @@ run_sweep(const circuit::Circuit& circuit, const QsCaqrOptions& options,
         next.applied.push_back(
             ReusePair{current.orig_of[static_cast<std::size_t>(best.source)],
                       current.orig_of[static_cast<std::size_t>(best.target)]});
-        auto transformed =
-            apply_reuse(current.circuit, best, current.orig_of);
+        auto transformed = apply_reuse(dag, best, current.orig_of);
+        carried_closure = dag.take_closure();
+        carried_map = std::move(transformed.node_map);
         next.circuit = std::move(transformed.circuit);
         next.orig_of = std::move(transformed.orig_of);
         fill_version_metrics(&next);
@@ -149,15 +261,18 @@ run_sweep(const circuit::Circuit& circuit, const QsCaqrOptions& options,
 QsCaqrResult
 qs_caqr(const circuit::Circuit& circuit, const QsCaqrOptions& options)
 {
+    EvalContext ctx;
+    ctx.threads = util::ThreadPool::resolve_threads(options.num_threads);
+
     // Two sweeps explore complementary regions of the search space
     // (paper: "we explore the search space of qubit reuse ... and
     // choose the best reuse strategy"): the cost-greedy sweep finds
     // efficient shallow savings, the order-preserving sweep reaches
     // deep savings. Merge by qubit count, best metric wins.
     const auto metric_sweep =
-        run_sweep(circuit, options, SweepPolicy::kMetricFirst);
+        run_sweep(circuit, options, SweepPolicy::kMetricFirst, &ctx);
     const auto order_sweep =
-        run_sweep(circuit, options, SweepPolicy::kOrderFirst);
+        run_sweep(circuit, options, SweepPolicy::kOrderFirst, &ctx);
 
     const bool by_duration = options.metric == ReuseMetric::kDuration;
     auto metric_of = [by_duration](const QsVersion& version) {
@@ -189,18 +304,19 @@ qs_caqr(const circuit::Circuit& circuit, const QsCaqrOptions& options)
 namespace {
 
 /// One greedy commuting sweep. When @p evaluate_candidates is true
-/// every valid candidate (up to the budget) is scheduled and the
-/// cheapest (by duration) wins — the paper's §3.2.2 evaluation. When
-/// false, candidates follow the *temporal order* of the current
-/// schedule — source retiring earliest, target retiring latest — and
-/// the first valid one is committed. Temporal chaining never crosses
-/// the schedule's time arrow, so it reaches the deep-saving region
-/// (paper Fig 3: 64 -> ~5 qubits) that duration greed dead-ends
-/// before.
+/// every valid candidate (up to the budget) is scheduled — across the
+/// evaluation pool when one is available — and the cheapest (by
+/// duration, ties to the heuristically-first candidate) wins, the
+/// paper's §3.2.2 evaluation. When false, candidates follow the
+/// *temporal order* of the current schedule — source retiring earliest,
+/// target retiring latest — and the first valid one is committed.
+/// Temporal chaining never crosses the schedule's time arrow, so it
+/// reaches the deep-saving region (paper Fig 3: 64 -> ~5 qubits) that
+/// duration greed dead-ends before.
 std::vector<QsCommutingVersion>
 run_commuting_sweep(const CommutingSpec& spec,
                     const QsCommutingOptions& options,
-                    bool evaluate_candidates)
+                    bool evaluate_candidates, EvalContext* ctx)
 {
     const auto& interaction = spec.interaction;
     const int n = interaction.num_nodes();
@@ -264,26 +380,73 @@ run_commuting_sweep(const CommutingSpec& spec,
                              return a.heuristic < b.heuristic;
                          });
 
-        double best_cost = std::numeric_limits<double>::infinity();
         const Candidate* best = nullptr;
         CommutingSchedule best_schedule;
-        int evaluated = 0;
-        for (const auto& candidate : candidates) {
-            if (evaluated >= options.max_candidates) break;
-            auto pairs = current.pairs;
-            pairs.push_back(candidate.pair);
-            if (!commuting_pairs_valid(interaction, pairs, spec.layers)) continue;
-            auto schedule =
-                schedule_commuting(spec, pairs, options.scheduling);
-            if (schedule.duration_dt < best_cost) {
-                best_cost = schedule.duration_dt;
-                best = &candidate;
-                best_schedule = std::move(schedule);
+        if (evaluate_candidates) {
+            // The first max_candidates *valid* candidates in heuristic
+            // order form the evaluation batch (identical to the serial
+            // walk, which skipped cyclic candidates without charging
+            // them to the budget).
+            std::vector<const Candidate*> valid;
+            std::vector<std::vector<ReusePair>> pair_sets;
+            for (const auto& candidate : candidates) {
+                if (static_cast<int>(valid.size()) >=
+                    options.max_candidates) {
+                    break;
+                }
+                auto pairs = current.pairs;
+                pairs.push_back(candidate.pair);
+                if (!commuting_pairs_valid(interaction, pairs,
+                                           spec.layers)) {
+                    continue;
+                }
+                valid.push_back(&candidate);
+                pair_sets.push_back(std::move(pairs));
             }
-            if (!evaluate_candidates) break;  // temporal: take it
-            ++evaluated;
+            if (valid.empty()) break;  // every candidate was cyclic
+
+            auto schedule_one = [&](std::size_t i) {
+                return schedule_commuting(spec, pair_sets[i],
+                                          options.scheduling);
+            };
+            std::vector<CommutingSchedule> schedules;
+            util::ThreadPool* pool =
+                (ctx != nullptr && valid.size() >= 4) ? ctx->acquire()
+                                                      : nullptr;
+            if (pool != nullptr) {
+                schedules = pool->map(valid.size(), schedule_one);
+            } else {
+                schedules.reserve(valid.size());
+                for (std::size_t i = 0; i < valid.size(); ++i) {
+                    schedules.push_back(schedule_one(i));
+                }
+            }
+            // Min duration, ties to the lowest candidate index — the
+            // same winner the serial strict-< walk picked.
+            std::size_t best_index = 0;
+            for (std::size_t i = 1; i < schedules.size(); ++i) {
+                if (schedules[i].duration_dt <
+                    schedules[best_index].duration_dt) {
+                    best_index = i;
+                }
+            }
+            best = valid[best_index];
+            best_schedule = std::move(schedules[best_index]);
+        } else {
+            for (const auto& candidate : candidates) {
+                auto pairs = current.pairs;
+                pairs.push_back(candidate.pair);
+                if (!commuting_pairs_valid(interaction, pairs,
+                                           spec.layers)) {
+                    continue;
+                }
+                best = &candidate;
+                best_schedule =
+                    schedule_commuting(spec, pairs, options.scheduling);
+                break;  // temporal: take the first valid candidate
+            }
+            if (best == nullptr) break;  // every candidate was cyclic
         }
-        if (best == nullptr) break;  // every candidate was cyclic
 
         QsCommutingVersion next;
         next.pairs = current.pairs;
@@ -306,10 +469,13 @@ qs_caqr_commuting(const CommutingSpec& spec,
     QsCommutingResult result;
     result.coloring_bound = min_qubits_by_coloring(spec.interaction);
 
-    const auto eval_sweep =
-        run_commuting_sweep(spec, options, /*evaluate_candidates=*/true);
-    const auto chain_sweep =
-        run_commuting_sweep(spec, options, /*evaluate_candidates=*/false);
+    EvalContext ctx;
+    ctx.threads = util::ThreadPool::resolve_threads(options.num_threads);
+
+    const auto eval_sweep = run_commuting_sweep(
+        spec, options, /*evaluate_candidates=*/true, &ctx);
+    const auto chain_sweep = run_commuting_sweep(
+        spec, options, /*evaluate_candidates=*/false, &ctx);
 
     // Budget-directed phase: the incremental sweeps dead-end once the
     // accumulated dependence graph makes every further pair cyclic;

@@ -45,6 +45,10 @@ struct QsCaqrOptions
     /// Stop once this many qubits is reached; -1 = squeeze to minimum.
     int target_qubits = -1;
     ReuseMetric metric = ReuseMetric::kDuration;
+    /// Evaluation threads for the tentative-splice engine: 1 = serial,
+    /// 0/negative = one per hardware thread. The chosen pairs — and
+    /// every generated version — are bit-identical for any value.
+    int num_threads = 0;
 };
 
 /// Result: versions[k] uses (original - k) qubits.
@@ -73,6 +77,10 @@ struct QsCommutingOptions
     /// Candidate pairs evaluated per step (heuristically pre-ranked);
     /// bounds compile time on large graphs.
     int max_candidates = 48;
+    /// Evaluation threads for candidate scheduling: 1 = serial,
+    /// 0/negative = one per hardware thread. Results are bit-identical
+    /// for any value.
+    int num_threads = 0;
     CommutingOptions scheduling;
 };
 

@@ -45,6 +45,14 @@ TransformResult
 apply_reuse(const Circuit& input, ReusePair pair, std::vector<int> orig_of)
 {
     circuit::CircuitDag dag(input);
+    return apply_reuse(dag, pair, std::move(orig_of));
+}
+
+TransformResult
+apply_reuse(const circuit::CircuitDag& dag, ReusePair pair,
+            std::vector<int> orig_of)
+{
+    const Circuit& input = dag.circuit();
     CAQR_CHECK(is_valid_reuse_pair(dag, pair.source, pair.target),
                "apply_reuse called with an invalid pair");
     if (orig_of.empty()) {
@@ -84,6 +92,7 @@ apply_reuse(const Circuit& input, ReusePair pair, std::vector<int> orig_of)
     const int source_wire = new_wire(pair.source);
 
     Circuit output(input.num_qubits() - 1, input.num_clbits());
+    std::vector<int> node_map(input.size(), -1);
     for (int node : order) {
         if (node == dummy) {
             int clbit = source_measure_clbit;
@@ -100,11 +109,14 @@ apply_reuse(const Circuit& input, ReusePair pair, std::vector<int> orig_of)
         for (auto& q : instr.qubits) {
             q = (q == pair.target) ? source_wire : new_wire(q);
         }
+        node_map[static_cast<std::size_t>(node)] =
+            static_cast<int>(output.size());
         output.append(std::move(instr));
     }
 
     TransformResult result;
     result.circuit = std::move(output);
+    result.node_map = std::move(node_map);
     result.orig_of.resize(static_cast<std::size_t>(input.num_qubits() - 1));
     for (int q = 0; q < input.num_qubits(); ++q) {
         if (q == pair.target) continue;

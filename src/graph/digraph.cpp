@@ -122,6 +122,39 @@ Digraph::transitive_closure() const
     return closure;
 }
 
+void
+Digraph::closure_add_edge(std::vector<std::vector<std::uint64_t>>& closure,
+                          int u, int v)
+{
+    const int n = static_cast<int>(closure.size());
+    CAQR_CHECK(u >= 0 && u < n, "closure edge source out of range");
+    CAQR_CHECK(v >= 0 && v < n, "closure edge target out of range");
+    CAQR_CHECK(u != v, "closure edge must not be a self-loop");
+    CAQR_CHECK(!closure_bit(closure[static_cast<std::size_t>(v)], u),
+               "closure_add_edge would create a cycle");
+
+    // Everything u newly reaches: v plus v's reachable set.
+    std::vector<std::uint64_t> addition = closure[static_cast<std::size_t>(v)];
+    addition[static_cast<std::size_t>(v) >> 6] |=
+        1ULL << (static_cast<std::size_t>(v) & 63);
+
+    auto merge = [&addition](std::vector<std::uint64_t>& row) {
+        bool changed = false;
+        for (std::size_t w = 0; w < row.size(); ++w) {
+            const std::uint64_t merged = row[w] | addition[w];
+            changed |= merged != row[w];
+            row[w] = merged;
+        }
+        return changed;
+    };
+
+    if (!merge(closure[static_cast<std::size_t>(u)])) return;
+    for (std::size_t x = 0; x < closure.size(); ++x) {
+        if (static_cast<int>(x) == u) continue;
+        if (closure_bit(closure[x], u)) merge(closure[x]);
+    }
+}
+
 std::vector<double>
 Digraph::earliest_completion(const std::vector<double>& node_weight) const
 {
@@ -141,7 +174,7 @@ Digraph::earliest_completion(const std::vector<double>& node_weight) const
 }
 
 std::vector<double>
-Digraph::latest_completion(const std::vector<double>& node_weight) const
+Digraph::longest_from(const std::vector<double>& node_weight) const
 {
     const int n = num_nodes();
     CAQR_CHECK(static_cast<int>(node_weight.size()) == n,
@@ -149,16 +182,23 @@ Digraph::latest_completion(const std::vector<double>& node_weight) const
     auto order = topological_order();
     CAQR_CHECK(order.has_value(), "critical path requires a DAG");
 
-    // tail[u] = longest node-weight path starting at u (inclusive).
     std::vector<double> tail(static_cast<std::size_t>(n), 0.0);
-    double total = 0.0;
     for (auto it = order->rbegin(); it != order->rend(); ++it) {
         const int u = *it;
         double best = 0.0;
         for (int v : succ_[u]) best = std::max(best, tail[v]);
         tail[u] = best + node_weight[u];
-        total = std::max(total, tail[u]);
     }
+    return tail;
+}
+
+std::vector<double>
+Digraph::latest_completion(const std::vector<double>& node_weight) const
+{
+    const int n = num_nodes();
+    const auto tail = longest_from(node_weight);
+    double total = 0.0;
+    for (double t : tail) total = std::max(total, t);
     std::vector<double> latest(static_cast<std::size_t>(n), 0.0);
     for (int u = 0; u < n; ++u) {
         latest[u] = total - tail[u] + node_weight[u];

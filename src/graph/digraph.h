@@ -78,6 +78,20 @@ class Digraph
     }
 
     /**
+     * Updates a closure matrix (as produced by transitive_closure()) in
+     * place for a newly added edge u -> v: u and every node that
+     * reaches u additionally reach v and everything v reaches. This is
+     * how the CaQR passes keep reachability warm across a committed
+     * splice instead of recomputing it wholesale.
+     *
+     * @pre @p closure is the exact closure of the graph without the
+     * edge, and v does not already reach u (the edge keeps the graph
+     * acyclic).
+     */
+    static void closure_add_edge(
+        std::vector<std::vector<std::uint64_t>>& closure, int u, int v);
+
+    /**
      * Weighted longest path (critical path) where each node carries
      * weight @p node_weight[id]. Returns the maximum over all paths of
      * the sum of node weights; 0 for an empty graph.
@@ -96,6 +110,12 @@ class Digraph
     /// critical path iff earliest[u] == latest[u]. @pre acyclic.
     std::vector<double>
     latest_completion(const std::vector<double>& node_weight) const;
+
+    /// Per-node longest weighted path *starting* at (and including) u:
+    /// tail[u] = node_weight[u] + max over successors' tails. @pre
+    /// acyclic.
+    std::vector<double>
+    longest_from(const std::vector<double>& node_weight) const;
 
   private:
     std::vector<std::vector<int>> succ_;

@@ -161,7 +161,7 @@ TEST(Circuit, ToStringMentionsGates)
 
 TEST(CircuitDeath, RejectsBadOperands)
 {
-    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
     Circuit c(2, 1);
     EXPECT_DEATH(c.h(5), "out of range");
     EXPECT_DEATH(c.cx(1, 1), "identical operands");

@@ -1,10 +1,20 @@
 /// Tests for the gate-dependency DAG: structure, depth/duration,
-/// criticality, and the reuse legality queries it backs.
+/// criticality, the reuse legality queries it backs, and the
+/// incremental transitive-closure maintenance used by the QS-CaQR
+/// evaluation engine.
 #include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "apps/benchmarks.h"
 #include "circuit/dag.h"
 #include "circuit/timing.h"
+#include "core/reuse_analysis.h"
+#include "core/reuse_transform.h"
+#include "graph/digraph.h"
+#include "util/rng.h"
 
 namespace caqr {
 namespace {
@@ -173,6 +183,153 @@ TEST(Dag, BvStructureMatchesPaper)
     CircuitDag dag(bv);
     // Ancilla wire dominates: X, H, 4 serialized CXs, H, measure = 8.
     EXPECT_EQ(dag.depth(), 8);
+}
+
+// ---------------------------------------------------------------------
+// Incremental reachability
+// ---------------------------------------------------------------------
+
+TEST(ClosureAddEdge, MatchesRecomputeOnRandomDags)
+{
+    // Grow random DAGs (edges only i -> j with i < j, so acyclic by
+    // construction) one edge at a time, updating the closure in place,
+    // and check it stays identical to a from-scratch recompute.
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        util::Rng rng(seed);
+        const int n = 20;
+        graph::Digraph graph(n);
+        auto closure = graph.transitive_closure();
+
+        std::vector<std::pair<int, int>> edges;
+        for (int i = 0; i < n; ++i) {
+            for (int j = i + 1; j < n; ++j) {
+                if (rng.next_bool(0.15)) edges.push_back({i, j});
+            }
+        }
+        rng.shuffle(edges);
+        for (const auto& [u, v] : edges) {
+            graph.add_edge(u, v);
+            graph::Digraph::closure_add_edge(closure, u, v);
+            ASSERT_EQ(closure, graph.transitive_closure())
+                << "seed " << seed << " after edge " << u << "->" << v;
+        }
+    }
+}
+
+TEST(ClosureAddEdge, PropagatesThroughChains)
+{
+    // 0 -> 1 and 2 -> 3 exist; adding 1 -> 2 must connect all four.
+    graph::Digraph graph(4);
+    graph.add_edge(0, 1);
+    graph.add_edge(2, 3);
+    auto closure = graph.transitive_closure();
+    graph.add_edge(1, 2);
+    graph::Digraph::closure_add_edge(closure, 1, 2);
+    EXPECT_TRUE(graph::Digraph::closure_bit(closure[0], 3));
+    EXPECT_TRUE(graph::Digraph::closure_bit(closure[0], 2));
+    EXPECT_TRUE(graph::Digraph::closure_bit(closure[1], 3));
+    EXPECT_FALSE(graph::Digraph::closure_bit(closure[3], 0));
+    EXPECT_EQ(closure, graph.transitive_closure());
+}
+
+namespace incremental {
+
+/// Applies @p pair to @p dag, carrying the closure across the splice,
+/// and checks the seeded closure of the transformed circuit equals a
+/// from-scratch recompute. Returns the transformed circuit.
+Circuit
+check_seeded_splice(CircuitDag& dag, core::ReusePair pair)
+{
+    auto transformed = core::apply_reuse(dag, pair);
+    auto carried = dag.take_closure();
+
+    Circuit next = transformed.circuit;
+    CircuitDag seeded(next);
+    seeded.seed_closure(carried, transformed.node_map);
+    EXPECT_EQ(seeded.closure(), seeded.graph().transitive_closure());
+    return next;
+}
+
+}  // namespace incremental
+
+TEST(SeedClosure, MatchesFreshOnMeasuredSource)
+{
+    // Source wire ends in a measurement: the splice inserts only the
+    // conditional-X reset.
+    Circuit c(2, 2);
+    c.h(0);
+    c.measure(0, 0);
+    c.h(1);
+    c.measure(1, 1);
+    CircuitDag dag(c);
+    const auto pairs = core::find_reuse_pairs(dag);
+    ASSERT_FALSE(pairs.empty());
+    incremental::check_seeded_splice(dag, pairs.front());
+}
+
+TEST(SeedClosure, MatchesFreshOnScratchClbitSource)
+{
+    // Source wire never measured: the splice adds a scratch clbit and a
+    // measurement before the reset.
+    Circuit c(2, 1);
+    c.h(0);
+    c.z(0);
+    c.h(1);
+    c.measure(1, 0);
+    CircuitDag dag(c);
+    bool checked = false;
+    for (const auto& pair : core::find_reuse_pairs(dag)) {
+        CircuitDag fresh(c);
+        incremental::check_seeded_splice(fresh, pair);
+        checked = true;
+    }
+    ASSERT_TRUE(checked);
+}
+
+TEST(SeedClosure, MatchesFreshAcrossChainedSplices)
+{
+    // BV reduces all the way down; verify the carried closure at every
+    // step of the chain, mimicking the QS-CaQR sweep loop.
+    Circuit current = apps::bv_circuit(6);
+    for (int step = 0; step < 4; ++step) {
+        CircuitDag dag(current);
+        const auto pairs = core::find_reuse_pairs(dag);
+        ASSERT_FALSE(pairs.empty()) << "step " << step;
+        current = incremental::check_seeded_splice(dag, pairs.front());
+    }
+}
+
+TEST(SeedClosure, MatchesFreshOnRandomCircuits)
+{
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        util::Rng rng(seed);
+        const int qubits = rng.next_int(3, 5);
+        Circuit c(qubits, qubits);
+        const int gates = rng.next_int(8, 20);
+        for (int g = 0; g < gates; ++g) {
+            const int q = rng.next_int(0, qubits - 1);
+            switch (rng.next_int(0, 3)) {
+            case 0: c.h(q); break;
+            case 1: c.x(q); break;
+            case 2: c.z(q); break;
+            default: {
+                const int r = rng.next_int(0, qubits - 2);
+                c.cx(q, r >= q ? r + 1 : r);
+                break;
+            }
+            }
+        }
+        // Measure a random subset so some wires end in a measurement
+        // (existing-clbit splice) and some do not (scratch-clbit splice).
+        for (int q = 0; q < qubits; ++q) {
+            if (rng.next_bool(0.6)) c.measure(q, q);
+        }
+        CircuitDag dag(c);
+        for (const auto& pair : core::find_reuse_pairs(dag)) {
+            CircuitDag fresh(c);
+            incremental::check_seeded_splice(fresh, pair);
+        }
+    }
 }
 
 }  // namespace

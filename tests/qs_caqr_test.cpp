@@ -1,12 +1,17 @@
-/// Tests for QS-CaQR: regular budget sweeps and the commuting (QAOA)
-/// variant with coloring bound, scheduling, and semantics checks.
+/// Tests for QS-CaQR: regular budget sweeps, the commuting (QAOA)
+/// variant with coloring bound, scheduling, and semantics checks, and
+/// thread-count independence of the parallel evaluation engine.
 #include <gtest/gtest.h>
+
+#include <string>
 
 #include "apps/benchmarks.h"
 #include "apps/qaoa.h"
 #include "core/commuting.h"
 #include "core/qs_caqr.h"
 #include "graph/generators.h"
+#include "qasm/parser.h"
+#include "qasm/printer.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -267,6 +272,111 @@ TEST(QsCommuting, EveryVersionSchedulesAllGates)
         EXPECT_EQ(version.schedule.circuit.measure_count() -
                       /* no scratch bits expected */ 0,
                   9);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Thread-count independence of the evaluation engine
+// ---------------------------------------------------------------------
+
+/// Asserts two qs_caqr results are bit-identical: same version
+/// sequence, same chosen pairs, same emitted circuits.
+void
+expect_identical_results(const core::QsCaqrResult& a,
+                         const core::QsCaqrResult& b,
+                         const std::string& context)
+{
+    ASSERT_EQ(a.versions.size(), b.versions.size()) << context;
+    EXPECT_EQ(a.reached_target, b.reached_target) << context;
+    for (std::size_t i = 0; i < a.versions.size(); ++i) {
+        const auto& va = a.versions[i];
+        const auto& vb = b.versions[i];
+        EXPECT_EQ(va.qubits, vb.qubits) << context << " version " << i;
+        EXPECT_EQ(va.depth, vb.depth) << context << " version " << i;
+        EXPECT_EQ(va.duration_dt, vb.duration_dt)
+            << context << " version " << i;
+        EXPECT_EQ(va.orig_of, vb.orig_of) << context << " version " << i;
+        ASSERT_EQ(va.applied.size(), vb.applied.size())
+            << context << " version " << i;
+        for (std::size_t p = 0; p < va.applied.size(); ++p) {
+            EXPECT_EQ(va.applied[p].source, vb.applied[p].source)
+                << context << " version " << i << " pair " << p;
+            EXPECT_EQ(va.applied[p].target, vb.applied[p].target)
+                << context << " version " << i << " pair " << p;
+        }
+        EXPECT_EQ(qasm::to_qasm(va.circuit), qasm::to_qasm(vb.circuit))
+            << context << " version " << i;
+    }
+}
+
+TEST(QsCaqrDeterminism, ThreadCountDoesNotChangeCorpusResults)
+{
+    // The engine's contract: identical version sequences for any thread
+    // count (serial, fixed, and one-per-hardware-thread).
+    for (const auto& name : apps::regular_benchmark_names()) {
+        const std::string path =
+            std::string(CAQR_CIRCUITS_DIR) + "/" + name + ".qasm";
+        const auto parsed = qasm::parse_file(path);
+        ASSERT_TRUE(parsed.ok()) << path << ": " << parsed.error;
+
+        core::QsCaqrOptions serial;
+        serial.num_threads = 1;
+        const auto baseline = core::qs_caqr(*parsed.circuit, serial);
+
+        for (int threads : {2, 4, 0}) {
+            core::QsCaqrOptions options;
+            options.num_threads = threads;
+            const auto result = core::qs_caqr(*parsed.circuit, options);
+            expect_identical_results(
+                baseline, result,
+                name + " threads=" + std::to_string(threads));
+        }
+    }
+}
+
+TEST(QsCaqrDeterminism, ThreadCountDoesNotChangeDepthMetricResults)
+{
+    core::QsCaqrOptions serial;
+    serial.metric = core::ReuseMetric::kDepth;
+    serial.num_threads = 1;
+    const auto circuit = apps::bv_circuit(10);
+    const auto baseline = core::qs_caqr(circuit, serial);
+
+    core::QsCaqrOptions parallel = serial;
+    parallel.num_threads = 4;
+    expect_identical_results(baseline, core::qs_caqr(circuit, parallel),
+                             "bv_10 depth metric");
+}
+
+TEST(QsCommutingDeterminism, ThreadCountDoesNotChangeResults)
+{
+    CommutingSpec spec = make_spec(10, 0.3, 11);
+
+    core::QsCommutingOptions serial;
+    serial.num_threads = 1;
+    const auto baseline = core::qs_caqr_commuting(spec, serial);
+
+    for (int threads : {3, 0}) {
+        core::QsCommutingOptions options;
+        options.num_threads = threads;
+        const auto result = core::qs_caqr_commuting(spec, options);
+        ASSERT_EQ(result.versions.size(), baseline.versions.size())
+            << "threads=" << threads;
+        for (std::size_t i = 0; i < result.versions.size(); ++i) {
+            const auto& va = baseline.versions[i];
+            const auto& vb = result.versions[i];
+            EXPECT_EQ(va.qubits, vb.qubits) << "version " << i;
+            EXPECT_EQ(va.schedule.duration_dt, vb.schedule.duration_dt)
+                << "version " << i;
+            ASSERT_EQ(va.pairs.size(), vb.pairs.size()) << "version " << i;
+            for (std::size_t p = 0; p < va.pairs.size(); ++p) {
+                EXPECT_EQ(va.pairs[p].source, vb.pairs[p].source);
+                EXPECT_EQ(va.pairs[p].target, vb.pairs[p].target);
+            }
+            EXPECT_EQ(qasm::to_qasm(va.schedule.circuit),
+                      qasm::to_qasm(vb.schedule.circuit))
+                << "version " << i;
+        }
     }
 }
 

@@ -1,12 +1,18 @@
 /// Tests for reuse legality (Conditions 1 & 2) and the reuse circuit
-/// transform, including semantics preservation under simulation.
+/// transform, including semantics preservation under simulation and a
+/// randomized property check over the full QS-CaQR engine.
 #include <gtest/gtest.h>
+
+#include <cstdint>
 
 #include "apps/benchmarks.h"
 #include "circuit/dag.h"
+#include "core/qs_caqr.h"
 #include "core/reuse_analysis.h"
 #include "core/reuse_transform.h"
+#include "sim/equivalence.h"
 #include "sim/simulator.h"
+#include "util/rng.h"
 #include "util/stats.h"
 
 namespace caqr {
@@ -156,7 +162,7 @@ TEST(ReuseTransform, OrigOfTracksWireIdentity)
 
 TEST(ReuseTransformDeath, RejectsInvalidPair)
 {
-    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
     Circuit c(2, 0);
     c.cx(0, 1);
     EXPECT_DEATH(core::apply_reuse(c, ReusePair{0, 1}), "invalid pair");
@@ -194,6 +200,93 @@ TEST(Advise, ChainAllowsForwardReuse)
     const auto advice = core::advise_reuse(c);
     EXPECT_TRUE(advice.any_opportunity);
     EXPECT_EQ(advice.min_qubits_estimate, 2);
+}
+
+// ---------------------------------------------------------------------
+// Randomized property check over the full QS-CaQR engine
+// ---------------------------------------------------------------------
+
+namespace property {
+
+/// Seeded random measurement-terminated circuit: a random-product-state
+/// layer (the equivalence probe of sim/equivalence.h), random
+/// single-/two-qubit gates, then measure-all.
+Circuit
+random_probed_circuit(int qubits, util::Rng& rng)
+{
+    Circuit c = sim::random_product_state_prep(qubits, rng);
+    while (c.num_clbits() < qubits) c.add_clbit();
+    const int gates = rng.next_int(6, 16);
+    for (int g = 0; g < gates; ++g) {
+        const int q = rng.next_int(0, qubits - 1);
+        switch (rng.next_int(0, 3)) {
+        case 0: c.h(q); break;
+        case 1: c.x(q); break;
+        case 2: c.z(q); break;
+        default: {
+            const int r = rng.next_int(0, qubits - 2);
+            c.cx(q, r >= q ? r + 1 : r);
+            break;
+        }
+        }
+    }
+    for (int q = 0; q < qubits; ++q) c.measure(q, q);
+    return c;
+}
+
+}  // namespace property
+
+TEST(ReuseProperty, EngineAppliesOnlyValidPairsAndPreservesSemantics)
+{
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        util::Rng rng(seed);
+        const int qubits = rng.next_int(3, 5);
+        const Circuit original = property::random_probed_circuit(qubits,
+                                                                 rng);
+
+        const auto result = core::qs_caqr(original);
+        const auto& reused = result.versions.back();
+        if (reused.applied.empty()) continue;  // nothing to check
+
+        // Replay the engine's chosen pairs from scratch: every one must
+        // be valid at its point of application (Conditions 1 & 2 in the
+        // then-current circuit, mapped through wire identities).
+        Circuit current = original;
+        std::vector<int> orig(static_cast<std::size_t>(qubits));
+        for (int q = 0; q < qubits; ++q) orig[q] = q;
+        for (const auto& pair : reused.applied) {
+            CircuitDag dag(current);
+            int source = -1;
+            int target = -1;
+            for (int wire = 0; wire < current.num_qubits(); ++wire) {
+                if (orig[wire] == pair.source) source = wire;
+                if (orig[wire] == pair.target) target = wire;
+            }
+            ASSERT_GE(source, 0) << "seed " << seed;
+            ASSERT_GE(target, 0) << "seed " << seed;
+            ASSERT_TRUE(core::is_valid_reuse_pair(dag, source, target))
+                << "seed " << seed << " pair (" << pair.source << ","
+                << pair.target << ")";
+            auto transformed = core::apply_reuse(
+                current, ReusePair{source, target}, std::move(orig));
+            current = std::move(transformed.circuit);
+            orig = std::move(transformed.orig_of);
+        }
+        EXPECT_EQ(current.num_qubits(), reused.qubits) << "seed " << seed;
+
+        // Randomized-state probe: the product-state layer baked into the
+        // circuit makes the shot histogram sensitive to the full state,
+        // not just the |0..0> column. The transformed circuit must
+        // reproduce it (clbits are untouched by the transform).
+        const auto base_counts =
+            sim::simulate(original, {.shots = 8192, .seed = 97});
+        const auto reuse_counts =
+            sim::simulate(reused.circuit, {.shots = 8192, .seed = 131});
+        EXPECT_LT(util::total_variation_distance(base_counts,
+                                                 reuse_counts),
+                  0.12)
+            << "seed " << seed;
+    }
 }
 
 }  // namespace
