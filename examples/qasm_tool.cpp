@@ -22,6 +22,7 @@
 #include "qasm/parser.h"
 #include "qasm/printer.h"
 #include "util/table.h"
+#include "util/trace.h"
 
 namespace {
 
@@ -91,6 +92,10 @@ main(int argc, char** argv)
     core::QsCaqrOptions options;
     options.target_qubits = target_qubits;
     const auto result = core::qs_caqr(*parsed.circuit, options);
+
+    // Opt-in observability: CAQR_TRACE=1 leaves
+    // qasm_tool.trace.json / .metrics.csv next to the output.
+    util::trace::write_env_artifacts("qasm_tool");
 
     if (stats_only) {
         util::Table table({"qubits", "depth", "duration (dt)"});

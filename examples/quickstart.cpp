@@ -2,21 +2,30 @@
  * @file
  * Quickstart: the paper's Fig 1 walkthrough. Build a 5-qubit
  * Bernstein–Vazirani circuit, let QS-CaQR squeeze it to 2 qubits via
- * mid-circuit measurement + conditional reset, verify on the simulator
- * that it still recovers the secret, and print the dynamic circuit as
- * OpenQASM.
+ * mid-circuit measurement + conditional reset, map it onto a fake
+ * 27-qubit backend, verify on the simulator that it still recovers
+ * the secret, and print the dynamic circuit as OpenQASM.
+ *
+ * Runs with tracing on and leaves `quickstart.trace.json` (load in
+ * chrome://tracing) plus `quickstart.metrics.csv` in the working
+ * directory — one machine-readable record per run.
  */
 #include <iostream>
 
 #include "apps/benchmarks.h"
+#include "arch/backend.h"
 #include "core/qs_caqr.h"
 #include "qasm/printer.h"
 #include "sim/simulator.h"
+#include "transpile/transpiler.h"
+#include "util/trace.h"
 
 int
 main()
 {
     using namespace caqr;
+
+    util::trace::set_enabled(true);
 
     // 1. The original BV circuit: 5 qubits, secret 1111.
     const auto bv = apps::bv_circuit(5);
@@ -35,7 +44,15 @@ main()
                   << " reused by q" << pair.target << "\n";
     }
 
-    // 3. Verify: the dynamic circuit still recovers the secret.
+    // 3. Map the reused circuit onto a fake 27-qubit heavy-hex
+    // backend (layout + SABRE routing).
+    const auto backend = arch::Backend::fake_mumbai();
+    const auto mapped = transpile::transpile(reused.circuit, backend);
+    std::cout << "\nTranspiled onto " << backend.name() << ": depth "
+              << mapped.depth << ", " << mapped.swaps_added
+              << " swaps added.\n";
+
+    // 4. Verify: the dynamic circuit still recovers the secret.
     const auto counts =
         sim::simulate(reused.circuit, {.shots = 1024, .seed = 7});
     std::cout << "\nSimulated " << reused.qubits
@@ -45,8 +62,17 @@ main()
     }
     std::cout << "expected: " << apps::bv_expected(5) << "\n";
 
-    // 4. Export as OpenQASM 2.0 (with the dynamic-circuit `if`
+    // 5. Export as OpenQASM 2.0 (with the dynamic-circuit `if`
     // extension).
     std::cout << "\nOpenQASM:\n" << qasm::to_qasm(reused.circuit);
+
+    // 6. Dump the per-run observability record: Chrome-trace JSON for
+    // chrome://tracing plus a flat CSV metrics summary.
+    if (!util::trace::write_run_artifacts("quickstart")) {
+        std::cerr << "failed to write trace artifacts\n";
+        return 1;
+    }
+    std::cout << "\nTrace artifacts: quickstart.trace.json, "
+                 "quickstart.metrics.csv\n";
     return 0;
 }

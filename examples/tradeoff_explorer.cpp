@@ -12,6 +12,7 @@
 #include "core/reuse_analysis.h"
 #include "core/tradeoff.h"
 #include "util/table.h"
+#include "util/trace.h"
 
 int
 main(int argc, char** argv)
@@ -62,5 +63,9 @@ main(int argc, char** argv)
              util::Table::fmt(static_cast<long long>(point.swaps))});
     }
     sweep.print(std::cout);
+
+    // Opt-in observability: CAQR_TRACE=1 (cwd) or CAQR_TRACE=<prefix>
+    // leaves tradeoff_explorer.trace.json / .metrics.csv behind.
+    util::trace::write_env_artifacts("tradeoff_explorer");
     return 0;
 }

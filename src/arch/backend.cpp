@@ -64,7 +64,14 @@ CalibratedDurations::duration(const circuit::Instruction& instr) const
       default:
         break;
     }
-    if (instr.has_condition()) return LogicalDurations::kConditionedGate;
+    // Conditioned gates pay feed-forward latency on top of the gate
+    // itself; kConditionedGate bakes in a one-qubit gate (Fig 2b), so
+    // the latency part is the difference. A conditioned two-qubit gate
+    // must cost at least the (calibrated) two-qubit gate time.
+    const double feedforward =
+        instr.has_condition() ? LogicalDurations::kConditionedGate -
+                                    LogicalDurations::kOneQubitGate
+                              : 0.0;
     if (circuit::is_two_qubit(instr.kind)) {
         const int a = instr.qubits[0];
         const int b = instr.qubits[1];
@@ -72,12 +79,13 @@ CalibratedDurations::duration(const circuit::Instruction& instr) const
         if (backend_->calibration().has_link(a, b)) {
             cx = backend_->calibration().link(a, b).cx_duration_dt;
         }
-        return instr.kind == GateKind::kSwap ? 3 * cx : cx;
+        return feedforward +
+               (instr.kind == GateKind::kSwap ? 3 * cx : cx);
     }
     if (instr.kind == GateKind::kCcx) {
-        return 6 * LogicalDurations::kTwoQubitGate;
+        return feedforward + 6 * LogicalDurations::kTwoQubitGate;
     }
-    return LogicalDurations::kOneQubitGate;
+    return feedforward + LogicalDurations::kOneQubitGate;
 }
 
 double

@@ -20,9 +20,17 @@ LogicalDurations::duration(const Instruction& instr) const
       default:
         break;
     }
-    if (instr.has_condition()) return kConditionedGate;
-    if (is_two_qubit(instr.kind)) return kTwoQubitGate;
-    return kOneQubitGate;
+    const double base =
+        is_two_qubit(instr.kind) ? kTwoQubitGate : kOneQubitGate;
+    if (instr.has_condition()) {
+        // kConditionedGate is calibrated for a conditioned *one-qubit*
+        // gate (Fig 2b: measure + x_if = 16,467 dt), i.e. feed-forward
+        // latency plus the 1q gate time. A conditioned two-qubit gate
+        // pays the same feed-forward on top of the full 2q gate time —
+        // it can never be cheaper than the unconditioned gate.
+        return kConditionedGate - kOneQubitGate + base;
+    }
+    return base;
 }
 
 double

@@ -1,6 +1,7 @@
 #include "core/qs_caqr.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
 #include <limits>
 #include <map>
@@ -12,6 +13,7 @@
 #include "core/reuse_transform.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace caqr::core {
 
@@ -51,6 +53,31 @@ struct EvalContext
 /// instructions walked per tentative splice).
 constexpr std::size_t kMinParallelTasks = 8;
 constexpr std::size_t kMinParallelWork = 1024;
+
+/// Publishes the gauges derived from the accumulated qs_caqr counters
+/// (memo-cache hit rate, fraction of candidate evaluations that ran
+/// under the pool). Counters aggregate across runs; so do the rates.
+void
+publish_qs_gauges()
+{
+    const auto metrics = util::trace::collect();
+    auto counter = [&](const char* name) {
+        const auto it = metrics.counters.find(name);
+        return it == metrics.counters.end() ? 0.0 : it->second;
+    };
+    const double hits = counter("qs_caqr.memo_hits");
+    const double misses = counter("qs_caqr.memo_misses");
+    if (hits + misses > 0.0) {
+        util::trace::gauge_set("qs_caqr.memo_hit_rate",
+                               hits / (hits + misses));
+    }
+    const double pooled = counter("qs_caqr.pool_tasks");
+    const double serial = counter("qs_caqr.serial_tasks");
+    if (pooled + serial > 0.0) {
+        util::trace::gauge_set("qs_caqr.pool_utilization",
+                               pooled / (pooled + serial));
+    }
+}
 
 }  // namespace
 
@@ -105,9 +132,17 @@ struct CandidateMemo
     double through = 0.0;       ///< qf + dummy_weight + qt
 };
 
+/**
+ * One greedy sweep, instrumented through @p sink. The sweep — and with
+ * it the candidate classification / evaluation hot path — is templated
+ * on the sink type: when tracing is disabled the caller instantiates it
+ * with trace::NullSink (statically checked to be empty), so disabled
+ * mode compiles to exactly the uninstrumented code.
+ */
+template <class Sink>
 std::vector<QsVersion>
 run_sweep(const circuit::Circuit& circuit, const QsCaqrOptions& options,
-          SweepPolicy policy, EvalContext* ctx)
+          SweepPolicy policy, EvalContext* ctx, Sink& sink)
 {
     std::vector<QsVersion> versions;
 
@@ -142,10 +177,22 @@ run_sweep(const circuit::Circuit& circuit, const QsCaqrOptions& options,
         const auto& current = versions.back();
         circuit::CircuitDag dag(current.circuit);
         if (!carried_closure.empty()) {
-            dag.seed_closure(carried_closure, carried_map);
+            if constexpr (Sink::kActive) {
+                const auto t0 = std::chrono::steady_clock::now();
+                dag.seed_closure(carried_closure, carried_map);
+                sink.count("qs_caqr.closure_reseed_ms",
+                           std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count());
+            } else {
+                dag.seed_closure(carried_closure, carried_map);
+            }
         }
         const auto pairs = find_reuse_pairs(dag);
         if (pairs.empty()) break;
+        sink.count("qs_caqr.steps", 1.0);
+        sink.count("qs_caqr.candidates",
+                   static_cast<double>(pairs.size()));
 
         std::vector<double> weights;
         weights.reserve(current.circuit.size());
@@ -195,6 +242,10 @@ run_sweep(const circuit::Circuit& circuit, const QsCaqrOptions& options,
             return dag.reuse_critical_path(pair.source, pair.target, model,
                                            dummy_weight);
         };
+        sink.count("qs_caqr.memo_hits",
+                   static_cast<double>(pairs.size() - misses.size()));
+        sink.count("qs_caqr.memo_misses",
+                   static_cast<double>(misses.size()));
         std::vector<double> miss_costs;
         util::ThreadPool* pool =
             (ctx != nullptr && misses.size() >= kMinParallelTasks &&
@@ -202,8 +253,13 @@ run_sweep(const circuit::Circuit& circuit, const QsCaqrOptions& options,
                 ? ctx->acquire()
                 : nullptr;
         if (pool != nullptr) {
+            sink.count("qs_caqr.pool_batches", 1.0);
+            sink.count("qs_caqr.pool_tasks",
+                       static_cast<double>(misses.size()));
             miss_costs = pool->map(misses.size(), evaluate);
         } else {
+            sink.count("qs_caqr.serial_tasks",
+                       static_cast<double>(misses.size()));
             miss_costs.resize(misses.size());
             for (std::size_t m = 0; m < misses.size(); ++m) {
                 miss_costs[m] = evaluate(m);
@@ -258,8 +314,12 @@ run_sweep(const circuit::Circuit& circuit, const QsCaqrOptions& options,
 
 }  // namespace
 
+namespace {
+
+template <class Sink>
 QsCaqrResult
-qs_caqr(const circuit::Circuit& circuit, const QsCaqrOptions& options)
+qs_caqr_impl(const circuit::Circuit& circuit, const QsCaqrOptions& options,
+             Sink& sink)
 {
     EvalContext ctx;
     ctx.threads = util::ThreadPool::resolve_threads(options.num_threads);
@@ -270,9 +330,9 @@ qs_caqr(const circuit::Circuit& circuit, const QsCaqrOptions& options)
     // efficient shallow savings, the order-preserving sweep reaches
     // deep savings. Merge by qubit count, best metric wins.
     const auto metric_sweep =
-        run_sweep(circuit, options, SweepPolicy::kMetricFirst, &ctx);
+        run_sweep(circuit, options, SweepPolicy::kMetricFirst, &ctx, sink);
     const auto order_sweep =
-        run_sweep(circuit, options, SweepPolicy::kOrderFirst, &ctx);
+        run_sweep(circuit, options, SweepPolicy::kOrderFirst, &ctx, sink);
 
     const bool by_duration = options.metric == ReuseMetric::kDuration;
     auto metric_of = [by_duration](const QsVersion& version) {
@@ -301,6 +361,23 @@ qs_caqr(const circuit::Circuit& circuit, const QsCaqrOptions& options)
     return result;
 }
 
+}  // namespace
+
+QsCaqrResult
+qs_caqr(const circuit::Circuit& circuit, const QsCaqrOptions& options)
+{
+    if (util::trace::enabled()) {
+        util::trace::Span span("qs_caqr");
+        util::trace::TallySink sink;
+        auto result = qs_caqr_impl(circuit, options, sink);
+        sink.flush();
+        publish_qs_gauges();
+        return result;
+    }
+    util::trace::NullSink sink;
+    return qs_caqr_impl(circuit, options, sink);
+}
+
 namespace {
 
 /// One greedy commuting sweep. When @p evaluate_candidates is true
@@ -313,10 +390,11 @@ namespace {
 /// Temporal chaining never crosses the schedule's time arrow, so it
 /// reaches the deep-saving region (paper Fig 3: 64 -> ~5 qubits) that
 /// duration greed dead-ends before.
+template <class Sink>
 std::vector<QsCommutingVersion>
 run_commuting_sweep(const CommutingSpec& spec,
                     const QsCommutingOptions& options,
-                    bool evaluate_candidates, EvalContext* ctx)
+                    bool evaluate_candidates, EvalContext* ctx, Sink& sink)
 {
     const auto& interaction = spec.interaction;
     const int n = interaction.num_nodes();
@@ -375,6 +453,8 @@ run_commuting_sweep(const CommutingSpec& spec,
             }
         }
         if (candidates.empty()) break;
+        sink.count("qs_commuting.candidates",
+                   static_cast<double>(candidates.size()));
         std::stable_sort(candidates.begin(), candidates.end(),
                          [](const Candidate& a, const Candidate& b) {
                              return a.heuristic < b.heuristic;
@@ -409,13 +489,19 @@ run_commuting_sweep(const CommutingSpec& spec,
                 return schedule_commuting(spec, pair_sets[i],
                                           options.scheduling);
             };
+            sink.count("qs_commuting.schedules_evaluated",
+                       static_cast<double>(valid.size()));
             std::vector<CommutingSchedule> schedules;
             util::ThreadPool* pool =
                 (ctx != nullptr && valid.size() >= 4) ? ctx->acquire()
                                                       : nullptr;
             if (pool != nullptr) {
+                sink.count("qs_commuting.pool_tasks",
+                           static_cast<double>(valid.size()));
                 schedules = pool->map(valid.size(), schedule_one);
             } else {
+                sink.count("qs_commuting.serial_tasks",
+                           static_cast<double>(valid.size()));
                 schedules.reserve(valid.size());
                 for (std::size_t i = 0; i < valid.size(); ++i) {
                     schedules.push_back(schedule_one(i));
@@ -462,9 +548,12 @@ run_commuting_sweep(const CommutingSpec& spec,
 
 }  // namespace
 
+namespace {
+
+template <class Sink>
 QsCommutingResult
-qs_caqr_commuting(const CommutingSpec& spec,
-                  const QsCommutingOptions& options)
+qs_caqr_commuting_impl(const CommutingSpec& spec,
+                       const QsCommutingOptions& options, Sink& sink)
 {
     QsCommutingResult result;
     result.coloring_bound = min_qubits_by_coloring(spec.interaction);
@@ -473,9 +562,9 @@ qs_caqr_commuting(const CommutingSpec& spec,
     ctx.threads = util::ThreadPool::resolve_threads(options.num_threads);
 
     const auto eval_sweep = run_commuting_sweep(
-        spec, options, /*evaluate_candidates=*/true, &ctx);
+        spec, options, /*evaluate_candidates=*/true, &ctx, sink);
     const auto chain_sweep = run_commuting_sweep(
-        spec, options, /*evaluate_candidates=*/false, &ctx);
+        spec, options, /*evaluate_candidates=*/false, &ctx, sink);
 
     // Budget-directed phase: the incremental sweeps dead-end once the
     // accumulated dependence graph makes every further pair cyclic;
@@ -499,6 +588,7 @@ qs_caqr_commuting(const CommutingSpec& spec,
                                                  options.scheduling,
                                                  &pairs);
             if (!schedule.has_value()) break;  // infeasible below here
+            sink.count("qs_commuting.budget_schedules", 1.0);
             QsCommutingVersion version;
             version.pairs = std::move(pairs);
             version.schedule = std::move(*schedule);
@@ -528,6 +618,23 @@ qs_caqr_commuting(const CommutingSpec& spec,
         options.target_qubits < 0 ||
         result.versions.back().qubits <= options.target_qubits;
     return result;
+}
+
+}  // namespace
+
+QsCommutingResult
+qs_caqr_commuting(const CommutingSpec& spec,
+                  const QsCommutingOptions& options)
+{
+    if (util::trace::enabled()) {
+        util::trace::Span span("qs_caqr_commuting");
+        util::trace::TallySink sink;
+        auto result = qs_caqr_commuting_impl(spec, options, sink);
+        sink.flush();
+        return result;
+    }
+    util::trace::NullSink sink;
+    return qs_caqr_commuting_impl(spec, options, sink);
 }
 
 }  // namespace caqr::core

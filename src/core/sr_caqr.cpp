@@ -8,6 +8,7 @@
 #include "circuit/timing.h"
 #include "transpile/decompose.h"
 #include "util/logging.h"
+#include "util/trace.h"
 
 namespace caqr::core {
 
@@ -238,6 +239,8 @@ SrCaqrResult
 sr_caqr(const Circuit& input, const arch::Backend& backend,
         const SrCaqrOptions& options)
 {
+    util::trace::Span span("sr_caqr");
+
     // Heuristic-perturbation trials around the placement and SWAP
     // scoring weights; fewest SWAPs wins (duration tie-break).
     struct Variant
@@ -264,6 +267,13 @@ sr_caqr(const Circuit& input, const arch::Backend& backend,
             best = std::move(result);
             have_best = true;
         }
+    }
+
+    if (util::trace::enabled()) {
+        util::trace::counter_add("sr_caqr.variant_trials",
+                                 std::min(trials, 4));
+        util::trace::counter_add("sr_caqr.swaps_added", best.swaps_added);
+        util::trace::counter_add("sr_caqr.reuses", best.reuses);
     }
     return best;
 }

@@ -1,7 +1,12 @@
 #include "core/tradeoff.h"
 
+#include <chrono>
+#include <numeric>
+
 #include "circuit/dag.h"
 #include "transpile/transpiler.h"
+#include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace caqr::core {
 
@@ -20,44 +25,111 @@ fill_compiled_metrics(TradeoffPoint* point, const circuit::Circuit& circuit,
     point->swaps = compiled.swaps_added;
 }
 
+/**
+ * Evaluates fn(0..n-1) across an evaluation pool sized from
+ * @p num_threads (1 = serial, 0/negative = one per hardware thread).
+ * Results come back indexed by version, so downstream lowest-index
+ * tie-breaks pick the same winner at any thread count. When tracing is
+ * enabled the per-task wall clock is summed and published against the
+ * batch wall clock as `tradeoff.parallel_speedup`.
+ */
+template <typename Fn>
+auto
+map_versions(std::size_t n, int num_threads, Fn&& fn)
+    -> std::vector<std::invoke_result_t<std::decay_t<Fn>&, std::size_t>>
+{
+    const int threads = util::ThreadPool::resolve_threads(num_threads);
+    if (!util::trace::enabled()) {
+        util::ThreadPool pool(threads - 1);
+        return pool.map(n, fn);
+    }
+
+    std::vector<double> task_ms(n, 0.0);
+    auto timed = [&](std::size_t i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        auto result = fn(i);
+        task_ms[i] = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+        return result;
+    };
+    const auto batch_start = std::chrono::steady_clock::now();
+    util::ThreadPool pool(threads - 1);
+    auto results = pool.map(n, timed);
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - batch_start)
+            .count();
+    const double work_ms =
+        std::accumulate(task_ms.begin(), task_ms.end(), 0.0);
+    util::trace::counter_add("tradeoff.versions_transpiled",
+                             static_cast<double>(n));
+    util::trace::counter_add("tradeoff.transpile_work_ms", work_ms);
+    util::trace::counter_add("tradeoff.transpile_wall_ms", wall_ms);
+    if (wall_ms > 0.0) {
+        util::trace::gauge_set("tradeoff.parallel_speedup",
+                               work_ms / wall_ms);
+    }
+    return results;
+}
+
 }  // namespace
 
 std::vector<TradeoffPoint>
 explore_tradeoff(const circuit::Circuit& circuit,
                  const arch::Backend* backend, const QsCaqrOptions& options)
 {
+    util::trace::Span span("tradeoff.explore");
+
     QsCaqrOptions sweep = options;
     sweep.target_qubits = -1;  // squeeze to the minimum
     auto result = qs_caqr(circuit, sweep);
 
-    std::vector<TradeoffPoint> points;
-    points.reserve(result.versions.size());
-    for (const auto& version : result.versions) {
-        TradeoffPoint point;
-        point.qubits = version.qubits;
-        point.logical_depth = version.depth;
-        point.logical_duration_dt = version.duration_dt;
-        fill_compiled_metrics(&point, version.circuit, backend,
-                              /*keep_rzz=*/false);
-        points.push_back(point);
-    }
-    return points;
+    return map_versions(
+        result.versions.size(), backend == nullptr ? 1 : options.num_threads,
+        [&](std::size_t index) {
+            const auto& version = result.versions[index];
+            TradeoffPoint point;
+            point.qubits = version.qubits;
+            point.logical_depth = version.depth;
+            point.logical_duration_dt = version.duration_dt;
+            fill_compiled_metrics(&point, version.circuit, backend,
+                                  /*keep_rzz=*/false);
+            return point;
+        });
 }
 
 EspSelection
-select_best_by_esp(const QsCaqrResult& result, const arch::Backend& backend)
+select_best_by_esp(const QsCaqrResult& result, const arch::Backend& backend,
+                   int num_threads)
 {
+    util::trace::Span span("tradeoff.select_esp");
+
+    struct Scored
+    {
+        double esp = 0.0;
+        circuit::Circuit compiled;
+    };
+    auto scored = map_versions(
+        result.versions.size(), num_threads, [&](std::size_t index) {
+            auto compiled = transpile::transpile(
+                result.versions[index].circuit, backend);
+            Scored entry;
+            entry.esp = arch::estimated_success_probability(
+                compiled.circuit, backend);
+            entry.compiled = std::move(compiled.circuit);
+            return entry;
+        });
+
+    // Strict-> scan from index 0: the lowest-index version wins ties,
+    // exactly as the serial walk did.
     EspSelection best;
     bool have_best = false;
-    for (std::size_t index = 0; index < result.versions.size(); ++index) {
-        auto compiled =
-            transpile::transpile(result.versions[index].circuit, backend);
-        const double esp =
-            arch::estimated_success_probability(compiled.circuit, backend);
-        if (!have_best || esp > best.esp) {
+    for (std::size_t index = 0; index < scored.size(); ++index) {
+        if (!have_best || scored[index].esp > best.esp) {
             best.version_index = index;
-            best.esp = esp;
-            best.compiled = std::move(compiled.circuit);
+            best.esp = scored[index].esp;
+            best.compiled = std::move(scored[index].compiled);
             have_best = true;
         }
     }
@@ -69,22 +141,24 @@ explore_tradeoff_commuting(const CommutingSpec& spec,
                            const arch::Backend* backend,
                            const QsCommutingOptions& options)
 {
+    util::trace::Span span("tradeoff.explore_commuting");
+
     QsCommutingOptions sweep = options;
     sweep.target_qubits = -1;
     auto result = qs_caqr_commuting(spec, sweep);
 
-    std::vector<TradeoffPoint> points;
-    points.reserve(result.versions.size());
-    for (const auto& version : result.versions) {
-        TradeoffPoint point;
-        point.qubits = version.qubits;
-        point.logical_depth = version.schedule.depth;
-        point.logical_duration_dt = version.schedule.duration_dt;
-        fill_compiled_metrics(&point, version.schedule.circuit, backend,
-                              /*keep_rzz=*/true);
-        points.push_back(point);
-    }
-    return points;
+    return map_versions(
+        result.versions.size(), backend == nullptr ? 1 : options.num_threads,
+        [&](std::size_t index) {
+            const auto& version = result.versions[index];
+            TradeoffPoint point;
+            point.qubits = version.qubits;
+            point.logical_depth = version.schedule.depth;
+            point.logical_duration_dt = version.schedule.duration_dt;
+            fill_compiled_metrics(&point, version.schedule.circuit, backend,
+                                  /*keep_rzz=*/true);
+            return point;
+        });
 }
 
 }  // namespace caqr::core

@@ -52,10 +52,13 @@ struct EspSelection
     circuit::Circuit compiled;      ///< its hardware-mapped circuit
 };
 
-/// Hardware-maps every version of @p result on @p backend and returns
-/// the one maximizing estimated success probability.
+/// Hardware-maps every version of @p result on @p backend — across
+/// @p num_threads evaluation threads (1 = serial, 0/negative = one per
+/// hardware thread; the winner is identical at any count) — and
+/// returns the one maximizing estimated success probability.
 EspSelection select_best_by_esp(const QsCaqrResult& result,
-                                const arch::Backend& backend);
+                                const arch::Backend& backend,
+                                int num_threads = 0);
 
 }  // namespace caqr::core
 

@@ -2,12 +2,34 @@
 
 #include <iomanip>
 #include <sstream>
+#include <string>
 
 namespace caqr::qasm {
+
+namespace {
+
+/// True if any instruction carries a classical condition.
+bool
+has_any_condition(const circuit::Circuit& circuit)
+{
+    for (const auto& instr : circuit.instructions()) {
+        if (instr.has_condition()) return true;
+    }
+    return false;
+}
+
+}  // namespace
 
 std::string
 to_qasm(const circuit::Circuit& circuit)
 {
+    // OpenQASM 2.0 only allows whole-register conditions
+    // (`if (creg == v)`). Dynamic circuits condition on single bits,
+    // so — Qiskit-style — each classical bit becomes its own 1-bit
+    // register (c0, c1, ...) whenever a condition is present; plain
+    // measurement-only circuits keep the single flat register.
+    const bool split_cregs = has_any_condition(circuit);
+
     std::ostringstream os;
     os << "OPENQASM 2.0;\n";
     os << "include \"qelib1.inc\";\n";
@@ -15,8 +37,18 @@ to_qasm(const circuit::Circuit& circuit)
         os << "qreg q[" << circuit.num_qubits() << "];\n";
     }
     if (circuit.num_clbits() > 0) {
-        os << "creg c[" << circuit.num_clbits() << "];\n";
+        if (split_cregs) {
+            for (int b = 0; b < circuit.num_clbits(); ++b) {
+                os << "creg c" << b << "[1];\n";
+            }
+        } else {
+            os << "creg c[" << circuit.num_clbits() << "];\n";
+        }
     }
+    auto clbit_ref = [split_cregs](int bit) {
+        return split_cregs ? "c" + std::to_string(bit) + "[0]"
+                           : "c[" + std::to_string(bit) + "]";
+    };
 
     os << std::setprecision(17);
     for (const auto& instr : circuit.instructions()) {
@@ -25,12 +57,14 @@ to_qasm(const circuit::Circuit& circuit)
             continue;
         }
         if (instr.has_condition()) {
-            os << "if (c[" << instr.condition_bit
-               << "] == " << instr.condition_value << ") ";
+            // Spec-compliant register-level condition on the 1-bit
+            // register that holds the condition bit.
+            os << "if (c" << instr.condition_bit
+               << " == " << instr.condition_value << ") ";
         }
         if (instr.kind == circuit::GateKind::kMeasure) {
-            os << "measure q[" << instr.qubits[0] << "] -> c["
-               << instr.clbit << "];\n";
+            os << "measure q[" << instr.qubits[0] << "] -> "
+               << clbit_ref(instr.clbit) << ";\n";
             continue;
         }
         os << circuit::gate_name(instr.kind);

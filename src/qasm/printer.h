@@ -2,10 +2,16 @@
  * @file
  * OpenQASM 2.0 emitter for the circuit IR.
  *
- * Output uses one flat `q` quantum register and one flat `c` classical
- * register. Classically-conditioned gates are emitted with the
- * single-bit extension `if (c[k] == v) ...` documented in parser.h, so
- * print → parse round-trips exactly.
+ * Output uses one flat `q` quantum register. Classical bits are
+ * emitted as one flat `c` register — unless the circuit contains
+ * classically-conditioned gates, in which case every classical bit
+ * becomes its own 1-bit register (`creg c0[1]; creg c1[1]; ...`,
+ * Qiskit-style) and conditions are printed as the spec-compliant
+ * whole-register form `if (ck == v) ...`. OpenQASM 2.0 has no
+ * bit-indexed conditions, so this keeps exported dynamic circuits
+ * loadable by external tools; the parser additionally accepts the
+ * legacy `if (c[k] == v)` extension on input. Print → parse
+ * round-trips exactly in both shapes.
  */
 #ifndef CAQR_QASM_PRINTER_H
 #define CAQR_QASM_PRINTER_H

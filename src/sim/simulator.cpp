@@ -8,6 +8,7 @@
 #include "circuit/timing.h"
 #include "sim/statevector.h"
 #include "util/logging.h"
+#include "util/trace.h"
 
 namespace caqr::sim {
 
@@ -78,6 +79,8 @@ Counts
 simulate(const circuit::Circuit& raw_circuit, const SimOptions& options,
          const NoiseModel& noise)
 {
+    util::trace::Span span("sim.simulate");
+
     // Simulate in the active-qubit subspace: physical circuits carry
     // every backend wire, but idle wires stay |0> forever. Noise
     // lookups (calibration, idle decoherence) use the raw/physical
@@ -145,6 +148,17 @@ simulate(const circuit::Circuit& raw_circuit, const SimOptions& options,
             }
         }
         ++counts[clbits_to_key(clbits)];
+    }
+
+    if (util::trace::enabled()) {
+        util::trace::counter_add("sim.shots",
+                                 static_cast<double>(options.shots));
+        const double ms = span.elapsed_ms();
+        if (ms > 0.0) {
+            util::trace::gauge_set(
+                "sim.shots_per_sec",
+                static_cast<double>(options.shots) * 1000.0 / ms);
+        }
     }
     return counts;
 }

@@ -6,6 +6,7 @@
 
 #include "circuit/dag.h"
 #include "util/logging.h"
+#include "util/trace.h"
 
 namespace caqr::transpile {
 
@@ -139,6 +140,8 @@ route(const Circuit& logical, const arch::Backend& backend,
     CAQR_CHECK(is_valid_layout(initial, logical, backend),
                "invalid initial layout");
 
+    util::trace::Span span("router.route");
+
     circuit::CircuitDag dag(logical);
     const int num_nodes = dag.graph().num_nodes();
 
@@ -248,6 +251,14 @@ route(const Circuit& logical, const arch::Backend& backend,
         std::swap(state.logical_of[pa], state.logical_of[pb]);
         state.decay[pa] += options.decay_delta;
         state.decay[pb] += options.decay_delta;
+    }
+
+    if (util::trace::enabled()) {
+        util::trace::counter_add("router.swaps_added", state.swaps_added);
+        // Stall iterations = frontier passes that executed no gate and
+        // had to fall through to SWAP selection.
+        util::trace::counter_add("router.stall_iterations",
+                                 static_cast<double>(stall_guard));
     }
 
     RoutingResult result;

@@ -7,6 +7,7 @@
 #include "transpile/peephole.h"
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/trace.h"
 
 namespace caqr::transpile {
 
@@ -14,6 +15,8 @@ TranspileResult
 transpile(const circuit::Circuit& logical, const arch::Backend& backend,
           const TranspileOptions& options)
 {
+    util::trace::Span span("transpile");
+
     circuit::Circuit native = options.keep_rzz
                                   ? decompose_ccx(logical)
                                   : decompose_to_native(logical);
@@ -26,6 +29,7 @@ transpile(const circuit::Circuit& logical, const arch::Backend& backend,
     util::Rng rng(0xCA0Full);
 
     const int trials = std::max(1, options.trials);
+    int trial_swaps_total = 0;
     for (int trial = 0; trial < trials; ++trial) {
         Layout layout = base_layout;
         if (trial > 0) {
@@ -39,6 +43,7 @@ transpile(const circuit::Circuit& logical, const arch::Backend& backend,
             }
         }
         auto routed = route(native, backend, layout, options.router);
+        trial_swaps_total += routed.swaps_added;
         if (!have_best || routed.swaps_added < best.swaps_added) {
             best.circuit = std::move(routed.circuit);
             best.initial_layout = layout;
@@ -46,6 +51,17 @@ transpile(const circuit::Circuit& logical, const arch::Backend& backend,
             best.swaps_added = routed.swaps_added;
             have_best = true;
         }
+    }
+
+    if (util::trace::enabled()) {
+        util::trace::counter_add("transpile.layout_trials", trials);
+        util::trace::counter_add("transpile.trial_swaps",
+                                 trial_swaps_total);
+        util::trace::counter_add("transpile.best_swaps",
+                                 best.swaps_added);
+        util::trace::gauge_set("transpile.swaps_per_trial",
+                               static_cast<double>(trial_swaps_total) /
+                                   static_cast<double>(trials));
     }
 
     fill_metrics(&best, backend);

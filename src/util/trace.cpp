@@ -1,0 +1,326 @@
+#include "util/trace.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "util/table.h"
+
+namespace caqr::util::trace {
+
+namespace {
+
+/// One finished span, timestamps in microseconds since the registry
+/// epoch (Chrome-trace native unit).
+struct Event
+{
+    std::string name;
+    double ts_us = 0.0;
+    double dur_us = 0.0;
+    int tid = 0;
+};
+
+/// Process-wide trace storage. Spans/counters from pool workers and
+/// the main thread interleave, so every mutation is mutex-guarded;
+/// `enabled` is separate so guards stay lock-free.
+class Registry
+{
+  public:
+    static Registry&
+    instance()
+    {
+        static Registry registry;
+        return registry;
+    }
+
+    std::atomic<bool> enabled{false};
+
+    std::chrono::steady_clock::time_point
+    epoch() const
+    {
+        return epoch_;
+    }
+
+    void
+    record(std::string name,
+           std::chrono::steady_clock::time_point start, double dur_us)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (events_.size() >= kMaxEvents) {
+            ++dropped_;
+            return;
+        }
+        Event event;
+        event.name = std::move(name);
+        event.ts_us = std::chrono::duration<double, std::micro>(
+                          start - epoch_)
+                          .count();
+        event.dur_us = dur_us;
+        event.tid = tid_of(std::this_thread::get_id());
+        events_.push_back(std::move(event));
+    }
+
+    void
+    add(const std::string& name, double delta)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        counters_[name] += delta;
+    }
+
+    void
+    set(const std::string& name, double value)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        gauges_[name] = value;
+    }
+
+    void
+    clear()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        events_.clear();
+        counters_.clear();
+        gauges_.clear();
+        dropped_ = 0;
+    }
+
+    /// Copies for export; taken under the lock so exporters see a
+    /// consistent snapshot even while passes still run.
+    void
+    snapshot(std::vector<Event>* events,
+             std::map<std::string, double>* counters,
+             std::map<std::string, double>* gauges,
+             std::size_t* dropped) const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (events != nullptr) *events = events_;
+        if (counters != nullptr) *counters = counters_;
+        if (gauges != nullptr) *gauges = gauges_;
+        if (dropped != nullptr) *dropped = dropped_;
+    }
+
+  private:
+    Registry()
+    {
+        const char* env = std::getenv("CAQR_TRACE");
+        if (env != nullptr && std::string(env) != "0") {
+            enabled.store(true, std::memory_order_relaxed);
+        }
+    }
+
+    int
+    tid_of(std::thread::id id)
+    {
+        auto [it, inserted] =
+            tids_.try_emplace(id, static_cast<int>(tids_.size()));
+        (void)inserted;
+        return it->second;
+    }
+
+    /// Backstop against unbounded growth from a looping caller; a
+    /// "trace.dropped_events" row in the summary flags truncation.
+    static constexpr std::size_t kMaxEvents = 1u << 20;
+
+    mutable std::mutex mutex_;
+    std::vector<Event> events_;
+    std::map<std::string, double> counters_;
+    std::map<std::string, double> gauges_;
+    std::map<std::thread::id, int> tids_;
+    std::size_t dropped_ = 0;
+    const std::chrono::steady_clock::time_point epoch_ =
+        std::chrono::steady_clock::now();
+};
+
+/// Minimal JSON string escaping (span names are library-chosen, but a
+/// stray quote must not corrupt the document).
+std::string
+json_escape(const std::string& text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+bool
+enabled()
+{
+    return Registry::instance().enabled.load(std::memory_order_relaxed);
+}
+
+void
+set_enabled(bool on)
+{
+    Registry::instance().enabled.store(on, std::memory_order_relaxed);
+}
+
+void
+counter_add(const std::string& name, double delta)
+{
+    if (!enabled()) return;
+    Registry::instance().add(name, delta);
+}
+
+void
+gauge_set(const std::string& name, double value)
+{
+    if (!enabled()) return;
+    Registry::instance().set(name, value);
+}
+
+void
+reset()
+{
+    Registry::instance().clear();
+}
+
+Span::Span(std::string name)
+    : name_(std::move(name)), active_(enabled())
+{
+    if (active_) start_ = std::chrono::steady_clock::now();
+}
+
+Span::~Span()
+{
+    if (!active_) return;
+    const auto stop = std::chrono::steady_clock::now();
+    const double dur_us =
+        std::chrono::duration<double, std::micro>(stop - start_).count();
+    Registry::instance().record(std::move(name_), start_, dur_us);
+}
+
+double
+Span::elapsed_ms() const
+{
+    if (!active_) return 0.0;
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+}
+
+PassMetrics
+collect()
+{
+    std::vector<Event> events;
+    PassMetrics metrics;
+    std::size_t dropped = 0;
+    Registry::instance().snapshot(&events, &metrics.counters,
+                                  &metrics.gauges, &dropped);
+    for (const auto& event : events) {
+        auto& stats = metrics.spans[event.name];
+        const double ms = event.dur_us / 1000.0;
+        if (stats.count == 0 || ms < stats.min_ms) stats.min_ms = ms;
+        if (stats.count == 0 || ms > stats.max_ms) stats.max_ms = ms;
+        stats.total_ms += ms;
+        ++stats.count;
+    }
+    if (dropped > 0) {
+        metrics.counters["trace.dropped_events"] =
+            static_cast<double>(dropped);
+    }
+    return metrics;
+}
+
+void
+write_chrome_trace(std::ostream& os)
+{
+    std::vector<Event> events;
+    std::map<std::string, double> counters;
+    std::map<std::string, double> gauges;
+    Registry::instance().snapshot(&events, &counters, &gauges, nullptr);
+
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    for (const auto& event : events) {
+        if (!first) os << ",";
+        first = false;
+        os << "\n{\"name\":\"" << json_escape(event.name)
+           << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << event.tid
+           << ",\"ts\":" << event.ts_us << ",\"dur\":" << event.dur_us
+           << "}";
+    }
+    os << "\n],\"caqr_metrics\":{";
+    first = true;
+    for (const auto* table : {&counters, &gauges}) {
+        for (const auto& [name, value] : *table) {
+            if (!first) os << ",";
+            first = false;
+            os << "\"" << json_escape(name) << "\":" << value;
+        }
+    }
+    os << "}}\n";
+}
+
+void
+write_summary_csv(std::ostream& os)
+{
+    const PassMetrics metrics = collect();
+    Table table({"kind", "name", "count", "total_ms", "mean_ms", "min_ms",
+                 "max_ms", "value"});
+    for (const auto& [name, stats] : metrics.spans) {
+        table.add_row({"span", name,
+                       Table::fmt(static_cast<long long>(stats.count)),
+                       Table::fmt(stats.total_ms, 3),
+                       Table::fmt(stats.total_ms /
+                                      static_cast<double>(stats.count),
+                                  3),
+                       Table::fmt(stats.min_ms, 3),
+                       Table::fmt(stats.max_ms, 3), ""});
+    }
+    for (const auto& [name, value] : metrics.counters) {
+        table.add_row(
+            {"counter", name, "", "", "", "", "", Table::fmt(value, 4)});
+    }
+    for (const auto& [name, value] : metrics.gauges) {
+        table.add_row(
+            {"gauge", name, "", "", "", "", "", Table::fmt(value, 4)});
+    }
+    table.print_csv(os);
+}
+
+bool
+write_run_artifacts(const std::string& prefix)
+{
+    std::ofstream json(prefix + ".trace.json");
+    std::ofstream csv(prefix + ".metrics.csv");
+    if (!json || !csv) return false;
+    write_chrome_trace(json);
+    write_summary_csv(csv);
+    return json.good() && csv.good();
+}
+
+bool
+write_env_artifacts(const std::string& name)
+{
+    const char* env = std::getenv("CAQR_TRACE");
+    if (env == nullptr) return false;
+    const std::string value(env);
+    if (value == "0") return false;
+    const std::string prefix = value == "1" ? name : value + name;
+    return write_run_artifacts(prefix);
+}
+
+void
+TallySink::flush()
+{
+    for (const auto& [name, delta] : counters_) counter_add(name, delta);
+    for (const auto& [name, value] : gauges_) gauge_set(name, value);
+    counters_.clear();
+    gauges_.clear();
+}
+
+}  // namespace caqr::util::trace

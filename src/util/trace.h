@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Pipeline observability: pass-level tracing and metrics.
+ *
+ * A process-wide, thread-safe registry collects three kinds of data
+ * from the compiler passes and the simulator:
+ *
+ *  - **Spans** — RAII-scoped wall-clock intervals (`Span`), nested via
+ *    lexical scope and tagged with the recording thread. Exported as
+ *    Chrome-trace "complete" events loadable in `chrome://tracing` /
+ *    Perfetto.
+ *  - **Counters** — monotonically accumulated named values
+ *    (`counter_add`), e.g. candidates evaluated or SWAPs inserted.
+ *  - **Gauges** — last-write-wins named values (`gauge_set`), e.g.
+ *    memo-cache hit rate or simulator shots/sec.
+ *
+ * Tracing is disabled by default and costs one relaxed atomic load per
+ * guard when off. Hot loops that cannot afford even a per-iteration
+ * branch are instantiated against a compile-time *null sink*
+ * (`NullSink`) whose operations are statically checked to be empty, so
+ * the disabled path compiles to exactly the uninstrumented code.
+ *
+ * Setting the environment variable `CAQR_TRACE` (to anything but "0")
+ * enables tracing at startup; its value is used as the output-path
+ * prefix by `write_env_artifacts()`.
+ */
+#ifndef CAQR_UTIL_TRACE_H
+#define CAQR_UTIL_TRACE_H
+
+#include <chrono>
+#include <cstddef>
+#include <map>
+#include <ostream>
+#include <string>
+#include <type_traits>
+
+namespace caqr::util::trace {
+
+/// True when the registry is recording. One relaxed atomic load.
+bool enabled();
+
+/// Turns recording on/off. Already-recorded data is retained.
+void set_enabled(bool on);
+
+/// Adds @p delta to the named counter (created at 0). Thread-safe.
+void counter_add(const std::string& name, double delta);
+
+/// Sets the named gauge to @p value (last write wins). Thread-safe.
+void gauge_set(const std::string& name, double value);
+
+/// Discards all recorded spans, counters, and gauges.
+void reset();
+
+/**
+ * RAII scoped span. Construction snapshots the clock; destruction
+ * records one Chrome-trace complete event on the constructing thread.
+ * A span built while tracing is disabled is inert (no clock access on
+ * destruction).
+ */
+class Span
+{
+  public:
+    explicit Span(std::string name);
+    ~Span();
+
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+    /// Wall-clock milliseconds since construction (0 when inert).
+    double elapsed_ms() const;
+
+  private:
+    std::string name_;
+    bool active_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/// Aggregated statistics of all spans sharing one name.
+struct SpanStats
+{
+    std::size_t count = 0;
+    double total_ms = 0.0;
+    double min_ms = 0.0;
+    double max_ms = 0.0;
+};
+
+/// Snapshot of everything the registry knows, aggregated per name —
+/// the sink format consumed by the exporters and by tests.
+struct PassMetrics
+{
+    std::map<std::string, SpanStats> spans;
+    std::map<std::string, double> counters;
+    std::map<std::string, double> gauges;
+};
+
+/// Aggregates the current registry contents.
+PassMetrics collect();
+
+/// Writes every recorded span as a Chrome-trace JSON document
+/// (`{"traceEvents": [...]}`) with final counter/gauge values attached
+/// under a top-level "caqr_metrics" key (ignored by trace viewers).
+void write_chrome_trace(std::ostream& os);
+
+/// Writes the aggregated summary as CSV (one row per span name with
+/// count/total/mean/min/max, one row per counter and gauge).
+void write_summary_csv(std::ostream& os);
+
+/**
+ * Writes `<prefix>.trace.json` and `<prefix>.metrics.csv`. Returns
+ * false (without partial output) if either file cannot be opened.
+ */
+bool write_run_artifacts(const std::string& prefix);
+
+/**
+ * Env-driven variant for drivers: when `CAQR_TRACE` is set and not
+ * "0", writes artifacts under `<env-prefix><name>` (an env value of
+ * "1" means the current directory) and returns true. No-op otherwise.
+ */
+bool write_env_artifacts(const std::string& name);
+
+// ---------------------------------------------------------------------
+// Compile-time sinks for hot loops
+// ---------------------------------------------------------------------
+
+/**
+ * Null metrics sink: every operation is a no-op the optimizer erases.
+ * Hot paths templated on a sink type are instantiated with NullSink
+ * when tracing is disabled, so the disabled mode carries zero
+ * instrumentation cost — not even a branch per iteration.
+ */
+struct NullSink
+{
+    /// Instrumented code may `if constexpr (Sink::kActive)` around
+    /// work (e.g. clock reads) that has no side-effect-free no-op.
+    static constexpr bool kActive = false;
+
+    void count(const char* /*name*/, double /*delta*/) {}
+    void gauge(const char* /*name*/, double /*value*/) {}
+};
+
+// The zero-overhead contract: the null sink must carry no state, so
+// passing it through a hot loop cannot change codegen.
+static_assert(std::is_empty_v<NullSink>,
+              "NullSink must be stateless (zero-overhead contract)");
+static_assert(std::is_trivially_destructible_v<NullSink>,
+              "NullSink must be trivially destructible");
+
+/**
+ * Buffering sink for instrumented hot-loop instantiations: operations
+ * accumulate locally (no locks) and `flush()` publishes everything to
+ * the registry in one shot. Use from a single thread.
+ */
+class TallySink
+{
+  public:
+    static constexpr bool kActive = true;
+
+    void count(const char* name, double delta) { counters_[name] += delta; }
+    void gauge(const char* name, double value) { gauges_[name] = value; }
+
+    /// Publishes the buffered values to the global registry.
+    void flush();
+
+  private:
+    std::map<std::string, double> counters_;
+    std::map<std::string, double> gauges_;
+};
+
+}  // namespace caqr::util::trace
+
+#endif  // CAQR_UTIL_TRACE_H

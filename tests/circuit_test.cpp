@@ -1,8 +1,11 @@
-/// Tests for the circuit IR: builders, validation, metrics, remapping.
+/// Tests for the circuit IR: builders, validation, metrics, remapping,
+/// and instruction timing models.
 #include <gtest/gtest.h>
 
 #include "circuit/circuit.h"
+#include "circuit/dag.h"
 #include "circuit/gate.h"
+#include "circuit/timing.h"
 
 namespace caqr {
 namespace {
@@ -66,6 +69,59 @@ TEST(Circuit, ConditionedGate)
     EXPECT_TRUE(c.at(0).has_condition());
     EXPECT_EQ(c.at(0).condition_bit, 1);
     EXPECT_EQ(c.at(0).condition_value, 1);
+}
+
+TEST(Timing, ConditionedTwoQubitGateCostsAtLeastTwoQubitTime)
+{
+    // Regression: the model used to price a conditioned CX as a
+    // conditioned one-qubit-class gate (867 dt < the 1800 dt CX),
+    // because the condition check preceded the two-qubit check.
+    Instruction conditioned_cx;
+    conditioned_cx.kind = GateKind::kCx;
+    conditioned_cx.qubits = {0, 1};
+    conditioned_cx.condition_bit = 0;
+    conditioned_cx.condition_value = 1;
+
+    const circuit::LogicalDurations model;
+    const double feedforward =
+        circuit::LogicalDurations::kConditionedGate -
+        circuit::LogicalDurations::kOneQubitGate;
+    EXPECT_GE(model.duration(conditioned_cx),
+              circuit::LogicalDurations::kTwoQubitGate);
+    EXPECT_DOUBLE_EQ(model.duration(conditioned_cx),
+                     circuit::LogicalDurations::kTwoQubitGate +
+                         feedforward);
+
+    // Conditioned one-qubit gates keep the paper's calibrated value.
+    Instruction conditioned_x;
+    conditioned_x.kind = GateKind::kX;
+    conditioned_x.qubits = {0};
+    conditioned_x.condition_bit = 0;
+    EXPECT_DOUBLE_EQ(model.duration(conditioned_x),
+                     circuit::LogicalDurations::kConditionedGate);
+}
+
+TEST(Timing, ConditionedCxCircuitDepthAndDurationPinned)
+{
+    // measure q0 -> c0; if (c0) cx q0,q1 — a serial 2-instruction
+    // chain: depth 2, duration = measure + feed-forward + CX.
+    Circuit c(2, 1);
+    c.measure(0, 0);
+    Instruction cx;
+    cx.kind = GateKind::kCx;
+    cx.qubits = {0, 1};
+    cx.condition_bit = 0;
+    cx.condition_value = 1;
+    c.append(std::move(cx));
+
+    circuit::CircuitDag dag(c);
+    EXPECT_EQ(dag.depth(), 2);
+    const circuit::LogicalDurations model;
+    EXPECT_DOUBLE_EQ(dag.duration(model),
+                     circuit::LogicalDurations::kMeasure +
+                         circuit::LogicalDurations::kConditionedGate -
+                         circuit::LogicalDurations::kOneQubitGate +
+                         circuit::LogicalDurations::kTwoQubitGate);
 }
 
 TEST(Circuit, GateCounts)

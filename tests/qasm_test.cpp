@@ -231,6 +231,107 @@ TEST_P(QasmRoundTrip, PreservesInstructionStream)
 INSTANTIATE_TEST_SUITE_P(RandomCircuits, QasmRoundTrip,
                          ::testing::Range(0, 20));
 
+TEST(Printer, ConditionedOutputIsSpecCompliant)
+{
+    // OpenQASM 2.0 only allows whole-register conditions, so a dynamic
+    // circuit must come out with per-bit 1-bit cregs and
+    // `if (ck == v)` — never the illegal `if (c[k] == v)`.
+    Circuit c(2, 2);
+    c.h(0);
+    c.measure(0, 0);
+    c.x_if(1, 0, 1);
+    c.measure(1, 1);
+    const auto text = qasm::to_qasm(c);
+    EXPECT_EQ(text,
+              "OPENQASM 2.0;\n"
+              "include \"qelib1.inc\";\n"
+              "qreg q[2];\n"
+              "creg c0[1];\n"
+              "creg c1[1];\n"
+              "h q[0];\n"
+              "measure q[0] -> c0[0];\n"
+              "if (c0 == 1) x q[1];\n"
+              "measure q[1] -> c1[0];\n");
+    EXPECT_EQ(text.find("if (c["), std::string::npos);
+}
+
+TEST(Printer, UnconditionedCircuitKeepsFlatCreg)
+{
+    Circuit c(1, 2);
+    c.h(0);
+    c.measure(0, 1);
+    const auto text = qasm::to_qasm(c);
+    EXPECT_NE(text.find("creg c[2];"), std::string::npos);
+    EXPECT_NE(text.find("measure q[0] -> c[1];"), std::string::npos);
+}
+
+TEST(Parser, AcceptsBothConditionForms)
+{
+    // The register-level compliant form and the bit-indexed legacy
+    // extension must parse to the identical instruction.
+    const auto compliant = qasm::parse(
+        "qreg q[2]; creg c0[1]; creg c1[1];\n"
+        "measure q[0] -> c1[0];\n"
+        "if (c1 == 1) x q[1];\n");
+    ASSERT_TRUE(compliant.ok()) << compliant.error;
+    const auto legacy = qasm::parse(
+        "qreg q[2]; creg c[2];\n"
+        "measure q[0] -> c[1];\n"
+        "if (c[1] == 1) x q[1];\n");
+    ASSERT_TRUE(legacy.ok()) << legacy.error;
+    for (const auto* result : {&compliant, &legacy}) {
+        const auto& instr = result->circuit->at(1);
+        EXPECT_EQ(instr.kind, GateKind::kX);
+        EXPECT_TRUE(instr.has_condition());
+        EXPECT_EQ(instr.condition_bit, 1);
+        EXPECT_EQ(instr.condition_value, 1);
+    }
+}
+
+/// Builds the dynamic-primitive showcase circuit: mid-circuit
+/// measurement, reset, and conditioned gates on several bits.
+Circuit
+dynamic_showcase()
+{
+    Circuit c(3, 3);
+    c.h(0);
+    c.measure(0, 0);
+    c.x_if(0, 0, 1);
+    c.reset(1);
+    c.cx(0, 1);
+    c.measure(1, 1);
+    c.z_if(2, 1, 0);
+    c.barrier();
+    c.measure(2, 2);
+    return c;
+}
+
+TEST(Printer, DynamicRoundTripPreservesInstructions)
+{
+    const auto original = dynamic_showcase();
+    const auto result = qasm::parse(qasm::to_qasm(original));
+    ASSERT_TRUE(result.ok()) << result.error;
+    ASSERT_EQ(result.circuit->size(), original.size());
+    EXPECT_EQ(result.circuit->num_clbits(), original.num_clbits());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        const auto& a = original.at(i);
+        const auto& b = result.circuit->at(i);
+        EXPECT_EQ(a.kind, b.kind);
+        EXPECT_EQ(a.qubits, b.qubits);
+        EXPECT_EQ(a.clbit, b.clbit);
+        EXPECT_EQ(a.condition_bit, b.condition_bit);
+        EXPECT_EQ(a.condition_value, b.condition_value);
+    }
+}
+
+TEST(Printer, DynamicPrintParsePrintIsAFixpoint)
+{
+    const auto first = qasm::to_qasm(dynamic_showcase());
+    const auto reparsed = qasm::parse(first);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.error;
+    EXPECT_EQ(qasm::to_qasm(*reparsed.circuit), first);
+}
+
 TEST(ParseFile, MissingFileReportsError)
 {
     const auto result = qasm::parse_file("/nonexistent/file.qasm");
