@@ -100,13 +100,13 @@ run_thread_sweep()
     for (const auto& name : corpus) {
         const std::string path =
             std::string(CAQR_CIRCUITS_DIR) + "/" + name + ".qasm";
-        const auto parsed = qasm::parse_file(path);
+        const auto parsed = qasm::parse_circuit_file(path);
         if (!parsed.ok()) {
             std::fprintf(stderr, "skipping %s: %s\n", path.c_str(),
-                         parsed.error.c_str());
+                         parsed.status().to_string().c_str());
             continue;
         }
-        const auto& circuit = *parsed.circuit;
+        const auto& circuit = *parsed;
 
         core::QsCaqrOptions serial;
         serial.num_threads = 1;

@@ -14,9 +14,9 @@
 #include <vector>
 
 #include "apps/benchmarks.h"
-#include "arch/backend.h"
 #include "core/tradeoff.h"
 #include "graph/generators.h"
+#include "service/service.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -74,7 +74,17 @@ print_section(const char* title, const std::vector<Row>& rows,
 int
 main()
 {
-    const auto backend = arch::Backend::fake_mumbai();
+    // The sweeps need every budget level, so they stay on
+    // core::explore_tradeoff — but the backend (coupling graph + APSP
+    // distance matrix) comes from the service's shared cache.
+    Service service;
+    const auto backend_or = service.backend("FakeMumbai");
+    if (!backend_or.ok()) {
+        std::cerr << "error: " << backend_or.status().to_string()
+                  << "\n";
+        return 1;
+    }
+    const arch::Backend& backend = **backend_or;
     std::vector<Row> rows;
 
     for (const auto& name : apps::regular_benchmark_names()) {

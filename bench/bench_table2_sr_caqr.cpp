@@ -5,17 +5,23 @@
  * all qubit-saving levels, against SR-CaQR's dynamic-circuit-aware
  * mapping. Both on the IBM Mumbai architecture.
  *
+ * The SR-CaQR column goes through the batch compilation service (one
+ * `CompileRequest` per benchmark, `Strategy::kSrCaqr`, all compiled
+ * concurrently against the shared cached backend); the QS MIN-SWAP
+ * column needs the full per-budget sweep, which stays on
+ * `core::explore_tradeoff`.
+ *
  * Paper shape to check: SR-CaQR matches or beats QS-CaQR(MIN-SWAP)
  * SWAP counts on regular applications (e.g. zero SWAPs for 4mod5) and
  * wins more clearly on larger QAOA graphs, with duration following.
  */
 #include <iostream>
+#include <vector>
 
 #include "apps/benchmarks.h"
-#include "arch/backend.h"
-#include "core/sr_caqr.h"
 #include "core/tradeoff.h"
 #include "graph/generators.h"
+#include "service/service.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -49,12 +55,56 @@ min_swap_of(const std::vector<core::TradeoffPoint>& points)
     return best;
 }
 
+core::CommutingSpec
+qaoa_spec(int n)
+{
+    util::Rng rng(1000u + static_cast<unsigned>(n));
+    core::CommutingSpec spec;
+    spec.interaction = graph::random_graph(n, 0.30, rng);
+    return spec;
+}
+
+core::QsCommutingOptions
+qaoa_options(int n)
+{
+    core::QsCommutingOptions options;
+    options.max_candidates = n <= 15 ? 24 : 12;
+    return options;
+}
+
 }  // namespace
 
 int
 main()
 {
-    const auto backend = arch::Backend::fake_mumbai();
+    Service service;
+
+    // SR-CaQR side: one request per benchmark, batched.
+    std::vector<CompileRequest> requests;
+    for (const auto& name : apps::regular_benchmark_names()) {
+        CompileRequest request;
+        request.name = name;
+        request.circuit = apps::get_benchmark(name)->circuit;
+        request.strategy = Strategy::kSrCaqr;
+        request.compute_esp = false;
+        requests.push_back(std::move(request));
+    }
+    for (int n : {5, 10, 15, 20, 25}) {
+        CompileRequest request;
+        request.name = "qaoa" + std::to_string(n) + "-0.3";
+        request.commuting = qaoa_spec(n);
+        request.strategy = Strategy::kSrCaqr;
+        request.qs_commuting = qaoa_options(n);
+        request.compute_esp = false;
+        requests.push_back(std::move(request));
+    }
+    const auto reports = service.compile_batch(requests);
+
+    const auto backend = service.backend("FakeMumbai");
+    if (!backend.ok()) {
+        std::cerr << "error: " << backend.status().to_string() << "\n";
+        return 1;
+    }
 
     util::Table table({"benchmark", "QS swaps", "QS duration (dt)",
                        "SR swaps", "SR duration (dt)", "SR phys qubits",
@@ -66,42 +116,37 @@ main()
     int ties = 0;
     int total = 0;
 
-    auto add_row = [&](const std::string& name, const MinSwap& qs,
-                       const core::SrCaqrResult& sr) {
+    auto add_row = [&](const MinSwap& qs, const CompileReport& sr) {
+        if (!sr.ok()) {
+            std::cerr << "error: " << sr.name << ": "
+                      << sr.status.to_string() << "\n";
+            std::exit(1);
+        }
         table.add_row(
-            {name, util::Table::fmt(static_cast<long long>(qs.swaps)),
+            {sr.name, util::Table::fmt(static_cast<long long>(qs.swaps)),
              util::Table::fmt(qs.duration, 0),
-             util::Table::fmt(static_cast<long long>(sr.swaps_added)),
+             util::Table::fmt(static_cast<long long>(sr.swaps)),
              util::Table::fmt(sr.duration_dt, 0),
              util::Table::fmt(
-                 static_cast<long long>(sr.physical_qubits_used)),
+                 static_cast<long long>(sr.physical_qubits)),
              util::Table::fmt(static_cast<long long>(sr.reuses))});
         ++total;
-        if (sr.swaps_added < qs.swaps) ++sr_wins;
-        if (sr.swaps_added == qs.swaps) ++ties;
+        if (sr.swaps < qs.swaps) ++sr_wins;
+        if (sr.swaps == qs.swaps) ++ties;
     };
 
+    std::size_t index = 0;
     for (const auto& name : apps::regular_benchmark_names()) {
         const auto bench = apps::get_benchmark(name);
         const auto points =
-            core::explore_tradeoff(bench->circuit, &backend);
-        const auto qs = min_swap_of(points);
-        const auto sr = core::sr_caqr(bench->circuit, backend);
-        add_row(name, qs, sr);
+            core::explore_tradeoff(bench->circuit, backend->get());
+        add_row(min_swap_of(points), reports[index++]);
     }
 
     for (int n : {5, 10, 15, 20, 25}) {
-        util::Rng rng(1000u + static_cast<unsigned>(n));
-        core::CommutingSpec spec;
-        spec.interaction = graph::random_graph(n, 0.30, rng);
-        core::QsCommutingOptions options;
-        options.max_candidates = n <= 15 ? 24 : 12;
-        const auto points =
-            core::explore_tradeoff_commuting(spec, &backend, options);
-        const auto qs = min_swap_of(points);
-        const auto sr =
-            core::sr_caqr_commuting(spec, backend, {}, options);
-        add_row("qaoa" + std::to_string(n) + "-0.3", qs, sr);
+        const auto points = core::explore_tradeoff_commuting(
+            qaoa_spec(n), backend->get(), qaoa_options(n));
+        add_row(min_swap_of(points), reports[index++]);
     }
 
     table.print(std::cout);

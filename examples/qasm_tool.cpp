@@ -1,30 +1,46 @@
 /**
  * @file
- * Command-line QASM tool: read an OpenQASM 2.0 circuit from stdin (or
- * a file), apply CaQR, and emit the transformed dynamic circuit.
+ * Command-line QASM tool on top of the batch compilation service.
+ *
+ * Single-circuit mode reads an OpenQASM 2.0 circuit from stdin (or a
+ * file), applies CaQR through `caqr::Service`, and emits the
+ * transformed dynamic circuit. Batch mode (`--batch`) compiles every
+ * .qasm file named by a directory or manifest concurrently and emits
+ * a CSV report plus trace artifacts.
  *
  * Usage:
  *   qasm_tool [--target-qubits N] [--stats] [file.qasm]
+ *   qasm_tool --batch PATH [--strategy S] [--backend B] [--threads N]
+ *             [--out PREFIX]
  *   qasm_tool --export-benchmarks DIR
  *
  * With no file, reads stdin. `--stats` prints the sweep table instead
  * of QASM. `--export-benchmarks` writes the built-in benchmark suite
  * as .qasm files into DIR (the source tree ships the result in
- * `circuits/`).
+ * `circuits/`). Any I/O, parse, or compilation failure is reported on
+ * stderr and exits nonzero.
  */
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "apps/benchmarks.h"
 #include "core/qs_caqr.h"
 #include "qasm/parser.h"
 #include "qasm/printer.h"
+#include "service/service.h"
 #include "util/table.h"
 #include "util/trace.h"
 
 namespace {
+
+constexpr const char kUsage[] =
+    "usage: qasm_tool [--target-qubits N] [--stats] [file.qasm]\n"
+    "       qasm_tool --batch PATH [--strategy S] [--backend B]\n"
+    "                 [--threads N] [--out PREFIX]\n"
+    "       qasm_tool --export-benchmarks DIR\n";
 
 int
 export_benchmarks(const std::string& dir)
@@ -44,6 +60,80 @@ export_benchmarks(const std::string& dir)
     return 0;
 }
 
+/// Compiles every .qasm under @p batch_path through one Service and
+/// writes <out>.csv + <out>.trace.json/.metrics.csv. Exits nonzero if
+/// any circuit fails.
+int
+run_batch(const std::string& batch_path, const std::string& strategy_name,
+          const std::string& backend, int threads, const std::string& out)
+{
+    using namespace caqr;
+
+    const auto strategy = parse_strategy(strategy_name);
+    if (!strategy.ok()) {
+        std::cerr << "error: " << strategy.status().to_string() << "\n";
+        return 1;
+    }
+
+    CompileRequest prototype;
+    prototype.strategy = *strategy;
+    prototype.backend = backend;
+    // The batch level owns the parallelism; each request compiles
+    // serially so N circuits use N threads, not N x hardware.
+    prototype.qs.num_threads = 1;
+    prototype.qs_commuting.num_threads = 1;
+    prototype.transpile.num_threads = 1;
+    prototype.sr.num_threads = 1;
+
+    const auto requests = requests_from_path(batch_path, prototype);
+    if (!requests.ok()) {
+        std::cerr << "error: " << requests.status().to_string() << "\n";
+        return 1;
+    }
+
+    util::trace::set_enabled(true);
+    Service service({.num_threads = threads});
+    const auto reports = service.compile_batch(*requests);
+
+    const std::string csv_path = out + ".csv";
+    std::ofstream csv(csv_path);
+    if (!csv) {
+        std::cerr << "error: cannot write '" << csv_path << "'\n";
+        return 1;
+    }
+    csv << batch_csv_header() << "\n";
+
+    util::Table table({"circuit", "status", "qubits", "depth", "SWAPs"});
+    table.set_title("Batch compile: " + batch_path + " (" +
+                    strategy_name + " on " + backend + ")");
+    int failures = 0;
+    for (const auto& report : reports) {
+        csv << batch_csv_row(report) << "\n";
+        table.add_row(
+            {report.name, report.status.ok() ? "ok" : "FAILED",
+             util::Table::fmt(static_cast<long long>(report.qubits)),
+             util::Table::fmt(static_cast<long long>(report.depth)),
+             util::Table::fmt(static_cast<long long>(report.swaps))});
+        if (!report.status.ok()) {
+            ++failures;
+            std::cerr << "error: " << report.name << ": "
+                      << report.status.to_string() << "\n";
+        }
+    }
+    table.print(std::cout);
+
+    if (!util::trace::write_run_artifacts(out)) {
+        std::cerr << "error: cannot write trace artifacts '" << out
+                  << ".trace.json'\n";
+        return 1;
+    }
+    std::cout << "\nwrote " << csv_path << ", " << out << ".trace.json, "
+              << out << ".metrics.csv ("
+              << service.backend_cache_misses() << " backend build(s), "
+              << service.backend_cache_hits() << " cache hit(s))\n";
+    return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int
@@ -54,6 +144,11 @@ main(int argc, char** argv)
     int target_qubits = -1;
     bool stats_only = false;
     std::string path;
+    std::string batch_path;
+    std::string strategy = "qs_caqr";
+    std::string backend = "FakeMumbai";
+    std::string out = "qasm_batch";
+    int threads = 0;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--target-qubits" && i + 1 < argc) {
@@ -62,42 +157,61 @@ main(int argc, char** argv)
             stats_only = true;
         } else if (arg == "--export-benchmarks" && i + 1 < argc) {
             return export_benchmarks(argv[++i]);
+        } else if (arg == "--batch" && i + 1 < argc) {
+            batch_path = argv[++i];
+        } else if (arg == "--strategy" && i + 1 < argc) {
+            strategy = argv[++i];
+        } else if (arg == "--backend" && i + 1 < argc) {
+            backend = argv[++i];
+        } else if (arg == "--threads" && i + 1 < argc) {
+            threads = std::stoi(argv[++i]);
+        } else if (arg == "--out" && i + 1 < argc) {
+            out = argv[++i];
         } else if (arg == "--help") {
-            std::cout << "usage: qasm_tool [--target-qubits N] "
-                         "[--stats] [file.qasm]\n";
+            std::cout << kUsage;
             return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "error: unknown option '" << arg << "'\n"
+                      << kUsage;
+            return 1;
         } else {
             path = arg;
         }
     }
 
-    std::ostringstream buffer;
+    if (!batch_path.empty()) {
+        return run_batch(batch_path, strategy, backend, threads, out);
+    }
+
+    // Single-circuit mode: one request through the service, QS-CaQR at
+    // the logical level (no hardware mapping), exactly the historical
+    // tool behavior but with uniform error reporting.
+    CompileRequest request;
+    request.strategy = Strategy::kQsCaqr;
+    request.map_to_backend = false;
+    request.qs.target_qubits = target_qubits;
     if (path.empty()) {
+        std::ostringstream buffer;
         buffer << std::cin.rdbuf();
+        request.qasm = buffer.str();
+        request.name = "<stdin>";
     } else {
-        std::ifstream file(path);
-        if (!file) {
-            std::cerr << "error: cannot open '" << path << "'\n";
-            return 1;
-        }
-        buffer << file.rdbuf();
+        request.qasm_file = path;
     }
-
-    const auto parsed = qasm::parse(buffer.str());
-    if (!parsed.ok()) {
-        std::cerr << "parse error: " << parsed.error << "\n";
-        return 1;
-    }
-
-    core::QsCaqrOptions options;
-    options.target_qubits = target_qubits;
-    const auto result = core::qs_caqr(*parsed.circuit, options);
-
-    // Opt-in observability: CAQR_TRACE=1 leaves
-    // qasm_tool.trace.json / .metrics.csv next to the output.
-    util::trace::write_env_artifacts("qasm_tool");
 
     if (stats_only) {
+        // The sweep table needs every version, which the single-report
+        // facade does not carry — drive the pass directly through the
+        // same envelope the service uses.
+        auto parsed = path.empty() ? qasm::parse_circuit(request.qasm)
+                                   : qasm::parse_circuit_file(path);
+        if (!parsed.ok()) {
+            std::cerr << "error: " << parsed.status().to_string() << "\n";
+            return 1;
+        }
+        core::QsCaqrOptions options;
+        const auto result = core::qs_caqr(*parsed, options);
+        util::trace::write_env_artifacts("qasm_tool");
         util::Table table({"qubits", "depth", "duration (dt)"});
         table.set_title("QS-CaQR sweep");
         for (const auto& version : result.versions) {
@@ -107,19 +221,25 @@ main(int argc, char** argv)
                  util::Table::fmt(version.duration_dt, 0)});
         }
         table.print(std::cout);
-        if (target_qubits >= 0 && !result.reached_target) {
+        if (target_qubits >= 0 &&
+            result.versions.back().qubits > target_qubits) {
             std::cerr << "note: target of " << target_qubits
                       << " qubits is not reachable\n";
         }
         return 0;
     }
 
-    if (target_qubits >= 0 && !result.reached_target) {
-        std::cerr << "error: cannot reach " << target_qubits
-                  << " qubits (minimum is "
-                  << result.versions.back().qubits << ")\n";
+    Service service({.num_threads = 1});
+    const auto report = service.compile(request);
+
+    // Opt-in observability: CAQR_TRACE=1 leaves
+    // qasm_tool.trace.json / .metrics.csv next to the output.
+    util::trace::write_env_artifacts("qasm_tool");
+
+    if (!report.ok()) {
+        std::cerr << "error: " << report.status.to_string() << "\n";
         return 1;
     }
-    std::cout << qasm::to_qasm(result.versions.back().circuit);
+    std::cout << qasm::to_qasm(report.compiled);
     return 0;
 }

@@ -1,10 +1,11 @@
 /**
  * @file
- * Quickstart: the paper's Fig 1 walkthrough. Build a 5-qubit
- * Bernstein–Vazirani circuit, let QS-CaQR squeeze it to 2 qubits via
- * mid-circuit measurement + conditional reset, map it onto a fake
- * 27-qubit backend, verify on the simulator that it still recovers
- * the secret, and print the dynamic circuit as OpenQASM.
+ * Quickstart: the paper's Fig 1 walkthrough, driven through the batch
+ * compilation service. Build a 5-qubit Bernstein–Vazirani circuit and
+ * submit one batch with three requests: the logical baseline (for the
+ * depth comparison), QS-CaQR at the logical level with simulation
+ * (verify the dynamic circuit still recovers the secret), and QS-CaQR
+ * mapped onto a fake 27-qubit backend (layout + SABRE routing).
  *
  * Runs with tracing on and leaves `quickstart.trace.json` (load in
  * chrome://tracing) plus `quickstart.metrics.csv` in the working
@@ -13,11 +14,8 @@
 #include <iostream>
 
 #include "apps/benchmarks.h"
-#include "arch/backend.h"
-#include "core/qs_caqr.h"
 #include "qasm/printer.h"
-#include "sim/simulator.h"
-#include "transpile/transpiler.h"
+#include "service/service.h"
 #include "util/trace.h"
 
 int
@@ -32,41 +30,63 @@ main()
     std::cout << "Original circuit uses " << bv.active_qubit_count()
               << " qubits:\n" << bv.to_string() << "\n";
 
-    // 2. QS-CaQR: sweep reuse down to the minimum qubit count.
-    const auto result = core::qs_caqr(bv);
-    const auto& reused = result.versions.back();
-    std::cout << "QS-CaQR found " << result.versions.size() - 1
-              << " reuse steps; minimal version uses " << reused.qubits
-              << " qubits (depth " << reused.depth << " vs "
-              << result.versions.front().depth << " originally).\n";
-    for (const auto& pair : reused.applied) {
-        std::cout << "  reuse: wire of q" << pair.source
-                  << " reused by q" << pair.target << "\n";
+    // 2. One service, one batch, three pipelines.
+    Service service;
+
+    CompileRequest baseline;
+    baseline.name = "bv_5/baseline";
+    baseline.circuit = bv;
+    baseline.strategy = Strategy::kBaseline;
+    baseline.map_to_backend = false;
+
+    CompileRequest reuse = baseline;
+    reuse.name = "bv_5/qs_caqr";
+    reuse.strategy = Strategy::kQsCaqr;
+    reuse.simulate = true;
+    reuse.sim = {.shots = 1024, .seed = 7};
+
+    CompileRequest mapped = baseline;
+    mapped.name = "bv_5/qs_caqr+map";
+    mapped.strategy = Strategy::kQsCaqr;
+    mapped.map_to_backend = true;
+    mapped.backend = "FakeMumbai";
+
+    const auto reports = service.compile_batch({baseline, reuse, mapped});
+    for (const auto& report : reports) {
+        if (!report.ok()) {
+            std::cerr << "error: " << report.name << ": "
+                      << report.status.to_string() << "\n";
+            return 1;
+        }
     }
 
-    // 3. Map the reused circuit onto a fake 27-qubit heavy-hex
-    // backend (layout + SABRE routing).
-    const auto backend = arch::Backend::fake_mumbai();
-    const auto mapped = transpile::transpile(reused.circuit, backend);
-    std::cout << "\nTranspiled onto " << backend.name() << ": depth "
-              << mapped.depth << ", " << mapped.swaps_added
-              << " swaps added.\n";
+    // 3. QS-CaQR squeezed the circuit via mid-circuit measurement +
+    // conditional reset.
+    const auto& logical = reports[1];
+    std::cout << "QS-CaQR applied " << logical.reuses
+              << " reuse steps; minimal version uses " << logical.qubits
+              << " qubits (depth " << logical.depth << " vs "
+              << reports[0].depth << " originally).\n";
 
-    // 4. Verify: the dynamic circuit still recovers the secret.
-    const auto counts =
-        sim::simulate(reused.circuit, {.shots = 1024, .seed = 7});
-    std::cout << "\nSimulated " << reused.qubits
+    // 4. The same reuse pipeline, hardware-mapped.
+    const auto& hw = reports[2];
+    std::cout << "\nTranspiled onto " << hw.backend << ": depth "
+              << hw.depth << ", " << hw.swaps
+              << " swaps added, ESP " << hw.esp << ".\n";
+
+    // 5. Verify: the dynamic circuit still recovers the secret.
+    std::cout << "\nSimulated " << logical.qubits
               << "-qubit dynamic circuit (1024 shots):\n";
-    for (const auto& [key, count] : counts) {
+    for (const auto& [key, count] : logical.counts) {
         std::cout << "  " << key << ": " << count << "\n";
     }
     std::cout << "expected: " << apps::bv_expected(5) << "\n";
 
-    // 5. Export as OpenQASM 2.0 (with the dynamic-circuit `if`
+    // 6. Export as OpenQASM 2.0 (with the dynamic-circuit `if`
     // extension).
-    std::cout << "\nOpenQASM:\n" << qasm::to_qasm(reused.circuit);
+    std::cout << "\nOpenQASM:\n" << qasm::to_qasm(logical.compiled);
 
-    // 6. Dump the per-run observability record: Chrome-trace JSON for
+    // 7. Dump the per-run observability record: Chrome-trace JSON for
     // chrome://tracing plus a flat CSV metrics summary.
     if (!util::trace::write_run_artifacts("quickstart")) {
         std::cerr << "failed to write trace artifacts\n";

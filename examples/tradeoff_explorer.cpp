@@ -1,16 +1,18 @@
 /**
  * @file
  * Tradeoff-explorer example: run the reuse advisor on each built-in
- * benchmark, then sweep the full qubit budget for one of them and
- * print the qubits / depth / duration / SWAP Pareto table a user would
- * consult before picking a version for their device.
+ * benchmark, compile the whole suite through the batch service for a
+ * hardware-level summary, then sweep the full qubit budget for one
+ * benchmark and print the qubits / depth / duration / SWAP Pareto
+ * table a user would consult before picking a version for their
+ * device.
  */
 #include <iostream>
 
 #include "apps/benchmarks.h"
-#include "arch/backend.h"
 #include "core/reuse_analysis.h"
 #include "core/tradeoff.h"
+#include "service/service.h"
 #include "util/table.h"
 #include "util/trace.h"
 
@@ -40,20 +42,61 @@ main(int argc, char** argv)
     }
     advice_table.print(std::cout);
 
-    // 2. Full budget sweep for one benchmark (default bv_10).
+    // 2. One batch through the compilation service: every benchmark,
+    // maximal reuse, mapped onto the shared FakeMumbai backend (built
+    // once, cached for the whole batch).
+    Service service;
+    std::vector<CompileRequest> requests;
+    for (const auto& name : apps::regular_benchmark_names()) {
+        CompileRequest request;
+        request.name = name;
+        request.circuit = apps::get_benchmark(name)->circuit;
+        request.strategy = Strategy::kQsCaqr;
+        request.backend = "FakeMumbai";
+        requests.push_back(std::move(request));
+    }
+    const auto reports = service.compile_batch(requests);
+
+    util::Table suite({"benchmark", "qubits", "reuse qubits",
+                       "compiled depth", "SWAPs", "ESP"});
+    suite.set_title("\nSuite compile (qs_caqr on FakeMumbai)");
+    for (const auto& report : reports) {
+        if (!report.ok()) {
+            std::cerr << "error: " << report.name << ": "
+                      << report.status.to_string() << "\n";
+            return 1;
+        }
+        suite.add_row(
+            {report.name,
+             util::Table::fmt(static_cast<long long>(report.logical_qubits)),
+             util::Table::fmt(static_cast<long long>(report.qubits)),
+             util::Table::fmt(static_cast<long long>(report.depth)),
+             util::Table::fmt(static_cast<long long>(report.swaps)),
+             util::Table::fmt(report.esp, 4)});
+    }
+    suite.print(std::cout);
+
+    // 3. Full budget sweep for one benchmark (default bv_10), reusing
+    // the service's cached backend instead of rebuilding the coupling
+    // graph + distance matrix.
     const std::string target = argc > 1 ? argv[1] : "bv_10";
     const auto bench = apps::get_benchmark(target);
     if (!bench) {
         std::cerr << "unknown benchmark '" << target << "'\n";
         return 1;
     }
-    const auto backend = arch::Backend::fake_mumbai();
-    const auto points = core::explore_tradeoff(bench->circuit, &backend);
+    const auto backend = service.backend("FakeMumbai");
+    if (!backend.ok()) {
+        std::cerr << "error: " << backend.status().to_string() << "\n";
+        return 1;
+    }
+    const auto points =
+        core::explore_tradeoff(bench->circuit, backend->get());
 
     util::Table sweep({"qubits", "logical depth", "compiled depth",
                        "compiled duration (dt)", "SWAPs"});
     sweep.set_title("\nBudget sweep: " + target + " on " +
-                    backend.name());
+                    (*backend)->name());
     for (const auto& point : points) {
         sweep.add_row(
             {util::Table::fmt(static_cast<long long>(point.qubits)),

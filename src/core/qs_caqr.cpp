@@ -366,7 +366,7 @@ qs_caqr_impl(const circuit::Circuit& circuit, const QsCaqrOptions& options,
 QsCaqrResult
 qs_caqr(const circuit::Circuit& circuit, const QsCaqrOptions& options)
 {
-    if (util::trace::enabled()) {
+    if (options.trace && util::trace::enabled()) {
         util::trace::Span span("qs_caqr");
         util::trace::TallySink sink;
         auto result = qs_caqr_impl(circuit, options, sink);
@@ -376,6 +376,24 @@ qs_caqr(const circuit::Circuit& circuit, const QsCaqrOptions& options)
     }
     util::trace::NullSink sink;
     return qs_caqr_impl(circuit, options, sink);
+}
+
+util::StatusOr<QsCaqrResult>
+qs_caqr_or(const circuit::Circuit& circuit, const QsCaqrOptions& options)
+{
+    if (options.target_qubits < -1 || options.target_qubits == 0) {
+        return util::Status::invalid_argument(
+            "target_qubits must be positive or -1 (minimum), got " +
+            std::to_string(options.target_qubits));
+    }
+    QsCaqrResult result = qs_caqr(circuit, options);
+    if (!result.reached_target) {
+        return util::Status::infeasible(
+            "cannot reach " + std::to_string(options.target_qubits) +
+            " qubits (minimum is " +
+            std::to_string(result.versions.back().qubits) + ")");
+    }
+    return result;
 }
 
 namespace {
@@ -626,7 +644,7 @@ QsCommutingResult
 qs_caqr_commuting(const CommutingSpec& spec,
                   const QsCommutingOptions& options)
 {
-    if (util::trace::enabled()) {
+    if (options.trace && util::trace::enabled()) {
         util::trace::Span span("qs_caqr_commuting");
         util::trace::TallySink sink;
         auto result = qs_caqr_commuting_impl(spec, options, sink);
@@ -635,6 +653,25 @@ qs_caqr_commuting(const CommutingSpec& spec,
     }
     util::trace::NullSink sink;
     return qs_caqr_commuting_impl(spec, options, sink);
+}
+
+util::StatusOr<QsCommutingResult>
+qs_caqr_commuting_or(const CommutingSpec& spec,
+                     const QsCommutingOptions& options)
+{
+    if (options.target_qubits < -1 || options.target_qubits == 0) {
+        return util::Status::invalid_argument(
+            "target_qubits must be positive or -1 (minimum), got " +
+            std::to_string(options.target_qubits));
+    }
+    QsCommutingResult result = qs_caqr_commuting(spec, options);
+    if (!result.reached_target) {
+        return util::Status::infeasible(
+            "cannot reach " + std::to_string(options.target_qubits) +
+            " qubits (coloring bound is " +
+            std::to_string(result.coloring_bound) + ")");
+    }
+    return result;
 }
 
 }  // namespace caqr::core

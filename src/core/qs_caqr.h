@@ -22,6 +22,8 @@
 #include "circuit/circuit.h"
 #include "core/commuting.h"
 #include "core/reuse_analysis.h"
+#include "util/options.h"
+#include "util/status.h"
 
 namespace caqr::core {
 
@@ -39,16 +41,15 @@ struct QsVersion
     double duration_dt = 0.0;
 };
 
-/// QS-CaQR options for regular circuits.
-struct QsCaqrOptions
+/// QS-CaQR options for regular circuits. The embedded CommonOptions
+/// supply `num_threads` for the tentative-splice engine (the chosen
+/// pairs — and every generated version — are bit-identical for any
+/// value) and the per-request trace opt-out.
+struct QsCaqrOptions : CommonOptions
 {
     /// Stop once this many qubits is reached; -1 = squeeze to minimum.
     int target_qubits = -1;
     ReuseMetric metric = ReuseMetric::kDuration;
-    /// Evaluation threads for the tentative-splice engine: 1 = serial,
-    /// 0/negative = one per hardware thread. The chosen pairs — and
-    /// every generated version — are bit-identical for any value.
-    int num_threads = 0;
 };
 
 /// Result: versions[k] uses (original - k) qubits.
@@ -70,17 +71,21 @@ struct QsCaqrResult
 QsCaqrResult qs_caqr(const circuit::Circuit& circuit,
                      const QsCaqrOptions& options = {});
 
-/// Options for the commuting-workload search.
-struct QsCommutingOptions
+/// Envelope variant: an unreachable `target_qubits` reports
+/// `kInfeasible` (the message names the reachable minimum), a
+/// malformed target `kInvalidArgument`.
+util::StatusOr<QsCaqrResult> qs_caqr_or(const circuit::Circuit& circuit,
+                                        const QsCaqrOptions& options = {});
+
+/// Options for the commuting-workload search. The embedded
+/// CommonOptions supply `num_threads` for candidate scheduling
+/// (results are bit-identical for any value) and the trace opt-out.
+struct QsCommutingOptions : CommonOptions
 {
     int target_qubits = -1;
     /// Candidate pairs evaluated per step (heuristically pre-ranked);
     /// bounds compile time on large graphs.
     int max_candidates = 48;
-    /// Evaluation threads for candidate scheduling: 1 = serial,
-    /// 0/negative = one per hardware thread. Results are bit-identical
-    /// for any value.
-    int num_threads = 0;
     CommutingOptions scheduling;
 };
 
@@ -104,6 +109,11 @@ struct QsCommutingResult
 /// Runs QS-CaQR on a commuting workload.
 QsCommutingResult qs_caqr_commuting(const CommutingSpec& spec,
                                     const QsCommutingOptions& options = {});
+
+/// Envelope variant of `qs_caqr_commuting`; failure vocabulary matches
+/// `qs_caqr_or`.
+util::StatusOr<QsCommutingResult> qs_caqr_commuting_or(
+    const CommutingSpec& spec, const QsCommutingOptions& options = {});
 
 }  // namespace caqr::core
 

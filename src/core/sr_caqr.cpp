@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 #include <set>
 
 #include "circuit/dag.h"
@@ -239,7 +240,8 @@ SrCaqrResult
 sr_caqr(const Circuit& input, const arch::Backend& backend,
         const SrCaqrOptions& options)
 {
-    util::trace::Span span("sr_caqr");
+    std::optional<util::trace::Span> span;
+    if (options.trace) span.emplace("sr_caqr");
 
     // Heuristic-perturbation trials around the placement and SWAP
     // scoring weights; fewest SWAPs wins (duration tie-break).
@@ -269,13 +271,26 @@ sr_caqr(const Circuit& input, const arch::Backend& backend,
         }
     }
 
-    if (util::trace::enabled()) {
+    if (options.trace && util::trace::enabled()) {
         util::trace::counter_add("sr_caqr.variant_trials",
                                  std::min(trials, 4));
         util::trace::counter_add("sr_caqr.swaps_added", best.swaps_added);
         util::trace::counter_add("sr_caqr.reuses", best.reuses);
     }
     return best;
+}
+
+util::StatusOr<SrCaqrResult>
+sr_caqr_or(const Circuit& logical, const arch::Backend& backend,
+           const SrCaqrOptions& options)
+{
+    if (logical.num_qubits() > backend.num_qubits()) {
+        return util::Status::infeasible(
+            "circuit needs " + std::to_string(logical.num_qubits()) +
+            " qubits but backend '" + backend.name() + "' has " +
+            std::to_string(backend.num_qubits()));
+    }
+    return sr_caqr(logical, backend, options);
 }
 
 namespace {
@@ -608,6 +623,23 @@ sr_caqr_commuting(const CommutingSpec& spec, const arch::Backend& backend,
         }
     }
     return best_result;
+}
+
+util::StatusOr<SrCaqrResult>
+sr_caqr_commuting_or(const CommutingSpec& spec, const arch::Backend& backend,
+                     const SrCaqrOptions& options,
+                     const QsCommutingOptions& qs_options)
+{
+    // The zero-reuse probe materializes one wire per problem node, so
+    // the workload fits iff the node count does.
+    if (spec.interaction.num_nodes() > backend.num_qubits()) {
+        return util::Status::infeasible(
+            "workload needs " +
+            std::to_string(spec.interaction.num_nodes()) +
+            " qubits but backend '" + backend.name() + "' has " +
+            std::to_string(backend.num_qubits()));
+    }
+    return sr_caqr_commuting(spec, backend, options, qs_options);
 }
 
 }  // namespace caqr::core

@@ -19,11 +19,15 @@
 #include "circuit/circuit.h"
 #include "core/commuting.h"
 #include "core/qs_caqr.h"
+#include "util/options.h"
+#include "util/status.h"
 
 namespace caqr::core {
 
-/// SR-CaQR options.
-struct SrCaqrOptions
+/// SR-CaQR options. The embedded CommonOptions supply the per-request
+/// trace opt-out (the pass itself is deterministic — its trials are
+/// fixed heuristic variants, not seeded perturbations).
+struct SrCaqrOptions : CommonOptions
 {
     /// Break placement/SWAP ties toward lower readout / CX error.
     bool error_aware = true;
@@ -55,10 +59,18 @@ struct SrCaqrResult
     double duration_dt = 0.0;
 };
 
-/// Compiles a regular circuit onto @p backend (paper §3.3.1).
+/// Compiles a regular circuit onto @p backend (paper §3.3.1). The
+/// circuit must fit the backend; use `sr_caqr_or` to get that reported
+/// as a status instead of a panic.
 SrCaqrResult sr_caqr(const circuit::Circuit& logical,
                      const arch::Backend& backend,
                      const SrCaqrOptions& options = {});
+
+/// Envelope variant: an oversized circuit reports `kInfeasible`
+/// instead of aborting.
+util::StatusOr<SrCaqrResult> sr_caqr_or(const circuit::Circuit& logical,
+                                        const arch::Backend& backend,
+                                        const SrCaqrOptions& options = {});
 
 /**
  * Compiles a commuting workload (paper §3.3.2): QS-CaQR finds the
@@ -69,6 +81,13 @@ SrCaqrResult sr_caqr_commuting(const CommutingSpec& spec,
                                const arch::Backend& backend,
                                const SrCaqrOptions& options = {},
                                const QsCommutingOptions& qs_options = {});
+
+/// Envelope variant of `sr_caqr_commuting`: a workload whose coloring
+/// bound exceeds the backend reports `kInfeasible`.
+util::StatusOr<SrCaqrResult> sr_caqr_commuting_or(
+    const CommutingSpec& spec, const arch::Backend& backend,
+    const SrCaqrOptions& options = {},
+    const QsCommutingOptions& qs_options = {});
 
 }  // namespace caqr::core
 

@@ -1,6 +1,7 @@
 #include "qasm/parser.h"
 
 #include <cmath>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -427,18 +428,48 @@ class Parser
 
 }  // namespace
 
-ParseResult
-parse_file(const std::string& path)
+util::StatusOr<circuit::Circuit>
+parse_circuit(const std::string& source)
 {
+    ParseResult result = parse(source);
+    if (!result.ok()) return util::Status::parse_error(result.error);
+    return std::move(*result.circuit);
+}
+
+util::StatusOr<circuit::Circuit>
+parse_circuit_file(const std::string& path)
+{
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec)) {
+        return util::Status::not_found("no such file: '" + path + "'");
+    }
+    if (!std::filesystem::is_regular_file(path, ec)) {
+        return util::Status::io_error("not a regular file: '" + path +
+                                      "'");
+    }
     std::ifstream file(path);
     if (!file) {
-        ParseResult result;
-        result.error = "cannot open '" + path + "'";
-        return result;
+        return util::Status::io_error("cannot open '" + path + "'");
     }
     std::ostringstream buffer;
     buffer << file.rdbuf();
-    return parse(buffer.str());
+    if (file.bad() || buffer.fail()) {
+        return util::Status::io_error("cannot read '" + path + "'");
+    }
+    return parse_circuit(buffer.str());
+}
+
+ParseResult
+parse_file(const std::string& path)
+{
+    auto parsed = parse_circuit_file(path);
+    ParseResult result;
+    if (parsed.ok()) {
+        result.circuit = std::move(parsed).value();
+    } else {
+        result.error = parsed.status().message();
+    }
+    return result;
 }
 
 ParseResult

@@ -29,10 +29,29 @@
 #include <string>
 
 #include "circuit/circuit.h"
+#include "util/status.h"
 
 namespace caqr::qasm {
 
+/**
+ * Parses OpenQASM 2.0 source text. Failures carry
+ * `util::StatusCode::kParseError` with a line-numbered message.
+ */
+util::StatusOr<circuit::Circuit> parse_circuit(const std::string& source);
+
+/**
+ * Reads and parses a .qasm file. Missing paths report `kNotFound`,
+ * unreadable ones (directories, permission failures, read errors)
+ * `kIoError`, malformed content `kParseError`.
+ */
+util::StatusOr<circuit::Circuit> parse_circuit_file(const std::string& path);
+
+// ---------------------------------------------------------------------
+// Deprecated shims (pre-StatusOr envelope); prefer parse_circuit*.
+// ---------------------------------------------------------------------
+
 /// Result of a parse: the circuit, or an error description.
+/// @deprecated Use `parse_circuit`, which returns the common envelope.
 struct ParseResult
 {
     std::optional<circuit::Circuit> circuit;
@@ -42,10 +61,12 @@ struct ParseResult
 };
 
 /// Parses OpenQASM 2.0 source text.
+/// @deprecated Use `parse_circuit`.
 ParseResult parse(const std::string& source);
 
 /// Reads and parses a .qasm file; reports I/O failures via the error
 /// field.
+/// @deprecated Use `parse_circuit_file`.
 ParseResult parse_file(const std::string& path);
 
 }  // namespace caqr::qasm

@@ -1,0 +1,484 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "circuit/dag.h"
+#include "circuit/timing.h"
+#include "qasm/parser.h"
+#include "qasm/printer.h"
+#include "util/trace.h"
+
+namespace caqr {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Lowercase with separators ('-', '_', ' ', '.') removed — the
+/// normalization behind the backend-name aliases.
+std::string
+normalize_key(const std::string& name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        if (c == '-' || c == '_' || c == ' ' || c == '.') continue;
+        out.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+    }
+    return out;
+}
+
+/// Parses a backend registry key into (canonical cache key, factory
+/// argument). heavy-hex sizes are capped to keep a typo'd size from
+/// allocating a gigantic APSP matrix.
+struct BackendKey
+{
+    std::string canonical;
+    int heavy_hex_qubits = 0;  ///< 0 = FakeMumbai
+};
+
+util::StatusOr<BackendKey>
+parse_backend_key(const std::string& name)
+{
+    constexpr int kMaxHeavyHexQubits = 4096;
+    const std::string key = normalize_key(name);
+    if (key == "fakemumbai" || key == "mumbai") {
+        return BackendKey{"FakeMumbai", 0};
+    }
+    if (key.rfind("heavyhex", 0) == 0) {
+        std::string digits = key.substr(8);
+        if (!digits.empty() && digits.front() == ':') digits.erase(0, 1);
+        if (!digits.empty() &&
+            std::all_of(digits.begin(), digits.end(), [](char c) {
+                return std::isdigit(static_cast<unsigned char>(c));
+            })) {
+            const long qubits = std::strtol(digits.c_str(), nullptr, 10);
+            if (qubits > 0 && qubits <= kMaxHeavyHexQubits) {
+                return BackendKey{
+                    "heavy_hex:" + std::to_string(qubits),
+                    static_cast<int>(qubits)};
+            }
+        }
+        return util::Status::invalid_argument(
+            "heavy-hex backend needs a qubit count in [1, " +
+            std::to_string(kMaxHeavyHexQubits) + "]: '" + name + "'");
+    }
+    return util::Status::not_found(
+        "unknown backend '" + name +
+        "' (known: FakeMumbai, heavy_hex:<min_qubits>)");
+}
+
+/// Escapes a free-text field for the one-line CSV format.
+std::string
+csv_escape(const std::string& text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        if (c == ',') {
+            out.push_back(';');
+        } else if (c == '\n' || c == '\r') {
+            out.push_back(' ');
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+std::string
+format_double(double value)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << value;
+    return os.str();
+}
+
+}  // namespace
+
+const char*
+strategy_name(Strategy strategy)
+{
+    switch (strategy) {
+      case Strategy::kBaseline: return "baseline";
+      case Strategy::kQsCaqr: return "qs_caqr";
+      case Strategy::kQsCommuting: return "qs_commuting";
+      case Strategy::kSrCaqr: return "sr_caqr";
+    }
+    return "unknown";
+}
+
+util::StatusOr<Strategy>
+parse_strategy(const std::string& name)
+{
+    const std::string key = normalize_key(name);
+    if (key == "baseline") return Strategy::kBaseline;
+    if (key == "qscaqr" || key == "qs") return Strategy::kQsCaqr;
+    if (key == "qscommuting") return Strategy::kQsCommuting;
+    if (key == "srcaqr" || key == "sr") return Strategy::kSrCaqr;
+    return util::Status::invalid_argument(
+        "unknown strategy '" + name +
+        "' (known: baseline, qs_caqr, qs_commuting, sr_caqr)");
+}
+
+double
+CompileReport::total_ms() const
+{
+    double total = 0.0;
+    for (const auto& stage : stages) total += stage.ms;
+    return total;
+}
+
+std::string
+report_fingerprint(const CompileReport& report)
+{
+    std::ostringstream os;
+    os << "status=" << report.status.to_string() << '\n'
+       << "name=" << report.name << '\n'
+       << "backend=" << report.backend << '\n'
+       << "strategy=" << report.strategy << '\n'
+       << "logical_qubits=" << report.logical_qubits << '\n'
+       << "qubits=" << report.qubits << '\n'
+       << "physical_qubits=" << report.physical_qubits << '\n'
+       << "depth=" << report.depth << '\n'
+       << "duration_dt=" << format_double(report.duration_dt) << '\n'
+       << "swaps=" << report.swaps << '\n'
+       << "reuses=" << report.reuses << '\n'
+       << "esp=" << format_double(report.esp) << '\n';
+    for (const auto& [key, count] : report.counts) {
+        os << "count[" << key << "]=" << count << '\n';
+    }
+    if (report.compiled.size() > 0 || report.compiled.num_qubits() > 0) {
+        os << qasm::to_qasm(report.compiled);
+    }
+    return os.str();
+}
+
+std::string
+batch_csv_header()
+{
+    return "name,strategy,backend,status,logical_qubits,qubits,"
+           "physical_qubits,depth,duration_dt,swaps,reuses,esp,total_ms";
+}
+
+std::string
+batch_csv_row(const CompileReport& report)
+{
+    std::ostringstream os;
+    os << csv_escape(report.name) << ',' << report.strategy << ','
+       << csv_escape(report.backend) << ','
+       << csv_escape(report.status.to_string()) << ','
+       << report.logical_qubits << ',' << report.qubits << ','
+       << report.physical_qubits << ',' << report.depth << ','
+       << report.duration_dt << ',' << report.swaps << ','
+       << report.reuses << ',' << report.esp << ',' << report.total_ms();
+    return os.str();
+}
+
+Service::Service(ServiceOptions options)
+    : pool_(util::ThreadPool::resolve_threads(options.num_threads) - 1) {}
+
+util::StatusOr<std::shared_ptr<const arch::Backend>>
+Service::backend(const std::string& name)
+{
+    auto key = parse_backend_key(name);
+    if (!key.ok()) return key.status();
+
+    // Build-under-the-mutex keeps the compute-once guarantee trivially:
+    // concurrent first lookups of one backend serialize, every later
+    // lookup shares the immutable instance.
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = backends_.find(key->canonical);
+    if (it != backends_.end()) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        util::trace::counter_add("service.cache_hits", 1);
+        return it->second;
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    util::trace::counter_add("service.cache_misses", 1);
+    util::trace::Span span("service.backend_build");
+    auto built = std::make_shared<const arch::Backend>(
+        key->heavy_hex_qubits == 0
+            ? arch::Backend::fake_mumbai()
+            : arch::Backend::scaled_heavy_hex(key->heavy_hex_qubits));
+    backends_.emplace(key->canonical, built);
+    return built;
+}
+
+CompileReport
+Service::compile(const CompileRequest& request)
+{
+    util::trace::Span span("service.compile");
+    CompileReport report;
+    report.name = request.name;
+    report.strategy = strategy_name(request.strategy);
+
+    // Shared stage path: every pass invocation goes through run_stage,
+    // which skips once a prior stage failed, records wall-clock per
+    // stage, and funnels failures into report.status.
+    auto run_stage = [&report](const char* name, auto&& body) {
+        if (!report.status.ok()) return false;
+        util::trace::Span stage_span(std::string("service.stage.") + name);
+        const auto start = std::chrono::steady_clock::now();
+        util::Status status = body();
+        const double ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        report.stages.push_back({name, ms});
+        if (!status.ok()) report.status = std::move(status);
+        return report.status.ok();
+    };
+
+    circuit::Circuit input;
+    run_stage("load", [&]() -> util::Status {
+        const int provided = (request.circuit.has_value() ? 1 : 0) +
+                             (request.qasm.empty() ? 0 : 1) +
+                             (request.qasm_file.empty() ? 0 : 1) +
+                             (request.commuting.has_value() ? 1 : 0);
+        if (provided != 1) {
+            return util::Status::invalid_argument(
+                "provide exactly one input (circuit, qasm, qasm_file, "
+                "or commuting), got " +
+                std::to_string(provided));
+        }
+        if (request.commuting.has_value()) {
+            if (request.strategy != Strategy::kQsCommuting &&
+                request.strategy != Strategy::kSrCaqr) {
+                return util::Status::invalid_argument(
+                    "a commuting workload needs strategy qs_commuting "
+                    "or sr_caqr");
+            }
+            report.logical_qubits =
+                request.commuting->interaction.num_nodes();
+            if (report.name.empty()) report.name = "commuting";
+            return {};
+        }
+        if (request.strategy == Strategy::kQsCommuting) {
+            return util::Status::invalid_argument(
+                "strategy qs_commuting needs a commuting workload "
+                "input");
+        }
+        if (request.circuit.has_value()) {
+            input = *request.circuit;
+        } else if (!request.qasm.empty()) {
+            auto parsed = qasm::parse_circuit(request.qasm);
+            if (!parsed.ok()) return parsed.status();
+            input = std::move(parsed).value();
+        } else {
+            auto parsed = qasm::parse_circuit_file(request.qasm_file);
+            if (!parsed.ok()) return parsed.status();
+            input = std::move(parsed).value();
+            if (report.name.empty()) {
+                report.name = fs::path(request.qasm_file).stem().string();
+            }
+        }
+        if (report.name.empty()) report.name = "circuit";
+        report.logical_qubits = input.active_qubit_count();
+        return {};
+    });
+
+    std::shared_ptr<const arch::Backend> backend;
+    const bool needs_backend =
+        request.map_to_backend || request.strategy == Strategy::kSrCaqr;
+    if (needs_backend) {
+        run_stage("backend", [&]() -> util::Status {
+            auto resolved = this->backend(request.backend);
+            if (!resolved.ok()) return resolved.status();
+            backend = std::move(resolved).value();
+            report.backend = backend->name();
+            return {};
+        });
+    }
+
+    // Reuse pass (strategy dispatch). `reuse_level` is the logical
+    // circuit the mapping and simulation stages consume; kSrCaqr maps
+    // internally and fills the report directly.
+    circuit::Circuit reuse_level;
+    bool mapped = false;
+    switch (request.strategy) {
+      case Strategy::kBaseline:
+        run_stage("analyze", [&]() -> util::Status {
+            reuse_level = std::move(input);
+            report.qubits = report.logical_qubits;
+            if (!request.map_to_backend) {
+                circuit::CircuitDag dag(reuse_level);
+                report.depth = dag.depth();
+                circuit::LogicalDurations model;
+                report.duration_dt = dag.duration(model);
+            }
+            return {};
+        });
+        break;
+      case Strategy::kQsCaqr:
+        run_stage("qs_caqr", [&]() -> util::Status {
+            if (request.select_by_esp && !request.map_to_backend) {
+                return util::Status::invalid_argument(
+                    "select_by_esp needs map_to_backend");
+            }
+            auto result = core::qs_caqr_or(input, request.qs);
+            if (!result.ok()) return result.status();
+            std::size_t index = result->versions.size() - 1;
+            if (request.select_by_esp) {
+                const auto selection = core::select_best_by_esp(
+                    *result, *backend, request.qs.num_threads);
+                index = selection.version_index;
+            }
+            const auto& version = result->versions[index];
+            reuse_level = version.circuit;
+            report.qubits = version.qubits;
+            report.reuses = static_cast<int>(version.applied.size());
+            report.depth = version.depth;
+            report.duration_dt = version.duration_dt;
+            return {};
+        });
+        break;
+      case Strategy::kQsCommuting:
+        run_stage("qs_commuting", [&]() -> util::Status {
+            auto result = core::qs_caqr_commuting_or(
+                *request.commuting, request.qs_commuting);
+            if (!result.ok()) return result.status();
+            const auto& version = result->versions.back();
+            reuse_level = version.schedule.circuit;
+            report.qubits = version.qubits;
+            report.reuses = static_cast<int>(version.pairs.size());
+            report.depth = version.schedule.depth;
+            report.duration_dt = version.schedule.duration_dt;
+            return {};
+        });
+        break;
+      case Strategy::kSrCaqr:
+        run_stage("sr_caqr", [&]() -> util::Status {
+            auto result =
+                request.commuting.has_value()
+                    ? core::sr_caqr_commuting_or(*request.commuting,
+                                                 *backend, request.sr,
+                                                 request.qs_commuting)
+                    : core::sr_caqr_or(input, *backend, request.sr);
+            if (!result.ok()) return result.status();
+            report.compiled = std::move(result->circuit);
+            report.qubits = result->physical_qubits_used;
+            report.physical_qubits = result->physical_qubits_used;
+            report.swaps = result->swaps_added;
+            report.reuses = result->reuses;
+            report.depth = result->depth;
+            report.duration_dt = result->duration_dt;
+            mapped = true;
+            return {};
+        });
+        break;
+    }
+
+    if (request.strategy != Strategy::kSrCaqr) {
+        if (request.map_to_backend) {
+            run_stage("map", [&]() -> util::Status {
+                auto result = transpile::transpile_or(
+                    reuse_level, *backend, request.transpile);
+                if (!result.ok()) return result.status();
+                report.compiled = std::move(result->circuit);
+                report.swaps = result->swaps_added;
+                report.depth = result->depth;
+                report.duration_dt = result->duration_dt;
+                report.physical_qubits =
+                    report.compiled.active_qubit_count();
+                mapped = true;
+                return {};
+            });
+        } else if (report.status.ok()) {
+            report.compiled = reuse_level;
+        }
+    }
+
+    if (mapped && request.compute_esp) {
+        run_stage("esp", [&]() -> util::Status {
+            report.esp =
+                arch::estimated_success_probability(report.compiled,
+                                                    *backend);
+            return {};
+        });
+    }
+
+    if (request.simulate) {
+        run_stage("simulate", [&]() -> util::Status {
+            const circuit::Circuit& target =
+                request.strategy == Strategy::kSrCaqr ? report.compiled
+                                                      : reuse_level;
+            report.counts = sim::simulate(target, request.sim);
+            return {};
+        });
+    }
+
+    return report;
+}
+
+std::vector<CompileReport>
+Service::compile_batch(const std::vector<CompileRequest>& requests)
+{
+    util::trace::Span span("service.compile_batch");
+    return pool_.map(requests.size(), [&](std::size_t index) {
+        return compile(requests[index]);
+    });
+}
+
+util::StatusOr<std::vector<CompileRequest>>
+requests_from_path(const std::string& path, const CompileRequest& prototype)
+{
+    std::error_code ec;
+    std::vector<std::string> files;
+    if (fs::is_directory(path, ec)) {
+        for (const auto& entry : fs::directory_iterator(path, ec)) {
+            if (entry.is_regular_file() &&
+                entry.path().extension() == ".qasm") {
+                files.push_back(entry.path().string());
+            }
+        }
+        std::sort(files.begin(), files.end());
+    } else if (fs::is_regular_file(path, ec)) {
+        std::ifstream manifest(path);
+        if (!manifest) {
+            return util::Status::io_error("cannot open manifest '" +
+                                          path + "'");
+        }
+        const fs::path base = fs::path(path).parent_path();
+        std::string line;
+        while (std::getline(manifest, line)) {
+            const auto begin = line.find_first_not_of(" \t\r");
+            if (begin == std::string::npos) continue;
+            const auto end = line.find_last_not_of(" \t\r");
+            line = line.substr(begin, end - begin + 1);
+            if (line.empty() || line.front() == '#') continue;
+            fs::path entry(line);
+            if (entry.is_relative()) entry = base / entry;
+            files.push_back(entry.string());
+        }
+    } else {
+        return util::Status::not_found(
+            "no such directory or manifest: '" + path + "'");
+    }
+
+    if (files.empty()) {
+        return util::Status::invalid_argument(
+            "'" + path + "' names no .qasm files");
+    }
+    std::vector<CompileRequest> requests;
+    requests.reserve(files.size());
+    for (const auto& file : files) {
+        CompileRequest request = prototype;
+        request.name.clear();
+        request.circuit.reset();
+        request.qasm.clear();
+        request.commuting.reset();
+        request.qasm_file = file;
+        requests.push_back(std::move(request));
+    }
+    return requests;
+}
+
+}  // namespace caqr

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * The batch compilation service — the one coherent entry point to the
+ * CaQR pass suite.
+ *
+ * Callers describe a job as a `CompileRequest` (QASM source, a file
+ * path, an in-memory circuit, or a commuting workload; a target
+ * backend by name; a `Strategy`; per-strategy knobs) and get back a
+ * `CompileReport` (compiled circuit, qubit/depth/duration/SWAP
+ * metrics, a `util::Status`, per-stage wall-clock timings). Every
+ * strategy runs through the same internal stage pipeline — load →
+ * backend → reuse pass → mapping → ESP/simulation — so error handling,
+ * tracing, and metrics are uniform across `transpile::transpile`,
+ * `core::qs_caqr`, `core::qs_caqr_commuting`, and `core::sr_caqr`.
+ *
+ * `Service` is a long-lived object: it owns the `util::ThreadPool`
+ * that fans out `compile_batch`, a registry of backends (FakeMumbai
+ * plus scaled heavy-hex sizes), and a per-backend cache of constructed
+ * `arch::Backend`s — coupling graph and APSP distance matrix computed
+ * once under a mutex, then shared read-only across requests. Batch
+ * results are index-stable and bit-identical at any thread count
+ * (stage timings excepted; compare with `report_fingerprint`).
+ */
+#ifndef CAQR_SERVICE_SERVICE_H
+#define CAQR_SERVICE_SERVICE_H
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/backend.h"
+#include "circuit/circuit.h"
+#include "core/commuting.h"
+#include "core/qs_caqr.h"
+#include "core/sr_caqr.h"
+#include "core/tradeoff.h"
+#include "sim/simulator.h"
+#include "transpile/transpiler.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace caqr {
+
+/// Which compilation pipeline a request runs.
+enum class Strategy {
+    kBaseline,     ///< decompose + layout + SABRE routing, no reuse
+    kQsCaqr,       ///< QS-CaQR reuse sweep, then baseline mapping
+    kQsCommuting,  ///< QS-CaQR §3.2.2 on a commuting workload
+    kSrCaqr,       ///< SR-CaQR joint layout/routing (commuting or not)
+};
+
+/// Stable lowercase name ("baseline", "qs_caqr", ...).
+const char* strategy_name(Strategy strategy);
+
+/// Inverse of strategy_name; unknown names report kInvalidArgument.
+util::StatusOr<Strategy> parse_strategy(const std::string& name);
+
+/// One compilation job. Provide exactly one input: an in-memory
+/// circuit, inline QASM source, a .qasm file path — or, for the
+/// commuting strategies, a `CommutingSpec`.
+struct CompileRequest
+{
+    /// Label used in reports and CSV rows; defaults to the file stem
+    /// (file inputs) or "circuit".
+    std::string name;
+
+    std::optional<circuit::Circuit> circuit;
+    std::string qasm;       ///< inline OpenQASM 2.0 source
+    std::string qasm_file;  ///< path to a .qasm file, read at compile time
+    std::optional<core::CommutingSpec> commuting;
+
+    /// Backend registry key: "FakeMumbai" (aliases "fake_mumbai",
+    /// "mumbai") or "heavy_hex:<min_qubits>" (alias "heavyhex<n>").
+    std::string backend = "FakeMumbai";
+    Strategy strategy = Strategy::kQsCaqr;
+
+    core::QsCaqrOptions qs;
+    core::QsCommutingOptions qs_commuting;
+    core::SrCaqrOptions sr;
+    transpile::TranspileOptions transpile;
+
+    /// Hardware-map the reuse-level circuit (ignored by kSrCaqr, which
+    /// always maps). When false, metrics are logical-level.
+    bool map_to_backend = true;
+    /// Pick the QS-CaQR version maximizing estimated success
+    /// probability (paper §3.2 version selection) instead of maximal
+    /// reuse. Requires mapping; kQsCaqr only.
+    bool select_by_esp = false;
+    /// Fill `CompileReport::esp` for mapped circuits.
+    bool compute_esp = true;
+    /// Run the shot simulator on the reuse-level circuit and fill
+    /// `CompileReport::counts`.
+    bool simulate = false;
+    sim::SimOptions sim;
+};
+
+/// Wall-clock cost of one pipeline stage.
+struct StageTiming
+{
+    std::string stage;
+    double ms = 0.0;
+};
+
+/// Everything the service knows about one finished (or failed) job.
+struct CompileReport
+{
+    util::Status status;    ///< why `compiled` is empty, when it is
+    std::string name;
+    std::string backend;    ///< resolved backend name ("" when unused)
+    std::string strategy;
+
+    circuit::Circuit compiled;  ///< final circuit (physical when mapped)
+    int logical_qubits = 0;     ///< input circuit, before reuse
+    int qubits = 0;             ///< after reuse (logical wires)
+    int physical_qubits = 0;    ///< distinct physical qubits (mapped only)
+    int depth = 0;
+    double duration_dt = 0.0;
+    int swaps = 0;
+    int reuses = 0;             ///< reuse pairs applied / reclaim events
+    double esp = 0.0;           ///< estimated success prob. (mapped only)
+    sim::Counts counts;         ///< simulate == true only
+
+    std::vector<StageTiming> stages;  ///< pipeline timings, in order
+
+    bool ok() const { return status.ok(); }
+    /// Sum of the per-stage timings.
+    double total_ms() const;
+};
+
+/// Canonical serialization of everything deterministic in a report —
+/// equal fingerprints mean equal results regardless of thread count.
+/// (Stage timings are wall-clock and excluded.)
+std::string report_fingerprint(const CompileReport& report);
+
+/// CSV rendering of a batch: `batch_csv_header()` + one
+/// `batch_csv_row` per report (stage timings summed into total_ms).
+std::string batch_csv_header();
+std::string batch_csv_row(const CompileReport& report);
+
+/// Service-level configuration.
+struct ServiceOptions
+{
+    /// Threads compiling batch entries concurrently: 1 = serial,
+    /// 0/negative = one per hardware thread.
+    int num_threads = 0;
+};
+
+/**
+ * Long-lived compilation driver. Thread-safe: `compile` may be called
+ * from any thread, and `compile_batch` fans out over the owned pool.
+ */
+class Service
+{
+  public:
+    explicit Service(ServiceOptions options = {});
+
+    /**
+     * Resolves (and caches) a backend by registry key. The first
+     * lookup of a key constructs the `arch::Backend` — coupling graph
+     * plus APSP distance matrix — under the registry mutex; later
+     * lookups share the same immutable instance. Emits
+     * `service.cache_hits` / `service.cache_misses` trace counters.
+     */
+    util::StatusOr<std::shared_ptr<const arch::Backend>> backend(
+        const std::string& name);
+
+    /// Runs one request through the stage pipeline. Failures come back
+    /// as `report.status`; this never throws on bad input.
+    CompileReport compile(const CompileRequest& request);
+
+    /**
+     * Compiles every request concurrently on the owned pool. The
+     * result vector is index-aligned with @p requests, and each report
+     * is bit-identical to a serial run (see `report_fingerprint`).
+     */
+    std::vector<CompileReport> compile_batch(
+        const std::vector<CompileRequest>& requests);
+
+    /// Lifetime backend-cache statistics (also mirrored as trace
+    /// counters when tracing is enabled).
+    std::size_t backend_cache_hits() const { return hits_.load(); }
+    std::size_t backend_cache_misses() const { return misses_.load(); }
+
+  private:
+    util::ThreadPool pool_;
+    mutable std::mutex mutex_;
+    std::map<std::string, std::shared_ptr<const arch::Backend>> backends_;
+    std::atomic<std::size_t> hits_{0};
+    std::atomic<std::size_t> misses_{0};
+};
+
+/**
+ * Expands @p path into one request per .qasm file, cloning
+ * @p prototype for everything but name/input. A directory contributes
+ * every `*.qasm` inside (sorted by filename); a manifest file
+ * contributes one path per line (blank lines and `#` comments
+ * skipped, relative paths resolved against the manifest's directory).
+ * An empty expansion reports kInvalidArgument, a missing path
+ * kNotFound.
+ */
+util::StatusOr<std::vector<CompileRequest>> requests_from_path(
+    const std::string& path, const CompileRequest& prototype);
+
+}  // namespace caqr
+
+#endif  // CAQR_SERVICE_SERVICE_H

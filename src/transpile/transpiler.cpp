@@ -1,6 +1,7 @@
 #include "transpile/transpiler.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "circuit/dag.h"
 #include "transpile/decompose.h"
@@ -15,7 +16,8 @@ TranspileResult
 transpile(const circuit::Circuit& logical, const arch::Backend& backend,
           const TranspileOptions& options)
 {
-    util::trace::Span span("transpile");
+    std::optional<util::trace::Span> span;
+    if (options.trace) span.emplace("transpile");
 
     circuit::Circuit native = options.keep_rzz
                                   ? decompose_ccx(logical)
@@ -26,7 +28,7 @@ transpile(const circuit::Circuit& logical, const arch::Backend& backend,
 
     TranspileResult best;
     bool have_best = false;
-    util::Rng rng(0xCA0Full);
+    util::Rng rng(options.seed);
 
     const int trials = std::max(1, options.trials);
     int trial_swaps_total = 0;
@@ -53,7 +55,7 @@ transpile(const circuit::Circuit& logical, const arch::Backend& backend,
         }
     }
 
-    if (util::trace::enabled()) {
+    if (options.trace && util::trace::enabled()) {
         util::trace::counter_add("transpile.layout_trials", trials);
         util::trace::counter_add("transpile.trial_swaps",
                                  trial_swaps_total);
@@ -66,6 +68,19 @@ transpile(const circuit::Circuit& logical, const arch::Backend& backend,
 
     fill_metrics(&best, backend);
     return best;
+}
+
+util::StatusOr<TranspileResult>
+transpile_or(const circuit::Circuit& logical, const arch::Backend& backend,
+             const TranspileOptions& options)
+{
+    if (logical.num_qubits() > backend.num_qubits()) {
+        return util::Status::infeasible(
+            "circuit needs " + std::to_string(logical.num_qubits()) +
+            " qubits but backend '" + backend.name() + "' has " +
+            std::to_string(backend.num_qubits()));
+    }
+    return transpile(logical, backend, options);
 }
 
 void

@@ -11,6 +11,8 @@
 #include "circuit/circuit.h"
 #include "transpile/layout.h"
 #include "transpile/router.h"
+#include "util/options.h"
+#include "util/status.h"
 
 namespace caqr::transpile {
 
@@ -25,8 +27,9 @@ struct TranspileResult
     double duration_dt = 0.0;   ///< calibrated duration (dt)
 };
 
-/// Pipeline options.
-struct TranspileOptions
+/// Pipeline options. The embedded CommonOptions supply the layout-
+/// perturbation seed and the per-request trace opt-out.
+struct TranspileOptions : CommonOptions
 {
     RouterOptions router;
     /// Keep RZZ/CZ as two-qubit primitives (true) or lower them to
@@ -40,10 +43,17 @@ struct TranspileOptions
     bool peephole = true;
 };
 
-/// Runs the full pipeline.
+/// Runs the full pipeline. The circuit must fit the backend; use
+/// `transpile_or` to get that reported as a status instead of a panic.
 TranspileResult transpile(const circuit::Circuit& logical,
                           const arch::Backend& backend,
                           const TranspileOptions& options = {});
+
+/// Envelope variant: an oversized circuit (more qubits than the
+/// backend) reports `kInfeasible` instead of aborting.
+util::StatusOr<TranspileResult> transpile_or(
+    const circuit::Circuit& logical, const arch::Backend& backend,
+    const TranspileOptions& options = {});
 
 /// Computes depth / duration metrics for a physical circuit.
 void fill_metrics(TranspileResult* result, const arch::Backend& backend);

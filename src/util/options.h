@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Options shared by every compiler pass.
+ *
+ * The pass-specific option structs (`QsCaqrOptions`,
+ * `QsCommutingOptions`, `SrCaqrOptions`, `TranspileOptions`) embed
+ * `CommonOptions` as a base, so the knobs every pass understands —
+ * evaluation threads, heuristic seed, trace opt-out — are declared
+ * exactly once and cannot drift between passes. Call sites keep
+ * writing `options.num_threads = 4;` as before.
+ */
+#ifndef CAQR_UTIL_OPTIONS_H
+#define CAQR_UTIL_OPTIONS_H
+
+#include <cstdint>
+
+namespace caqr {
+
+/// Knobs common to all passes; embedded as a base by each pass's
+/// options struct.
+struct CommonOptions
+{
+    /// Evaluation threads for the pass's parallel sections: 1 = serial,
+    /// 0/negative = one per hardware thread. Every pass guarantees
+    /// bit-identical results for any value.
+    int num_threads = 0;
+    /// Seed for heuristic perturbations (e.g. layout-trial shuffles).
+    /// The default reproduces the historical hard-coded behavior.
+    std::uint64_t seed = 0xCA0Full;
+    /// When false, the pass records nothing into `util::trace` even if
+    /// tracing is globally enabled (per-request observability opt-out).
+    bool trace = true;
+};
+
+}  // namespace caqr
+
+#endif  // CAQR_UTIL_OPTIONS_H

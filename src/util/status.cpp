@@ -1,0 +1,32 @@
+#include "util/status.h"
+
+namespace caqr::util {
+
+const char*
+status_code_name(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::kOk: return "ok";
+      case StatusCode::kInvalidArgument: return "invalid_argument";
+      case StatusCode::kNotFound: return "not_found";
+      case StatusCode::kParseError: return "parse_error";
+      case StatusCode::kIoError: return "io_error";
+      case StatusCode::kInfeasible: return "infeasible";
+      case StatusCode::kInternal: return "internal";
+    }
+    return "unknown";
+}
+
+std::string
+Status::to_string() const
+{
+    if (ok()) return "ok";
+    std::string out = status_code_name(code_);
+    if (!message_.empty()) {
+        out += ": ";
+        out += message_;
+    }
+    return out;
+}
+
+}  // namespace caqr::util

@@ -336,7 +336,32 @@ TEST(ParseFile, MissingFileReportsError)
 {
     const auto result = qasm::parse_file("/nonexistent/file.qasm");
     EXPECT_FALSE(result.ok());
-    EXPECT_NE(result.error.find("cannot open"), std::string::npos);
+    EXPECT_NE(result.error.find("/nonexistent/file.qasm"),
+              std::string::npos);
+}
+
+TEST(ParseFile, EnvelopeDistinguishesFailureKinds)
+{
+    const auto missing = qasm::parse_circuit_file("/nonexistent/file.qasm");
+    ASSERT_FALSE(missing.ok());
+    EXPECT_EQ(missing.status().code(), util::StatusCode::kNotFound);
+
+    // A directory opens but is not a readable QASM file — this must be
+    // an I/O error, not a silent empty parse.
+    const auto directory = qasm::parse_circuit_file("/tmp");
+    ASSERT_FALSE(directory.ok());
+    EXPECT_EQ(directory.status().code(), util::StatusCode::kIoError);
+
+    const auto malformed = qasm::parse_circuit("OPENQASM 2.0; bogus;");
+    ASSERT_FALSE(malformed.ok());
+    EXPECT_EQ(malformed.status().code(), util::StatusCode::kParseError);
+
+    const auto good = qasm::parse_circuit(
+        "OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\nh q[0];\ncx q[0], "
+        "q[1];\nmeasure q[0] -> c[0];\n");
+    ASSERT_TRUE(good.ok()) << good.status().to_string();
+    EXPECT_EQ(good->num_qubits(), 2);
+    EXPECT_EQ(good->measure_count(), 1);
 }
 
 TEST(ParseFile, CorpusFilesMatchGenerators)

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Tests for the batch compilation service: request validation through
+ * the status envelope, golden QASM-in -> report-out compilation,
+ * batch determinism across thread counts, backend-cache reuse
+ * (asserted via the service.cache_* trace counters), manifest
+ * expansion, and the qasm_tool exit-code regression for unreadable
+ * input.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "apps/benchmarks.h"
+#include "service/service.h"
+#include "util/trace.h"
+
+namespace {
+
+using namespace caqr;
+namespace fs = std::filesystem;
+
+std::string
+circuits_dir()
+{
+    return CAQR_CIRCUITS_DIR;
+}
+
+/// Restores the global trace-enabled flag and registry contents on
+/// scope exit so trace-twiddling tests cannot leak into each other.
+class TraceSandbox
+{
+  public:
+    TraceSandbox() : was_enabled_(util::trace::enabled())
+    {
+        util::trace::reset();
+    }
+    ~TraceSandbox()
+    {
+        util::trace::reset();
+        util::trace::set_enabled(was_enabled_);
+    }
+
+  private:
+    bool was_enabled_;
+};
+
+TEST(Strategy, NamesRoundTripThroughParser)
+{
+    for (const auto strategy :
+         {Strategy::kBaseline, Strategy::kQsCaqr, Strategy::kQsCommuting,
+          Strategy::kSrCaqr}) {
+        const auto parsed = parse_strategy(strategy_name(strategy));
+        ASSERT_TRUE(parsed.ok());
+        EXPECT_EQ(*parsed, strategy);
+    }
+    EXPECT_EQ(*parse_strategy("QS-CaQR"), Strategy::kQsCaqr);
+    EXPECT_EQ(*parse_strategy("sr"), Strategy::kSrCaqr);
+
+    const auto unknown = parse_strategy("banana");
+    ASSERT_FALSE(unknown.ok());
+    EXPECT_EQ(unknown.status().code(),
+              util::StatusCode::kInvalidArgument);
+}
+
+TEST(ServiceCompile, RequiresExactlyOneInput)
+{
+    Service service({.num_threads = 1});
+
+    CompileRequest empty;
+    const auto none = service.compile(empty);
+    EXPECT_FALSE(none.ok());
+    EXPECT_EQ(none.status.code(), util::StatusCode::kInvalidArgument);
+
+    CompileRequest both;
+    both.circuit = apps::bv_circuit(3);
+    both.qasm = "OPENQASM 2.0;";
+    const auto two = service.compile(both);
+    EXPECT_FALSE(two.ok());
+    EXPECT_EQ(two.status.code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(ServiceCompile, UnknownBackendIsNotFound)
+{
+    Service service({.num_threads = 1});
+    CompileRequest request;
+    request.circuit = apps::bv_circuit(3);
+    request.backend = "ankaa-3";
+    const auto report = service.compile(request);
+    EXPECT_FALSE(report.ok());
+    EXPECT_EQ(report.status.code(), util::StatusCode::kNotFound);
+}
+
+TEST(ServiceCompile, ParseErrorSurfacesInReport)
+{
+    Service service({.num_threads = 1});
+    CompileRequest request;
+    request.qasm = "OPENQASM 2.0;\nqreg q[2];\nfrobnicate q[0];\n";
+    const auto report = service.compile(request);
+    EXPECT_FALSE(report.ok());
+    EXPECT_EQ(report.status.code(), util::StatusCode::kParseError);
+    // The failed stage is still timed so the report shows where the
+    // pipeline stopped.
+    ASSERT_FALSE(report.stages.empty());
+    EXPECT_EQ(report.stages.front().stage, "load");
+}
+
+TEST(ServiceCompile, MissingFileIsNotFound)
+{
+    Service service({.num_threads = 1});
+    CompileRequest request;
+    request.qasm_file = "/nonexistent/missing.qasm";
+    const auto report = service.compile(request);
+    EXPECT_FALSE(report.ok());
+    EXPECT_EQ(report.status.code(), util::StatusCode::kNotFound);
+}
+
+TEST(ServiceCompile, UnreachableTargetIsInfeasible)
+{
+    Service service({.num_threads = 1});
+    CompileRequest request;
+    request.circuit = apps::bv_circuit(4);
+    request.map_to_backend = false;
+    request.qs.target_qubits = 1;  // BV bottoms out at 2 qubits.
+    const auto report = service.compile(request);
+    EXPECT_FALSE(report.ok());
+    EXPECT_EQ(report.status.code(), util::StatusCode::kInfeasible);
+}
+
+/// Golden end-to-end check: compile circuits/bv_64.qasm and pin the
+/// whole report surface (values locked in from the seed run).
+TEST(ServiceCompile, GoldenBv64Report)
+{
+    Service service({.num_threads = 1});
+    CompileRequest request;
+    request.qasm_file = circuits_dir() + "/bv_64.qasm";
+    request.strategy = Strategy::kQsCaqr;
+    request.backend = "FakeMumbai";
+    const auto report = service.compile(request);
+
+    ASSERT_TRUE(report.ok()) << report.status.to_string();
+    EXPECT_EQ(report.name, "bv_64");
+    EXPECT_EQ(report.backend, "FakeMumbai");
+    EXPECT_EQ(report.strategy, "qs_caqr");
+    EXPECT_EQ(report.logical_qubits, 64);
+    EXPECT_EQ(report.qubits, 2);
+    EXPECT_EQ(report.physical_qubits, 2);
+    EXPECT_EQ(report.depth, 315);
+    EXPECT_EQ(report.swaps, 0);
+    EXPECT_EQ(report.reuses, 62);
+    EXPECT_GT(report.esp, 0.0);
+    EXPECT_GT(report.compiled.size(), 0u);
+    EXPECT_GT(report.total_ms(), 0.0);
+
+    std::vector<std::string> stages;
+    for (const auto& stage : report.stages) stages.push_back(stage.stage);
+    EXPECT_EQ(stages, (std::vector<std::string>{"load", "backend",
+                                                "qs_caqr", "map", "esp"}));
+}
+
+TEST(ServiceBatch, DeterministicAcrossThreadCounts)
+{
+    CompileRequest prototype;
+    prototype.strategy = Strategy::kQsCaqr;
+    prototype.qs.num_threads = 1;
+    prototype.transpile.num_threads = 1;
+    const auto requests = requests_from_path(circuits_dir(), prototype);
+    ASSERT_TRUE(requests.ok()) << requests.status().to_string();
+    ASSERT_GE(requests->size(), 4u);
+
+    Service serial({.num_threads = 1});
+    Service wide({.num_threads = 8});
+    const auto a = serial.compile_batch(*requests);
+    const auto b = wide.compile_batch(*requests);
+
+    ASSERT_EQ(a.size(), requests->size());
+    ASSERT_EQ(b.size(), requests->size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_TRUE(a[i].ok()) << a[i].name << ": "
+                               << a[i].status.to_string();
+        EXPECT_EQ(report_fingerprint(a[i]), report_fingerprint(b[i]))
+            << "index " << i << " (" << a[i].name << ")";
+    }
+}
+
+TEST(ServiceBackendCache, DistanceMatrixBuiltOncePerBackend)
+{
+    TraceSandbox sandbox;
+    util::trace::set_enabled(true);
+
+    Service service({.num_threads = 4});
+    std::vector<CompileRequest> requests;
+    for (int i = 0; i < 6; ++i) {
+        CompileRequest request;
+        request.name = "bv_" + std::to_string(i);
+        request.circuit = apps::bv_circuit(4);
+        request.backend = i % 2 == 0 ? "FakeMumbai" : "mumbai";
+        requests.push_back(std::move(request));
+    }
+    const auto reports = service.compile_batch(requests);
+    for (const auto& report : reports) {
+        EXPECT_TRUE(report.ok()) << report.status.to_string();
+        // Alias spellings resolve to the one cached backend.
+        EXPECT_EQ(report.backend, "FakeMumbai");
+    }
+
+    EXPECT_EQ(service.backend_cache_misses(), 1u);
+    EXPECT_EQ(service.backend_cache_hits(), 5u);
+
+    // The same facts flow out through the trace counters, so the
+    // cache behavior is visible in every run's metrics artifact.
+    const auto metrics = util::trace::collect();
+    EXPECT_EQ(metrics.counters.at("service.cache_misses"), 1.0);
+    EXPECT_EQ(metrics.counters.at("service.cache_hits"), 5.0);
+
+    // A second architecture is one more build, not a rebuild per call.
+    ASSERT_TRUE(service.backend("heavy_hex:5").ok());
+    ASSERT_TRUE(service.backend("heavy-hex:5").ok());
+    EXPECT_EQ(service.backend_cache_misses(), 2u);
+    EXPECT_EQ(service.backend_cache_hits(), 6u);
+}
+
+TEST(RequestsFromPath, DirectoryIsSortedAndManifestFiltersComments)
+{
+    const auto from_dir = requests_from_path(circuits_dir(), {});
+    ASSERT_TRUE(from_dir.ok());
+    std::vector<std::string> files;
+    for (const auto& request : *from_dir) {
+        files.push_back(request.qasm_file);
+    }
+    EXPECT_TRUE(std::is_sorted(files.begin(), files.end()));
+
+    const fs::path dir =
+        fs::temp_directory_path() / "caqr_service_manifest_test";
+    fs::create_directories(dir);
+    {
+        std::ofstream manifest(dir / "batch.txt");
+        manifest << "# comment line\n\n  " << circuits_dir()
+                 << "/bv_10.qasm  \nrelative.qasm\n";
+    }
+    const auto from_manifest =
+        requests_from_path((dir / "batch.txt").string(), {});
+    ASSERT_TRUE(from_manifest.ok());
+    ASSERT_EQ(from_manifest->size(), 2u);
+    EXPECT_EQ((*from_manifest)[0].qasm_file,
+              circuits_dir() + "/bv_10.qasm");
+    EXPECT_EQ((*from_manifest)[1].qasm_file,
+              (dir / "relative.qasm").string());
+    fs::remove_all(dir);
+
+    const auto missing = requests_from_path("/nonexistent/nowhere", {});
+    ASSERT_FALSE(missing.ok());
+    EXPECT_EQ(missing.status().code(), util::StatusCode::kNotFound);
+}
+
+/// Regression: qasm_tool used to exit 0 after printing nothing when
+/// the input file was unreadable. It must now report through the
+/// envelope and exit nonzero.
+TEST(QasmTool, UnreadableInputExitsNonzero)
+{
+    const std::string tool = CAQR_QASM_TOOL_BIN;
+    const auto run = [&](const std::string& args) {
+        return std::system(
+            (tool + " " + args + " >/dev/null 2>&1").c_str());
+    };
+    EXPECT_NE(run("/nonexistent/missing.qasm"), 0);
+    EXPECT_NE(run(fs::temp_directory_path().string()), 0);  // directory
+    EXPECT_NE(run("--batch /nonexistent/nowhere"), 0);
+    EXPECT_EQ(run(circuits_dir() + "/bv_10.qasm"), 0);
+}
+
+}  // namespace
