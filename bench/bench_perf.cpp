@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Machine-readable performance + quality baseline for the compile
+ * pipeline.
+ *
+ * Runs a fixed corpus — every circuits/*.qasm under the baseline,
+ * QS-CaQR, and SR-CaQR strategies, two synthetic QAOA commuting
+ * workloads under QS-CaQR-commuting, and one simulator-backed entry —
+ * through one `caqr::Service` with warmup + repeat sampling, and
+ * emits a schema-versioned `BENCH_caqr.json`:
+ *
+ *   { "schema_version": 1, "generator": "bench_perf",
+ *     "git_sha": "...", "threads": 1, "warmup": 1, "repeats": 3,
+ *     "benchmarks": [ { "name", "strategy", "backend",
+ *       "wall_ms_median", "wall_ms_p90", "wall_ms_min",
+ *       "qubits", "depth", "swaps", "reuses", "esp",
+ *       "shots_per_sec" (sim entries only) }, ... ],
+ *     "metrics": { <util::metrics::Snapshot JSON> } }
+ *
+ * Quality fields (qubits/depth/swaps/reuses/esp) are deterministic;
+ * wall fields are medians over `--repeats` timed runs after
+ * `--warmup` discarded runs. `tools/check_regression.py` diffs two
+ * such documents and gates CI. Entries whose pipeline legitimately
+ * fails (e.g. baseline mapping of 64-qubit BV onto 27-qubit Mumbai is
+ * infeasible) are reported on stderr and excluded — nothing is
+ * dropped silently.
+ *
+ * Usage: bench_perf [--out PATH] [--repeats N] [--warmup N]
+ *                   [--corpus DIR] [--backend B]
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/commuting.h"
+#include "graph/generators.h"
+#include "service/service.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace caqr;
+
+constexpr int kSchemaVersion = 1;
+
+/// Short git revision of the working tree: $CAQR_GIT_SHA wins (CI
+/// sets it from the checkout), then `git rev-parse`, then "unknown".
+std::string
+git_sha()
+{
+    if (const char* env = std::getenv("CAQR_GIT_SHA");
+        env != nullptr && *env != '\0') {
+        return env;
+    }
+    std::string sha;
+    if (FILE* pipe = ::popen("git rev-parse --short HEAD 2>/dev/null",
+                             "r")) {
+        char buffer[64];
+        if (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+            sha = buffer;
+        }
+        ::pclose(pipe);
+    }
+    while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+        sha.pop_back();
+    }
+    return sha.empty() ? "unknown" : sha;
+}
+
+std::string
+json_number(double value)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << value;
+    return os.str();
+}
+
+/// One corpus entry: a request prototype plus its stable identity.
+struct BenchCase
+{
+    std::string name;
+    CompileRequest request;
+    bool simulate = false;
+};
+
+/// One finished entry, quality + sampled timing.
+struct BenchResult
+{
+    std::string name;
+    std::string strategy;
+    std::string backend;
+    double wall_ms_median = 0.0;
+    double wall_ms_p90 = 0.0;
+    double wall_ms_min = 0.0;
+    int qubits = 0;
+    int depth = 0;
+    int swaps = 0;
+    int reuses = 0;
+    double esp = 0.0;
+    std::optional<double> shots_per_sec;
+};
+
+/// Wall-clock ms of the simulate stage, if the request ran one.
+std::optional<double>
+simulate_stage_ms(const CompileReport& report)
+{
+    for (const auto& stage : report.stages) {
+        if (stage.stage == "simulate") return stage.ms;
+    }
+    return std::nullopt;
+}
+
+/// The fixed corpus: every circuits/*.qasm x {baseline, qs_caqr,
+/// sr_caqr}, two synthetic QAOA interaction graphs under
+/// qs_commuting, and bv_10 with the shot simulator attached.
+std::vector<BenchCase>
+build_corpus(const std::string& corpus_dir, const std::string& backend)
+{
+    std::vector<BenchCase> cases;
+
+    CompileRequest prototype;
+    prototype.backend = backend;
+    prototype.qs.num_threads = 1;
+    prototype.qs_commuting.num_threads = 1;
+    prototype.transpile.num_threads = 1;
+    prototype.sr.num_threads = 1;
+
+    for (const Strategy strategy :
+         {Strategy::kBaseline, Strategy::kQsCaqr, Strategy::kSrCaqr}) {
+        CompileRequest request = prototype;
+        request.strategy = strategy;
+        const auto requests = requests_from_path(corpus_dir, request);
+        if (!requests.ok()) {
+            std::fprintf(stderr, "error: %s\n",
+                         requests.status().to_string().c_str());
+            std::exit(2);
+        }
+        for (const auto& expanded : *requests) {
+            BenchCase entry;
+            entry.request = expanded;
+            cases.push_back(std::move(entry));
+        }
+    }
+
+    // Commuting workloads have no .qasm form; fixed seeds keep the
+    // interaction graphs — and so the quality metrics — bit-stable.
+    for (const auto& [nodes, prob, seed] :
+         {std::tuple<int, double, unsigned>{12, 0.30, 7u},
+          std::tuple<int, double, unsigned>{16, 0.25, 11u}}) {
+        util::Rng rng(seed);
+        core::CommutingSpec spec;
+        spec.interaction = graph::random_graph(nodes, prob, rng);
+        BenchCase entry;
+        entry.name = "qaoa_" + std::to_string(nodes);
+        entry.request = prototype;
+        entry.request.name = entry.name;
+        entry.request.strategy = Strategy::kQsCommuting;
+        entry.request.commuting = spec;
+        cases.push_back(std::move(entry));
+    }
+
+    // Simulator throughput probe: small circuit, reuse-level width 2,
+    // so the statevector stays tiny and shots/sec measures the
+    // dynamic-circuit kernel, not allocation.
+    BenchCase sim_entry;
+    sim_entry.name = "bv_10+sim";
+    sim_entry.request = prototype;
+    sim_entry.request.name = sim_entry.name;
+    sim_entry.request.strategy = Strategy::kQsCaqr;
+    sim_entry.request.qasm_file = corpus_dir + "/bv_10.qasm";
+    sim_entry.request.simulate = true;
+    sim_entry.request.sim.shots = 1024;
+    sim_entry.simulate = true;
+    cases.push_back(std::move(sim_entry));
+
+    return cases;
+}
+
+void
+write_json(std::ostream& os, const std::vector<BenchResult>& results,
+           const util::metrics::Snapshot& snapshot, int warmup,
+           int repeats)
+{
+    os << "{\"schema_version\":" << kSchemaVersion
+       << ",\"generator\":\"bench_perf\""
+       << ",\"git_sha\":\"" << git_sha() << "\""
+       << ",\"threads\":1"
+       << ",\"warmup\":" << warmup << ",\"repeats\":" << repeats
+       << ",\n\"benchmarks\":[";
+    bool first = true;
+    for (const auto& result : results) {
+        if (!first) os << ",";
+        first = false;
+        os << "\n{\"name\":\"" << result.name << "\""
+           << ",\"strategy\":\"" << result.strategy << "\""
+           << ",\"backend\":\"" << result.backend << "\""
+           << ",\"wall_ms_median\":" << json_number(result.wall_ms_median)
+           << ",\"wall_ms_p90\":" << json_number(result.wall_ms_p90)
+           << ",\"wall_ms_min\":" << json_number(result.wall_ms_min)
+           << ",\"qubits\":" << result.qubits
+           << ",\"depth\":" << result.depth
+           << ",\"swaps\":" << result.swaps
+           << ",\"reuses\":" << result.reuses
+           << ",\"esp\":" << json_number(result.esp);
+        if (result.shots_per_sec.has_value()) {
+            os << ",\"shots_per_sec\":"
+               << json_number(*result.shots_per_sec);
+        }
+        os << "}";
+    }
+    os << "\n],\n\"metrics\":";
+    snapshot.write_json(os);
+    os << "}\n";
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string out = "BENCH_caqr.json";
+    std::string corpus_dir = CAQR_CIRCUITS_DIR;
+    std::string backend = "FakeMumbai";
+    int repeats = 3;
+    int warmup = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--out" && i + 1 < argc) {
+            out = argv[++i];
+        } else if (arg == "--repeats" && i + 1 < argc) {
+            repeats = std::stoi(argv[++i]);
+        } else if (arg == "--warmup" && i + 1 < argc) {
+            warmup = std::stoi(argv[++i]);
+        } else if (arg == "--corpus" && i + 1 < argc) {
+            corpus_dir = argv[++i];
+        } else if (arg == "--backend" && i + 1 < argc) {
+            backend = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_perf [--out PATH] [--repeats N]"
+                         " [--warmup N] [--corpus DIR] [--backend B]\n");
+            return 2;
+        }
+    }
+    if (repeats < 1 || warmup < 0) {
+        std::fprintf(stderr, "error: need --repeats >= 1, --warmup >= 0\n");
+        return 2;
+    }
+
+    // One serial service: per-entry timings must not contend with each
+    // other, and quality results are thread-count-independent anyway.
+    Service service({.num_threads = 1});
+    const auto corpus = build_corpus(corpus_dir, backend);
+
+    std::vector<BenchResult> results;
+    std::vector<std::string> skipped;
+    for (const auto& entry : corpus) {
+        for (int i = 0; i < warmup; ++i) service.compile(entry.request);
+
+        std::vector<double> wall_ms;
+        CompileReport report;
+        for (int i = 0; i < repeats; ++i) {
+            report = service.compile(entry.request);
+            if (!report.ok()) break;
+            wall_ms.push_back(report.total_ms());
+        }
+        const std::string label =
+            (entry.name.empty() ? report.name : entry.name) + "/" +
+            report.strategy;
+        if (!report.ok()) {
+            std::fprintf(stderr, "skip %s: %s\n", label.c_str(),
+                         report.status.to_string().c_str());
+            skipped.push_back(label);
+            continue;
+        }
+
+        BenchResult result;
+        result.name = entry.name.empty() ? report.name : entry.name;
+        result.strategy = report.strategy;
+        result.backend = report.backend;
+        result.wall_ms_median = util::median(wall_ms);
+        result.wall_ms_p90 = util::percentile(wall_ms, 90);
+        result.wall_ms_min = util::min_value(wall_ms);
+        result.qubits = report.qubits;
+        result.depth = report.depth;
+        result.swaps = report.swaps;
+        result.reuses = report.reuses;
+        result.esp = report.esp;
+        if (entry.simulate) {
+            if (const auto sim_ms = simulate_stage_ms(report);
+                sim_ms.has_value() && *sim_ms > 0.0) {
+                result.shots_per_sec =
+                    static_cast<double>(entry.request.sim.shots) *
+                    1000.0 / *sim_ms;
+            }
+        }
+        results.push_back(std::move(result));
+    }
+
+    std::ofstream os(out);
+    if (!os) {
+        std::fprintf(stderr, "error: cannot write '%s'\n", out.c_str());
+        return 2;
+    }
+    write_json(os, results, service.metrics_snapshot(), warmup, repeats);
+
+    util::Table table({"benchmark", "strategy", "median_ms", "qubits",
+                       "depth", "SWAPs", "ESP"});
+    table.set_title("bench_perf: " + std::to_string(results.size()) +
+                    " entries, " + std::to_string(skipped.size()) +
+                    " infeasible skipped -> " + out);
+    for (const auto& result : results) {
+        table.add_row(
+            {result.name, result.strategy,
+             util::Table::fmt(result.wall_ms_median, 3),
+             util::Table::fmt(static_cast<long long>(result.qubits)),
+             util::Table::fmt(static_cast<long long>(result.depth)),
+             util::Table::fmt(static_cast<long long>(result.swaps)),
+             util::Table::fmt(result.esp, 4)});
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -6,12 +6,18 @@
  * file), applies CaQR through `caqr::Service`, and emits the
  * transformed dynamic circuit. Batch mode (`--batch`) compiles every
  * .qasm file named by a directory or manifest concurrently and emits
- * a CSV report plus trace artifacts.
+ * a CSV report plus trace artifacts; `--repeat N` repeats the batch
+ * (after a discarded warmup) so the timing columns are medians stable
+ * enough to baseline. Serve mode (`--serve`) keeps one long-lived
+ * `caqr::Service` behind a stdin line protocol — `compile`, `batch`,
+ * `stats` (live latency-histogram snapshot), `set`, `reset`, `quit` —
+ * see docs/observability.md for the protocol.
  *
  * Usage:
  *   qasm_tool [--target-qubits N] [--stats] [file.qasm]
  *   qasm_tool --batch PATH [--strategy S] [--backend B] [--threads N]
- *             [--out PREFIX]
+ *             [--repeat N] [--out PREFIX]
+ *   qasm_tool --serve [--strategy S] [--backend B] [--threads N]
  *   qasm_tool --export-benchmarks DIR
  *
  * With no file, reads stdin. `--stats` prints the sweep table instead
@@ -20,6 +26,7 @@
  * `circuits/`). Any I/O, parse, or compilation failure is reported on
  * stderr and exits nonzero.
  */
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -31,6 +38,8 @@
 #include "qasm/parser.h"
 #include "qasm/printer.h"
 #include "service/service.h"
+#include "util/metrics.h"
+#include "util/stats.h"
 #include "util/table.h"
 #include "util/trace.h"
 
@@ -39,7 +48,8 @@ namespace {
 constexpr const char kUsage[] =
     "usage: qasm_tool [--target-qubits N] [--stats] [file.qasm]\n"
     "       qasm_tool --batch PATH [--strategy S] [--backend B]\n"
-    "                 [--threads N] [--out PREFIX]\n"
+    "                 [--threads N] [--repeat N] [--out PREFIX]\n"
+    "       qasm_tool --serve [--strategy S] [--backend B] [--threads N]\n"
     "       qasm_tool --export-benchmarks DIR\n";
 
 int
@@ -61,17 +71,24 @@ export_benchmarks(const std::string& dir)
 }
 
 /// Compiles every .qasm under @p batch_path through one Service and
-/// writes <out>.csv + <out>.trace.json/.metrics.csv. Exits nonzero if
-/// any circuit fails.
+/// writes <out>.csv + <out>.trace.json/.metrics.csv. With @p repeat
+/// > 1, one warmup batch is discarded and the timing columns become
+/// per-stage medians over the repeats (results are deterministic, so
+/// only timings vary). Exits nonzero if any circuit fails.
 int
 run_batch(const std::string& batch_path, const std::string& strategy_name,
-          const std::string& backend, int threads, const std::string& out)
+          const std::string& backend, int threads, int repeat,
+          const std::string& out)
 {
     using namespace caqr;
 
     const auto strategy = parse_strategy(strategy_name);
     if (!strategy.ok()) {
         std::cerr << "error: " << strategy.status().to_string() << "\n";
+        return 1;
+    }
+    if (repeat < 1) {
+        std::cerr << "error: --repeat needs a positive count\n";
         return 1;
     }
 
@@ -93,7 +110,31 @@ run_batch(const std::string& batch_path, const std::string& strategy_name,
 
     util::trace::set_enabled(true);
     Service service({.num_threads = threads});
-    const auto reports = service.compile_batch(*requests);
+
+    if (repeat > 1) service.compile_batch(*requests);  // warmup, dropped
+    std::vector<std::vector<CompileReport>> runs;
+    runs.reserve(static_cast<std::size_t>(repeat));
+    for (int r = 0; r < repeat; ++r) {
+        runs.push_back(service.compile_batch(*requests));
+    }
+    auto reports = std::move(runs.back());
+    runs.pop_back();
+    // Replace each report's stage timings with the median across
+    // repeats; stage lists are identical across runs of the same
+    // deterministic pipeline.
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        for (std::size_t s = 0; s < reports[i].stages.size(); ++s) {
+            std::vector<double> samples{reports[i].stages[s].ms};
+            for (const auto& run : runs) {
+                if (i < run.size() &&
+                    s < run[i].stages.size() &&
+                    run[i].stages[s].stage == reports[i].stages[s].stage) {
+                    samples.push_back(run[i].stages[s].ms);
+                }
+            }
+            reports[i].stages[s].ms = util::median(samples);
+        }
+    }
 
     const std::string csv_path = out + ".csv";
     std::ofstream csv(csv_path);
@@ -127,11 +168,191 @@ run_batch(const std::string& batch_path, const std::string& strategy_name,
                   << ".trace.json'\n";
         return 1;
     }
+    if (repeat > 1) {
+        std::cout << "timing columns: per-stage median of " << repeat
+                  << " runs (1 warmup discarded)\n";
+    }
     std::cout << "\nwrote " << csv_path << ", " << out << ".trace.json, "
               << out << ".metrics.csv ("
               << service.backend_cache_misses() << " backend build(s), "
               << service.backend_cache_hits() << " cache hit(s))\n";
     return failures == 0 ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------
+// Serve mode: a persistent stdin line protocol over one Service
+// ---------------------------------------------------------------------
+
+/// One %.6g-formatted double for protocol lines.
+std::string
+fmt6(double value)
+{
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+    return buffer;
+}
+
+/// Prints the live metrics snapshot as `stat` lines. Histograms carry
+/// count/min/mean/p50/p90/p99/max; counters a single value.
+void
+print_stats(std::ostream& os, const caqr::util::metrics::Snapshot& snapshot)
+{
+    for (const auto& [name, histogram] : snapshot.histograms) {
+        os << "stat " << name << " count=" << histogram.count()
+           << " min=" << fmt6(histogram.min())
+           << " mean=" << fmt6(histogram.mean())
+           << " p50=" << fmt6(histogram.percentile(50))
+           << " p90=" << fmt6(histogram.percentile(90))
+           << " p99=" << fmt6(histogram.percentile(99))
+           << " max=" << fmt6(histogram.max()) << "\n";
+    }
+    for (const auto& [name, value] : snapshot.counters) {
+        os << "stat " << name << " value=" << fmt6(value) << "\n";
+    }
+}
+
+/**
+ * The `--serve` loop (the ROADMAP's "persistent --serve protocol on
+ * top of Service::compile_batch"). Reads one command per stdin line,
+ * answers on stdout, and flushes after every response so a pipe-driven
+ * client can interleave. Responses start with `ok`, `error`, `row`,
+ * or `stat`; every command ends with exactly one `ok`/`error` line.
+ *
+ *   compile <file.qasm>      -> ok <csv_row> | error <msg>
+ *   batch <dir|manifest>     -> row <csv_row>... then ok batch n=N
+ *                               failures=F | error <msg>
+ *   stats                    -> stat <name> ... lines, then ok stats
+ *   stats json               -> snapshot JSON document, then ok stats
+ *   set strategy <name>      -> ok set strategy <name> | error <msg>
+ *   set backend <name>       -> ok set backend <name>
+ *   reset                    -> ok reset   (clears metric histograms)
+ *   help                     -> command list, then ok help
+ *   quit | exit | EOF        -> ok bye, exit 0
+ *
+ * Protocol errors never kill the loop; only EOF/quit end it.
+ */
+int
+run_serve(const std::string& initial_strategy,
+          const std::string& initial_backend, int threads)
+{
+    using namespace caqr;
+
+    const auto strategy = parse_strategy(initial_strategy);
+    if (!strategy.ok()) {
+        std::cerr << "error: " << strategy.status().to_string() << "\n";
+        return 1;
+    }
+
+    Service service({.num_threads = threads});
+    CompileRequest prototype;
+    prototype.strategy = *strategy;
+    prototype.backend = initial_backend;
+    prototype.qs.num_threads = 1;
+    prototype.qs_commuting.num_threads = 1;
+    prototype.transpile.num_threads = 1;
+    prototype.sr.num_threads = 1;
+
+    std::cout << "ok caqr serve (strategy=" << strategy_name(*strategy)
+              << " backend=" << initial_backend << "); try help"
+              << std::endl;
+
+    std::string line;
+    while (std::getline(std::cin, line)) {
+        std::istringstream words(line);
+        std::string command;
+        words >> command;
+        if (command.empty() || command[0] == '#') continue;
+
+        if (command == "quit" || command == "exit") break;
+
+        if (command == "help") {
+            std::cout << "# compile <file.qasm> | batch <dir|manifest> |"
+                         " stats [json] | set strategy|backend <name> |"
+                         " reset | quit\n"
+                      << "ok help" << std::endl;
+        } else if (command == "compile") {
+            std::string path;
+            words >> path;
+            if (path.empty()) {
+                std::cout << "error compile needs a .qasm path"
+                          << std::endl;
+                continue;
+            }
+            CompileRequest request = prototype;
+            request.qasm_file = path;
+            const auto report = service.compile(request);
+            if (report.ok()) {
+                std::cout << "ok " << batch_csv_row(report) << std::endl;
+            } else {
+                std::cout << "error " << report.name << ": "
+                          << report.status.to_string() << std::endl;
+            }
+        } else if (command == "batch") {
+            std::string path;
+            words >> path;
+            const auto requests = requests_from_path(path, prototype);
+            if (!requests.ok()) {
+                std::cout << "error " << requests.status().to_string()
+                          << std::endl;
+                continue;
+            }
+            const auto reports = service.compile_batch(*requests);
+            int failures = 0;
+            for (const auto& report : reports) {
+                std::cout << "row " << batch_csv_row(report) << "\n";
+                if (!report.ok()) ++failures;
+            }
+            std::cout << "ok batch n=" << reports.size()
+                      << " failures=" << failures << std::endl;
+        } else if (command == "stats") {
+            std::string format;
+            words >> format;
+            const auto snapshot = service.metrics_snapshot();
+            if (format == "json") {
+                snapshot.write_json(std::cout);
+            } else {
+                print_stats(std::cout, snapshot);
+            }
+            std::cout << "ok stats" << std::endl;
+        } else if (command == "set") {
+            std::string key, value;
+            words >> key >> value;
+            if (key == "strategy") {
+                const auto parsed = parse_strategy(value);
+                if (!parsed.ok()) {
+                    std::cout << "error "
+                              << parsed.status().to_string() << std::endl;
+                    continue;
+                }
+                prototype.strategy = *parsed;
+                std::cout << "ok set strategy " << strategy_name(*parsed)
+                          << std::endl;
+            } else if (key == "backend") {
+                const auto resolved = service.backend(value);
+                if (!resolved.ok()) {
+                    std::cout << "error "
+                              << resolved.status().to_string()
+                              << std::endl;
+                    continue;
+                }
+                prototype.backend = value;
+                std::cout << "ok set backend " << (*resolved)->name()
+                          << std::endl;
+            } else {
+                std::cout << "error set knows strategy|backend, not '"
+                          << key << "'" << std::endl;
+            }
+        } else if (command == "reset") {
+            service.reset_metrics();
+            util::metrics::global().reset();
+            std::cout << "ok reset" << std::endl;
+        } else {
+            std::cout << "error unknown command '" << command
+                      << "' (try help)" << std::endl;
+        }
+    }
+    std::cout << "ok bye" << std::endl;
+    return 0;
 }
 
 }  // namespace
@@ -143,18 +364,22 @@ main(int argc, char** argv)
 
     int target_qubits = -1;
     bool stats_only = false;
+    bool serve = false;
     std::string path;
     std::string batch_path;
     std::string strategy = "qs_caqr";
     std::string backend = "FakeMumbai";
     std::string out = "qasm_batch";
     int threads = 0;
+    int repeat = 1;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--target-qubits" && i + 1 < argc) {
             target_qubits = std::stoi(argv[++i]);
         } else if (arg == "--stats") {
             stats_only = true;
+        } else if (arg == "--serve") {
+            serve = true;
         } else if (arg == "--export-benchmarks" && i + 1 < argc) {
             return export_benchmarks(argv[++i]);
         } else if (arg == "--batch" && i + 1 < argc) {
@@ -165,6 +390,8 @@ main(int argc, char** argv)
             backend = argv[++i];
         } else if (arg == "--threads" && i + 1 < argc) {
             threads = std::stoi(argv[++i]);
+        } else if (arg == "--repeat" && i + 1 < argc) {
+            repeat = std::stoi(argv[++i]);
         } else if (arg == "--out" && i + 1 < argc) {
             out = argv[++i];
         } else if (arg == "--help") {
@@ -179,8 +406,12 @@ main(int argc, char** argv)
         }
     }
 
+    if (serve) {
+        return run_serve(strategy, backend, threads);
+    }
     if (!batch_path.empty()) {
-        return run_batch(batch_path, strategy, backend, threads, out);
+        return run_batch(batch_path, strategy, backend, threads, repeat,
+                         out);
     }
 
     // Single-circuit mode: one request through the service, QS-CaQR at

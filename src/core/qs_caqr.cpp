@@ -12,6 +12,7 @@
 #include "circuit/timing.h"
 #include "core/reuse_transform.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
 
@@ -370,6 +371,15 @@ qs_caqr(const circuit::Circuit& circuit, const QsCaqrOptions& options)
         util::trace::Span span("qs_caqr");
         util::trace::TallySink sink;
         auto result = qs_caqr_impl(circuit, options, sink);
+        // This run's memo hit rate goes into the metrics registry as
+        // one histogram sample — per-run distribution, not the
+        // lifetime average the trace gauge reports.
+        const double hits = sink.value("qs_caqr.memo_hits");
+        const double misses = sink.value("qs_caqr.memo_misses");
+        if (hits + misses > 0.0) {
+            util::metrics::global().observe("qs_caqr.memo_hit_rate",
+                                            hits / (hits + misses));
+        }
         sink.flush();
         publish_qs_gauges();
         return result;

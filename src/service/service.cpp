@@ -415,7 +415,39 @@ Service::compile(const CompileRequest& request)
         });
     }
 
+    // Per-request aggregation: unlike the last-write-wins trace
+    // gauges, every request lands in the histograms, so a batch's
+    // metrics snapshot carries real p50/p90/p99 distributions.
+    metrics_.add("service.requests", 1.0);
+    if (!report.ok()) metrics_.add("service.failures", 1.0);
+    metrics_.observe("service.total_ms", report.total_ms());
+    for (const auto& stage : report.stages) {
+        metrics_.observe("service.stage." + stage.stage + "_ms",
+                         stage.ms);
+    }
+    if (report.ok()) {
+        metrics_.observe("service.qubits",
+                         static_cast<double>(report.qubits));
+        metrics_.observe("service.depth",
+                         static_cast<double>(report.depth));
+        if (mapped) {
+            metrics_.observe("service.swaps",
+                             static_cast<double>(report.swaps));
+            if (request.compute_esp) {
+                metrics_.observe("service.esp", report.esp);
+            }
+        }
+    }
+
     return report;
+}
+
+util::metrics::Snapshot
+Service::metrics_snapshot() const
+{
+    auto snapshot = metrics_.snapshot();
+    snapshot.merge(util::metrics::global().snapshot());
+    return snapshot;
 }
 
 std::vector<CompileReport>

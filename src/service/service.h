@@ -40,6 +40,7 @@
 #include "core/tradeoff.h"
 #include "sim/simulator.h"
 #include "transpile/transpiler.h"
+#include "util/metrics.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -185,12 +186,29 @@ class Service
     std::size_t backend_cache_hits() const { return hits_.load(); }
     std::size_t backend_cache_misses() const { return misses_.load(); }
 
+    /**
+     * Aggregated request metrics since construction (or the last
+     * `reset_metrics`): latency histograms — `service.total_ms`,
+     * `service.stage.<stage>_ms` — plus `service.swaps/depth/esp/
+     * qubits` distributions and `service.requests/failures` counters,
+     * merged with the process-wide `util::metrics::global()` registry
+     * (simulator shots/sec, reuse-pass memo hit rate). Every request
+     * contributes, not just the last one — percentiles are meaningful
+     * across a whole batch.
+     */
+    util::metrics::Snapshot metrics_snapshot() const;
+
+    /// Clears this service's request metrics (the global registry is
+    /// left alone; other components own it).
+    void reset_metrics() { metrics_.reset(); }
+
   private:
     util::ThreadPool pool_;
     mutable std::mutex mutex_;
     std::map<std::string, std::shared_ptr<const arch::Backend>> backends_;
     std::atomic<std::size_t> hits_{0};
     std::atomic<std::size_t> misses_{0};
+    util::metrics::Registry metrics_;
 };
 
 /**

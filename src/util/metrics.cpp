@@ -1,0 +1,551 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <sstream>
+
+#include "util/table.h"
+
+namespace caqr::util::metrics {
+
+// ---------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------
+
+int
+Histogram::bucket_index(double value)
+{
+    return static_cast<int>(
+        std::floor(std::log2(value) * kBucketsPerOctave));
+}
+
+void
+Histogram::record(double value)
+{
+    if (!std::isfinite(value)) return;
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        if (value < min_) min_ = value;
+        if (value > max_) max_ = value;
+    }
+    const int index =
+        value > 0.0 ? bucket_index(value) : kNonPositiveBucket;
+    auto& cell = buckets_[index];
+    ++cell.count;
+    cell.sum += value;
+    ++count_;
+    sum_ += value;
+}
+
+void
+Histogram::merge(const Histogram& other)
+{
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    for (const auto& [index, cell] : other.buckets_) {
+        auto& mine = buckets_[index];
+        mine.count += cell.count;
+        mine.sum += cell.sum;
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (count_ == 0) return 0.0;
+    if (p <= 0.0) return min();
+    if (p >= 100.0) return max();
+    const auto rank = static_cast<std::size_t>(std::max(
+        1.0,
+        std::ceil(p / 100.0 * static_cast<double>(count_))));
+    std::size_t seen = 0;
+    for (const auto& [index, cell] : buckets_) {
+        (void)index;
+        seen += cell.count;
+        if (seen >= rank) {
+            const double bucket_mean =
+                cell.sum / static_cast<double>(cell.count);
+            return std::clamp(bucket_mean, min_, max_);
+        }
+    }
+    return max();  // unreachable: ranks are <= count_
+}
+
+std::vector<Histogram::Bucket>
+Histogram::buckets() const
+{
+    std::vector<Bucket> out;
+    out.reserve(buckets_.size());
+    for (const auto& [index, cell] : buckets_) {
+        out.push_back({index, cell.count, cell.sum});
+    }
+    return out;
+}
+
+Histogram
+Histogram::from_state(const std::vector<Bucket>& buckets, double min,
+                      double max)
+{
+    Histogram h;
+    for (const auto& bucket : buckets) {
+        if (bucket.count == 0) continue;
+        auto& cell = h.buckets_[bucket.index];
+        cell.count += bucket.count;
+        cell.sum += bucket.sum;
+        h.count_ += bucket.count;
+        h.sum_ += bucket.sum;
+    }
+    if (h.count_ > 0) {
+        h.min_ = min;
+        h.max_ = max;
+    }
+    return h;
+}
+
+// ---------------------------------------------------------------------
+// JSON writer
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// Doubles with every significant digit: JSON numbers round-trip.
+std::string
+json_number(double value)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << value;
+    return os.str();
+}
+
+std::string
+json_escape(const std::string& text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// JSON reader — a minimal recursive-descent parser covering exactly
+// the documents this module (and bench_perf) emits: objects, arrays,
+// strings, numbers, true/false/null. No unicode escapes.
+// ---------------------------------------------------------------------
+
+struct JsonValue
+{
+    enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+    Kind kind = Kind::kNull;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    // Parse-order pairs; our schemas have no duplicate keys.
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    const JsonValue*
+    find(const std::string& key) const
+    {
+        for (const auto& [k, v] : object) {
+            if (k == key) return &v;
+        }
+        return nullptr;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string& text) : text_(text) {}
+
+    util::StatusOr<JsonValue>
+    parse()
+    {
+        auto value = parse_value();
+        if (!value.ok()) return value;
+        skip_ws();
+        if (pos_ != text_.size()) {
+            return fail("trailing characters after JSON document");
+        }
+        return value;
+    }
+
+  private:
+    util::Status
+    fail(const std::string& message) const
+    {
+        return util::Status::parse_error(
+            "JSON: " + message + " at offset " + std::to_string(pos_));
+    }
+
+    void
+    skip_ws()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    util::StatusOr<JsonValue>
+    parse_value()
+    {
+        skip_ws();
+        if (pos_ >= text_.size()) return fail("unexpected end of input");
+        const char c = text_[pos_];
+        if (c == '{') return parse_object();
+        if (c == '[') return parse_array();
+        if (c == '"') return parse_string();
+        if (c == 't' || c == 'f' || c == 'n') return parse_keyword();
+        return parse_number();
+    }
+
+    util::StatusOr<JsonValue>
+    parse_object()
+    {
+        ++pos_;  // '{'
+        JsonValue value;
+        value.kind = JsonValue::Kind::kObject;
+        if (consume('}')) return value;
+        while (true) {
+            skip_ws();
+            auto key = parse_string();
+            if (!key.ok()) return key.status();
+            if (!consume(':')) return fail("expected ':' in object");
+            auto element = parse_value();
+            if (!element.ok()) return element;
+            value.object.emplace_back(std::move(key->string),
+                                      std::move(*element));
+            if (consume(',')) continue;
+            if (consume('}')) return value;
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    util::StatusOr<JsonValue>
+    parse_array()
+    {
+        ++pos_;  // '['
+        JsonValue value;
+        value.kind = JsonValue::Kind::kArray;
+        if (consume(']')) return value;
+        while (true) {
+            auto element = parse_value();
+            if (!element.ok()) return element;
+            value.array.push_back(std::move(*element));
+            if (consume(',')) continue;
+            if (consume(']')) return value;
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    util::StatusOr<JsonValue>
+    parse_string()
+    {
+        if (pos_ >= text_.size() || text_[pos_] != '"') {
+            return fail("expected string");
+        }
+        ++pos_;
+        JsonValue value;
+        value.kind = JsonValue::Kind::kString;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c == '\\') {
+                if (pos_ >= text_.size()) {
+                    return fail("unterminated escape");
+                }
+                const char escaped = text_[pos_++];
+                switch (escaped) {
+                  case '"': c = '"'; break;
+                  case '\\': c = '\\'; break;
+                  case '/': c = '/'; break;
+                  case 'n': c = '\n'; break;
+                  case 't': c = '\t'; break;
+                  case 'r': c = '\r'; break;
+                  default:
+                    return fail("unsupported escape");
+                }
+            }
+            value.string.push_back(c);
+        }
+        if (pos_ >= text_.size()) return fail("unterminated string");
+        ++pos_;  // closing quote
+        return value;
+    }
+
+    util::StatusOr<JsonValue>
+    parse_number()
+    {
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E')) {
+            ++pos_;
+        }
+        if (pos_ == start) return fail("expected a value");
+        JsonValue value;
+        value.kind = JsonValue::Kind::kNumber;
+        try {
+            value.number = std::stod(text_.substr(start, pos_ - start));
+        } catch (...) {
+            return fail("malformed number");
+        }
+        return value;
+    }
+
+    util::StatusOr<JsonValue>
+    parse_keyword()
+    {
+        JsonValue value;
+        if (text_.compare(pos_, 4, "true") == 0) {
+            value.kind = JsonValue::Kind::kBool;
+            value.boolean = true;
+            pos_ += 4;
+            return value;
+        }
+        if (text_.compare(pos_, 5, "false") == 0) {
+            value.kind = JsonValue::Kind::kBool;
+            pos_ += 5;
+            return value;
+        }
+        if (text_.compare(pos_, 4, "null") == 0) {
+            pos_ += 4;
+            return value;
+        }
+        return fail("unknown keyword");
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------
+
+void
+Snapshot::merge(const Snapshot& other)
+{
+    for (const auto& [name, histogram] : other.histograms) {
+        histograms[name].merge(histogram);
+    }
+    for (const auto& [name, value] : other.counters) {
+        counters[name] += value;
+    }
+}
+
+void
+Snapshot::write_json(std::ostream& os) const
+{
+    os << "{\"schema_version\":" << kSchemaVersion
+       << ",\n\"histograms\":{";
+    bool first = true;
+    for (const auto& [name, histogram] : histograms) {
+        if (!first) os << ",";
+        first = false;
+        os << "\n\"" << json_escape(name) << "\":{"
+           << "\"count\":" << histogram.count()
+           << ",\"sum\":" << json_number(histogram.sum())
+           << ",\"min\":" << json_number(histogram.min())
+           << ",\"max\":" << json_number(histogram.max())
+           << ",\"p50\":" << json_number(histogram.percentile(50))
+           << ",\"p90\":" << json_number(histogram.percentile(90))
+           << ",\"p99\":" << json_number(histogram.percentile(99))
+           << ",\"buckets\":[";
+        bool first_bucket = true;
+        for (const auto& bucket : histogram.buckets()) {
+            if (!first_bucket) os << ",";
+            first_bucket = false;
+            os << "[" << bucket.index << "," << bucket.count << ","
+               << json_number(bucket.sum) << "]";
+        }
+        os << "]}";
+    }
+    os << "},\n\"counters\":{";
+    first = true;
+    for (const auto& [name, value] : counters) {
+        if (!first) os << ",";
+        first = false;
+        os << "\n\"" << json_escape(name)
+           << "\":" << json_number(value);
+    }
+    os << "}}\n";
+}
+
+std::string
+Snapshot::to_json() const
+{
+    std::ostringstream os;
+    write_json(os);
+    return os.str();
+}
+
+util::StatusOr<Snapshot>
+Snapshot::from_json(const std::string& text)
+{
+    auto parsed = JsonParser(text).parse();
+    if (!parsed.ok()) return parsed.status();
+    if (parsed->kind != JsonValue::Kind::kObject) {
+        return util::Status::parse_error("snapshot JSON must be an object");
+    }
+
+    const JsonValue* version = parsed->find("schema_version");
+    if (version == nullptr ||
+        version->kind != JsonValue::Kind::kNumber ||
+        static_cast<int>(version->number) != kSchemaVersion) {
+        return util::Status::parse_error(
+            "snapshot schema_version missing or unsupported (want " +
+            std::to_string(kSchemaVersion) + ")");
+    }
+
+    Snapshot snapshot;
+    if (const JsonValue* table = parsed->find("histograms");
+        table != nullptr && table->kind == JsonValue::Kind::kObject) {
+        for (const auto& [name, entry] : table->object) {
+            if (entry.kind != JsonValue::Kind::kObject) {
+                return util::Status::parse_error(
+                    "histogram '" + name + "' is not an object");
+            }
+            const JsonValue* buckets = entry.find("buckets");
+            const JsonValue* min = entry.find("min");
+            const JsonValue* max = entry.find("max");
+            if (buckets == nullptr ||
+                buckets->kind != JsonValue::Kind::kArray ||
+                min == nullptr || max == nullptr) {
+                return util::Status::parse_error(
+                    "histogram '" + name +
+                    "' needs buckets/min/max fields");
+            }
+            std::vector<Histogram::Bucket> state;
+            for (const auto& row : buckets->array) {
+                if (row.kind != JsonValue::Kind::kArray ||
+                    row.array.size() != 3) {
+                    return util::Status::parse_error(
+                        "histogram '" + name +
+                        "' bucket rows must be [index,count,sum]");
+                }
+                state.push_back(
+                    {static_cast<int>(row.array[0].number),
+                     static_cast<std::size_t>(row.array[1].number),
+                     row.array[2].number});
+            }
+            snapshot.histograms[name] = Histogram::from_state(
+                state, min->number, max->number);
+        }
+    }
+    if (const JsonValue* table = parsed->find("counters");
+        table != nullptr && table->kind == JsonValue::Kind::kObject) {
+        for (const auto& [name, entry] : table->object) {
+            if (entry.kind != JsonValue::Kind::kNumber) {
+                return util::Status::parse_error(
+                    "counter '" + name + "' is not a number");
+            }
+            snapshot.counters[name] = entry.number;
+        }
+    }
+    return snapshot;
+}
+
+void
+Snapshot::write_csv(std::ostream& os) const
+{
+    Table table({"kind", "name", "count", "min", "mean", "p50", "p90",
+                 "p99", "max", "sum"});
+    for (const auto& [name, histogram] : histograms) {
+        table.add_row(
+            {"histogram", name,
+             Table::fmt(static_cast<long long>(histogram.count())),
+             Table::fmt(histogram.min(), 4),
+             Table::fmt(histogram.mean(), 4),
+             Table::fmt(histogram.percentile(50), 4),
+             Table::fmt(histogram.percentile(90), 4),
+             Table::fmt(histogram.percentile(99), 4),
+             Table::fmt(histogram.max(), 4),
+             Table::fmt(histogram.sum(), 4)});
+    }
+    for (const auto& [name, value] : counters) {
+        table.add_row({"counter", name, "", "", "", "", "", "", "",
+                       Table::fmt(value, 4)});
+    }
+    table.print_csv(os);
+}
+
+// ---------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------
+
+void
+Registry::observe(const std::string& name, double value)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    histograms_[name].record(value);
+}
+
+void
+Registry::add(const std::string& name, double delta)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_[name] += delta;
+}
+
+Snapshot
+Registry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Snapshot snapshot;
+    snapshot.histograms = histograms_;
+    snapshot.counters = counters_;
+    return snapshot;
+}
+
+void
+Registry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    histograms_.clear();
+    counters_.clear();
+}
+
+Registry&
+global()
+{
+    static Registry registry;
+    return registry;
+}
+
+}  // namespace caqr::util::metrics

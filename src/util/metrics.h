@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Aggregated run metrics: log-bucketed latency histograms and counters.
+ *
+ * The trace layer (`util/trace.h`) answers "what happened inside this
+ * run" — spans on a timeline, last-write-wins gauges. This module
+ * answers the fleet question: "what is the *distribution* of a metric
+ * across many requests" — per-request compile latency, per-stage
+ * timings, simulator shots/sec, SWAP counts — without keeping one
+ * record per request.
+ *
+ *  - **Histogram** — a sparse logarithmically-bucketed histogram
+ *    (`kBucketsPerOctave` buckets per power of two, relative bucket
+ *    width ~9%). Each bucket keeps a count *and* the exact sum of the
+ *    samples that landed in it, so `percentile()` reports the mean of
+ *    the rank's bucket: exact whenever the samples in that bucket are
+ *    equal (constant and well-separated distributions), and within
+ *    half a bucket width (< ~4.5% relative) otherwise. `merge()` is
+ *    bucket-wise addition — associative and commutative — so per-shard
+ *    histograms combine into fleet totals losslessly.
+ *  - **Registry** — a mutex-guarded name → histogram/counter table.
+ *    `global()` is the process-wide instance leaf instrumentation
+ *    (simulator, reuse passes) records into; `caqr::Service` owns a
+ *    private one per instance. Unlike tracing, recording is always on:
+ *    one observation per *request* (not per gate) is noise next to a
+ *    compile.
+ *  - **Snapshot** — a frozen copy of a registry with schema-versioned
+ *    JSON export (`to_json`/`from_json` round-trip bucket-exactly) and
+ *    a CSV summary. `BENCH_caqr.json` and the `--serve` `stats`
+ *    command are rendered from snapshots.
+ */
+#ifndef CAQR_UTIL_METRICS_H
+#define CAQR_UTIL_METRICS_H
+
+#include <cstddef>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace caqr::util::metrics {
+
+/**
+ * Sparse log-bucketed histogram over positive samples (non-positive
+ * samples share one dedicated bucket; non-finite samples are dropped).
+ * Not thread-safe — `Registry` provides the locking.
+ */
+class Histogram
+{
+  public:
+    /// Buckets per power of two. 8 gives bucket edges 2^(k/8), i.e. a
+    /// ~9.05% wide bucket and <= ~4.5% error on interpolated ranks.
+    static constexpr int kBucketsPerOctave = 8;
+
+    /// Bucket key shared by every sample <= 0 (timings are positive;
+    /// quality metrics like SWAP counts can legitimately be zero).
+    static constexpr int kNonPositiveBucket =
+        std::numeric_limits<int>::min();
+
+    /// Count and exact sample sum of one bucket, keyed by index.
+    struct Bucket
+    {
+        int index = 0;
+        std::size_t count = 0;
+        double sum = 0.0;
+    };
+
+    /// Bucket key for a positive sample: floor(log2(v) * 8).
+    static int bucket_index(double value);
+
+    /// Adds one sample. NaN/inf are ignored.
+    void record(double value);
+
+    /// Bucket-wise addition of @p other into this histogram.
+    /// Associative and commutative; min/max combine exactly.
+    void merge(const Histogram& other);
+
+    std::size_t count() const { return count_; }
+    double sum() const { return sum_; }
+    /// Exact smallest/largest recorded sample (0 when empty).
+    double min() const { return count_ == 0 ? 0.0 : min_; }
+    double max() const { return count_ == 0 ? 0.0 : max_; }
+    double mean() const
+    {
+        return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+    }
+
+    /**
+     * Nearest-rank percentile for @p p in [0, 100]: the mean of the
+     * bucket holding rank ceil(p/100 * count), clamped to [min, max].
+     * p <= 0 returns min, p >= 100 returns max, empty returns 0.
+     */
+    double percentile(double p) const;
+
+    /// Buckets in ascending index order (the serialization surface).
+    std::vector<Bucket> buckets() const;
+
+    /// Rebuilds a histogram from exported state (JSON import). The
+    /// count/sum aggregates are recomputed from the buckets.
+    static Histogram from_state(const std::vector<Bucket>& buckets,
+                                double min, double max);
+
+  private:
+    struct Cell
+    {
+        std::size_t count = 0;
+        double sum = 0.0;
+    };
+
+    std::map<int, Cell> buckets_;
+    std::size_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Frozen copy of a registry; the unit of export, import, and merging.
+struct Snapshot
+{
+    /// Bumped when the JSON layout changes; `from_json` rejects
+    /// documents it does not understand.
+    static constexpr int kSchemaVersion = 1;
+
+    std::map<std::string, Histogram> histograms;
+    std::map<std::string, double> counters;
+
+    /// Merges @p other in: histograms bucket-wise, counters by sum.
+    void merge(const Snapshot& other);
+
+    /// JSON document: schema_version, per-histogram buckets + derived
+    /// count/sum/min/max/p50/p90/p99, counters. Doubles are printed
+    /// with 17 significant digits so import is bit-exact.
+    void write_json(std::ostream& os) const;
+    std::string to_json() const;
+
+    /// Inverse of to_json (derived percentile fields are ignored and
+    /// recomputed). kParseError on malformed input or a schema_version
+    /// this build does not understand.
+    static util::StatusOr<Snapshot> from_json(const std::string& text);
+
+    /// One row per histogram (count/min/mean/p50/p90/p99/max/sum) and
+    /// per counter.
+    void write_csv(std::ostream& os) const;
+};
+
+/**
+ * Thread-safe name → histogram/counter table. Recording is one mutex
+ * acquisition plus a map lookup — meant for per-request and
+ * per-invocation observations, not per-gate hot loops (those stay on
+ * the trace layer's compile-time sinks).
+ */
+class Registry
+{
+  public:
+    /// Adds @p value to the named histogram (created on first use).
+    void observe(const std::string& name, double value);
+
+    /// Adds @p delta to the named counter (created at 0).
+    void add(const std::string& name, double delta);
+
+    /// Consistent copy of everything recorded so far.
+    Snapshot snapshot() const;
+
+    /// Discards all histograms and counters.
+    void reset();
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, Histogram> histograms_;
+    std::map<std::string, double> counters_;
+};
+
+/// Process-wide registry for leaf instrumentation (e.g. the simulator's
+/// `sim.shots_per_sec`). Always recording.
+Registry& global();
+
+}  // namespace caqr::util::metrics
+
+#endif  // CAQR_UTIL_METRICS_H

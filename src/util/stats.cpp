@@ -36,6 +36,19 @@ median(std::vector<double> values)
 }
 
 double
+percentile(std::vector<double> values, double p)
+{
+    if (values.empty()) return 0.0;
+    std::sort(values.begin(), values.end());
+    if (p <= 0.0) return values.front();
+    if (p >= 100.0) return values.back();
+    const auto rank = static_cast<std::size_t>(std::max(
+        1.0,
+        std::ceil(p / 100.0 * static_cast<double>(values.size()))));
+    return values[rank - 1];
+}
+
+double
 min_value(const std::vector<double>& values)
 {
     if (values.empty()) return 0.0;

@@ -21,6 +21,15 @@ double stddev(const std::vector<double>& values);
 /// Median (average of middle two for even sizes; 0 for empty input).
 double median(std::vector<double> values);
 
+/**
+ * Exact nearest-rank sample percentile for @p p in [0, 100]: the value
+ * at rank ceil(p/100 * n) of the sorted sample (p <= 0 gives the
+ * minimum, p >= 100 the maximum, empty input 0). Used by the bench
+ * harnesses on small repeat samples; the bucketed
+ * `util::metrics::Histogram` covers unbounded streams.
+ */
+double percentile(std::vector<double> values, double p);
+
 /// Minimum / maximum; both return 0 for empty input.
 double min_value(const std::vector<double>& values);
 double max_value(const std::vector<double>& values);

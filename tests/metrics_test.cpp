@@ -1,0 +1,399 @@
+/**
+ * @file
+ * Tests for the metrics registry: histogram percentile math on known
+ * distributions, empty/single-sample edge cases, associativity of
+ * merge, JSON snapshot round-trips, registry thread safety, and the
+ * service-level wiring (per-request latency distributions instead of
+ * last-write-wins gauges).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "apps/benchmarks.h"
+#include "service/service.h"
+#include "util/metrics.h"
+
+namespace {
+
+using namespace caqr;
+using util::metrics::Histogram;
+using util::metrics::Registry;
+using util::metrics::Snapshot;
+
+// ---------------------------------------------------------------------
+// Histogram percentile math
+// ---------------------------------------------------------------------
+
+TEST(Histogram, EmptyIsSafe)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0.0);
+    EXPECT_EQ(h.min(), 0.0);
+    EXPECT_EQ(h.max(), 0.0);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.percentile(50), 0.0);
+    EXPECT_EQ(h.percentile(0), 0.0);
+    EXPECT_EQ(h.percentile(100), 0.0);
+    EXPECT_TRUE(h.buckets().empty());
+}
+
+TEST(Histogram, SingleSampleIsEveryPercentile)
+{
+    Histogram h;
+    h.record(3.7);
+    EXPECT_EQ(h.count(), 1u);
+    for (double p : {0.0, 1.0, 50.0, 90.0, 99.0, 100.0}) {
+        EXPECT_DOUBLE_EQ(h.percentile(p), 3.7) << "p" << p;
+    }
+    EXPECT_DOUBLE_EQ(h.min(), 3.7);
+    EXPECT_DOUBLE_EQ(h.max(), 3.7);
+    EXPECT_DOUBLE_EQ(h.mean(), 3.7);
+}
+
+TEST(Histogram, ConstantDistributionIsExact)
+{
+    Histogram h;
+    for (int i = 0; i < 1000; ++i) h.record(42.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 42.0);
+    EXPECT_DOUBLE_EQ(h.percentile(90), 42.0);
+    EXPECT_DOUBLE_EQ(h.percentile(99), 42.0);
+    EXPECT_DOUBLE_EQ(h.max(), 42.0);
+    EXPECT_DOUBLE_EQ(h.sum(), 42000.0);
+}
+
+/// Samples more than one bucket width apart each occupy their own
+/// bucket, and the per-bucket sample sums make their percentiles
+/// *exact*, not approximations.
+TEST(Histogram, WellSeparatedDistributionHitsExactPercentiles)
+{
+    // 100 samples: 50 at 1ms, 40 at 10ms, 9 at 100ms, 1 at 1000ms —
+    // nearest-rank: p50 -> rank 50 (1ms), p90 -> rank 90 (10ms),
+    // p99 -> rank 99 (100ms), p100 -> 1000ms.
+    Histogram h;
+    for (int i = 0; i < 50; ++i) h.record(1.0);
+    for (int i = 0; i < 40; ++i) h.record(10.0);
+    for (int i = 0; i < 9; ++i) h.record(100.0);
+    h.record(1000.0);
+
+    EXPECT_DOUBLE_EQ(h.percentile(50), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(90), 10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(99), 100.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 1000.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);
+    EXPECT_EQ(h.count(), 100u);
+}
+
+TEST(Histogram, UniformDistributionWithinBucketError)
+{
+    // Uniform 1..1000: bucketed percentiles must land within the
+    // documented half-bucket relative error (2^(1/8) buckets -> ~4.5%,
+    // asserted at 5%).
+    Histogram h;
+    for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
+    EXPECT_NEAR(h.percentile(50), 500.0, 500.0 * 0.05);
+    EXPECT_NEAR(h.percentile(90), 900.0, 900.0 * 0.05);
+    EXPECT_NEAR(h.percentile(99), 990.0, 990.0 * 0.05);
+    EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+}
+
+TEST(Histogram, NonPositiveAndNonFiniteSamples)
+{
+    Histogram h;
+    h.record(0.0);
+    h.record(-5.0);
+    h.record(2.0);
+    h.record(std::nan(""));                          // dropped
+    h.record(std::numeric_limits<double>::infinity());  // dropped
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.min(), -5.0);
+    EXPECT_DOUBLE_EQ(h.max(), 2.0);
+    // Ranks 1-2 share the non-positive bucket (mean -2.5).
+    EXPECT_DOUBLE_EQ(h.percentile(50), -2.5);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 2.0);
+}
+
+// ---------------------------------------------------------------------
+// Merge
+// ---------------------------------------------------------------------
+
+Histogram
+make_histogram(const std::vector<double>& values)
+{
+    Histogram h;
+    for (double v : values) h.record(v);
+    return h;
+}
+
+std::string
+fingerprint(const Histogram& h)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << h.count() << '|' << h.sum() << '|' << h.min() << '|' << h.max();
+    for (const auto& bucket : h.buckets()) {
+        os << '|' << bucket.index << ':' << bucket.count << ':'
+           << bucket.sum;
+    }
+    return os.str();
+}
+
+TEST(Histogram, MergeIsAssociativeAndCommutative)
+{
+    // Integer-valued samples: bucket sums stay exact in double, so
+    // associativity holds bit-for-bit.
+    const auto a = make_histogram({1.0, 2.0, 3.0, 100.0});
+    const auto b = make_histogram({4.0, 4.0, 50.0});
+    const auto c = make_histogram({0.0, 7.0, 1000.0, 1000.0});
+
+    Histogram ab = a;
+    ab.merge(b);
+    Histogram ab_c = ab;
+    ab_c.merge(c);
+
+    Histogram bc = b;
+    bc.merge(c);
+    Histogram a_bc = a;
+    a_bc.merge(bc);
+
+    EXPECT_EQ(fingerprint(ab_c), fingerprint(a_bc));
+
+    Histogram ba = b;
+    ba.merge(a);
+    EXPECT_EQ(fingerprint(ab), fingerprint(ba));
+
+    // Merge equals recording the union directly.
+    const auto direct = make_histogram(
+        {1.0, 2.0, 3.0, 100.0, 4.0, 4.0, 50.0, 0.0, 7.0, 1000.0, 1000.0});
+    EXPECT_EQ(fingerprint(ab_c), fingerprint(direct));
+}
+
+TEST(Histogram, MergeWithEmptyIsIdentity)
+{
+    const auto a = make_histogram({1.0, 10.0, 100.0});
+    Histogram merged = a;
+    merged.merge(Histogram{});
+    EXPECT_EQ(fingerprint(merged), fingerprint(a));
+
+    Histogram onto_empty;
+    onto_empty.merge(a);
+    EXPECT_EQ(fingerprint(onto_empty), fingerprint(a));
+}
+
+// ---------------------------------------------------------------------
+// Snapshot JSON round-trip
+// ---------------------------------------------------------------------
+
+TEST(Snapshot, JsonRoundTripPreservesEverything)
+{
+    Registry registry;
+    for (int i = 0; i < 50; ++i) registry.observe("latency_ms", 1.0);
+    for (int i = 0; i < 40; ++i) registry.observe("latency_ms", 10.0);
+    for (int i = 0; i < 10; ++i) registry.observe("latency_ms", 100.0);
+    registry.observe("swaps", 0.0);
+    registry.observe("swaps", 29.0);
+    registry.add("requests", 100.0);
+    registry.add("failures", 3.0);
+
+    const Snapshot before = registry.snapshot();
+    const auto parsed = Snapshot::from_json(before.to_json());
+    ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+    const Snapshot& after = *parsed;
+
+    ASSERT_EQ(after.histograms.size(), before.histograms.size());
+    for (const auto& [name, histogram] : before.histograms) {
+        const auto it = after.histograms.find(name);
+        ASSERT_NE(it, after.histograms.end()) << name;
+        EXPECT_EQ(fingerprint(it->second), fingerprint(histogram))
+            << name;
+        for (double p : {50.0, 90.0, 99.0}) {
+            EXPECT_DOUBLE_EQ(it->second.percentile(p),
+                             histogram.percentile(p))
+                << name << " p" << p;
+        }
+    }
+    EXPECT_EQ(after.counters, before.counters);
+
+    // And a second round-trip is bit-identical text.
+    EXPECT_EQ(after.to_json(), before.to_json());
+}
+
+TEST(Snapshot, FromJsonRejectsGarbage)
+{
+    EXPECT_FALSE(Snapshot::from_json("").ok());
+    EXPECT_FALSE(Snapshot::from_json("not json").ok());
+    EXPECT_FALSE(Snapshot::from_json("[1,2,3]").ok());
+    EXPECT_FALSE(
+        Snapshot::from_json("{\"schema_version\":99,\"histograms\":{}}")
+            .ok());
+    const auto missing_fields = Snapshot::from_json(
+        "{\"schema_version\":1,\"histograms\":{\"x\":{}}}");
+    EXPECT_FALSE(missing_fields.ok());
+    EXPECT_EQ(missing_fields.status().code(),
+              util::StatusCode::kParseError);
+}
+
+TEST(Snapshot, MergeCombinesHistogramsAndCounters)
+{
+    Registry a;
+    a.observe("latency_ms", 1.0);
+    a.add("requests", 2.0);
+    Registry b;
+    b.observe("latency_ms", 100.0);
+    b.observe("other", 5.0);
+    b.add("requests", 3.0);
+
+    Snapshot merged = a.snapshot();
+    merged.merge(b.snapshot());
+    EXPECT_EQ(merged.histograms.at("latency_ms").count(), 2u);
+    EXPECT_DOUBLE_EQ(merged.histograms.at("latency_ms").max(), 100.0);
+    EXPECT_EQ(merged.histograms.at("other").count(), 1u);
+    EXPECT_DOUBLE_EQ(merged.counters.at("requests"), 5.0);
+}
+
+TEST(Snapshot, CsvListsHistogramsAndCounters)
+{
+    Registry registry;
+    registry.observe("latency_ms", 2.0);
+    registry.add("requests", 1.0);
+    std::ostringstream os;
+    registry.snapshot().write_csv(os);
+    const std::string csv = os.str();
+    EXPECT_NE(csv.find("histogram"), std::string::npos);
+    EXPECT_NE(csv.find("latency_ms"), std::string::npos);
+    EXPECT_NE(csv.find("counter"), std::string::npos);
+    EXPECT_NE(csv.find("requests"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Registry behavior
+// ---------------------------------------------------------------------
+
+TEST(Registry, ConcurrentObservationsAllLand)
+{
+    Registry registry;
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 1000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&registry]() {
+            for (int i = 0; i < kPerThread; ++i) {
+                registry.observe("latency_ms", 1.0);
+                registry.add("requests", 1.0);
+            }
+        });
+    }
+    for (auto& thread : threads) thread.join();
+
+    const auto snapshot = registry.snapshot();
+    EXPECT_EQ(snapshot.histograms.at("latency_ms").count(),
+              static_cast<std::size_t>(kThreads * kPerThread));
+    EXPECT_DOUBLE_EQ(snapshot.counters.at("requests"),
+                     static_cast<double>(kThreads * kPerThread));
+}
+
+TEST(Registry, ResetClears)
+{
+    Registry registry;
+    registry.observe("latency_ms", 1.0);
+    registry.add("requests", 1.0);
+    registry.reset();
+    const auto snapshot = registry.snapshot();
+    EXPECT_TRUE(snapshot.histograms.empty());
+    EXPECT_TRUE(snapshot.counters.empty());
+}
+
+// ---------------------------------------------------------------------
+// Service wiring: distributions, not last-write-wins
+// ---------------------------------------------------------------------
+
+TEST(ServiceMetrics, BatchAggregatesPerRequestDistributions)
+{
+    Service service({.num_threads = 2});
+    std::vector<CompileRequest> requests;
+    for (int n : {4, 6, 8, 10}) {
+        CompileRequest request;
+        request.name = "bv_" + std::to_string(n);
+        request.circuit = apps::bv_circuit(n);
+        request.qs.num_threads = 1;
+        request.transpile.num_threads = 1;
+        requests.push_back(std::move(request));
+    }
+    const auto reports = service.compile_batch(requests);
+    for (const auto& report : reports) {
+        ASSERT_TRUE(report.ok()) << report.status.to_string();
+    }
+
+    const auto snapshot = service.metrics_snapshot();
+    // Every request contributes one latency sample...
+    ASSERT_TRUE(snapshot.histograms.count("service.total_ms"));
+    EXPECT_EQ(snapshot.histograms.at("service.total_ms").count(), 4u);
+    EXPECT_GT(snapshot.histograms.at("service.total_ms").percentile(50),
+              0.0);
+    // ...per-stage timing samples...
+    ASSERT_TRUE(snapshot.histograms.count("service.stage.qs_caqr_ms"));
+    EXPECT_EQ(snapshot.histograms.at("service.stage.qs_caqr_ms").count(),
+              4u);
+    // ...and quality distributions.
+    EXPECT_EQ(snapshot.histograms.at("service.swaps").count(), 4u);
+    EXPECT_EQ(snapshot.histograms.at("service.depth").count(), 4u);
+    EXPECT_EQ(snapshot.histograms.at("service.esp").count(), 4u);
+    EXPECT_DOUBLE_EQ(snapshot.counters.at("service.requests"), 4.0);
+    EXPECT_EQ(snapshot.counters.count("service.failures"), 0u);
+
+    // Failures are counted but do not pollute quality histograms.
+    CompileRequest bad;
+    bad.qasm = "OPENQASM 2.0;\nqreg q[1];\nfrobnicate q[0];\n";
+    ASSERT_FALSE(service.compile(bad).ok());
+    const auto after = service.metrics_snapshot();
+    EXPECT_DOUBLE_EQ(after.counters.at("service.requests"), 5.0);
+    EXPECT_DOUBLE_EQ(after.counters.at("service.failures"), 1.0);
+    EXPECT_EQ(after.histograms.at("service.depth").count(), 4u);
+
+    service.reset_metrics();
+    const auto cleared = service.metrics_snapshot();
+    EXPECT_EQ(cleared.histograms.count("service.total_ms"), 0u);
+}
+
+/// The satellite fix: in a batch every simulate() call lands in the
+/// sim.shots_per_sec histogram — previously a last-write-wins gauge
+/// where only the final circuit's value survived.
+TEST(ServiceMetrics, ShotsPerSecIsADistributionAcrossBatch)
+{
+    util::metrics::global().reset();
+
+    Service service({.num_threads = 1});
+    std::vector<CompileRequest> requests;
+    for (int n : {3, 4, 5}) {
+        CompileRequest request;
+        request.name = "bv_" + std::to_string(n);
+        request.circuit = apps::bv_circuit(n);
+        request.map_to_backend = false;
+        request.simulate = true;
+        request.sim.shots = 64;
+        request.qs.num_threads = 1;
+        requests.push_back(std::move(request));
+    }
+    const auto reports = service.compile_batch(requests);
+    for (const auto& report : reports) {
+        ASSERT_TRUE(report.ok()) << report.status.to_string();
+        EXPECT_FALSE(report.counts.empty());
+    }
+
+    const auto snapshot = service.metrics_snapshot();
+    ASSERT_TRUE(snapshot.histograms.count("sim.shots_per_sec"));
+    const auto& histogram = snapshot.histograms.at("sim.shots_per_sec");
+    EXPECT_EQ(histogram.count(), 3u);
+    EXPECT_GT(histogram.percentile(50), 0.0);
+    EXPECT_GE(histogram.max(), histogram.min());
+
+    util::metrics::global().reset();
+}
+
+}  // namespace

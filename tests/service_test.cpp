@@ -9,6 +9,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -255,6 +256,70 @@ TEST(RequestsFromPath, DirectoryIsSortedAndManifestFiltersComments)
     const auto missing = requests_from_path("/nonexistent/nowhere", {});
     ASSERT_FALSE(missing.ok());
     EXPECT_EQ(missing.status().code(), util::StatusCode::kNotFound);
+}
+
+/// Drives `qasm_tool --serve` through a pipe: serve a small batch,
+/// then ask for `stats` and check the live latency histogram carries
+/// per-stage p50/p90/p99 — the acceptance surface of the serve loop.
+TEST(QasmToolServe, StatsAnswersWithPercentilesAfterABatch)
+{
+    const fs::path dir =
+        fs::temp_directory_path() / "caqr_serve_protocol_test";
+    fs::create_directories(dir);
+    {
+        std::ofstream manifest(dir / "batch.txt");
+        manifest << circuits_dir() << "/bv_10.qasm\n"
+                 << circuits_dir() << "/rd32.qasm\n"
+                 << circuits_dir() << "/xor_5.qasm\n";
+    }
+
+    const std::string script = "help\nbatch " +
+                               (dir / "batch.txt").string() +
+                               "\nstats\nset strategy sr\nbogus\nquit\n";
+    const std::string command = "printf '%s' '" + script + "' | " +
+                                std::string(CAQR_QASM_TOOL_BIN) +
+                                " --serve 2>/dev/null";
+    FILE* pipe = ::popen(command.c_str(), "r");
+    ASSERT_NE(pipe, nullptr);
+    std::string output;
+    char buffer[512];
+    while (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+        output += buffer;
+    }
+    const int status = ::pclose(pipe);
+    fs::remove_all(dir);
+    EXPECT_EQ(status, 0) << output;
+
+    // Every command answered; the batch compiled all three circuits.
+    EXPECT_NE(output.find("ok help"), std::string::npos) << output;
+    EXPECT_NE(output.find("row bv_10,qs_caqr"), std::string::npos)
+        << output;
+    EXPECT_NE(output.find("ok batch n=3 failures=0"), std::string::npos)
+        << output;
+
+    // The stats snapshot reports the per-stage latency distribution.
+    for (const char* name :
+         {"stat service.total_ms", "stat service.stage.qs_caqr_ms",
+          "stat service.stage.map_ms", "stat service.swaps"}) {
+        const auto at = output.find(name);
+        ASSERT_NE(at, std::string::npos) << name << "\n" << output;
+        const auto line_end = output.find('\n', at);
+        const std::string line = output.substr(at, line_end - at);
+        EXPECT_NE(line.find("count=3"), std::string::npos) << line;
+        EXPECT_NE(line.find("p50="), std::string::npos) << line;
+        EXPECT_NE(line.find("p90="), std::string::npos) << line;
+        EXPECT_NE(line.find("p99="), std::string::npos) << line;
+        EXPECT_NE(line.find("max="), std::string::npos) << line;
+    }
+    EXPECT_NE(output.find("ok stats"), std::string::npos) << output;
+
+    // Protocol errors answer with `error` and keep the loop alive.
+    EXPECT_NE(output.find("ok set strategy sr_caqr"), std::string::npos)
+        << output;
+    EXPECT_NE(output.find("error unknown command 'bogus'"),
+              std::string::npos)
+        << output;
+    EXPECT_NE(output.find("ok bye"), std::string::npos) << output;
 }
 
 /// Regression: qasm_tool used to exit 0 after printing nothing when

@@ -1,0 +1,292 @@
+#!/usr/bin/env python3
+"""Perf/quality regression gate over two BENCH_caqr.json documents.
+
+Compares a freshly generated ``BENCH_caqr.json`` (see
+``bench/bench_perf``) against a checked-in baseline and exits nonzero
+on regression:
+
+* **Quality** (machine-independent, deterministic): ``swaps``,
+  ``depth``, ``qubits`` must not increase, ``esp`` and
+  ``shots_per_sec`` must not decrease (beyond a tiny relative epsilon
+  for the floating-point metrics; ``shots_per_sec`` is wall-clock
+  derived, so it uses the time tolerance instead). Any benchmark
+  present in the baseline but missing from the fresh run is a failure
+  — coverage can only be dropped by updating the baseline.
+* **Wall time**: ``wall_ms_median`` may not exceed the baseline by
+  more than ``--time-tolerance`` (default 0.10 = +10%). Entries whose
+  baseline median is below ``--min-ms`` (default 1.0 ms) are skipped
+  for the time gate — sub-millisecond medians are scheduler noise —
+  but still quality-gated.
+
+Improvements are reported as notes (refresh the baseline to lock them
+in). Exit codes: 0 pass, 1 regression, 2 usage/schema error.
+
+``--self-test`` runs the gate against synthetic documents and proves
+the acceptance behavior: identical documents pass, an injected 2x
+slowdown fails, a single extra SWAP fails, a missing benchmark fails,
+and quality improvements pass.
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+# Relative epsilon for deterministic floating-point quality metrics
+# (ESP): absorbs cross-compiler last-ulp drift, nothing more.
+FLOAT_EPS = 1e-6
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise SystemExit(f"error: cannot read '{path}': {error}")
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        raise SystemExit(
+            f"error: '{path}' has schema_version "
+            f"{doc.get('schema_version')!r}, this checker understands "
+            f"{SCHEMA_VERSION}"
+        )
+    if not isinstance(doc.get("benchmarks"), list):
+        raise SystemExit(f"error: '{path}' has no benchmarks array")
+    return doc
+
+
+def keyed(doc):
+    """Benchmarks indexed by (name, strategy, backend)."""
+    table = {}
+    for bench in doc["benchmarks"]:
+        table[(bench["name"], bench["strategy"], bench["backend"])] = bench
+    return table
+
+
+def check(baseline, fresh, time_tolerance, min_ms):
+    """Returns (failures, notes) comparing fresh against baseline."""
+    failures = []
+    notes = []
+    fresh_table = keyed(fresh)
+
+    for key, base in keyed(baseline).items():
+        label = "/".join(key[:2])
+        new = fresh_table.get(key)
+        if new is None:
+            failures.append(f"{label}: present in baseline, missing "
+                            "from fresh run")
+            continue
+
+        # Lower-is-better integer quality metrics.
+        for metric in ("swaps", "depth", "qubits"):
+            if new[metric] > base[metric]:
+                failures.append(
+                    f"{label}: {metric} regressed "
+                    f"{base[metric]} -> {new[metric]}"
+                )
+            elif new[metric] < base[metric]:
+                notes.append(
+                    f"{label}: {metric} improved "
+                    f"{base[metric]} -> {new[metric]} "
+                    "(refresh the baseline)"
+                )
+
+        # Higher-is-better fidelity metric, deterministic float.
+        if new["esp"] < base["esp"] * (1.0 - FLOAT_EPS):
+            failures.append(
+                f"{label}: esp regressed "
+                f"{base['esp']:.6g} -> {new['esp']:.6g}"
+            )
+        elif new["esp"] > base["esp"] * (1.0 + FLOAT_EPS):
+            notes.append(
+                f"{label}: esp improved "
+                f"{base['esp']:.6g} -> {new['esp']:.6g} "
+                "(refresh the baseline)"
+            )
+
+        # Wall-clock gates share the noise tolerance.
+        base_ms = base["wall_ms_median"]
+        new_ms = new["wall_ms_median"]
+        if base_ms >= min_ms and new_ms > base_ms * (1.0 + time_tolerance):
+            failures.append(
+                f"{label}: wall_ms_median regressed "
+                f"{base_ms:.3f} -> {new_ms:.3f} "
+                f"(+{100.0 * (new_ms / base_ms - 1.0):.1f}%, "
+                f"tolerance +{100.0 * time_tolerance:.0f}%)"
+            )
+
+        base_sps = base.get("shots_per_sec")
+        new_sps = new.get("shots_per_sec")
+        if base_sps is not None:
+            if new_sps is None:
+                failures.append(f"{label}: shots_per_sec disappeared")
+            elif new_sps < base_sps / (1.0 + time_tolerance):
+                failures.append(
+                    f"{label}: shots_per_sec regressed "
+                    f"{base_sps:.0f} -> {new_sps:.0f} "
+                    f"(tolerance -{100.0 * time_tolerance:.0f}%)"
+                )
+
+    for key in fresh_table.keys() - keyed(baseline).keys():
+        notes.append("/".join(key[:2]) +
+                     ": new benchmark, not in baseline "
+                     "(refresh the baseline)")
+    return failures, notes
+
+
+def self_test():
+    """Proves the gate's acceptance behavior on synthetic documents."""
+    baseline = {
+        "schema_version": SCHEMA_VERSION,
+        "benchmarks": [
+            {
+                "name": "bv_10",
+                "strategy": "qs_caqr",
+                "backend": "FakeMumbai",
+                "wall_ms_median": 10.0,
+                "qubits": 2,
+                "depth": 45,
+                "swaps": 0,
+                "reuses": 8,
+                "esp": 0.5,
+                "shots_per_sec": 100000.0,
+            },
+            {
+                "name": "rd32",
+                "strategy": "sr_caqr",
+                "backend": "FakeMumbai",
+                "wall_ms_median": 0.2,  # below min_ms: time-exempt
+                "qubits": 4,
+                "depth": 32,
+                "swaps": 2,
+                "reuses": 1,
+                "esp": 0.67,
+            },
+        ],
+    }
+
+    def run(mutate, time_tolerance=0.10):
+        fresh = copy.deepcopy(baseline)
+        mutate(fresh)
+        failures, _ = check(baseline, fresh, time_tolerance, min_ms=1.0)
+        return failures
+
+    cases = []
+
+    def expect(description, failures, should_fail):
+        ok = bool(failures) == should_fail
+        cases.append((description, ok, failures))
+
+    expect("identical documents pass", run(lambda d: None), False)
+
+    def slow_2x(doc):
+        doc["benchmarks"][0]["wall_ms_median"] *= 2.0
+
+    expect("injected 2x slowdown fails", run(slow_2x), True)
+
+    def sub_ms_slowdown(doc):
+        doc["benchmarks"][1]["wall_ms_median"] *= 2.0
+
+    expect("sub-min-ms slowdown is noise-exempt", run(sub_ms_slowdown),
+           False)
+
+    def extra_swap(doc):
+        doc["benchmarks"][0]["swaps"] += 1
+
+    expect("one extra SWAP fails", run(extra_swap), True)
+
+    def worse_esp(doc):
+        doc["benchmarks"][0]["esp"] *= 0.9
+
+    expect("ESP drop fails", run(worse_esp), True)
+
+    def dropped_bench(doc):
+        del doc["benchmarks"][1]
+
+    expect("missing benchmark fails", run(dropped_bench), True)
+
+    def slower_sim(doc):
+        doc["benchmarks"][0]["shots_per_sec"] *= 0.5
+
+    expect("halved shots/sec fails", run(slower_sim), True)
+
+    def improvement(doc):
+        doc["benchmarks"][0]["swaps"] = 0
+        doc["benchmarks"][0]["depth"] -= 5
+        doc["benchmarks"][0]["esp"] = 0.6
+        doc["benchmarks"][0]["wall_ms_median"] = 5.0
+
+    expect("improvements pass", run(improvement), False)
+
+    def slow_within_loose_tolerance(doc):
+        doc["benchmarks"][0]["wall_ms_median"] *= 1.4
+
+    expect(
+        "+40% passes at --time-tolerance 1.5",
+        run(slow_within_loose_tolerance, time_tolerance=1.5),
+        False,
+    )
+
+    failed = [c for c in cases if not c[1]]
+    for description, ok, failures in cases:
+        marker = "PASS" if ok else "FAIL"
+        print(f"self-test {marker}: {description}")
+        if not ok:
+            for failure in failures:
+                print(f"    gate said: {failure}")
+    print(f"self-test: {len(cases) - len(failed)}/{len(cases)} cases ok")
+    return 0 if not failed else 1
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Gate a fresh BENCH_caqr.json against a baseline."
+    )
+    parser.add_argument("baseline", nargs="?",
+                        help="checked-in BENCH_caqr.json")
+    parser.add_argument("fresh", nargs="?",
+                        help="freshly generated BENCH_caqr.json")
+    parser.add_argument(
+        "--time-tolerance", type=float, default=0.10,
+        help="allowed relative wall-time growth (default 0.10 = +10%%; "
+        "CI uses a looser value until its baseline is runner-generated)",
+    )
+    parser.add_argument(
+        "--min-ms", type=float, default=1.0,
+        help="skip the wall-time gate when the baseline median is below "
+        "this many ms (default 1.0)",
+    )
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the synthetic acceptance cases and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test())
+    if not args.baseline or not args.fresh:
+        parser.error("need BASELINE and FRESH paths (or --self-test)")
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+    failures, notes = check(baseline, fresh, args.time_tolerance,
+                            args.min_ms)
+
+    for note in notes:
+        print(f"note: {note}")
+    for failure in failures:
+        print(f"REGRESSION: {failure}")
+    compared = len(keyed(baseline))
+    if failures:
+        print(f"regression gate: FAIL "
+              f"({len(failures)} regression(s) across {compared} "
+              f"baselined benchmarks)")
+        sys.exit(1)
+    print(f"regression gate: PASS ({compared} baselined benchmarks, "
+          f"time tolerance +{100.0 * args.time_tolerance:.0f}%)")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()
