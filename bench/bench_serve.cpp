@@ -1,0 +1,455 @@
+/**
+ * @file
+ * Multi-threaded load generator for the TCP serving front end.
+ *
+ * Measures end-to-end serving throughput and latency through the real
+ * transport: client threads speak the line protocol over TCP against
+ * a `serve::Server` (self-hosted on an ephemeral port by default, or
+ * an external one via `--connect`). Two phases run back to back over
+ * a generated corpus of byte-distinct bv_10 variants:
+ *
+ *  - **cold**: every request names a never-seen circuit file, so each
+ *    one runs the full compile pipeline (all cache misses).
+ *  - **hot90**: 90% of requests draw from a small pre-warmed hot set,
+ *    10% stay unique — the content-addressed compile cache answers
+ *    the hot traffic, and the phase's requests/sec over the cold
+ *    phase's is the cache `speedup`.
+ *
+ * Emits a schema-versioned BENCH_serve.json (`serve_cold` and
+ * `serve_hot90` entries with requests_per_sec / p50_ms / p99_ms, the
+ * hot entry carrying `speedup`) that `tools/check_regression.py`
+ * gates, plus an optional raw metrics snapshot (`--metrics-out`) for
+ * CI artifacts. `--min-speedup`, `--require-cache-hits`, and
+ * `--max-failures` turn the run itself into a smoke gate: the CI
+ * serve-gate job runs it against a `qasm_tool --listen` instance and
+ * requires a >=5x hot/cold ratio, nonzero cache hits, and zero failed
+ * requests.
+ *
+ * Usage: bench_serve [--out PATH] [--requests N] [--threads N]
+ *                    [--hot N] [--cache N] [--connect HOST:PORT]
+ *                    [--metrics-out PATH] [--min-speedup X]
+ *                    [--require-cache-hits] [--max-failures N]
+ */
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/client.h"
+#include "service/server.h"
+#include "service/service.h"
+
+namespace {
+
+using namespace caqr;
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+constexpr int kSchemaVersion = 1;
+
+/// Short git revision: $CAQR_GIT_SHA wins (CI sets it), then
+/// `git rev-parse`, then "unknown".
+std::string
+git_sha()
+{
+    if (const char* env = std::getenv("CAQR_GIT_SHA");
+        env != nullptr && *env != '\0') {
+        return env;
+    }
+    std::string sha;
+    if (FILE* pipe = ::popen("git rev-parse --short HEAD 2>/dev/null",
+                             "r")) {
+        char buffer[64];
+        if (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+            sha = buffer;
+        }
+        ::pclose(pipe);
+    }
+    while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+        sha.pop_back();
+    }
+    return sha.empty() ? "unknown" : sha;
+}
+
+std::string
+json_number(double value)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << value;
+    return os.str();
+}
+
+double
+percentile(std::vector<double> sorted, double p)
+{
+    if (sorted.empty()) return 0.0;
+    const auto rank = static_cast<std::size_t>(
+        p / 100.0 * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+/// The corpus: byte-distinct copies of bv_10. A unique trailing
+/// comment changes the content-addressed cache key without changing
+/// the compile cost, so cold traffic is uniform and cache-proof.
+class VariantCorpus
+{
+  public:
+    explicit VariantCorpus(const fs::path& dir) : dir_(dir)
+    {
+        fs::create_directories(dir_);
+        std::ifstream in(std::string(CAQR_CIRCUITS_DIR) +
+                         "/bv_10.qasm");
+        std::ostringstream content;
+        content << in.rdbuf();
+        base_ = content.str();
+        if (!base_.empty() && base_.back() != '\n') base_ += '\n';
+    }
+
+    ~VariantCorpus()
+    {
+        std::error_code ignored;
+        fs::remove_all(dir_, ignored);
+    }
+
+    /// Path of variant @p index, written on first use.
+    std::string
+    path(int index)
+    {
+        const fs::path file =
+            dir_ / ("bv10_v" + std::to_string(index) + ".qasm");
+        if (static_cast<std::size_t>(index) >= written_.size()) {
+            written_.resize(static_cast<std::size_t>(index) + 1, false);
+        }
+        if (!written_[static_cast<std::size_t>(index)]) {
+            std::ofstream out(file);
+            out << base_ << "// variant " << index << "\n";
+            written_[static_cast<std::size_t>(index)] = true;
+        }
+        return file.string();
+    }
+
+  private:
+    fs::path dir_;
+    std::string base_;
+    std::vector<bool> written_;
+};
+
+struct PhaseResult
+{
+    double requests_per_sec = 0.0;
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+    long failures = 0;
+    long requests = 0;
+};
+
+/// Runs @p commands partitioned across @p threads connections and
+/// aggregates throughput + latency. Every thread owns its client and
+/// its slice; nothing is shared during the timed window.
+PhaseResult
+run_phase(const std::string& host, int port, int threads,
+          const std::vector<std::vector<std::string>>& per_thread)
+{
+    std::vector<std::vector<double>> latencies(
+        static_cast<std::size_t>(threads));
+    std::vector<long> failures(static_cast<std::size_t>(threads), 0);
+    for (int t = 0; t < threads; ++t) {
+        latencies[static_cast<std::size_t>(t)].reserve(
+            per_thread[static_cast<std::size_t>(t)].size());
+    }
+
+    const auto phase_start = Clock::now();
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+            serve::Client client;
+            if (!client.connect(host, port).ok()) {
+                failures[static_cast<std::size_t>(t)] +=
+                    static_cast<long>(
+                        per_thread[static_cast<std::size_t>(t)].size());
+                return;
+            }
+            for (const auto& command :
+                 per_thread[static_cast<std::size_t>(t)]) {
+                const auto start = Clock::now();
+                const auto response = client.command(command);
+                const double ms =
+                    std::chrono::duration<double, std::milli>(
+                        Clock::now() - start)
+                        .count();
+                if (response.ok() && response->ok) {
+                    latencies[static_cast<std::size_t>(t)].push_back(ms);
+                } else {
+                    ++failures[static_cast<std::size_t>(t)];
+                }
+            }
+        });
+    }
+    for (auto& worker : workers) worker.join();
+    const double wall_s = std::chrono::duration<double>(
+                              Clock::now() - phase_start)
+                              .count();
+
+    PhaseResult result;
+    std::vector<double> merged;
+    for (int t = 0; t < threads; ++t) {
+        merged.insert(merged.end(),
+                      latencies[static_cast<std::size_t>(t)].begin(),
+                      latencies[static_cast<std::size_t>(t)].end());
+        result.failures += failures[static_cast<std::size_t>(t)];
+        result.requests += static_cast<long>(
+            per_thread[static_cast<std::size_t>(t)].size());
+    }
+    std::sort(merged.begin(), merged.end());
+    result.p50_ms = percentile(merged, 50.0);
+    result.p99_ms = percentile(merged, 99.0);
+    result.requests_per_sec =
+        wall_s > 0.0 ? static_cast<double>(merged.size()) / wall_s : 0.0;
+    return result;
+}
+
+/// The `stats json` document from the server (final "ok stats" line
+/// dropped); empty on failure.
+std::string
+fetch_stats_json(const std::string& host, int port)
+{
+    serve::Client client;
+    if (!client.connect(host, port).ok()) return {};
+    const auto response = client.command("stats json");
+    if (!response.ok() || !response->ok) return {};
+    std::string json;
+    for (std::size_t i = 0; i + 1 < response->lines.size(); ++i) {
+        json += response->lines[i];
+        json += '\n';
+    }
+    return json;
+}
+
+/// Extracts `"name":<number>` from the counters section of a metrics
+/// snapshot; 0 when absent.
+double
+counter_from_json(const std::string& json, const std::string& name)
+{
+    const std::string needle = "\"" + name + "\":";
+    const auto at = json.find(needle);
+    if (at == std::string::npos) return 0.0;
+    return std::strtod(json.c_str() + at + needle.size(), nullptr);
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string out = "BENCH_serve.json";
+    std::string metrics_out;
+    std::string connect;
+    int requests = 200;
+    int threads = 2;
+    int hot = 8;
+    std::size_t cache = 256;
+    double min_speedup = 0.0;
+    bool require_cache_hits = false;
+    long max_failures = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--out" && i + 1 < argc) {
+            out = argv[++i];
+        } else if (arg == "--metrics-out" && i + 1 < argc) {
+            metrics_out = argv[++i];
+        } else if (arg == "--connect" && i + 1 < argc) {
+            connect = argv[++i];
+        } else if (arg == "--requests" && i + 1 < argc) {
+            requests = std::atoi(argv[++i]);
+        } else if (arg == "--threads" && i + 1 < argc) {
+            threads = std::atoi(argv[++i]);
+        } else if (arg == "--hot" && i + 1 < argc) {
+            hot = std::atoi(argv[++i]);
+        } else if (arg == "--cache" && i + 1 < argc) {
+            cache = static_cast<std::size_t>(std::atoll(argv[++i]));
+        } else if (arg == "--min-speedup" && i + 1 < argc) {
+            min_speedup = std::atof(argv[++i]);
+        } else if (arg == "--require-cache-hits") {
+            require_cache_hits = true;
+        } else if (arg == "--max-failures" && i + 1 < argc) {
+            max_failures = std::atol(argv[++i]);
+        } else {
+            std::cerr << "usage: bench_serve [--out PATH] [--requests N]"
+                         " [--threads N] [--hot N] [--cache N]"
+                         " [--connect HOST:PORT] [--metrics-out PATH]"
+                         " [--min-speedup X] [--require-cache-hits]"
+                         " [--max-failures N]\n";
+            return arg == "--help" ? 0 : 2;
+        }
+    }
+    if (requests < 1 || threads < 1 || hot < 1) {
+        std::cerr << "error: --requests/--threads/--hot must be "
+                     "positive\n";
+        return 2;
+    }
+
+    // Target server: external via --connect, else self-hosted on an
+    // ephemeral port with the content-addressed cache enabled.
+    std::string host = "127.0.0.1";
+    int port = 0;
+    std::unique_ptr<Service> service;
+    std::unique_ptr<serve::Server> server;
+    if (connect.empty()) {
+        service = std::make_unique<Service>(
+            ServiceOptions{.num_threads = 1, .cache_capacity = cache});
+        serve::ServerOptions options;
+        options.num_workers = threads;
+        options.max_sessions = threads + 8;
+        server = std::make_unique<serve::Server>(*service, options);
+        const auto started = server->start();
+        if (!started.ok()) {
+            std::cerr << "error: " << started.to_string() << "\n";
+            return 2;
+        }
+        port = server->port();
+    } else {
+        const auto colon = connect.rfind(':');
+        if (colon == std::string::npos) {
+            std::cerr << "error: --connect needs HOST:PORT\n";
+            return 2;
+        }
+        host = connect.substr(0, colon);
+        port = std::atoi(connect.c_str() + colon + 1);
+    }
+
+    VariantCorpus corpus(fs::temp_directory_path() /
+                         ("caqr_bench_serve_" +
+                          std::to_string(::getpid())));
+
+    // Deterministic request schedules, partitioned per thread. Cold
+    // variants are globally unique across both phases; hot requests
+    // cycle a small set that one warming pass has already compiled.
+    int next_cold = 0;
+    std::vector<std::vector<std::string>> cold_commands(
+        static_cast<std::size_t>(threads));
+    for (int i = 0; i < requests; ++i) {
+        cold_commands[static_cast<std::size_t>(i % threads)].push_back(
+            "compile " + corpus.path(next_cold++));
+    }
+    std::vector<std::string> hot_paths;
+    hot_paths.reserve(static_cast<std::size_t>(hot));
+    for (int h = 0; h < hot; ++h) {
+        hot_paths.push_back(corpus.path(next_cold++));
+    }
+    std::vector<std::vector<std::string>> hot_commands(
+        static_cast<std::size_t>(threads));
+    for (int i = 0; i < requests; ++i) {
+        const bool cold_slot = i % 10 == 9;  // the 10% cold tail
+        const std::string path =
+            cold_slot
+                ? corpus.path(next_cold++)
+                : hot_paths[static_cast<std::size_t>((i - i / 10) %
+                                                     hot)];
+        hot_commands[static_cast<std::size_t>(i % threads)].push_back(
+            "compile " + path);
+    }
+
+    std::cout << "bench_serve: " << requests << " requests x 2 phases, "
+              << threads << " client thread(s), hot set " << hot
+              << ", target " << host << ":" << port << "\n";
+
+    const auto cold = run_phase(host, port, threads, cold_commands);
+    std::cout << "  serve_cold : "
+              << json_number(cold.requests_per_sec)
+              << " req/s  p50=" << cold.p50_ms << "ms p99="
+              << cold.p99_ms << "ms failures=" << cold.failures << "\n";
+
+    // Warm the hot set once so hot90 hit behavior is deterministic.
+    {
+        serve::Client warm;
+        if (warm.connect(host, port).ok()) {
+            for (const auto& path : hot_paths) {
+                warm.command("compile " + path);
+            }
+        }
+    }
+    const auto hot90 = run_phase(host, port, threads, hot_commands);
+    const double speedup =
+        cold.requests_per_sec > 0.0
+            ? hot90.requests_per_sec / cold.requests_per_sec
+            : 0.0;
+    std::cout << "  serve_hot90: "
+              << json_number(hot90.requests_per_sec)
+              << " req/s  p50=" << hot90.p50_ms << "ms p99="
+              << hot90.p99_ms << "ms failures=" << hot90.failures
+              << "  speedup=" << json_number(speedup) << "x\n";
+
+    const std::string stats_json = fetch_stats_json(host, port);
+    const double cache_hits =
+        counter_from_json(stats_json, "service.cache.hit");
+    std::cout << "  cache hits=" << cache_hits << " misses="
+              << counter_from_json(stats_json, "service.cache.miss")
+              << "\n";
+    if (!metrics_out.empty() && !stats_json.empty()) {
+        std::ofstream snapshot(metrics_out);
+        snapshot << stats_json;
+        std::cout << "wrote " << metrics_out << "\n";
+    }
+
+    {
+        std::ofstream doc(out);
+        if (!doc) {
+            std::cerr << "error: cannot write '" << out << "'\n";
+            return 2;
+        }
+        doc << "{\"schema_version\":" << kSchemaVersion
+            << ",\"generator\":\"bench_serve\",\"git_sha\":\""
+            << git_sha() << "\",\"threads\":" << threads
+            << ",\"requests\":" << requests << ",\"hot_set\":" << hot
+            << ",\n\"benchmarks\":[\n"
+            << "{\"name\":\"serve_cold\",\"strategy\":\"serve\","
+               "\"backend\":\"FakeMumbai\",\"requests_per_sec\":"
+            << json_number(cold.requests_per_sec)
+            << ",\"p50_ms\":" << json_number(cold.p50_ms)
+            << ",\"p99_ms\":" << json_number(cold.p99_ms)
+            << ",\"failures\":" << cold.failures << "},\n"
+            << "{\"name\":\"serve_hot90\",\"strategy\":\"serve\","
+               "\"backend\":\"FakeMumbai\",\"requests_per_sec\":"
+            << json_number(hot90.requests_per_sec)
+            << ",\"p50_ms\":" << json_number(hot90.p50_ms)
+            << ",\"p99_ms\":" << json_number(hot90.p99_ms)
+            << ",\"failures\":" << hot90.failures
+            << ",\"speedup\":" << json_number(speedup)
+            << ",\"cache_hits\":" << json_number(cache_hits) << "}\n"
+            << "]}\n";
+    }
+    std::cout << "wrote " << out << "\n";
+
+    if (server != nullptr) server->stop();
+
+    // Smoke-gate verdicts for CI.
+    int verdict = 0;
+    const long total_failures = cold.failures + hot90.failures;
+    if (total_failures > max_failures) {
+        std::cerr << "FAIL: " << total_failures
+                  << " failed request(s), allowed " << max_failures
+                  << "\n";
+        verdict = 1;
+    }
+    if (require_cache_hits && cache_hits <= 0.0) {
+        std::cerr << "FAIL: no cache hits recorded\n";
+        verdict = 1;
+    }
+    if (min_speedup > 0.0 && speedup < min_speedup) {
+        std::cerr << "FAIL: hot/cold speedup "
+                  << json_number(speedup) << "x below required "
+                  << json_number(min_speedup) << "x\n";
+        verdict = 1;
+    }
+    return verdict;
+}

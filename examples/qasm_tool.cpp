@@ -26,6 +26,10 @@
  * `circuits/`). Any I/O, parse, or compilation failure is reported on
  * stderr and exits nonzero.
  */
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -37,6 +41,8 @@
 #include "core/qs_caqr.h"
 #include "qasm/parser.h"
 #include "qasm/printer.h"
+#include "service/protocol.h"
+#include "service/server.h"
 #include "service/service.h"
 #include "util/metrics.h"
 #include "util/stats.h"
@@ -50,6 +56,10 @@ constexpr const char kUsage[] =
     "       qasm_tool --batch PATH [--strategy S] [--backend B]\n"
     "                 [--threads N] [--repeat N] [--out PREFIX]\n"
     "       qasm_tool --serve [--strategy S] [--backend B] [--threads N]\n"
+    "                 [--cache N]\n"
+    "       qasm_tool --listen PORT [--strategy S] [--backend B]\n"
+    "                 [--threads N] [--cache N] [--max-sessions N]\n"
+    "                 [--idle-timeout-ms N]\n"
     "       qasm_tool --export-benchmarks DIR\n";
 
 int
@@ -180,60 +190,23 @@ run_batch(const std::string& batch_path, const std::string& strategy_name,
 }
 
 // ---------------------------------------------------------------------
-// Serve mode: a persistent stdin line protocol over one Service
+// Serve mode: the serve::Session line protocol over stdin or TCP
 // ---------------------------------------------------------------------
 
-/// One %.6g-formatted double for protocol lines.
-std::string
-fmt6(double value)
-{
-    char buffer[32];
-    std::snprintf(buffer, sizeof(buffer), "%.6g", value);
-    return buffer;
-}
-
-/// Prints the live metrics snapshot as `stat` lines. Histograms carry
-/// count/min/mean/p50/p90/p99/max; counters a single value.
-void
-print_stats(std::ostream& os, const caqr::util::metrics::Snapshot& snapshot)
-{
-    for (const auto& [name, histogram] : snapshot.histograms) {
-        os << "stat " << name << " count=" << histogram.count()
-           << " min=" << fmt6(histogram.min())
-           << " mean=" << fmt6(histogram.mean())
-           << " p50=" << fmt6(histogram.percentile(50))
-           << " p90=" << fmt6(histogram.percentile(90))
-           << " p99=" << fmt6(histogram.percentile(99))
-           << " max=" << fmt6(histogram.max()) << "\n";
-    }
-    for (const auto& [name, value] : snapshot.counters) {
-        os << "stat " << name << " value=" << fmt6(value) << "\n";
-    }
-}
-
 /**
- * The `--serve` loop (the ROADMAP's "persistent --serve protocol on
- * top of Service::compile_batch"). Reads one command per stdin line,
- * answers on stdout, and flushes after every response so a pipe-driven
- * client can interleave. Responses start with `ok`, `error`, `row`,
- * or `stat`; every command ends with exactly one `ok`/`error` line.
+ * The `--serve` loop: the `serve::Session` protocol (see
+ * service/protocol.h and docs/serving.md) over stdin/stdout, flushing
+ * after every response block so a pipe-driven client can interleave.
  *
- *   compile <file.qasm>      -> ok <csv_row> | error <msg>
- *   batch <dir|manifest>     -> row <csv_row>... then ok batch n=N
- *                               failures=F | error <msg>
- *   stats                    -> stat <name> ... lines, then ok stats
- *   stats json               -> snapshot JSON document, then ok stats
- *   set strategy <name>      -> ok set strategy <name> | error <msg>
- *   set backend <name>       -> ok set backend <name>
- *   reset                    -> ok reset   (clears metric histograms)
- *   help                     -> command list, then ok help
- *   quit | exit | EOF        -> ok bye, exit 0
- *
- * Protocol errors never kill the loop; only EOF/quit end it.
+ * Reads raw fd 0 through the same `LineBuffer` framing the TCP
+ * transport uses, so a final command line without a trailing newline
+ * is still served before EOF ends the session with `ok bye` and
+ * exit 0.
  */
 int
 run_serve(const std::string& initial_strategy,
-          const std::string& initial_backend, int threads)
+          const std::string& initial_backend, int threads,
+          std::size_t cache_capacity)
 {
     using namespace caqr;
 
@@ -243,115 +216,124 @@ run_serve(const std::string& initial_strategy,
         return 1;
     }
 
-    Service service({.num_threads = threads});
-    CompileRequest prototype;
-    prototype.strategy = *strategy;
-    prototype.backend = initial_backend;
-    prototype.qs.num_threads = 1;
-    prototype.qs_commuting.num_threads = 1;
-    prototype.transpile.num_threads = 1;
-    prototype.sr.num_threads = 1;
+    Service service({.num_threads = threads,
+                     .cache_capacity = cache_capacity});
+    serve::SessionOptions options;
+    options.strategy = *strategy;
+    options.backend = initial_backend;
+    serve::Session session(service, options);
 
-    std::cout << "ok caqr serve (strategy=" << strategy_name(*strategy)
-              << " backend=" << initial_backend << "); try help"
+    std::cout << serve::Session::greeting(options) << std::flush;
+
+    constexpr std::size_t kMaxLineBytes = 64 * 1024;
+    serve::LineBuffer lines(kMaxLineBytes);
+    char buffer[4096];
+    bool quit = false;
+    while (!quit) {
+        const auto n = ::read(0, buffer, sizeof(buffer));
+        if (n > 0) {
+            if (!lines.append(buffer, static_cast<std::size_t>(n))) {
+                std::cout << "error line exceeds " << kMaxLineBytes
+                          << " bytes, closing" << std::endl;
+                break;
+            }
+            while (!quit) {
+                auto line = lines.next_line();
+                if (!line.has_value()) break;
+                const auto result = session.handle_line(*line);
+                std::cout << result.output << std::flush;
+                quit = result.quit;
+            }
+            continue;
+        }
+        if (n == 0) {
+            // EOF; a final unterminated line is still one command.
+            if (auto partial = lines.take_partial();
+                partial.has_value() && !partial->empty()) {
+                const auto result = session.handle_line(*partial);
+                std::cout << result.output << std::flush;
+                quit = result.quit;
+            }
+            break;
+        }
+        if (errno == EINTR) continue;
+        break;
+    }
+    // `quit` already answered "ok bye"; EOF says goodbye here.
+    if (!quit) std::cout << "ok bye" << std::endl;
+    return 0;
+}
+
+/// The drain hook for `--listen`: SIGTERM/SIGINT ask the server to
+/// finish in-flight work, flush, and exit. request_drain() is
+/// async-signal-safe.
+caqr::serve::Server* g_listen_server = nullptr;
+
+extern "C" void
+qasm_tool_drain_signal(int)
+{
+    if (g_listen_server != nullptr) g_listen_server->request_drain();
+}
+
+/**
+ * The `--listen PORT` loop: the same protocol served over TCP by the
+ * epoll front end (service/server.h), many concurrent sessions over
+ * one shared Service. Announces the bound address on stdout as
+ * `ok caqr listen <addr>:<port> ...` (PORT may be 0 for an ephemeral
+ * port — scripts parse the port from this line), then blocks until
+ * SIGTERM/SIGINT triggers a graceful drain.
+ */
+int
+run_listen(int port, const std::string& initial_strategy,
+           const std::string& initial_backend, int threads,
+           std::size_t cache_capacity, int max_sessions,
+           int idle_timeout_ms)
+{
+    using namespace caqr;
+
+    const auto strategy = parse_strategy(initial_strategy);
+    if (!strategy.ok()) {
+        std::cerr << "error: " << strategy.status().to_string() << "\n";
+        return 1;
+    }
+
+    Service service({.num_threads = threads,
+                     .cache_capacity = cache_capacity});
+    serve::ServerOptions options;
+    options.port = port;
+    options.max_sessions = max_sessions;
+    options.idle_timeout_ms = idle_timeout_ms;
+    options.num_workers = threads;
+    options.session.strategy = *strategy;
+    options.session.backend = initial_backend;
+
+    serve::Server server(service, options);
+    const auto started = server.start();
+    if (!started.ok()) {
+        std::cerr << "error: " << started.to_string() << "\n";
+        return 1;
+    }
+
+    g_listen_server = &server;
+    std::signal(SIGTERM, qasm_tool_drain_signal);
+    std::signal(SIGINT, qasm_tool_drain_signal);
+
+    std::cout << "ok caqr listen " << options.bind_address << ":"
+              << server.port() << " (strategy="
+              << strategy_name(*strategy) << " backend="
+              << initial_backend << " cache=" << cache_capacity
+              << " workers="
+              << util::ThreadPool::resolve_threads(threads) << ")"
               << std::endl;
 
-    std::string line;
-    while (std::getline(std::cin, line)) {
-        std::istringstream words(line);
-        std::string command;
-        words >> command;
-        if (command.empty() || command[0] == '#') continue;
+    server.wait();
+    g_listen_server = nullptr;
 
-        if (command == "quit" || command == "exit") break;
-
-        if (command == "help") {
-            std::cout << "# compile <file.qasm> | batch <dir|manifest> |"
-                         " stats [json] | set strategy|backend <name> |"
-                         " reset | quit\n"
-                      << "ok help" << std::endl;
-        } else if (command == "compile") {
-            std::string path;
-            words >> path;
-            if (path.empty()) {
-                std::cout << "error compile needs a .qasm path"
-                          << std::endl;
-                continue;
-            }
-            CompileRequest request = prototype;
-            request.qasm_file = path;
-            const auto report = service.compile(request);
-            if (report.ok()) {
-                std::cout << "ok " << batch_csv_row(report) << std::endl;
-            } else {
-                std::cout << "error " << report.name << ": "
-                          << report.status.to_string() << std::endl;
-            }
-        } else if (command == "batch") {
-            std::string path;
-            words >> path;
-            const auto requests = requests_from_path(path, prototype);
-            if (!requests.ok()) {
-                std::cout << "error " << requests.status().to_string()
-                          << std::endl;
-                continue;
-            }
-            const auto reports = service.compile_batch(*requests);
-            int failures = 0;
-            for (const auto& report : reports) {
-                std::cout << "row " << batch_csv_row(report) << "\n";
-                if (!report.ok()) ++failures;
-            }
-            std::cout << "ok batch n=" << reports.size()
-                      << " failures=" << failures << std::endl;
-        } else if (command == "stats") {
-            std::string format;
-            words >> format;
-            const auto snapshot = service.metrics_snapshot();
-            if (format == "json") {
-                snapshot.write_json(std::cout);
-            } else {
-                print_stats(std::cout, snapshot);
-            }
-            std::cout << "ok stats" << std::endl;
-        } else if (command == "set") {
-            std::string key, value;
-            words >> key >> value;
-            if (key == "strategy") {
-                const auto parsed = parse_strategy(value);
-                if (!parsed.ok()) {
-                    std::cout << "error "
-                              << parsed.status().to_string() << std::endl;
-                    continue;
-                }
-                prototype.strategy = *parsed;
-                std::cout << "ok set strategy " << strategy_name(*parsed)
-                          << std::endl;
-            } else if (key == "backend") {
-                const auto resolved = service.backend(value);
-                if (!resolved.ok()) {
-                    std::cout << "error "
-                              << resolved.status().to_string()
-                              << std::endl;
-                    continue;
-                }
-                prototype.backend = value;
-                std::cout << "ok set backend " << (*resolved)->name()
-                          << std::endl;
-            } else {
-                std::cout << "error set knows strategy|backend, not '"
-                          << key << "'" << std::endl;
-            }
-        } else if (command == "reset") {
-            service.reset_metrics();
-            util::metrics::global().reset();
-            std::cout << "ok reset" << std::endl;
-        } else {
-            std::cout << "error unknown command '" << command
-                      << "' (try help)" << std::endl;
-        }
-    }
-    std::cout << "ok bye" << std::endl;
+    const auto stats = server.stats();
+    std::cout << "ok bye connections=" << stats.connections
+              << " requests=" << stats.requests
+              << " rejected_busy=" << stats.rejected_busy
+              << " timeouts=" << stats.timeouts << std::endl;
     return 0;
 }
 
@@ -365,6 +347,8 @@ main(int argc, char** argv)
     int target_qubits = -1;
     bool stats_only = false;
     bool serve = false;
+    bool listen = false;
+    int listen_port = 0;
     std::string path;
     std::string batch_path;
     std::string strategy = "qs_caqr";
@@ -372,6 +356,9 @@ main(int argc, char** argv)
     std::string out = "qasm_batch";
     int threads = 0;
     int repeat = 1;
+    std::size_t cache_capacity = 0;
+    int max_sessions = 64;
+    int idle_timeout_ms = 30000;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--target-qubits" && i + 1 < argc) {
@@ -380,6 +367,18 @@ main(int argc, char** argv)
             stats_only = true;
         } else if (arg == "--serve") {
             serve = true;
+        } else if (arg == "--listen" && i + 1 < argc) {
+            listen = true;
+            listen_port = std::stoi(argv[++i]);
+        } else if (arg == "--cache" && i + 1 < argc) {
+            const long long entries = std::stoll(argv[++i]);
+            cache_capacity = entries > 0
+                                 ? static_cast<std::size_t>(entries)
+                                 : 0;
+        } else if (arg == "--max-sessions" && i + 1 < argc) {
+            max_sessions = std::stoi(argv[++i]);
+        } else if (arg == "--idle-timeout-ms" && i + 1 < argc) {
+            idle_timeout_ms = std::stoi(argv[++i]);
         } else if (arg == "--export-benchmarks" && i + 1 < argc) {
             return export_benchmarks(argv[++i]);
         } else if (arg == "--batch" && i + 1 < argc) {
@@ -406,8 +405,12 @@ main(int argc, char** argv)
         }
     }
 
+    if (listen) {
+        return run_listen(listen_port, strategy, backend, threads,
+                          cache_capacity, max_sessions, idle_timeout_ms);
+    }
     if (serve) {
-        return run_serve(strategy, backend, threads);
+        return run_serve(strategy, backend, threads, cache_capacity);
     }
     if (!batch_path.empty()) {
         return run_batch(batch_path, strategy, backend, threads, repeat,

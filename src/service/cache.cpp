@@ -1,0 +1,295 @@
+#include "service/cache.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "qasm/printer.h"
+
+namespace caqr {
+
+namespace {
+
+std::string
+fmt_double(double value)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << value;
+    return os.str();
+}
+
+std::string
+opt(const std::string& key, const std::string& value)
+{
+    return key + "=" + value;
+}
+
+std::string
+opt(const std::string& key, double value)
+{
+    return key + "=" + fmt_double(value);
+}
+
+std::string
+opt(const std::string& key, long long value)
+{
+    return key + "=" + std::to_string(value);
+}
+
+std::string
+opt(const std::string& key, bool value)
+{
+    return key + (value ? "=1" : "=0");
+}
+
+void
+append_common(std::vector<std::string>& lines, const std::string& prefix,
+              const CommonOptions& common)
+{
+    // num_threads and trace are execution knobs with a bit-identical
+    // result guarantee; only the heuristic seed reaches the output.
+    lines.push_back(opt(prefix + ".seed",
+                        static_cast<long long>(common.seed)));
+}
+
+/// Serializes the request's input as content, not identity: file
+/// inputs are read, circuits printed, commuting specs flattened.
+util::StatusOr<std::string>
+input_content(const CompileRequest& request)
+{
+    const int provided = (request.circuit.has_value() ? 1 : 0) +
+                         (request.qasm.empty() ? 0 : 1) +
+                         (request.qasm_file.empty() ? 0 : 1) +
+                         (request.commuting.has_value() ? 1 : 0);
+    if (provided != 1) {
+        return util::Status::invalid_argument(
+            "request has no single input to address");
+    }
+    if (request.commuting.has_value()) {
+        const auto& spec = *request.commuting;
+        std::ostringstream os;
+        os << "commuting nodes=" << spec.interaction.num_nodes()
+           << " layers=" << spec.layers
+           << " gamma=" << fmt_double(spec.gamma)
+           << " beta=" << fmt_double(spec.beta) << '\n';
+        for (double gamma : spec.gammas) {
+            os << "gamma_layer=" << fmt_double(gamma) << '\n';
+        }
+        for (double beta : spec.betas) {
+            os << "beta_layer=" << fmt_double(beta) << '\n';
+        }
+        // Edge identity, not insertion order: the same interaction
+        // graph assembled in a different order must hash equal.
+        std::vector<std::pair<int, int>> edges = spec.interaction.edges();
+        for (auto& [u, v] : edges) {
+            if (u > v) std::swap(u, v);
+        }
+        std::sort(edges.begin(), edges.end());
+        for (const auto& [u, v] : edges) {
+            os << "edge " << u << ' ' << v << '\n';
+        }
+        return os.str();
+    }
+    if (request.circuit.has_value()) {
+        return qasm::to_qasm(*request.circuit);
+    }
+    if (!request.qasm.empty()) {
+        return request.qasm;
+    }
+    std::ifstream in(request.qasm_file, std::ios::binary);
+    if (!in) {
+        return util::Status::not_found("cannot read '" +
+                                       request.qasm_file + "'");
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (in.bad()) {
+        return util::Status::io_error("error reading '" +
+                                      request.qasm_file + "'");
+    }
+    return buffer.str();
+}
+
+}  // namespace
+
+std::string
+canonicalize_option_lines(std::vector<std::string> lines)
+{
+    std::sort(lines.begin(), lines.end());
+    std::string out;
+    for (const auto& line : lines) {
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
+util::StatusOr<std::string>
+request_cache_key(const CompileRequest& request)
+{
+    auto content = input_content(request);
+    if (!content.ok()) return content.status();
+
+    std::vector<std::string> lines;
+    lines.push_back(opt("strategy",
+                        std::string(strategy_name(request.strategy))));
+    const bool needs_backend = request.map_to_backend ||
+                               request.strategy == Strategy::kSrCaqr;
+    if (needs_backend) {
+        // Collapse alias spellings; an unknown backend keeps its raw
+        // spelling (the compile fails and failures are never cached).
+        const auto canonical = canonical_backend_name(request.backend);
+        lines.push_back(opt("backend", canonical.ok()
+                                           ? *canonical
+                                           : request.backend));
+    }
+    lines.push_back(opt("map_to_backend", request.map_to_backend));
+    lines.push_back(opt("compute_esp", request.compute_esp));
+    lines.push_back(opt("select_by_esp", request.select_by_esp));
+    lines.push_back(opt("simulate", request.simulate));
+    if (request.simulate) {
+        lines.push_back(opt("sim.shots",
+                            static_cast<long long>(request.sim.shots)));
+        lines.push_back(opt("sim.seed",
+                            static_cast<long long>(request.sim.seed)));
+    }
+
+    // Only the option struct the strategy actually consults reaches
+    // the key — flipping an SR knob must not split QS entries.
+    switch (request.strategy) {
+      case Strategy::kBaseline:
+        break;
+      case Strategy::kQsCaqr:
+        append_common(lines, "qs", request.qs);
+        lines.push_back(opt("qs.target_qubits",
+                            static_cast<long long>(
+                                request.qs.target_qubits)));
+        lines.push_back(opt(
+            "qs.metric",
+            std::string(request.qs.metric == core::ReuseMetric::kDepth
+                            ? "depth"
+                            : "duration")));
+        break;
+      case Strategy::kQsCommuting:
+        append_common(lines, "qsc", request.qs_commuting);
+        lines.push_back(opt("qsc.target_qubits",
+                            static_cast<long long>(
+                                request.qs_commuting.target_qubits)));
+        lines.push_back(opt("qsc.max_candidates",
+                            static_cast<long long>(
+                                request.qs_commuting.max_candidates)));
+        lines.push_back(opt(
+            "qsc.exact_matching_limit",
+            static_cast<long long>(
+                request.qs_commuting.scheduling.exact_matching_limit)));
+        lines.push_back(opt(
+            "qsc.reuse_priority_weight",
+            static_cast<long long>(
+                request.qs_commuting.scheduling.reuse_priority_weight)));
+        break;
+      case Strategy::kSrCaqr:
+        append_common(lines, "sr", request.sr);
+        lines.push_back(opt("sr.error_aware", request.sr.error_aware));
+        lines.push_back(opt("sr.lookahead_weight",
+                            request.sr.lookahead_weight));
+        lines.push_back(opt("sr.swap_lookahead_weight",
+                            request.sr.swap_lookahead_weight));
+        lines.push_back(opt("sr.trials",
+                            static_cast<long long>(request.sr.trials)));
+        lines.push_back(opt("sr.delay_noncritical",
+                            request.sr.delay_noncritical));
+        break;
+    }
+    if (request.strategy != Strategy::kSrCaqr && request.map_to_backend) {
+        const auto& tr = request.transpile;
+        append_common(lines, "transpile", tr);
+        lines.push_back(opt("transpile.keep_rzz", tr.keep_rzz));
+        lines.push_back(opt("transpile.trials",
+                            static_cast<long long>(tr.trials)));
+        lines.push_back(opt("transpile.peephole", tr.peephole));
+        lines.push_back(opt("router.lookahead_weight",
+                            tr.router.lookahead_weight));
+        lines.push_back(opt("router.lookahead_size",
+                            static_cast<long long>(
+                                tr.router.lookahead_size)));
+        lines.push_back(opt("router.decay_delta",
+                            tr.router.decay_delta));
+        lines.push_back(opt("router.decay_reset_interval",
+                            static_cast<long long>(
+                                tr.router.decay_reset_interval)));
+        lines.push_back(opt("router.error_aware",
+                            tr.router.error_aware));
+    }
+
+    return "caqr-cache-v1\n" + canonicalize_option_lines(lines) +
+           "---input---\n" + *content;
+}
+
+CompileCache::CompileCache(std::size_t capacity,
+                           util::metrics::Registry* registry)
+    : capacity_(capacity), registry_(registry) {}
+
+std::optional<CompileReport>
+CompileCache::get(const std::string& key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+        ++misses_;
+        if (registry_ != nullptr) registry_->add("service.cache.miss", 1.0);
+        return std::nullopt;
+    }
+    ++hits_;
+    if (registry_ != nullptr) registry_->add("service.cache.hit", 1.0);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+}
+
+void
+CompileCache::put(const std::string& key, const CompileReport& report)
+{
+    if (capacity_ == 0) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+        // A concurrent miss on the same key compiled twice; results
+        // are deterministic, so refreshing recency is all that's left.
+        it->second->second = report;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    lru_.emplace_front(key, report);
+    index_.emplace(key, lru_.begin());
+    while (lru_.size() > capacity_) {
+        index_.erase(lru_.back().first);
+        lru_.pop_back();
+        ++evictions_;
+        if (registry_ != nullptr) {
+            registry_->add("service.cache.evict", 1.0);
+        }
+    }
+}
+
+CompileCacheStats
+CompileCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    CompileCacheStats stats;
+    stats.hits = hits_;
+    stats.misses = misses_;
+    stats.evictions = evictions_;
+    stats.size = lru_.size();
+    stats.capacity = capacity_;
+    return stats;
+}
+
+void
+CompileCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    lru_.clear();
+    index_.clear();
+}
+
+}  // namespace caqr

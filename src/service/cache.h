@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Content-addressed compile cache for the service layer.
+ *
+ * Repeated production traffic is highly redundant — the same hot
+ * circuits arrive over and over — while a CaQR compile costs
+ * milliseconds to seconds. `CompileCache` converts that redundancy
+ * into throughput: a bounded LRU map from a *content-addressed* cache
+ * key (circuit content + canonicalized options, see
+ * `request_cache_key`) to the finished `CompileReport`, so a hot
+ * request is answered by a map lookup instead of a pipeline run.
+ *
+ * Keying rules:
+ *  - The key is derived from the request's input **content** (inline
+ *    QASM text, file bytes, serialized circuit, or commuting spec),
+ *    never from the file path — two paths to identical bytes share an
+ *    entry, and an edited file misses.
+ *  - Options are serialized as sorted `key=value` lines
+ *    (`canonicalize_option_lines`), so the order in which a caller
+ *    populated them can never split the cache.
+ *  - Execution knobs that provably do not change the result —
+ *    `num_threads` (bit-identical guarantee), `trace`, the request
+ *    `name`, the metrics `tenant` tag — are excluded.
+ *
+ * Thread-safety: all `CompileCache` methods are safe to call from any
+ * thread. Hit/miss/evict counts are mirrored into a
+ * `util::metrics::Registry` as `service.cache.hit` /
+ * `service.cache.miss` / `service.cache.evict` when one is attached.
+ */
+#ifndef CAQR_SERVICE_CACHE_H
+#define CAQR_SERVICE_CACHE_H
+
+#include <cstddef>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "service/service.h"
+#include "util/metrics.h"
+#include "util/status.h"
+
+namespace caqr {
+
+/// Sorts `key=value` option lines into the one canonical order and
+/// joins them with '\n'. Input order never affects the result, so two
+/// callers that assembled semantically identical requests in different
+/// field orders produce byte-identical serializations.
+std::string canonicalize_option_lines(std::vector<std::string> lines);
+
+/**
+ * Content-addressed cache key for @p request: the input content, the
+ * canonical backend key (aliases like "mumbai" and "FakeMumbai"
+ * collapse), the strategy, and every result-affecting option in
+ * canonical order. Requests that differ only in `num_threads`,
+ * `trace`, `name`, or `tenant` share a key.
+ *
+ * Fails with kIoError/kNotFound when a file input cannot be read and
+ * kInvalidArgument when the request names no input — callers fall back
+ * to an uncached compile, which reports the same failure through the
+ * usual envelope.
+ */
+util::StatusOr<std::string> request_cache_key(
+    const CompileRequest& request);
+
+/// Lifetime counters of one cache instance.
+struct CompileCacheStats
+{
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t evictions = 0;
+    std::size_t size = 0;      ///< current entry count
+    std::size_t capacity = 0;  ///< configured bound
+};
+
+/**
+ * Bounded LRU map cache key -> CompileReport. `get` refreshes
+ * recency; `put` evicts the least-recently-used entry once the
+ * capacity is exceeded. Only successful reports should be inserted —
+ * failures are cheap to recompute and must not shadow a fixed input.
+ */
+class CompileCache
+{
+  public:
+    /// @p registry (optional) receives `service.cache.{hit,miss,evict}`
+    /// counter increments; it must outlive the cache.
+    explicit CompileCache(std::size_t capacity,
+                          util::metrics::Registry* registry = nullptr);
+
+    /// The cached report for @p key, refreshing its recency — or
+    /// nullopt (counted as a miss).
+    std::optional<CompileReport> get(const std::string& key);
+
+    /// Inserts (or refreshes) @p report under @p key, evicting the LRU
+    /// entry when over capacity. A zero-capacity cache stores nothing.
+    void put(const std::string& key, const CompileReport& report);
+
+    CompileCacheStats stats() const;
+
+    /// Drops every entry (counters are lifetime and survive).
+    void clear();
+
+  private:
+    using Entry = std::pair<std::string, CompileReport>;
+
+    mutable std::mutex mutex_;
+    std::size_t capacity_;
+    util::metrics::Registry* registry_;
+    std::list<Entry> lru_;  ///< front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+    std::size_t hits_ = 0;
+    std::size_t misses_ = 0;
+    std::size_t evictions_ = 0;
+};
+
+}  // namespace caqr
+
+#endif  // CAQR_SERVICE_CACHE_H

@@ -1,0 +1,200 @@
+#include "service/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+namespace caqr::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool
+is_block_final(const std::string& line)
+{
+    return line == "ok" || line == "error" ||
+           line.rfind("ok ", 0) == 0 || line.rfind("error ", 0) == 0;
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      buffer_(std::move(other.buffer_)) {}
+
+Client&
+Client::operator=(Client&& other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+        buffer_ = std::move(other.buffer_);
+    }
+    return *this;
+}
+
+util::Status
+Client::connect(const std::string& host, int port, int timeout_ms)
+{
+    close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) {
+        return util::Status::io_error("socket: " +
+                                      std::string(std::strerror(errno)));
+    }
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        close();
+        return util::Status::invalid_argument("bad host address '" +
+                                              host + "'");
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+        const std::string why = std::strerror(errno);
+        close();
+        return util::Status::io_error("connect " + host + ":" +
+                                      std::to_string(port) + ": " + why);
+    }
+    // Swallow the greeting so the first command() reads its own block.
+    const auto greeting = read_response(timeout_ms);
+    if (!greeting.ok()) {
+        close();
+        return greeting.status();
+    }
+    if (!greeting->ok) {
+        // e.g. "error busy too many sessions, retry later"
+        const std::string rejection = greeting->final_line();
+        close();
+        return util::Status::io_error("server rejected session: " +
+                                      rejection);
+    }
+    return {};
+}
+
+util::Status
+Client::send_line(const std::string& line)
+{
+    return send_raw(line + "\n");
+}
+
+util::Status
+Client::send_raw(const std::string& bytes)
+{
+    if (fd_ < 0) return util::Status::io_error("client not connected");
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+        const auto n = ::send(fd_, bytes.data() + sent,
+                              bytes.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return util::Status::io_error(
+                "send: " + std::string(std::strerror(errno)));
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return {};
+}
+
+util::StatusOr<std::string>
+Client::read_line(int timeout_ms)
+{
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+        const auto newline = buffer_.find('\n');
+        if (newline != std::string::npos) {
+            std::string line = buffer_.substr(0, newline);
+            buffer_.erase(0, newline + 1);
+            if (!line.empty() && line.back() == '\r') line.pop_back();
+            return line;
+        }
+        if (fd_ < 0) {
+            return util::Status::io_error("client not connected");
+        }
+        const auto left = std::chrono::duration_cast<
+            std::chrono::milliseconds>(deadline - Clock::now());
+        if (left.count() <= 0) {
+            return util::Status::io_error("read timed out after " +
+                                          std::to_string(timeout_ms) +
+                                          " ms");
+        }
+        pollfd pfd{fd_, POLLIN, 0};
+        const int ready =
+            ::poll(&pfd, 1, static_cast<int>(left.count()));
+        if (ready < 0) {
+            if (errno == EINTR) continue;
+            return util::Status::io_error(
+                "poll: " + std::string(std::strerror(errno)));
+        }
+        if (ready == 0) continue;  // re-check deadline
+        char chunk[4096];
+        const auto n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n > 0) {
+            buffer_.append(chunk, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n == 0) {
+            return util::Status::io_error("server closed the connection");
+        }
+        if (errno == EINTR) continue;
+        return util::Status::io_error(
+            "recv: " + std::string(std::strerror(errno)));
+    }
+}
+
+util::StatusOr<Response>
+Client::read_response(int timeout_ms)
+{
+    Response response;
+    for (;;) {
+        auto line = read_line(timeout_ms);
+        if (!line.ok()) return line.status();
+        const bool last = is_block_final(*line);
+        response.lines.push_back(std::move(*line));
+        if (last) {
+            response.ok = response.lines.back().rfind("ok", 0) == 0;
+            return response;
+        }
+    }
+}
+
+util::StatusOr<Response>
+Client::command(const std::string& line, int timeout_ms)
+{
+    if (auto sent = send_line(line); !sent.ok()) return sent;
+    return read_response(timeout_ms);
+}
+
+void
+Client::shutdown_write()
+{
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    buffer_.clear();
+}
+
+}  // namespace caqr::serve

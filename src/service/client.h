@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Minimal blocking TCP client for the serve protocol.
+ *
+ * Speaks the `serve::Session` line protocol against a
+ * `serve::Server`: send one command line, then read response lines
+ * until the block's final `ok ...`/`error ...` line. Used by the
+ * server tests and the `bench_serve` load generator; it is not a
+ * public SDK (the protocol itself is the public surface, see
+ * docs/serving.md).
+ *
+ * Blocking with per-call deadlines (poll + recv); one instance per
+ * thread — no internal locking.
+ */
+#ifndef CAQR_SERVICE_CLIENT_H
+#define CAQR_SERVICE_CLIENT_H
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace caqr::serve {
+
+/// One response block: every line (terminators stripped), plus the
+/// parsed verdict of the final line.
+struct Response
+{
+    std::vector<std::string> lines;  ///< includes the final line
+    bool ok = false;                 ///< final line started with "ok"
+
+    /// The final `ok ...` / `error ...` line; empty if none arrived.
+    const std::string&
+    final_line() const
+    {
+        static const std::string kEmpty;
+        return lines.empty() ? kEmpty : lines.back();
+    }
+};
+
+class Client
+{
+  public:
+    Client() = default;
+    ~Client();
+
+    Client(const Client&) = delete;
+    Client& operator=(const Client&) = delete;
+    Client(Client&& other) noexcept;
+    Client& operator=(Client&& other) noexcept;
+
+    /**
+     * Connects and consumes the server greeting block. @p host is a
+     * dotted-quad address (the server binds loopback by default).
+     */
+    util::Status connect(const std::string& host, int port,
+                         int timeout_ms = 10000);
+
+    bool connected() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    /// Sends @p line plus the terminating newline.
+    util::Status send_line(const std::string& line);
+
+    /// Sends raw bytes verbatim — no newline added. For fault
+    /// injection (partial lines, oversized frames, slow-loris).
+    util::Status send_raw(const std::string& bytes);
+
+    /**
+     * Reads lines until a block-final `ok`/`error` line (that line is
+     * included). kIoError if the peer closes or @p timeout_ms passes
+     * first.
+     */
+    util::StatusOr<Response> read_response(int timeout_ms = 30000);
+
+    /// send_line + read_response.
+    util::StatusOr<Response> command(const std::string& line,
+                                     int timeout_ms = 30000);
+
+    /// Shuts down the write side but keeps reading — lets a test
+    /// drive the server's EOF path and still observe the goodbye.
+    void shutdown_write();
+
+    void close();
+
+  private:
+    util::StatusOr<std::string> read_line(int timeout_ms);
+
+    int fd_ = -1;
+    std::string buffer_;  ///< bytes received past the last line
+};
+
+}  // namespace caqr::serve
+
+#endif  // CAQR_SERVICE_CLIENT_H

@@ -11,6 +11,7 @@
 #include "circuit/timing.h"
 #include "qasm/parser.h"
 #include "qasm/printer.h"
+#include "service/cache.h"
 #include "util/trace.h"
 
 namespace caqr {
@@ -101,6 +102,23 @@ format_double(double value)
     return os.str();
 }
 
+/// Tenant tags become metric-name suffixes; restrict them to a safe
+/// alphabet and a sane length so one client cannot pollute the
+/// registry namespace.
+std::string
+sanitize_tenant(const std::string& tenant)
+{
+    std::string out;
+    out.reserve(std::min<std::size_t>(tenant.size(), 32));
+    for (char c : tenant) {
+        if (out.size() >= 32) break;
+        const bool ok = std::isalnum(static_cast<unsigned char>(c)) ||
+                        c == '_' || c == '-';
+        out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
 }  // namespace
 
 const char*
@@ -182,8 +200,30 @@ batch_csv_row(const CompileReport& report)
     return os.str();
 }
 
+util::StatusOr<std::string>
+canonical_backend_name(const std::string& name)
+{
+    auto key = parse_backend_key(name);
+    if (!key.ok()) return key.status();
+    return key->canonical;
+}
+
 Service::Service(ServiceOptions options)
-    : pool_(util::ThreadPool::resolve_threads(options.num_threads) - 1) {}
+    : pool_(util::ThreadPool::resolve_threads(options.num_threads) - 1)
+{
+    if (options.cache_capacity > 0) {
+        cache_ = std::make_unique<CompileCache>(options.cache_capacity,
+                                                &metrics_);
+    }
+}
+
+Service::~Service() = default;
+
+CompileCacheStats
+Service::compile_cache_stats() const
+{
+    return cache_ ? cache_->stats() : CompileCacheStats{};
+}
 
 util::StatusOr<std::shared_ptr<const arch::Backend>>
 Service::backend(const std::string& name)
@@ -216,6 +256,52 @@ CompileReport
 Service::compile(const CompileRequest& request)
 {
     util::trace::Span span("service.compile");
+    const std::string tenant = sanitize_tenant(request.tenant);
+
+    // Content-addressed fast path: when a cache is configured and the
+    // request's input is addressable, a hit replays the stored report
+    // for the cost of one lookup. Failures are never cached, and a
+    // request whose key cannot be computed (e.g. unreadable file)
+    // falls through to the pipeline, which reports the same failure.
+    if (cache_ != nullptr) {
+        const auto key = request_cache_key(request);
+        if (key.ok()) {
+            const auto start = std::chrono::steady_clock::now();
+            auto hit = cache_->get(*key);
+            const double lookup_ms =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            if (hit.has_value()) {
+                CompileReport report = std::move(*hit);
+                report.from_cache = true;
+                report.stages = {{"cache", lookup_ms}};
+                if (!request.name.empty()) report.name = request.name;
+                if (!tenant.empty()) {
+                    metrics_.add("service.cache.hit.tenant." + tenant,
+                                 1.0);
+                }
+                record_request_metrics(request, report);
+                return report;
+            }
+            if (!tenant.empty()) {
+                metrics_.add("service.cache.miss.tenant." + tenant, 1.0);
+            }
+            CompileReport report = compile_uncached(request);
+            record_request_metrics(request, report);
+            if (report.ok()) cache_->put(*key, report);
+            return report;
+        }
+    }
+
+    CompileReport report = compile_uncached(request);
+    record_request_metrics(request, report);
+    return report;
+}
+
+CompileReport
+Service::compile_uncached(const CompileRequest& request)
+{
     CompileReport report;
     report.name = request.name;
     report.strategy = strategy_name(request.strategy);
@@ -415,15 +501,33 @@ Service::compile(const CompileRequest& request)
         });
     }
 
+    return report;
+}
+
+void
+Service::record_request_metrics(const CompileRequest& request,
+                                const CompileReport& report)
+{
+    const bool mapped = report.ok() &&
+                        (request.map_to_backend ||
+                         request.strategy == Strategy::kSrCaqr);
     // Per-request aggregation: unlike the last-write-wins trace
     // gauges, every request lands in the histograms, so a batch's
-    // metrics snapshot carries real p50/p90/p99 distributions.
+    // metrics snapshot carries real p50/p90/p99 distributions. Cache
+    // hits contribute too — the latency histograms describe what
+    // clients actually observed.
     metrics_.add("service.requests", 1.0);
     if (!report.ok()) metrics_.add("service.failures", 1.0);
     metrics_.observe("service.total_ms", report.total_ms());
     for (const auto& stage : report.stages) {
         metrics_.observe("service.stage." + stage.stage + "_ms",
                          stage.ms);
+    }
+    const std::string tenant = sanitize_tenant(request.tenant);
+    if (!tenant.empty()) {
+        metrics_.add("service.requests.tenant." + tenant, 1.0);
+        metrics_.observe("service.total_ms.tenant." + tenant,
+                         report.total_ms());
     }
     if (report.ok()) {
         metrics_.observe("service.qubits",
@@ -438,8 +542,6 @@ Service::compile(const CompileRequest& request)
             }
         }
     }
-
-    return report;
 }
 
 util::metrics::Snapshot

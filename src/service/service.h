@@ -60,6 +60,13 @@ const char* strategy_name(Strategy strategy);
 /// Inverse of strategy_name; unknown names report kInvalidArgument.
 util::StatusOr<Strategy> parse_strategy(const std::string& name);
 
+/// Canonical registry key for a backend name — alias spellings
+/// ("mumbai", "fake_mumbai", "heavyhex27") collapse to the one cached
+/// key ("FakeMumbai", "heavy_hex:27"). kNotFound/kInvalidArgument on
+/// names `Service::backend` would reject.
+util::StatusOr<std::string> canonical_backend_name(
+    const std::string& name);
+
 /// One compilation job. Provide exactly one input: an in-memory
 /// circuit, inline QASM source, a .qasm file path — or, for the
 /// commuting strategies, a `CommutingSpec`.
@@ -68,6 +75,12 @@ struct CompileRequest
     /// Label used in reports and CSV rows; defaults to the file stem
     /// (file inputs) or "circuit".
     std::string name;
+
+    /// Optional tenant tag for multi-tenant metrics: when nonempty,
+    /// request and cache counters are additionally recorded under
+    /// `...tenant.<tag>` names. Never part of the cache key — tenants
+    /// share the content-addressed cache.
+    std::string tenant;
 
     std::optional<circuit::Circuit> circuit;
     std::string qasm;       ///< inline OpenQASM 2.0 source
@@ -125,6 +138,12 @@ struct CompileReport
     double esp = 0.0;           ///< estimated success prob. (mapped only)
     sim::Counts counts;         ///< simulate == true only
 
+    /// True when this report was answered by the compile cache; the
+    /// stages then hold a single "cache" entry with the lookup time.
+    /// Excluded from `report_fingerprint` — a hit is bit-identical to
+    /// the compile it replays.
+    bool from_cache = false;
+
     std::vector<StageTiming> stages;  ///< pipeline timings, in order
 
     bool ok() const { return status.ok(); }
@@ -148,16 +167,25 @@ struct ServiceOptions
     /// Threads compiling batch entries concurrently: 1 = serial,
     /// 0/negative = one per hardware thread.
     int num_threads = 0;
+
+    /// Entries in the content-addressed compile cache (LRU; see
+    /// service/cache.h). 0 disables caching — every compile runs the
+    /// pipeline, the historical behavior.
+    std::size_t cache_capacity = 0;
 };
 
 /**
  * Long-lived compilation driver. Thread-safe: `compile` may be called
  * from any thread, and `compile_batch` fans out over the owned pool.
  */
+class CompileCache;
+struct CompileCacheStats;
+
 class Service
 {
   public:
     explicit Service(ServiceOptions options = {});
+    ~Service();
 
     /**
      * Resolves (and caches) a backend by registry key. The first
@@ -169,8 +197,12 @@ class Service
     util::StatusOr<std::shared_ptr<const arch::Backend>> backend(
         const std::string& name);
 
-    /// Runs one request through the stage pipeline. Failures come back
-    /// as `report.status`; this never throws on bad input.
+    /// Runs one request through the stage pipeline. When the service
+    /// was built with a `cache_capacity`, the content-addressed cache
+    /// is consulted first — a hit replays the stored report
+    /// (`from_cache = true`, one "cache" stage) without compiling.
+    /// Failures come back as `report.status` and are never cached;
+    /// this never throws on bad input.
     CompileReport compile(const CompileRequest& request);
 
     /**
@@ -202,13 +234,26 @@ class Service
     /// left alone; other components own it).
     void reset_metrics() { metrics_.reset(); }
 
+    /// The service's metrics registry — the serving layer records its
+    /// `server.*` counters here so `metrics_snapshot` / the `stats`
+    /// protocol command report transport and compile metrics together.
+    util::metrics::Registry& metrics() { return metrics_; }
+
+    /// Lifetime compile-cache counters; zeros when caching is off.
+    CompileCacheStats compile_cache_stats() const;
+
   private:
+    CompileReport compile_uncached(const CompileRequest& request);
+    void record_request_metrics(const CompileRequest& request,
+                                const CompileReport& report);
+
     util::ThreadPool pool_;
     mutable std::mutex mutex_;
     std::map<std::string, std::shared_ptr<const arch::Backend>> backends_;
     std::atomic<std::size_t> hits_{0};
     std::atomic<std::size_t> misses_{0};
     util::metrics::Registry metrics_;
+    std::unique_ptr<CompileCache> cache_;  ///< null = caching disabled
 };
 
 /**

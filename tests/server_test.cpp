@@ -1,0 +1,494 @@
+/**
+ * @file
+ * Concurrency and fault-injection tests for the epoll TCP front end.
+ *
+ * Covers the serving tentpole's acceptance surface: N client threads
+ * hammering one server produce byte-identical responses to a
+ * sequential run (modulo the wall-clock CSV field); malformed frames,
+ * oversized lines, mid-request disconnects, and slow-loris writers
+ * leave the server serving and are visible in `ServerStats`; the
+ * content-addressed cache turns repeated traffic into hits; graceful
+ * drain finishes in-flight work before closing. The whole binary runs
+ * under the TSan CI job.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/cache.h"
+#include "service/client.h"
+#include "service/server.h"
+#include "service/service.h"
+
+namespace {
+
+using namespace caqr;
+
+std::string
+circuits_dir()
+{
+    return CAQR_CIRCUITS_DIR;
+}
+
+/// A compile response line minus the trailing total_ms CSV field —
+/// the only field that legitimately differs between identical
+/// requests.
+std::string
+strip_timing(const std::string& line)
+{
+    const auto comma = line.rfind(',');
+    return comma == std::string::npos ? line : line.substr(0, comma);
+}
+
+/// Server + service bundle with test-friendly defaults; every test
+/// gets a fresh one on an ephemeral port.
+struct TestServer
+{
+    explicit TestServer(ServiceOptions service_options = {},
+                        serve::ServerOptions server_options = {})
+        : service(service_options), server(service, server_options)
+    {
+        const auto started = server.start();
+        EXPECT_TRUE(started.ok()) << started.to_string();
+    }
+
+    ~TestServer() { server.stop(); }
+
+    serve::Client
+    client()
+    {
+        serve::Client c;
+        const auto connected = c.connect("127.0.0.1", server.port());
+        EXPECT_TRUE(connected.ok()) << connected.to_string();
+        return c;
+    }
+
+    Service service;
+    serve::Server server;
+};
+
+TEST(ServerBasics, CompileStatsQuitRoundTrip)
+{
+    TestServer ts;
+    auto client = ts.client();
+
+    const auto compiled =
+        client.command("compile " + circuits_dir() + "/bv_10.qasm");
+    ASSERT_TRUE(compiled.ok()) << compiled.status().to_string();
+    EXPECT_TRUE(compiled->ok) << compiled->final_line();
+    EXPECT_EQ(compiled->final_line().rfind("ok bv_10,qs_caqr", 0), 0u)
+        << compiled->final_line();
+
+    const auto stats = client.command("stats");
+    ASSERT_TRUE(stats.ok());
+    EXPECT_TRUE(stats->ok);
+    EXPECT_GT(stats->lines.size(), 1u);  // stat lines + final ok
+
+    const auto bye = client.command("quit");
+    ASSERT_TRUE(bye.ok());
+    EXPECT_EQ(bye->final_line(), "ok bye");
+
+    const auto server_stats = ts.server.stats();
+    EXPECT_EQ(server_stats.connections, 1u);
+    EXPECT_EQ(server_stats.requests, 3u);
+}
+
+/// The TCP transport serves a final command line that arrives without
+/// a trailing newline before EOF — same framing as the stdin
+/// transport.
+TEST(ServerBasics, PartialFinalLineServedOnEof)
+{
+    TestServer ts;
+    auto client = ts.client();
+    ASSERT_TRUE(client
+                    .send_raw("compile " + circuits_dir() +
+                              "/bv_10.qasm")
+                    .ok());
+    client.shutdown_write();
+
+    const auto compiled = client.read_response();
+    ASSERT_TRUE(compiled.ok()) << compiled.status().to_string();
+    EXPECT_EQ(compiled->final_line().rfind("ok bv_10,qs_caqr", 0), 0u)
+        << compiled->final_line();
+    const auto bye = client.read_response();
+    ASSERT_TRUE(bye.ok());
+    EXPECT_EQ(bye->final_line(), "ok bye");
+}
+
+/// N client threads x M requests produce exactly the responses a
+/// sequential client sees (modulo the wall-clock field), and the
+/// per-session `set` state never leaks across sessions.
+TEST(ServerConcurrency, ParallelClientsMatchSequentialResponses)
+{
+    TestServer ts({.num_threads = 1},
+                  {.num_workers = 4});
+
+    const std::vector<std::string> commands = {
+        "compile " + circuits_dir() + "/bv_10.qasm",
+        "compile " + circuits_dir() + "/rd32.qasm",
+        "compile " + circuits_dir() + "/xor_5.qasm",
+    };
+
+    // Sequential baseline.
+    std::vector<std::string> expected;
+    {
+        auto client = ts.client();
+        for (const auto& command : commands) {
+            const auto response = client.command(command);
+            ASSERT_TRUE(response.ok()) << response.status().to_string();
+            ASSERT_TRUE(response->ok) << response->final_line();
+            expected.push_back(strip_timing(response->final_line()));
+        }
+    }
+
+    constexpr int kClients = 8;
+    constexpr int kRounds = 4;
+    std::vector<std::vector<std::string>> got(kClients);
+    std::vector<std::string> failures(kClients);
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+        threads.emplace_back([&, c] {
+            serve::Client client;
+            const auto connected =
+                client.connect("127.0.0.1", ts.server.port());
+            if (!connected.ok()) {
+                failures[c] = connected.to_string();
+                return;
+            }
+            for (int round = 0; round < kRounds; ++round) {
+                for (const auto& command : commands) {
+                    const auto response = client.command(command);
+                    if (!response.ok() || !response->ok) {
+                        failures[c] = response.ok()
+                                          ? response->final_line()
+                                          : response.status().to_string();
+                        return;
+                    }
+                    got[c].push_back(
+                        strip_timing(response->final_line()));
+                }
+            }
+        });
+    }
+    for (auto& thread : threads) thread.join();
+
+    for (int c = 0; c < kClients; ++c) {
+        ASSERT_TRUE(failures[c].empty()) << "client " << c << ": "
+                                         << failures[c];
+        ASSERT_EQ(got[c].size(), commands.size() * kRounds);
+        for (int round = 0; round < kRounds; ++round) {
+            for (std::size_t i = 0; i < commands.size(); ++i) {
+                EXPECT_EQ(got[c][round * commands.size() + i],
+                          expected[i])
+                    << "client " << c << " round " << round;
+            }
+        }
+    }
+
+    const auto stats = ts.server.stats();
+    EXPECT_EQ(stats.connections,
+              static_cast<std::uint64_t>(kClients) + 1);
+    EXPECT_EQ(stats.requests,
+              static_cast<std::uint64_t>(kClients) * kRounds *
+                      commands.size() +
+                  commands.size());
+}
+
+/// Malformed frames answer `error ...` and never kill the server or
+/// the session.
+TEST(ServerFaults, MalformedFramesKeepServing)
+{
+    TestServer ts;
+    auto client = ts.client();
+
+    for (const std::string bad :
+         {std::string("bogus command"), std::string("compile"),
+          std::string("set banana split"),
+          std::string("\x01\x02\x7f binary"),
+          std::string("batch /nonexistent/nowhere")}) {
+        const auto response = client.command(bad);
+        ASSERT_TRUE(response.ok()) << response.status().to_string();
+        EXPECT_FALSE(response->ok) << response->final_line();
+        EXPECT_EQ(response->final_line().rfind("error", 0), 0u);
+    }
+
+    // The session still works after every malformed frame.
+    const auto compiled =
+        client.command("compile " + circuits_dir() + "/bv_10.qasm");
+    ASSERT_TRUE(compiled.ok());
+    EXPECT_TRUE(compiled->ok) << compiled->final_line();
+}
+
+/// A line past max_line_bytes gets one error response and a close;
+/// the server keeps accepting fresh sessions and counts the event.
+TEST(ServerFaults, OversizedLineClosesOnlyThatSession)
+{
+    serve::ServerOptions options;
+    options.max_line_bytes = 256;
+    TestServer ts({}, options);
+
+    auto attacker = ts.client();
+    ASSERT_TRUE(
+        attacker.send_raw(std::string(4096, 'a')).ok());  // no newline
+    const auto response = attacker.read_response();
+    ASSERT_TRUE(response.ok()) << response.status().to_string();
+    EXPECT_EQ(response->final_line().rfind("error line exceeds", 0), 0u)
+        << response->final_line();
+    // The server closes after flushing the error.
+    EXPECT_FALSE(attacker.read_response(2000).ok());
+
+    auto client = ts.client();
+    const auto compiled =
+        client.command("compile " + circuits_dir() + "/bv_10.qasm");
+    ASSERT_TRUE(compiled.ok());
+    EXPECT_TRUE(compiled->ok);
+
+    EXPECT_EQ(ts.server.stats().overlong_lines, 1u);
+}
+
+/// Disconnecting with a request in flight must not crash or wedge the
+/// worker; the response is simply dropped.
+TEST(ServerFaults, MidRequestDisconnectIsAbsorbed)
+{
+    TestServer ts;
+    for (int i = 0; i < 4; ++i) {
+        auto client = ts.client();
+        ASSERT_TRUE(
+            client
+                .send_line("compile " + circuits_dir() + "/bv_64.qasm")
+                .ok());
+        client.close();  // vanish before the response
+    }
+
+    // The fresh compile queues behind the vanished clients' bv_64
+    // compiles (their results are computed, then dropped), which take
+    // tens of seconds under TSan — budget generously.
+    auto client = ts.client();
+    const auto compiled = client.command(
+        "compile " + circuits_dir() + "/bv_10.qasm", 300000);
+    ASSERT_TRUE(compiled.ok());
+    EXPECT_TRUE(compiled->ok);
+
+    // The in-flight compiles of the vanished clients finish on their
+    // own schedule; wait for the server to notice every disconnect.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(60);
+    while (ts.server.stats().disconnects < 4 &&
+           std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    EXPECT_GE(ts.server.stats().disconnects, 4u);
+}
+
+/// A writer that trickles bytes without ever completing a line is
+/// closed by the idle timer (completed commands are what refresh it).
+TEST(ServerFaults, SlowLorisWriterIsTimedOut)
+{
+    serve::ServerOptions options;
+    options.idle_timeout_ms = 300;
+    TestServer ts({}, options);
+
+    auto loris = ts.client();
+    for (int i = 0; i < 3; ++i) {
+        ASSERT_TRUE(loris.send_raw("x").ok());  // never a newline
+        std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    }
+    // The server must have closed the session with a timeout error.
+    const auto response = loris.read_response(5000);
+    if (response.ok()) {
+        EXPECT_EQ(response->final_line(), "error idle timeout, closing");
+    }
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(5);
+    while (ts.server.stats().timeouts == 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    EXPECT_GE(ts.server.stats().timeouts, 1u);
+
+    // A live session is unaffected by the reaper.
+    auto client = ts.client();
+    const auto compiled =
+        client.command("compile " + circuits_dir() + "/bv_10.qasm");
+    ASSERT_TRUE(compiled.ok());
+    EXPECT_TRUE(compiled->ok);
+}
+
+/// Admission control: pipelining past the per-session queue limit is
+/// answered with an immediate `error busy` while the accepted work
+/// still completes.
+TEST(ServerAdmission, SessionQueueOverflowIsRejectedBusy)
+{
+    serve::ServerOptions options;
+    options.session_queue_limit = 0;  // nothing may queue behind busy
+    options.num_workers = 1;
+    TestServer ts({}, options);
+
+    auto client = ts.client();
+    // One slow command, one pipelined right behind it.
+    ASSERT_TRUE(client
+                    .send_raw("batch " + circuits_dir() + "\n" +
+                              "compile " + circuits_dir() +
+                              "/bv_10.qasm\n")
+                    .ok());
+
+    // The rejection is written immediately, ahead of the batch block.
+    const auto busy = client.read_response(60000);
+    ASSERT_TRUE(busy.ok()) << busy.status().to_string();
+    EXPECT_EQ(busy->final_line(), "error busy session queue full, retry");
+
+    const auto batch = client.read_response(120000);
+    ASSERT_TRUE(batch.ok()) << batch.status().to_string();
+    EXPECT_EQ(batch->final_line().rfind("ok batch", 0), 0u)
+        << batch->final_line();
+
+    EXPECT_GE(ts.server.stats().rejected_busy, 1u);
+}
+
+/// Session cap: connection max_sessions+1 gets one `error busy` line
+/// and is closed; closing a session frees the slot.
+TEST(ServerAdmission, SessionCapRejectsAndRecovers)
+{
+    serve::ServerOptions options;
+    options.max_sessions = 2;
+    TestServer ts({}, options);
+
+    auto first = ts.client();
+    auto second = ts.client();
+
+    serve::Client third;
+    const auto rejected = third.connect("127.0.0.1", ts.server.port());
+    EXPECT_FALSE(rejected.ok());
+    EXPECT_NE(rejected.to_string().find("busy"), std::string::npos)
+        << rejected.to_string();
+    EXPECT_EQ(ts.server.stats().rejected_sessions, 1u);
+
+    first.command("quit");
+    first.close();
+    // The slot frees once the server reaps the session.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(5);
+    bool reconnected = false;
+    while (!reconnected &&
+           std::chrono::steady_clock::now() < deadline) {
+        serve::Client retry;
+        reconnected =
+            retry.connect("127.0.0.1", ts.server.port()).ok();
+        if (!reconnected) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+    }
+    EXPECT_TRUE(reconnected);
+}
+
+/// Graceful drain: in-flight work finishes and flushes, every session
+/// gets `ok bye`, and wait() returns without a hard stop.
+TEST(ServerDrain, DrainFinishesInflightWork)
+{
+    // The drain grace must outlast a bv_64 compile even under TSan's
+    // slowdown, or the force-close deadline fires before the in-flight
+    // response flushes.
+    serve::ServerOptions options;
+    options.drain_grace_ms = 300000;
+    TestServer ts({}, options);
+    auto client = ts.client();
+    ASSERT_TRUE(
+        client.send_line("compile " + circuits_dir() + "/bv_64.qasm")
+            .ok());
+    // Only a command the server has *received* is in-flight; commands
+    // still in the socket buffer may legitimately be dropped by a
+    // drain, so anchor the race before draining.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(10);
+    while (ts.server.stats().requests == 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ASSERT_GE(ts.server.stats().requests, 1u);
+    ts.server.request_drain();
+
+    const auto compiled = client.read_response(300000);
+    ASSERT_TRUE(compiled.ok()) << compiled.status().to_string();
+    EXPECT_TRUE(compiled->ok) << compiled->final_line();
+    const auto bye = client.read_response();
+    ASSERT_TRUE(bye.ok());
+    EXPECT_EQ(bye->final_line(), "ok bye");
+
+    ts.server.wait();
+    EXPECT_FALSE(ts.server.running());
+}
+
+/// Commands that arrive while draining are refused, not silently
+/// dropped.
+TEST(ServerDrain, NewConnectionsRefusedWhileDraining)
+{
+    TestServer ts;
+    auto client = ts.client();
+    ts.server.request_drain();
+    ts.server.wait();
+
+    serve::Client late;
+    EXPECT_FALSE(late.connect("127.0.0.1", ts.server.port()).ok());
+}
+
+/// The content-addressed cache under concurrent clients: after one
+/// warming pass, every repeated request is a hit and the counters
+/// land in the shared service registry.
+TEST(ServerCache, ConcurrentRepeatTrafficHitsCache)
+{
+    TestServer ts({.num_threads = 1, .cache_capacity = 8},
+                  {.num_workers = 4});
+    const std::string command =
+        "compile " + circuits_dir() + "/bv_10.qasm";
+
+    {
+        auto warm = ts.client();
+        const auto response = warm.command(command);
+        ASSERT_TRUE(response.ok());
+        ASSERT_TRUE(response->ok) << response->final_line();
+    }
+
+    constexpr int kClients = 4;
+    constexpr int kRounds = 3;
+    std::vector<std::thread> threads;
+    std::vector<std::string> failures(kClients);
+    for (int c = 0; c < kClients; ++c) {
+        threads.emplace_back([&, c] {
+            serve::Client client;
+            if (const auto connected =
+                    client.connect("127.0.0.1", ts.server.port());
+                !connected.ok()) {
+                failures[c] = connected.to_string();
+                return;
+            }
+            for (int round = 0; round < kRounds; ++round) {
+                const auto response = client.command(command);
+                if (!response.ok() || !response->ok) {
+                    failures[c] = "round failed";
+                    return;
+                }
+            }
+        });
+    }
+    for (auto& thread : threads) thread.join();
+    for (const auto& failure : failures) {
+        ASSERT_TRUE(failure.empty()) << failure;
+    }
+
+    const auto stats = ts.service.compile_cache_stats();
+    EXPECT_EQ(stats.hits,
+              static_cast<std::size_t>(kClients) * kRounds);
+    EXPECT_EQ(stats.misses, 1u);
+
+    const auto snapshot = ts.service.metrics_snapshot();
+    EXPECT_EQ(snapshot.counters.at("service.cache.hit"),
+              static_cast<double>(kClients * kRounds));
+    EXPECT_EQ(snapshot.counters.at("service.cache.miss"), 1.0);
+}
+
+}  // namespace

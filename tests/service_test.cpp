@@ -13,10 +13,13 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "apps/benchmarks.h"
+#include "qasm/printer.h"
+#include "service/cache.h"
 #include "service/service.h"
 #include "util/trace.h"
 
@@ -320,6 +323,199 @@ TEST(QasmToolServe, StatsAnswersWithPercentilesAfterABatch)
               std::string::npos)
         << output;
     EXPECT_NE(output.find("ok bye"), std::string::npos) << output;
+}
+
+/// Regression: a final command line without a trailing newline must
+/// still be served before EOF ends the session — the serve loop now
+/// shares the TCP transport's LineBuffer framing, which drains the
+/// unterminated tail explicitly.
+TEST(QasmToolServe, FinalLineWithoutNewlineIsServed)
+{
+    const std::string command =
+        "printf 'compile " + circuits_dir() + "/bv_10.qasm' | " +
+        std::string(CAQR_QASM_TOOL_BIN) + " --serve 2>/dev/null";
+    FILE* pipe = ::popen(command.c_str(), "r");
+    ASSERT_NE(pipe, nullptr);
+    std::string output;
+    char buffer[512];
+    while (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+        output += buffer;
+    }
+    const int status = ::pclose(pipe);
+    EXPECT_EQ(status, 0) << output;
+    EXPECT_NE(output.find("ok bv_10,qs_caqr"), std::string::npos)
+        << output;
+    EXPECT_NE(output.find("ok bye"), std::string::npos) << output;
+}
+
+// ---------------------------------------------------------------------
+// Content-addressed compile cache
+// ---------------------------------------------------------------------
+
+TEST(CompileCacheKey, OptionOrderIsCanonicalized)
+{
+    const std::string canonical = canonicalize_option_lines(
+        {"a=1", "b=2", "c=3"});
+    EXPECT_EQ(canonicalize_option_lines({"c=3", "a=1", "b=2"}),
+              canonical);
+    EXPECT_EQ(canonicalize_option_lines({"b=2", "c=3", "a=1"}),
+              canonical);
+    EXPECT_NE(canonicalize_option_lines({"a=1", "b=2", "c=4"}),
+              canonical);
+}
+
+/// Requests that differ only in how they were assembled — path vs
+/// inline content, backend alias, execution knobs — must share one
+/// cache key; anything result-affecting must split it.
+TEST(CompileCacheKey, SemanticallyIdenticalRequestsShareAKey)
+{
+    const std::string path = circuits_dir() + "/bv_10.qasm";
+    CompileRequest by_file;
+    by_file.qasm_file = path;
+    const auto base = request_cache_key(by_file);
+    ASSERT_TRUE(base.ok()) << base.status().to_string();
+
+    // Content-addressed: the same bytes inline hash equal to the file.
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream content;
+    content << in.rdbuf();
+    CompileRequest inline_qasm;
+    inline_qasm.qasm = content.str();
+    EXPECT_EQ(*request_cache_key(inline_qasm), *base);
+
+    // Execution knobs and labels are excluded from the fingerprint.
+    CompileRequest knobs = by_file;
+    knobs.name = "renamed";
+    knobs.tenant = "team-a";
+    knobs.qs.num_threads = 7;
+    knobs.qs.trace = !knobs.qs.trace;
+    EXPECT_EQ(*request_cache_key(knobs), *base);
+
+    // Backend aliases collapse to the canonical backend key.
+    CompileRequest alias = by_file;
+    alias.backend = "mumbai";
+    EXPECT_EQ(*request_cache_key(alias), *base);
+
+    // Result-affecting differences split the key.
+    CompileRequest other_target = by_file;
+    other_target.qs.target_qubits = 3;
+    EXPECT_NE(*request_cache_key(other_target), *base);
+
+    CompileRequest other_strategy = by_file;
+    other_strategy.strategy = Strategy::kSrCaqr;
+    EXPECT_NE(*request_cache_key(other_strategy), *base);
+
+    CompileRequest logical = by_file;
+    logical.map_to_backend = false;
+    EXPECT_NE(*request_cache_key(logical), *base);
+}
+
+TEST(CompileCacheKey, UnreadableOrMissingInputFails)
+{
+    CompileRequest missing;
+    missing.qasm_file = "/nonexistent/missing.qasm";
+    EXPECT_FALSE(request_cache_key(missing).ok());
+
+    CompileRequest none;
+    EXPECT_FALSE(request_cache_key(none).ok());
+}
+
+TEST(CompileCache, LruEvictsLeastRecentlyUsedAndCounts)
+{
+    util::metrics::Registry registry;
+    CompileCache cache(2, &registry);
+    CompileReport report;
+    report.name = "r";
+
+    cache.put("k1", report);
+    cache.put("k2", report);
+    EXPECT_TRUE(cache.get("k1").has_value());  // k1 now most recent
+    cache.put("k3", report);                   // evicts k2, not k1
+    EXPECT_TRUE(cache.get("k1").has_value());
+    EXPECT_FALSE(cache.get("k2").has_value());
+    EXPECT_TRUE(cache.get("k3").has_value());
+
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.hits, 3u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.evictions, 1u);
+    EXPECT_EQ(stats.size, 2u);
+    EXPECT_EQ(stats.capacity, 2u);
+
+    const auto snapshot = registry.snapshot();
+    EXPECT_EQ(snapshot.counters.at("service.cache.hit"), 3.0);
+    EXPECT_EQ(snapshot.counters.at("service.cache.miss"), 1.0);
+    EXPECT_EQ(snapshot.counters.at("service.cache.evict"), 1.0);
+
+    cache.clear();
+    EXPECT_EQ(cache.stats().size, 0u);
+    EXPECT_EQ(cache.stats().evictions, 1u);  // lifetime counters stay
+}
+
+/// End to end through the Service: a repeated request is answered from
+/// the cache with an identical report, a request differing in any
+/// result-affecting option misses.
+TEST(ServiceCompile, CacheHitReturnsIdenticalReport)
+{
+    Service service({.num_threads = 1, .cache_capacity = 8});
+    CompileRequest request;
+    request.circuit = apps::bv_circuit(4);
+    request.name = "bv_4";
+
+    const auto cold = service.compile(request);
+    ASSERT_TRUE(cold.ok()) << cold.status.to_string();
+    EXPECT_FALSE(cold.from_cache);
+
+    const auto hot = service.compile(request);
+    ASSERT_TRUE(hot.ok());
+    EXPECT_TRUE(hot.from_cache);
+    EXPECT_EQ(hot.name, cold.name);
+    EXPECT_EQ(hot.qubits, cold.qubits);
+    EXPECT_EQ(hot.depth, cold.depth);
+    EXPECT_EQ(hot.swaps, cold.swaps);
+    EXPECT_EQ(hot.esp, cold.esp);
+    EXPECT_EQ(qasm::to_qasm(hot.compiled), qasm::to_qasm(cold.compiled));
+
+    // A result-affecting option change misses.
+    CompileRequest other = request;
+    other.qs.target_qubits = 2;
+    EXPECT_FALSE(service.compile(other).from_cache);
+
+    const auto stats = service.compile_cache_stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 2u);
+    EXPECT_EQ(stats.capacity, 8u);
+
+    const auto snapshot = service.metrics_snapshot();
+    EXPECT_EQ(snapshot.counters.at("service.cache.hit"), 1.0);
+    EXPECT_EQ(snapshot.counters.at("service.cache.miss"), 2.0);
+}
+
+/// With the cache disabled (the default), nothing is ever served from
+/// cache and the stats stay zero — the historical behavior.
+TEST(ServiceCompile, CacheDisabledByDefault)
+{
+    Service service({.num_threads = 1});
+    CompileRequest request;
+    request.circuit = apps::bv_circuit(3);
+    EXPECT_FALSE(service.compile(request).from_cache);
+    EXPECT_FALSE(service.compile(request).from_cache);
+    EXPECT_EQ(service.compile_cache_stats().hits, 0u);
+    EXPECT_EQ(service.compile_cache_stats().capacity, 0u);
+}
+
+/// Failed compiles are never cached: the same bad request keeps
+/// reporting the failure and a fixed input is not shadowed.
+TEST(ServiceCompile, FailuresAreNotCached)
+{
+    Service service({.num_threads = 1, .cache_capacity = 8});
+    CompileRequest request;
+    request.qasm = "OPENQASM 2.0;\nqreg q[2];\nfrobnicate q[0];\n";
+    EXPECT_FALSE(service.compile(request).ok());
+    EXPECT_FALSE(service.compile(request).ok());
+    const auto stats = service.compile_cache_stats();
+    EXPECT_EQ(stats.hits, 0u);
+    EXPECT_EQ(stats.size, 0u);
 }
 
 /// Regression: qasm_tool used to exit 0 after printing nothing when

@@ -80,9 +80,15 @@ def check(baseline, fresh, time_tolerance, min_ms):
                             "from fresh run")
             continue
 
-        # Lower-is-better integer quality metrics.
+        # Lower-is-better integer quality metrics. Guarded on presence:
+        # serving-throughput entries (bench_serve) carry none of the
+        # circuit-quality fields.
         for metric in ("swaps", "depth", "qubits"):
-            if new[metric] > base[metric]:
+            if metric not in base:
+                continue
+            if metric not in new:
+                failures.append(f"{label}: {metric} disappeared")
+            elif new[metric] > base[metric]:
                 failures.append(
                     f"{label}: {metric} regressed "
                     f"{base[metric]} -> {new[metric]}"
@@ -95,38 +101,52 @@ def check(baseline, fresh, time_tolerance, min_ms):
                 )
 
         # Higher-is-better fidelity metric, deterministic float.
-        if new["esp"] < base["esp"] * (1.0 - FLOAT_EPS):
-            failures.append(
-                f"{label}: esp regressed "
-                f"{base['esp']:.6g} -> {new['esp']:.6g}"
-            )
-        elif new["esp"] > base["esp"] * (1.0 + FLOAT_EPS):
-            notes.append(
-                f"{label}: esp improved "
-                f"{base['esp']:.6g} -> {new['esp']:.6g} "
-                "(refresh the baseline)"
-            )
-
-        # Wall-clock gates share the noise tolerance.
-        base_ms = base["wall_ms_median"]
-        new_ms = new["wall_ms_median"]
-        if base_ms >= min_ms and new_ms > base_ms * (1.0 + time_tolerance):
-            failures.append(
-                f"{label}: wall_ms_median regressed "
-                f"{base_ms:.3f} -> {new_ms:.3f} "
-                f"(+{100.0 * (new_ms / base_ms - 1.0):.1f}%, "
-                f"tolerance +{100.0 * time_tolerance:.0f}%)"
-            )
-
-        base_sps = base.get("shots_per_sec")
-        new_sps = new.get("shots_per_sec")
-        if base_sps is not None:
-            if new_sps is None:
-                failures.append(f"{label}: shots_per_sec disappeared")
-            elif new_sps < base_sps / (1.0 + time_tolerance):
+        if "esp" in base:
+            if "esp" not in new:
+                failures.append(f"{label}: esp disappeared")
+            elif new["esp"] < base["esp"] * (1.0 - FLOAT_EPS):
                 failures.append(
-                    f"{label}: shots_per_sec regressed "
-                    f"{base_sps:.0f} -> {new_sps:.0f} "
+                    f"{label}: esp regressed "
+                    f"{base['esp']:.6g} -> {new['esp']:.6g}"
+                )
+            elif new["esp"] > base["esp"] * (1.0 + FLOAT_EPS):
+                notes.append(
+                    f"{label}: esp improved "
+                    f"{base['esp']:.6g} -> {new['esp']:.6g} "
+                    "(refresh the baseline)"
+                )
+
+        # Wall-clock latency gates: lower is better, noise-tolerant,
+        # and exempt below min_ms where medians are scheduler noise.
+        for metric in ("wall_ms_median", "p99_ms"):
+            base_ms = base.get(metric)
+            new_ms = new.get(metric)
+            if base_ms is None:
+                continue
+            if new_ms is None:
+                failures.append(f"{label}: {metric} disappeared")
+            elif (base_ms >= min_ms and
+                  new_ms > base_ms * (1.0 + time_tolerance)):
+                failures.append(
+                    f"{label}: {metric} regressed "
+                    f"{base_ms:.3f} -> {new_ms:.3f} "
+                    f"(+{100.0 * (new_ms / base_ms - 1.0):.1f}%, "
+                    f"tolerance +{100.0 * time_tolerance:.0f}%)"
+                )
+
+        # Wall-clock throughput gates: higher is better, same noise
+        # tolerance. `speedup` is the serving cache's hot/cold ratio.
+        for metric in ("shots_per_sec", "requests_per_sec", "speedup"):
+            base_v = base.get(metric)
+            new_v = new.get(metric)
+            if base_v is None:
+                continue
+            if new_v is None:
+                failures.append(f"{label}: {metric} disappeared")
+            elif new_v < base_v / (1.0 + time_tolerance):
+                failures.append(
+                    f"{label}: {metric} regressed "
+                    f"{base_v:.2f} -> {new_v:.2f} "
                     f"(tolerance -{100.0 * time_tolerance:.0f}%)"
                 )
 
@@ -164,6 +184,17 @@ def self_test():
                 "swaps": 2,
                 "reuses": 1,
                 "esp": 0.67,
+            },
+            {
+                # Serving-throughput entry (bench_serve): carries no
+                # circuit-quality fields at all.
+                "name": "serve_hot90",
+                "strategy": "serve",
+                "backend": "FakeMumbai",
+                "requests_per_sec": 5000.0,
+                "p50_ms": 0.4,
+                "p99_ms": 3.0,
+                "speedup": 8.0,
             },
         ],
     }
@@ -212,6 +243,29 @@ def self_test():
         doc["benchmarks"][0]["shots_per_sec"] *= 0.5
 
     expect("halved shots/sec fails", run(slower_sim), True)
+
+    def slower_serving(doc):
+        doc["benchmarks"][2]["requests_per_sec"] *= 0.5
+
+    expect("halved serving requests/sec fails", run(slower_serving),
+           True)
+
+    def smaller_cache_speedup(doc):
+        doc["benchmarks"][2]["speedup"] = 2.0
+
+    expect("cache speedup collapse fails", run(smaller_cache_speedup),
+           True)
+
+    def slower_p99(doc):
+        doc["benchmarks"][2]["p99_ms"] *= 3.0
+
+    expect("tripled serving p99 fails", run(slower_p99), True)
+
+    def faster_serving(doc):
+        doc["benchmarks"][2]["requests_per_sec"] *= 2.0
+        doc["benchmarks"][2]["p99_ms"] *= 0.5
+
+    expect("serving improvements pass", run(faster_serving), False)
 
     def improvement(doc):
         doc["benchmarks"][0]["swaps"] = 0
