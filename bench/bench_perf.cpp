@@ -5,7 +5,8 @@
  *
  * Runs a fixed corpus — every circuits/*.qasm under the baseline,
  * QS-CaQR, and SR-CaQR strategies, two synthetic QAOA commuting
- * workloads under QS-CaQR-commuting, and one simulator-backed entry —
+ * workloads under QS-CaQR-commuting, and two simulator-backed entries
+ * (single-threaded and shot-parallel) —
  * through one `caqr::Service` with warmup + repeat sampling, and
  * emits a schema-versioned `BENCH_caqr.json`:
  *
@@ -120,7 +121,8 @@ simulate_stage_ms(const CompileReport& report)
 
 /// The fixed corpus: every circuits/*.qasm x {baseline, qs_caqr,
 /// sr_caqr}, two synthetic QAOA interaction graphs under
-/// qs_commuting, and bv_10 with the shot simulator attached.
+/// qs_commuting, and bv_10 with the shot simulator attached at one
+/// and eight threads.
 std::vector<BenchCase>
 build_corpus(const std::string& corpus_dir, const std::string& backend)
 {
@@ -167,19 +169,28 @@ build_corpus(const std::string& corpus_dir, const std::string& backend)
         cases.push_back(std::move(entry));
     }
 
-    // Simulator throughput probe: small circuit, reuse-level width 2,
+    // Simulator throughput probes: small circuit, reuse-level width 2,
     // so the statevector stays tiny and shots/sec measures the
-    // dynamic-circuit kernel, not allocation.
-    BenchCase sim_entry;
-    sim_entry.name = "bv_10+sim";
-    sim_entry.request = prototype;
-    sim_entry.request.name = sim_entry.name;
-    sim_entry.request.strategy = Strategy::kQsCaqr;
-    sim_entry.request.qasm_file = corpus_dir + "/bv_10.qasm";
-    sim_entry.request.simulate = true;
-    sim_entry.request.sim.shots = 1024;
-    sim_entry.simulate = true;
-    cases.push_back(std::move(sim_entry));
+    // dynamic-circuit kernel, not allocation. The shot count is large
+    // enough to amortize program compilation and timer granularity —
+    // shots_per_sec is per-shot normalized, so raising it only reduces
+    // noise. One entry per thread mode: single-threaded (the kernel
+    // number CI gates on) and the shot-parallel path.
+    for (const auto& [suffix, threads] :
+         {std::pair<const char*, int>{"+sim", 1},
+          std::pair<const char*, int>{"+sim8", 8}}) {
+        BenchCase sim_entry;
+        sim_entry.name = std::string("bv_10") + suffix;
+        sim_entry.request = prototype;
+        sim_entry.request.name = sim_entry.name;
+        sim_entry.request.strategy = Strategy::kQsCaqr;
+        sim_entry.request.qasm_file = corpus_dir + "/bv_10.qasm";
+        sim_entry.request.simulate = true;
+        sim_entry.request.sim.shots = 65536;
+        sim_entry.request.sim.num_threads = threads;
+        sim_entry.simulate = true;
+        cases.push_back(std::move(sim_entry));
+    }
 
     return cases;
 }

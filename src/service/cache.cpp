@@ -153,6 +153,12 @@ request_cache_key(const CompileRequest& request)
                             static_cast<long long>(request.sim.shots)));
         lines.push_back(opt("sim.seed",
                             static_cast<long long>(request.sim.seed)));
+        // Fusion changes the floating-point association of gate
+        // products, so counts can differ in the last ulp of a
+        // measurement draw — it is an output-affecting knob. Thread
+        // count is deliberately absent: per-shot RNG streams make
+        // counts bit-identical at any num_threads.
+        lines.push_back(opt("sim.fuse", request.sim.fuse_gates));
     }
 
     // Only the option struct the strategy actually consults reaches

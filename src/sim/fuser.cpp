@@ -1,0 +1,208 @@
+#include "sim/fuser.h"
+
+#include <algorithm>
+
+#include "sim/statevector.h"
+#include "util/logging.h"
+
+namespace caqr::sim {
+
+namespace {
+
+using Complex = std::complex<double>;
+
+/// m = g * m: applying gate g after the accumulated run m.
+void
+left_multiply_2(const Complex g[2][2], Complex m[2][2])
+{
+    Complex out[2][2];
+    for (int r = 0; r < 2; ++r) {
+        for (int c = 0; c < 2; ++c) {
+            out[r][c] = g[r][0] * m[0][c] + g[r][1] * m[1][c];
+        }
+    }
+    for (int r = 0; r < 2; ++r) {
+        for (int c = 0; c < 2; ++c) m[r][c] = out[r][c];
+    }
+}
+
+/// m = g * m over the two-wire space.
+void
+left_multiply_4(const Complex g[4][4], Complex m[4][4])
+{
+    Complex out[4][4];
+    for (int r = 0; r < 4; ++r) {
+        for (int c = 0; c < 4; ++c) {
+            Complex acc = 0.0;
+            for (int k = 0; k < 4; ++k) acc += g[r][k] * m[k][c];
+            out[r][c] = acc;
+        }
+    }
+    for (int r = 0; r < 4; ++r) {
+        for (int c = 0; c < 4; ++c) m[r][c] = out[r][c];
+    }
+}
+
+/// Lifts a 1q gate acting on basis bit @p pos into the two-wire space:
+/// kron(g, I) for pos 1, kron(I, g) for pos 0.
+void
+lift_1q(const Complex g[2][2], int pos, Complex out[4][4])
+{
+    for (int r = 0; r < 4; ++r) {
+        const int rg = (r >> pos) & 1;
+        const int ro = r & ~(1 << pos);
+        for (int c = 0; c < 4; ++c) {
+            const int cg = (c >> pos) & 1;
+            const int co = c & ~(1 << pos);
+            out[r][c] = ro == co ? g[rg][cg] : Complex(0.0, 0.0);
+        }
+    }
+}
+
+void
+set_identity_4(Complex m[4][4])
+{
+    for (int r = 0; r < 4; ++r) {
+        for (int c = 0; c < 4; ++c) m[r][c] = r == c ? 1.0 : 0.0;
+    }
+}
+
+}  // namespace
+
+std::vector<FusedOp>
+GateFuser::fuse(const circuit::Circuit& circuit,
+                const std::vector<bool>& fusible)
+{
+    CAQR_CHECK(fusible.size() == circuit.size(),
+               "fusibility mask must cover every instruction");
+    std::vector<FusedOp> ops;
+    ops.reserve(circuit.size());
+    // Per wire: index into `ops` of the still-open cluster, or -1. A
+    // 2q cluster is registered on both of its wires. `absorbed` marks
+    // 1q clusters folded into a later 2q cluster (dropped on return —
+    // exact, because nothing between touched their wire).
+    std::vector<int> open(
+        static_cast<std::size_t>(std::max(circuit.num_qubits(), 0)), -1);
+    std::vector<bool> absorbed;
+
+    auto close = [&](int cluster) {
+        if (cluster < 0) return;
+        const auto& op = ops[static_cast<std::size_t>(cluster)];
+        open[op.q0] = -1;
+        if (op.kind == FusedOp::Kind::k2q) open[op.q1] = -1;
+    };
+
+    for (std::size_t i = 0; i < circuit.size(); ++i) {
+        const auto& instr = circuit.at(i);
+        if (!fusible[i]) {
+            for (int q : instr.qubits) close(open[q]);
+            FusedOp op;
+            op.instr_index = i;
+            ops.push_back(std::move(op));
+            absorbed.push_back(false);
+            continue;
+        }
+        if (instr.qubits.size() == 1) {
+            Complex g[2][2];
+            const bool is_1q = gate_matrix_1q(instr, g);
+            CAQR_CHECK(is_1q, "fusible 1q instruction must be a unitary");
+            const int q = instr.qubits[0];
+            if (open[q] >= 0) {
+                auto& op = ops[static_cast<std::size_t>(open[q])];
+                if (op.kind == FusedOp::Kind::k1q) {
+                    left_multiply_2(g, op.m1);
+                } else {
+                    Complex lifted[4][4];
+                    lift_1q(g, q == op.q0 ? 0 : 1, lifted);
+                    left_multiply_4(lifted, op.m2);
+                }
+                op.sources.push_back(i);
+                continue;
+            }
+            FusedOp op;
+            op.kind = FusedOp::Kind::k1q;
+            op.q0 = q;
+            for (int r = 0; r < 2; ++r) {
+                for (int c = 0; c < 2; ++c) op.m1[r][c] = g[r][c];
+            }
+            op.sources = {i};
+            open[q] = static_cast<int>(ops.size());
+            ops.push_back(std::move(op));
+            absorbed.push_back(false);
+            continue;
+        }
+        CAQR_CHECK(instr.qubits.size() == 2,
+                   "fusible instruction must act on one or two qubits");
+        const int a = instr.qubits[0];
+        const int b = instr.qubits[1];
+        if (open[a] >= 0 && open[a] == open[b]) {
+            // The open 2q cluster already covers exactly this pair.
+            auto& op = ops[static_cast<std::size_t>(open[a])];
+            Complex g[4][4];
+            const bool is_2q = gate_matrix_2q(
+                instr, a == op.q0 ? 0 : 1, b == op.q0 ? 0 : 1, g);
+            CAQR_CHECK(is_2q, "fusible 2q instruction must be a unitary");
+            left_multiply_4(g, op.m2);
+            op.sources.push_back(i);
+            continue;
+        }
+        // Open a fresh cluster on (a, b), absorbing any open 1q runs
+        // on these wires; open 2q clusters on other pairs close.
+        FusedOp op;
+        op.kind = FusedOp::Kind::k2q;
+        op.q0 = a;
+        op.q1 = b;
+        set_identity_4(op.m2);
+        for (const int pos : {0, 1}) {
+            const int q = pos == 0 ? a : b;
+            const int cluster = open[q];
+            if (cluster < 0) continue;
+            auto& prior = ops[static_cast<std::size_t>(cluster)];
+            if (prior.kind != FusedOp::Kind::k1q) {
+                close(cluster);
+                continue;
+            }
+            Complex lifted[4][4];
+            lift_1q(prior.m1, pos, lifted);
+            left_multiply_4(lifted, op.m2);
+            op.sources.insert(op.sources.end(), prior.sources.begin(),
+                              prior.sources.end());
+            absorbed[static_cast<std::size_t>(cluster)] = true;
+            open[q] = -1;
+        }
+        Complex g[4][4];
+        const bool is_2q = gate_matrix_2q(instr, 0, 1, g);
+        CAQR_CHECK(is_2q, "fusible 2q instruction must be a unitary");
+        left_multiply_4(g, op.m2);
+        op.sources.push_back(i);
+        open[a] = open[b] = static_cast<int>(ops.size());
+        ops.push_back(std::move(op));
+        absorbed.push_back(false);
+    }
+
+    if (std::find(absorbed.begin(), absorbed.end(), true) ==
+        absorbed.end()) {
+        return ops;
+    }
+    std::vector<FusedOp> kept;
+    kept.reserve(ops.size());
+    for (std::size_t k = 0; k < ops.size(); ++k) {
+        if (!absorbed[k]) kept.push_back(std::move(ops[k]));
+    }
+    return kept;
+}
+
+std::size_t
+GateFuser::gates_eliminated(const std::vector<FusedOp>& ops)
+{
+    std::size_t eliminated = 0;
+    for (const auto& op : ops) {
+        if (op.kind != FusedOp::Kind::kPassthrough &&
+            op.sources.size() > 1) {
+            eliminated += op.sources.size() - 1;
+        }
+    }
+    return eliminated;
+}
+
+}  // namespace caqr::sim

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Adjacent-gate fusion for the simulator hot path.
+ *
+ * A compiled dynamic circuit is dominated by short unitary segments
+ * between measurements: basis changes around CX/CZ, echo sequences,
+ * rotation decompositions. Each segment confined to one or two wires
+ * is mathematically a single 2x2 or 4x4 unitary, so the GateFuser
+ * pre-multiplies maximal fusible runs once per simulate() call and the
+ * per-shot loop applies one fused matrix where it used to apply k
+ * gates — for two-wire circuits produced by qubit reuse, a whole
+ * H-CX-H sandwich becomes one matrix application.
+ *
+ * Fusion commutes ops on *disjoint* wires past each other (always
+ * exact), never reorders anything on a shared wire, and only folds
+ * instructions the caller marked fusible — the simulator marks a gate
+ * fusible only when no stochastic channel (gate error, idle
+ * decoherence) or classical condition is attached to it, so fused and
+ * unfused execution draw the same RNG stream.
+ */
+#ifndef CAQR_SIM_FUSER_H
+#define CAQR_SIM_FUSER_H
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace caqr::sim {
+
+/// One op of a fused instruction stream: the matrix product of a
+/// maximal run of fusible gates on one wire (k1q) or a wire pair
+/// (k2q), placed at the run's first gate, or the index of an
+/// instruction passed through as-is.
+struct FusedOp
+{
+    enum class Kind : std::uint8_t { k1q, k2q, kPassthrough };
+    Kind kind = Kind::kPassthrough;
+    int q0 = -1;  ///< matrix wire (basis bit 0)
+    int q1 = -1;  ///< k2q second wire (basis bit 1)
+    std::complex<double> m1[2][2] = {};  ///< k1q
+    /// k2q, basis index (bit of q1 << 1) | bit of q0.
+    std::complex<double> m2[4][4] = {};
+    /// Instruction indices folded into this matrix, program order.
+    std::vector<std::size_t> sources;
+    std::size_t instr_index = 0;  ///< kPassthrough only
+};
+
+/// Folds adjacent fusible unitaries into single 2x2/4x4 applications.
+class GateFuser
+{
+  public:
+    /**
+     * Fuses @p circuit under the caller-provided eligibility mask
+     * (`fusible.size() == circuit.size()`; true entries must be 1q
+     * unitaries with a gate_matrix_1q, or 2q unitaries with a
+     * gate_matrix_2q). Any passthrough instruction closes the open run
+     * on every wire it touches, so fusion never crosses a measurement,
+     * reset, barrier, or conditioned instruction on the same wire. A
+     * fusible 2q gate joining two wires absorbs the open 1q runs on
+     * them; 2q runs only extend while gates stay on the same wire
+     * pair.
+     */
+    static std::vector<FusedOp> fuse(const circuit::Circuit& circuit,
+                                     const std::vector<bool>& fusible);
+
+    /// Gate applications eliminated by fusion (sum of run lengths
+    /// minus one per fused matrix op).
+    static std::size_t gates_eliminated(const std::vector<FusedOp>& ops);
+};
+
+}  // namespace caqr::sim
+
+#endif  // CAQR_SIM_FUSER_H

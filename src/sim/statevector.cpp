@@ -1,8 +1,15 @@
 #include "sim/statevector.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 #include "util/logging.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define CAQR_SV_AVX2 1
+#include <immintrin.h>
+#endif
 
 namespace caqr::sim {
 
@@ -13,7 +20,273 @@ using Complex = std::complex<double>;
 constexpr double kPi = 3.14159265358979323846;
 constexpr double kInvSqrt2 = 0.70710678118654752440;
 
+/// Probability below which a renormalization divisor is treated as
+/// zero (the state is zeroed instead of scaled to inf/NaN).
+constexpr double kMinProb = 1e-300;
+
+/// Measurement outcomes whose minority probability is at most this are
+/// treated as deterministic (no RNG draw). Shares the norm_is_one
+/// window so collapse decisions are stable against ulp-level
+/// differences in how the incoming probability was computed.
+constexpr double kDeterministicTol = 1e-14;
+
+/**
+ * True when renormalizing by 1/sqrt(p) is a no-op to machine
+ * precision. Gate kernels already perturb amplitudes by O(ulp) per
+ * application, so a retained probability within 1e-14 of 1 carries a
+ * rescale factor indistinguishable from that rounding noise; the
+ * collapse paths then skip the sqrt, the divide, and the full rescale
+ * sweep and only zero the dead half. Deterministic outcomes — the
+ * common case in compiled dynamic circuits, where measurements read
+ * back computed bits — all land in this window.
+ */
+inline bool
+norm_is_one(double p)
+{
+    return std::abs(p - 1.0) <= 1e-14;
+}
+
+/*
+ * 1q kernels operate on the amplitude array reinterpreted as
+ * interleaved re/im doubles. The 2x2 matrix arrives as 8 scalars
+ * m = {00r, 00i, 01r, 01i, 10r, 10i, 11r, 11i}; hoisting them out of
+ * the loop lets the compiler keep everything in registers and
+ * auto-vectorize the stride-blocked form. The inner loops walk two
+ * contiguous runs of 2*stride doubles (the bit-clear and bit-set
+ * half of each block), the layout both GCC's vectorizer and the
+ * explicit AVX2 path want.
+ */
+
+/// One basis pair through the 2x2: identical arithmetic (and therefore
+/// identical rounding) to one apply_1q_scalar iteration; the unrolled
+/// small-state paths below are built from it.
+inline void
+apply_1q_pair(double* p0, double* p1, const double* m)
+{
+    const double a0r = p0[0], a0i = p0[1];
+    const double a1r = p1[0], a1i = p1[1];
+    p0[0] = m[0] * a0r - m[1] * a0i + m[2] * a1r - m[3] * a1i;
+    p0[1] = m[0] * a0i + m[1] * a0r + m[2] * a1i + m[3] * a1r;
+    p1[0] = m[4] * a0r - m[5] * a0i + m[6] * a1r - m[7] * a1i;
+    p1[1] = m[4] * a0i + m[5] * a0r + m[6] * a1i + m[7] * a1r;
+}
+
+void
+apply_1q_scalar(double* d, std::size_t size, std::size_t stride,
+                const double* m)
+{
+    const double m00r = m[0], m00i = m[1], m01r = m[2], m01i = m[3];
+    const double m10r = m[4], m10i = m[5], m11r = m[6], m11i = m[7];
+    if (stride == 1) {
+        // Pairs are adjacent: one 4-double chunk per basis pair.
+        const std::size_t end = 2 * size;
+        for (std::size_t j = 0; j < end; j += 4) {
+            const double a0r = d[j], a0i = d[j + 1];
+            const double a1r = d[j + 2], a1i = d[j + 3];
+            d[j] = m00r * a0r - m00i * a0i + m01r * a1r - m01i * a1i;
+            d[j + 1] = m00r * a0i + m00i * a0r + m01r * a1i + m01i * a1r;
+            d[j + 2] = m10r * a0r - m10i * a0i + m11r * a1r - m11i * a1i;
+            d[j + 3] = m10r * a0i + m10i * a0r + m11r * a1i + m11i * a1r;
+        }
+        return;
+    }
+    for (std::size_t base = 0; base < size; base += 2 * stride) {
+        double* p0 = d + 2 * base;
+        double* p1 = p0 + 2 * stride;
+        const std::size_t run = 2 * stride;
+        for (std::size_t j = 0; j < run; j += 2) {
+            const double a0r = p0[j], a0i = p0[j + 1];
+            const double a1r = p1[j], a1i = p1[j + 1];
+            p0[j] = m00r * a0r - m00i * a0i + m01r * a1r - m01i * a1i;
+            p0[j + 1] = m00r * a0i + m00i * a0r + m01r * a1i + m01i * a1r;
+            p1[j] = m10r * a0r - m10i * a0i + m11r * a1r - m11i * a1i;
+            p1[j + 1] = m10r * a0i + m10i * a0r + m11r * a1i + m11i * a1r;
+        }
+    }
+}
+
+#if CAQR_SV_AVX2
+
+/// Complex multiply of interleaved [ar, ai, br, bi] lanes by a
+/// per-lane-pair scalar given as separate broadcast re/im vectors.
+__attribute__((target("avx2,fma"))) inline __m256d
+cmul_bcast(__m256d v, __m256d vr, __m256d vi)
+{
+    const __m256d vswap = _mm256_permute_pd(v, 0x5);  // [ai, ar, bi, br]
+    // even lanes: ar*mr - ai*mi, odd lanes: ai*mr + ar*mi.
+    return _mm256_fmaddsub_pd(v, vr, _mm256_mul_pd(vswap, vi));
+}
+
+__attribute__((target("avx2,fma"))) void
+apply_1q_avx2(double* d, std::size_t size, std::size_t stride,
+              const double* m)
+{
+    if (stride == 1) {
+        // One basis pair per 256-bit vector: v = [a0r, a0i, a1r, a1i];
+        // lanes 0-1 need row 0 of the matrix, lanes 2-3 row 1.
+        const __m256d mr0 = _mm256_set_pd(m[4], m[4], m[0], m[0]);
+        const __m256d mi0 = _mm256_set_pd(m[5], m[5], m[1], m[1]);
+        const __m256d mr1 = _mm256_set_pd(m[6], m[6], m[2], m[2]);
+        const __m256d mi1 = _mm256_set_pd(m[7], m[7], m[3], m[3]);
+        const std::size_t end = 2 * size;
+        for (std::size_t j = 0; j < end; j += 4) {
+            const __m256d v = _mm256_loadu_pd(d + j);
+            const __m256d a0 = _mm256_permute2f128_pd(v, v, 0x00);
+            const __m256d a1 = _mm256_permute2f128_pd(v, v, 0x11);
+            const __m256d out = _mm256_add_pd(cmul_bcast(a0, mr0, mi0),
+                                              cmul_bcast(a1, mr1, mi1));
+            _mm256_storeu_pd(d + j, out);
+        }
+        return;
+    }
+    // stride >= 2: both half-runs are contiguous and 4-double aligned
+    // in length, two basis pairs per iteration.
+    const __m256d m00r = _mm256_set1_pd(m[0]), m00i = _mm256_set1_pd(m[1]);
+    const __m256d m01r = _mm256_set1_pd(m[2]), m01i = _mm256_set1_pd(m[3]);
+    const __m256d m10r = _mm256_set1_pd(m[4]), m10i = _mm256_set1_pd(m[5]);
+    const __m256d m11r = _mm256_set1_pd(m[6]), m11i = _mm256_set1_pd(m[7]);
+    for (std::size_t base = 0; base < size; base += 2 * stride) {
+        double* p0 = d + 2 * base;
+        double* p1 = p0 + 2 * stride;
+        const std::size_t run = 2 * stride;
+        for (std::size_t j = 0; j < run; j += 4) {
+            const __m256d v0 = _mm256_loadu_pd(p0 + j);
+            const __m256d v1 = _mm256_loadu_pd(p1 + j);
+            const __m256d n0 = _mm256_add_pd(cmul_bcast(v0, m00r, m00i),
+                                             cmul_bcast(v1, m01r, m01i));
+            const __m256d n1 = _mm256_add_pd(cmul_bcast(v0, m10r, m10i),
+                                             cmul_bcast(v1, m11r, m11i));
+            _mm256_storeu_pd(p0 + j, n0);
+            _mm256_storeu_pd(p1 + j, n1);
+        }
+    }
+}
+
+#endif  // CAQR_SV_AVX2
+
+/// Runtime dispatch: AVX2+FMA when the CPU has it, unless the
+/// CAQR_SIM_NO_AVX2 environment switch forces the portable kernel
+/// (useful when diffing numerics between the two paths).
+bool
+avx2_enabled()
+{
+#if CAQR_SV_AVX2
+    static const bool ok = __builtin_cpu_supports("avx2") &&
+                           __builtin_cpu_supports("fma") &&
+                           std::getenv("CAQR_SIM_NO_AVX2") == nullptr;
+    return ok;
+#else
+    return false;
+#endif
+}
+
 }  // namespace
+
+bool
+gate_matrix_1q(const circuit::Instruction& instr, Complex matrix[2][2])
+{
+    using circuit::GateKind;
+    auto set = [&](Complex a, Complex b, Complex c, Complex d) {
+        matrix[0][0] = a;
+        matrix[0][1] = b;
+        matrix[1][0] = c;
+        matrix[1][1] = d;
+        return true;
+    };
+    switch (instr.kind) {
+      case GateKind::kH:
+        return set(kInvSqrt2, kInvSqrt2, kInvSqrt2, -kInvSqrt2);
+      case GateKind::kX: return set(0, 1, 1, 0);
+      case GateKind::kY:
+        return set(0, Complex(0, -1), Complex(0, 1), 0);
+      case GateKind::kZ: return set(1, 0, 0, -1);
+      case GateKind::kS: return set(1, 0, 0, Complex(0, 1));
+      case GateKind::kSdg: return set(1, 0, 0, Complex(0, -1));
+      case GateKind::kT:
+        return set(1, 0, 0, std::polar(1.0, kPi / 4));
+      case GateKind::kTdg:
+        return set(1, 0, 0, std::polar(1.0, -kPi / 4));
+      case GateKind::kRx: {
+        const double half = instr.params[0] / 2;
+        return set(std::cos(half), Complex(0, -std::sin(half)),
+                   Complex(0, -std::sin(half)), std::cos(half));
+      }
+      case GateKind::kRy: {
+        const double half = instr.params[0] / 2;
+        return set(std::cos(half), -std::sin(half), std::sin(half),
+                   std::cos(half));
+      }
+      case GateKind::kRz: {
+        const double half = instr.params[0] / 2;
+        return set(std::polar(1.0, -half), 0, 0, std::polar(1.0, half));
+      }
+      case GateKind::kU: {
+        const double theta = instr.params[0];
+        const double phi = instr.params[1];
+        const double lambda = instr.params[2];
+        return set(
+            std::cos(theta / 2),
+            -std::polar(1.0, lambda) * std::sin(theta / 2),
+            std::polar(1.0, phi) * std::sin(theta / 2),
+            std::polar(1.0, phi + lambda) * std::cos(theta / 2));
+      }
+      default: return false;
+    }
+}
+
+bool
+gate_matrix_2q(const circuit::Instruction& instr, int p0, int p1,
+               Complex matrix[4][4])
+{
+    using circuit::GateKind;
+    CAQR_CHECK((p0 == 0 || p0 == 1) && (p1 == 0 || p1 == 1) && p0 != p1,
+               "basis-bit positions must be a permutation of {0, 1}");
+    auto clear = [&]() {
+        for (int r = 0; r < 4; ++r) {
+            for (int c = 0; c < 4; ++c) matrix[r][c] = 0.0;
+        }
+    };
+    switch (instr.kind) {
+      case GateKind::kCx: {
+        clear();
+        for (int in = 0; in < 4; ++in) {
+            const int out = (in >> p0) & 1 ? in ^ (1 << p1) : in;
+            matrix[out][in] = 1.0;
+        }
+        return true;
+      }
+      case GateKind::kCz: {
+        clear();
+        for (int in = 0; in < 4; ++in) {
+            matrix[in][in] = in == 3 ? -1.0 : 1.0;
+        }
+        return true;
+      }
+      case GateKind::kSwap: {
+        clear();
+        for (int in = 0; in < 4; ++in) {
+            const int b0 = (in >> p0) & 1;
+            const int b1 = (in >> p1) & 1;
+            const int out = (in & ~(1 << p0) & ~(1 << p1)) | (b1 << p0) |
+                            (b0 << p1);
+            matrix[out][in] = 1.0;
+        }
+        return true;
+      }
+      case GateKind::kRzz: {
+        clear();
+        const double half = instr.params[0] / 2;
+        const Complex same = std::polar(1.0, -half);
+        const Complex diff = std::polar(1.0, half);
+        for (int in = 0; in < 4; ++in) {
+            matrix[in][in] =
+                ((in >> p0) & 1) == ((in >> p1) & 1) ? same : diff;
+        }
+        return true;
+      }
+      default: return false;
+    }
+}
 
 StateVector::StateVector(int num_qubits)
     : num_qubits_(num_qubits),
@@ -39,19 +312,68 @@ StateVector::from_amplitudes(std::vector<Complex> amplitudes)
 }
 
 void
+StateVector::set_zero_state()
+{
+    std::fill(amps_.begin(), amps_.end(), Complex(0.0, 0.0));
+    amps_[0] = Complex(1.0, 0.0);
+}
+
+void
 StateVector::apply_1q(int q, const Complex matrix[2][2])
 {
+    const double m[8] = {
+        matrix[0][0].real(), matrix[0][0].imag(),
+        matrix[0][1].real(), matrix[0][1].imag(),
+        matrix[1][0].real(), matrix[1][0].imag(),
+        matrix[1][1].real(), matrix[1][1].imag()};
+    apply_1q(q, m);
+}
+
+void
+StateVector::apply_1q(int q, const double m[8])
+{
     CAQR_CHECK(q >= 0 && q < num_qubits_, "qubit out of range");
-    const std::size_t stride = std::size_t{1} << q;
+    double* d = reinterpret_cast<double*>(amps_.data());
     const std::size_t size = amps_.size();
-    for (std::size_t base = 0; base < size; base += 2 * stride) {
-        for (std::size_t offset = 0; offset < stride; ++offset) {
-            const std::size_t i0 = base + offset;
-            const std::size_t i1 = i0 + stride;
-            const Complex a0 = amps_[i0];
-            const Complex a1 = amps_[i1];
-            amps_[i0] = matrix[0][0] * a0 + matrix[0][1] * a1;
-            amps_[i1] = matrix[1][0] * a0 + matrix[1][1] * a1;
+    // Qubit reuse compresses circuits onto 1-2 live wires, so tiny
+    // states are the simulator's hot case: straight-line unrolls with
+    // no loop or dispatch overhead (same arithmetic as the scalar
+    // kernel, bit-identical results).
+    if (size == 4) {
+        if (q == 0) {
+            apply_1q_pair(d, d + 2, m);
+            apply_1q_pair(d + 4, d + 6, m);
+        } else {
+            apply_1q_pair(d, d + 4, m);
+            apply_1q_pair(d + 2, d + 6, m);
+        }
+        return;
+    }
+    if (size == 2) {
+        apply_1q_pair(d, d + 2, m);
+        return;
+    }
+    const std::size_t stride = std::size_t{1} << q;
+#if CAQR_SV_AVX2
+    // The vector path pays 8 broadcast setups per call; below a couple
+    // of cache lines of state the scalar kernel wins outright.
+    if (size >= 16 && avx2_enabled()) {
+        apply_1q_avx2(d, size, stride, m);
+        return;
+    }
+#endif
+    apply_1q_scalar(d, size, stride, m);
+}
+
+void
+StateVector::apply_x(int q)
+{
+    CAQR_CHECK(q >= 0 && q < num_qubits_, "qubit out of range");
+    const std::size_t tb = std::size_t{1} << q;
+    const std::size_t size = amps_.size();
+    for (std::size_t a = 0; a < size; a += 2 * tb) {
+        for (std::size_t c = a; c < a + tb; ++c) {
+            std::swap(amps_[c], amps_[c | tb]);
         }
     }
 }
@@ -59,14 +381,104 @@ StateVector::apply_1q(int q, const Complex matrix[2][2])
 void
 StateVector::apply_pauli(char pauli, int q)
 {
-    static const Complex x[2][2] = {{0, 1}, {1, 0}};
     static const Complex y[2][2] = {{0, Complex(0, -1)}, {Complex(0, 1), 0}};
     static const Complex z[2][2] = {{1, 0}, {0, -1}};
     switch (pauli) {
-      case 'X': apply_1q(q, x); break;
+      case 'X': apply_x(q); break;
       case 'Y': apply_1q(q, y); break;
       case 'Z': apply_1q(q, z); break;
       default: util::panic("unknown Pauli label");
+    }
+}
+
+void
+StateVector::apply_cx(int control, int target)
+{
+    const std::size_t cb = std::size_t{1} << control;
+    const std::size_t tb = std::size_t{1} << target;
+    const std::size_t lo = std::min(cb, tb);
+    const std::size_t hi = std::max(cb, tb);
+    const std::size_t size = amps_.size();
+    for (std::size_t a = 0; a < size; a += 2 * hi) {
+        for (std::size_t b = a; b < a + hi; b += 2 * lo) {
+            for (std::size_t c = b; c < b + lo; ++c) {
+                const std::size_t i = c | cb;
+                std::swap(amps_[i], amps_[i | tb]);
+            }
+        }
+    }
+}
+
+void
+StateVector::apply_2q(int q0, int q1, const Complex matrix[4][4])
+{
+    double m[32];
+    for (int r = 0; r < 4; ++r) {
+        for (int c = 0; c < 4; ++c) {
+            m[(r * 4 + c) * 2] = matrix[r][c].real();
+            m[(r * 4 + c) * 2 + 1] = matrix[r][c].imag();
+        }
+    }
+    apply_2q(q0, q1, m);
+}
+
+namespace {
+
+/// One 4-amplitude group of a 4x4 application: p[k] points at the
+/// re/im pair of basis state k of the two-wire subspace.
+inline void
+apply_2q_group(double* const p[4], const double* m)
+{
+    double re[4], im[4];
+    for (int k = 0; k < 4; ++k) {
+        re[k] = p[k][0];
+        im[k] = p[k][1];
+    }
+    for (int r = 0; r < 4; ++r) {
+        double or_ = 0.0;
+        double oi = 0.0;
+        for (int k = 0; k < 4; ++k) {
+            const double mr = m[(r * 4 + k) * 2];
+            const double mi = m[(r * 4 + k) * 2 + 1];
+            or_ += mr * re[k] - mi * im[k];
+            oi += mr * im[k] + mi * re[k];
+        }
+        p[r][0] = or_;
+        p[r][1] = oi;
+    }
+}
+
+}  // namespace
+
+void
+StateVector::apply_2q(int q0, int q1, const double m[32])
+{
+    CAQR_CHECK(q0 >= 0 && q0 < num_qubits_ && q1 >= 0 &&
+                   q1 < num_qubits_ && q0 != q1,
+               "qubit pair out of range");
+    const std::size_t b0 = std::size_t{1} << q0;
+    const std::size_t b1 = std::size_t{1} << q1;
+    const std::size_t size = amps_.size();
+    double* d = reinterpret_cast<double*>(amps_.data());
+    if (size == 4) {
+        // Two-wire state — the qubit-reuse hot case: exactly one group,
+        // no loop machinery.
+        double* const p[4] = {d, d + 2 * b0, d + 2 * b1,
+                              d + 2 * (b0 | b1)};
+        apply_2q_group(p, m);
+        return;
+    }
+    const std::size_t lo = std::min(b0, b1);
+    const std::size_t hi = std::max(b0, b1);
+    for (std::size_t a = 0; a < size; a += 2 * hi) {
+        for (std::size_t b = a; b < a + hi; b += 2 * lo) {
+            for (std::size_t c = b; c < b + lo; ++c) {
+                double* const p[4] = {d + 2 * c, d + 2 * (c | b0),
+                                      d + 2 * (c | b1),
+                                      d + 2 * (c | b0 | b1)};
+                apply_2q_group(p, m);
+            }
+        }
     }
 }
 
@@ -77,88 +489,38 @@ StateVector::apply(const circuit::Instruction& instr)
     CAQR_CHECK(circuit::is_unitary(instr.kind),
                "apply() requires a unitary instruction");
 
+    if (instr.kind == GateKind::kX) {
+        apply_x(instr.qubits[0]);
+        return;
+    }
+    Complex m[2][2];
+    if (instr.qubits.size() == 1 && gate_matrix_1q(instr, m)) {
+        apply_1q(instr.qubits[0], m);
+        return;
+    }
+
+    // Multi-qubit gates iterate only the half/quarter/eighth space
+    // they act on, expanding a compressed index around the pinned
+    // bits; the innermost runs stay contiguous, so these loops touch
+    // 2-8x fewer cache lines than the old full 2^n sweeps.
     const auto& q = instr.qubits;
+    const std::size_t size = amps_.size();
     switch (instr.kind) {
-      case GateKind::kH: {
-        const Complex m[2][2] = {{kInvSqrt2, kInvSqrt2},
-                                 {kInvSqrt2, -kInvSqrt2}};
-        apply_1q(q[0], m);
+      case GateKind::kCx:
+        apply_cx(q[0], q[1]);
         return;
-      }
-      case GateKind::kX: apply_pauli('X', q[0]); return;
-      case GateKind::kY: apply_pauli('Y', q[0]); return;
-      case GateKind::kZ: apply_pauli('Z', q[0]); return;
-      case GateKind::kS: {
-        const Complex m[2][2] = {{1, 0}, {0, Complex(0, 1)}};
-        apply_1q(q[0], m);
-        return;
-      }
-      case GateKind::kSdg: {
-        const Complex m[2][2] = {{1, 0}, {0, Complex(0, -1)}};
-        apply_1q(q[0], m);
-        return;
-      }
-      case GateKind::kT: {
-        const Complex m[2][2] = {
-            {1, 0}, {0, std::polar(1.0, kPi / 4)}};
-        apply_1q(q[0], m);
-        return;
-      }
-      case GateKind::kTdg: {
-        const Complex m[2][2] = {
-            {1, 0}, {0, std::polar(1.0, -kPi / 4)}};
-        apply_1q(q[0], m);
-        return;
-      }
-      case GateKind::kRx: {
-        const double half = instr.params[0] / 2;
-        const Complex m[2][2] = {
-            {std::cos(half), Complex(0, -std::sin(half))},
-            {Complex(0, -std::sin(half)), std::cos(half)}};
-        apply_1q(q[0], m);
-        return;
-      }
-      case GateKind::kRy: {
-        const double half = instr.params[0] / 2;
-        const Complex m[2][2] = {{std::cos(half), -std::sin(half)},
-                                 {std::sin(half), std::cos(half)}};
-        apply_1q(q[0], m);
-        return;
-      }
-      case GateKind::kRz: {
-        const double half = instr.params[0] / 2;
-        const Complex m[2][2] = {{std::polar(1.0, -half), 0},
-                                 {0, std::polar(1.0, half)}};
-        apply_1q(q[0], m);
-        return;
-      }
-      case GateKind::kU: {
-        const double theta = instr.params[0];
-        const double phi = instr.params[1];
-        const double lambda = instr.params[2];
-        const Complex m[2][2] = {
-            {std::cos(theta / 2),
-             -std::polar(1.0, lambda) * std::sin(theta / 2)},
-            {std::polar(1.0, phi) * std::sin(theta / 2),
-             std::polar(1.0, phi + lambda) * std::cos(theta / 2)}};
-        apply_1q(q[0], m);
-        return;
-      }
-      case GateKind::kCx: {
-        const std::size_t control = std::size_t{1} << q[0];
-        const std::size_t target = std::size_t{1} << q[1];
-        for (std::size_t i = 0; i < amps_.size(); ++i) {
-            if ((i & control) && !(i & target)) {
-                std::swap(amps_[i], amps_[i | target]);
-            }
-        }
-        return;
-      }
       case GateKind::kCz: {
-        const std::size_t mask =
-            (std::size_t{1} << q[0]) | (std::size_t{1} << q[1]);
-        for (std::size_t i = 0; i < amps_.size(); ++i) {
-            if ((i & mask) == mask) amps_[i] = -amps_[i];
+        const std::size_t b0 = std::size_t{1} << q[0];
+        const std::size_t b1 = std::size_t{1} << q[1];
+        const std::size_t lo = std::min(b0, b1);
+        const std::size_t hi = std::max(b0, b1);
+        const std::size_t mask = b0 | b1;
+        for (std::size_t a = 0; a < size; a += 2 * hi) {
+            for (std::size_t b = a; b < a + hi; b += 2 * lo) {
+                for (std::size_t c = b; c < b + lo; ++c) {
+                    amps_[c | mask] = -amps_[c | mask];
+                }
+            }
         }
         return;
       }
@@ -170,21 +532,30 @@ StateVector::apply(const circuit::Instruction& instr)
         const Complex diff = std::polar(1.0, half);
         const std::size_t b0 = std::size_t{1} << q[0];
         const std::size_t b1 = std::size_t{1} << q[1];
-        for (std::size_t i = 0; i < amps_.size(); ++i) {
-            const bool bit0 = (i & b0) != 0;
-            const bool bit1 = (i & b1) != 0;
-            amps_[i] *= (bit0 == bit1) ? same : diff;
+        const std::size_t lo = std::min(b0, b1);
+        const std::size_t hi = std::max(b0, b1);
+        for (std::size_t a = 0; a < size; a += 2 * hi) {
+            for (std::size_t b = a; b < a + hi; b += 2 * lo) {
+                for (std::size_t c = b; c < b + lo; ++c) {
+                    amps_[c] *= same;
+                    amps_[c | b0 | b1] *= same;
+                    amps_[c | b0] *= diff;
+                    amps_[c | b1] *= diff;
+                }
+            }
         }
         return;
       }
       case GateKind::kSwap: {
         const std::size_t b0 = std::size_t{1} << q[0];
         const std::size_t b1 = std::size_t{1} << q[1];
-        for (std::size_t i = 0; i < amps_.size(); ++i) {
-            const bool bit0 = (i & b0) != 0;
-            const bool bit1 = (i & b1) != 0;
-            if (bit0 && !bit1) {
-                std::swap(amps_[i], amps_[(i & ~b0) | b1]);
+        const std::size_t lo = std::min(b0, b1);
+        const std::size_t hi = std::max(b0, b1);
+        for (std::size_t a = 0; a < size; a += 2 * hi) {
+            for (std::size_t b = a; b < a + hi; b += 2 * lo) {
+                for (std::size_t c = b; c < b + lo; ++c) {
+                    std::swap(amps_[c | b0], amps_[c | b1]);
+                }
             }
         }
         return;
@@ -192,10 +563,18 @@ StateVector::apply(const circuit::Instruction& instr)
       case GateKind::kCcx: {
         const std::size_t c0 = std::size_t{1} << q[0];
         const std::size_t c1 = std::size_t{1} << q[1];
-        const std::size_t target = std::size_t{1} << q[2];
-        for (std::size_t i = 0; i < amps_.size(); ++i) {
-            if ((i & c0) && (i & c1) && !(i & target)) {
-                std::swap(amps_[i], amps_[i | target]);
+        const std::size_t tb = std::size_t{1} << q[2];
+        std::size_t bits[3] = {c0, c1, tb};
+        std::sort(bits, bits + 3);
+        for (std::size_t a = 0; a < size; a += 2 * bits[2]) {
+            for (std::size_t b = a; b < a + bits[2]; b += 2 * bits[1]) {
+                for (std::size_t e = b; e < b + bits[1];
+                     e += 2 * bits[0]) {
+                    for (std::size_t f = e; f < e + bits[0]; ++f) {
+                        const std::size_t i = f | c0 | c1;
+                        std::swap(amps_[i], amps_[i | tb]);
+                    }
+                }
             }
         }
         return;
@@ -209,10 +588,27 @@ double
 StateVector::prob_one(int q) const
 {
     CAQR_CHECK(q >= 0 && q < num_qubits_, "qubit out of range");
-    const std::size_t bit = std::size_t{1} << q;
+    const std::size_t stride = std::size_t{1} << q;
+    const std::size_t size = amps_.size();
+    const double* d = reinterpret_cast<const double*>(amps_.data());
+    if (size == 4) {
+        // Two-wire state (the qubit-reuse hot case): the |1> half is
+        // two amplitudes, summed in the same order as the blocked loop
+        // so the fast path is bit-identical.
+        const double* p = d + 2 * stride;
+        if (stride == 1) {
+            return (p[0] * p[0] + p[1] * p[1]) +
+                   (p[4] * p[4] + p[5] * p[5]);
+        }
+        return p[0] * p[0] + p[1] * p[1] + p[2] * p[2] + p[3] * p[3];
+    }
     double prob = 0.0;
-    for (std::size_t i = 0; i < amps_.size(); ++i) {
-        if (i & bit) prob += std::norm(amps_[i]);
+    for (std::size_t base = stride; base < size; base += 2 * stride) {
+        const double* p = d + 2 * base;
+        const std::size_t run = 2 * stride;
+        double block = 0.0;
+        for (std::size_t j = 0; j < run; ++j) block += p[j] * p[j];
+        prob += block;
     }
     return prob;
 }
@@ -221,17 +617,41 @@ int
 StateVector::measure(int q, util::Rng& rng)
 {
     const double p1 = prob_one(q);
-    const int outcome = rng.next_double() < p1 ? 1 : 0;
-    const std::size_t bit = std::size_t{1} << q;
+    // Deterministic-outcome fast path: skip the RNG draw when the
+    // minority outcome's probability is at most 1e-14 — unobservable
+    // at any feasible shot count, and the tolerance window (same width
+    // as norm_is_one) guarantees fused and unfused execution, whose
+    // probabilities differ only in the last ulps, make the *same*
+    // skip decision and stay on the same RNG stream. Compiled dynamic
+    // circuits are dominated by deterministic measurements.
+    const int outcome = p1 >= 1.0 - kDeterministicTol
+                            ? 1
+                            : (p1 <= kDeterministicTol
+                                   ? 0
+                                   : (rng.next_double() < p1 ? 1 : 0));
+    const std::size_t stride = std::size_t{1} << q;
+    const std::size_t size = amps_.size();
     const double keep_prob = outcome ? p1 : 1.0 - p1;
+    double* d = reinterpret_cast<double*>(amps_.data());
+    if (norm_is_one(keep_prob)) {
+        // Deterministic outcome: renormalizing is the identity, only
+        // the dead half needs zeroing.
+        for (std::size_t base = 0; base < size; base += 2 * stride) {
+            double* kill = d + 2 * (base + (outcome ? 0 : stride));
+            const std::size_t run = 2 * stride;
+            for (std::size_t j = 0; j < run; ++j) kill[j] = 0.0;
+        }
+        return outcome;
+    }
     const double norm =
-        keep_prob > 1e-300 ? 1.0 / std::sqrt(keep_prob) : 0.0;
-    for (std::size_t i = 0; i < amps_.size(); ++i) {
-        const bool is_one = (i & bit) != 0;
-        if (is_one == (outcome == 1)) {
-            amps_[i] *= norm;
-        } else {
-            amps_[i] = Complex(0.0, 0.0);
+        keep_prob > kMinProb ? 1.0 / std::sqrt(keep_prob) : 0.0;
+    for (std::size_t base = 0; base < size; base += 2 * stride) {
+        double* keep = d + 2 * (base + (outcome ? stride : 0));
+        double* kill = d + 2 * (base + (outcome ? 0 : stride));
+        const std::size_t run = 2 * stride;
+        for (std::size_t j = 0; j < run; ++j) {
+            keep[j] *= norm;
+            kill[j] = 0.0;
         }
     }
     return outcome;
@@ -240,7 +660,54 @@ StateVector::measure(int q, util::Rng& rng)
 void
 StateVector::reset(int q, util::Rng& rng)
 {
-    if (measure(q, rng) == 1) apply_pauli('X', q);
+    const double p1 = prob_one(q);
+    // Same deterministic-outcome draw skip as measure().
+    const int outcome = p1 >= 1.0 - kDeterministicTol
+                            ? 1
+                            : (p1 <= kDeterministicTol
+                                   ? 0
+                                   : (rng.next_double() < p1 ? 1 : 0));
+    const std::size_t stride = std::size_t{1} << q;
+    const std::size_t size = amps_.size();
+    if (outcome == 0) {
+        const double keep_prob = 1.0 - p1;
+        if (norm_is_one(keep_prob)) {
+            for (std::size_t base = 0; base < size; base += 2 * stride) {
+                for (std::size_t off = 0; off < stride; ++off) {
+                    amps_[base + off + stride] = Complex(0.0, 0.0);
+                }
+            }
+            return;
+        }
+        const double norm =
+            keep_prob > kMinProb ? 1.0 / std::sqrt(keep_prob) : 0.0;
+        for (std::size_t base = 0; base < size; base += 2 * stride) {
+            for (std::size_t off = 0; off < stride; ++off) {
+                amps_[base + off] *= norm;
+                amps_[base + off + stride] = Complex(0.0, 0.0);
+            }
+        }
+        return;
+    }
+    // Collapse onto the |1> half and move it to |0> in one pass
+    // (equivalent to measure() followed by X, without the extra
+    // sweep).
+    if (norm_is_one(p1)) {
+        for (std::size_t base = 0; base < size; base += 2 * stride) {
+            for (std::size_t off = 0; off < stride; ++off) {
+                amps_[base + off] = amps_[base + off + stride];
+                amps_[base + off + stride] = Complex(0.0, 0.0);
+            }
+        }
+        return;
+    }
+    const double norm = p1 > kMinProb ? 1.0 / std::sqrt(p1) : 0.0;
+    for (std::size_t base = 0; base < size; base += 2 * stride) {
+        for (std::size_t off = 0; off < stride; ++off) {
+            amps_[base + off] = amps_[base + off + stride] * norm;
+            amps_[base + off + stride] = Complex(0.0, 0.0);
+        }
+    }
 }
 
 void
@@ -251,25 +718,33 @@ StateVector::apply_amplitude_damping(int q, double gamma, util::Rng& rng)
     if (gamma <= 0.0) return;
     const double p1 = prob_one(q);
     const double p_jump = gamma * p1;
-    const std::size_t bit = std::size_t{1} << q;
+    const std::size_t stride = std::size_t{1} << q;
+    const std::size_t size = amps_.size();
 
     if (rng.next_double() < p_jump) {
         // Jump: K1 = sqrt(gamma)|0><1| — move all |1> amplitude to |0>.
-        const double norm = p1 > 1e-300 ? 1.0 / std::sqrt(p1) : 0.0;
-        for (std::size_t i = 0; i < amps_.size(); ++i) {
-            if (i & bit) {
-                amps_[i & ~bit] = amps_[i] * norm;
-                amps_[i] = Complex(0.0, 0.0);
+        const double norm = p1 > kMinProb ? 1.0 / std::sqrt(p1) : 0.0;
+        for (std::size_t base = 0; base < size; base += 2 * stride) {
+            for (std::size_t off = 0; off < stride; ++off) {
+                amps_[base + off] = amps_[base + off + stride] * norm;
+                amps_[base + off + stride] = Complex(0.0, 0.0);
             }
         }
         return;
     }
     // No-jump: K0 = diag(1, sqrt(1-gamma)), then renormalize by the
-    // no-jump probability 1 - gamma * p1.
-    const double damp = std::sqrt(1.0 - gamma);
-    const double norm = 1.0 / std::sqrt(1.0 - p_jump);
-    for (std::size_t i = 0; i < amps_.size(); ++i) {
-        amps_[i] *= (i & bit) ? damp * norm : norm;
+    // no-jump probability 1 - gamma * p1. Clamped like the jump
+    // branch: as gamma * p1 -> 1 the keep probability underflows to 0
+    // and the unguarded reciprocal sqrt emitted inf/NaN amplitudes.
+    const double keep_prob = 1.0 - p_jump;
+    const double norm =
+        keep_prob > kMinProb ? 1.0 / std::sqrt(keep_prob) : 0.0;
+    const double damp = std::sqrt(1.0 - gamma) * norm;
+    for (std::size_t base = 0; base < size; base += 2 * stride) {
+        for (std::size_t off = 0; off < stride; ++off) {
+            amps_[base + off] *= norm;
+            amps_[base + off + stride] *= damp;
+        }
     }
 }
 
@@ -277,11 +752,20 @@ std::uint64_t
 StateVector::sample(util::Rng& rng) const
 {
     double r = rng.next_double();
+    std::uint64_t last_nonzero = 0;
     for (std::size_t i = 0; i < amps_.size(); ++i) {
-        r -= std::norm(amps_[i]);
+        const double p = std::norm(amps_[i]);
+        if (p <= 0.0) continue;
+        last_nonzero = i;
+        r -= p;
         if (r <= 0.0) return i;
     }
-    return amps_.size() - 1;
+    // Float accumulation can leave r slightly positive after the
+    // sweep; fall back to the last basis state with nonzero
+    // probability — never a zero-amplitude state, which the old
+    // `size - 1` fallback returned for post-measurement states whose
+    // high-index amplitudes are exactly zero.
+    return last_nonzero;
 }
 
 double

@@ -5,6 +5,13 @@
  * reset. Usable up to ~20 qubits; the benchmark suite never exceeds 14.
  *
  * Qubit q corresponds to bit q of the amplitude index (little-endian).
+ *
+ * Kernels are stride-blocked over the raw interleaved re/im doubles so
+ * they auto-vectorize, with an explicit AVX2+FMA path selected by
+ * runtime CPU dispatch (set CAQR_SIM_NO_AVX2 to force the portable
+ * kernel). Controlled gates and measurement collapse iterate only the
+ * masked half/quarter space they act on instead of sweeping all 2^n
+ * amplitudes.
  */
 #ifndef CAQR_SIM_STATEVECTOR_H
 #define CAQR_SIM_STATEVECTOR_H
@@ -16,6 +23,26 @@
 #include "util/rng.h"
 
 namespace caqr::sim {
+
+/**
+ * Writes the 2x2 unitary of a single-qubit gate instruction into
+ * @p matrix and returns true; returns false (matrix untouched) for
+ * anything that is not a 1q unitary. Shared by the statevector's
+ * gate dispatch and the GateFuser's matrix pre-multiplication.
+ */
+bool gate_matrix_1q(const circuit::Instruction& instr,
+                    std::complex<double> matrix[2][2]);
+
+/**
+ * Writes the 4x4 unitary of a two-qubit gate instruction into
+ * @p matrix and returns true; returns false (matrix untouched) for
+ * anything else. @p p0 and @p p1 give the basis-bit positions (0 or 1)
+ * of instr.qubits[0] and instr.qubits[1] in the target two-wire space,
+ * so the same gate can be emitted into a fusion cluster whose wire
+ * order differs from the instruction's operand order.
+ */
+bool gate_matrix_2q(const circuit::Instruction& instr, int p0, int p1,
+                    std::complex<double> matrix[4][4]);
 
 /// Dense 2^n complex statevector.
 class StateVector
@@ -32,6 +59,10 @@ class StateVector
 
     int num_qubits() const { return num_qubits_; }
 
+    /// Returns to |0...0> without reallocating — shot loops reuse one
+    /// statevector instead of paying an allocation per shot.
+    void set_zero_state();
+
     /// Raw amplitude access (index bit q = qubit q).
     const std::vector<std::complex<double>>& amplitudes() const
     {
@@ -45,8 +76,34 @@ class StateVector
     /// Applies an arbitrary 2x2 unitary to qubit @p q.
     void apply_1q(int q, const std::complex<double> matrix[2][2]);
 
+    /**
+     * Same, with the matrix in the kernel's native layout: 8 scalars
+     * {m00r, m00i, m01r, m01i, m10r, m10i, m11r, m11i}. Shot loops
+     * that pre-convert their matrices once call this directly and skip
+     * the per-application complex-to-scalar unpacking.
+     */
+    void apply_1q(int q, const double m[8]);
+
     /// Applies a Pauli ('X','Y','Z') to qubit @p q (noise injection).
     void apply_pauli(char pauli, int q);
+
+    /// Applies X to qubit @p q as a pure amplitude swap — no arithmetic.
+    /// The conditioned-X reset idiom makes this the most common
+    /// non-fusible 1q gate in compiled dynamic circuits.
+    void apply_x(int q);
+
+    /// Applies CX directly from qubit indices — the shot loop's
+    /// dispatch for the dominant 2q gate, skipping instruction decode.
+    void apply_cx(int control, int target);
+
+    /// Applies an arbitrary 4x4 unitary to the (q0, q1) wire pair.
+    /// Matrix basis index is (bit of q1 << 1) | bit of q0.
+    void apply_2q(int q0, int q1, const std::complex<double> matrix[4][4]);
+
+    /// Same, with the matrix as 32 scalars {m00r, m00i, m01r, ...} in
+    /// row-major order — the branch-free kernel layout (std::complex
+    /// multiplies carry NaN-recovery branches that block vectorization).
+    void apply_2q(int q0, int q1, const double m[32]);
 
     /// Probability that measuring @p q yields 1.
     double prob_one(int q) const;

@@ -32,6 +32,15 @@ Rng::Rng(std::uint64_t seed)
     for (auto& word : state_) word = splitmix64(s);
 }
 
+Rng::Rng(std::uint64_t seed, std::uint64_t stream)
+{
+    // Hash the stream id so neighboring ids (shot 0, 1, 2, ...) start
+    // the seed schedule in well-separated regions of the state space.
+    std::uint64_t t = stream + 0xd1b54a32d192ed03ULL;
+    std::uint64_t s = seed ^ splitmix64(t);
+    for (auto& word : state_) word = splitmix64(s);
+}
+
 std::uint64_t
 Rng::next_u64()
 {

@@ -23,6 +23,13 @@ class Rng
     /// Seeds the four-word state from @p seed via splitmix64.
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
+    /// Seeds an independent substream: the same @p seed with different
+    /// @p stream ids yields decorrelated sequences (the stream id is
+    /// hashed through splitmix64 before entering the seed schedule).
+    /// Shot-parallel simulation uses stream = shot index so results
+    /// are bit-identical for any thread count or shot partitioning.
+    Rng(std::uint64_t seed, std::uint64_t stream);
+
     /// Next raw 64-bit value.
     std::uint64_t next_u64();
 

@@ -2,13 +2,17 @@
 /// the noise model.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "arch/backend.h"
 #include "circuit/circuit.h"
+#include "sim/fuser.h"
 #include "sim/noise_model.h"
 #include "sim/simulator.h"
 #include "sim/statevector.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -330,6 +334,264 @@ TEST(Noise, NoisierBackendRunsHaveHigherTvd)
         util::total_variation_distance(ideal_counts, noisy_counts);
     EXPECT_GT(tvd, 0.005);
     EXPECT_LT(tvd, 0.5);
+}
+
+TEST(StateVector, AmplitudeDampingFullDecayStaysFinite)
+{
+    // gamma = 1.0 on |1>: the jump branch fires with probability 1 in
+    // exact arithmetic, but when the no-jump branch is drawn anyway
+    // (rounding), K0 = diag(1, 0) annihilates the state and the old
+    // 1/sqrt(norm) rescale divided by ~0. The guarded branch must keep
+    // every amplitude finite and land in |0> for any seed.
+    for (std::uint64_t seed = 0; seed < 64; ++seed) {
+        util::Rng rng(seed);
+        StateVector sv(1);
+        sv.apply_pauli('X', 0);
+        sv.apply_amplitude_damping(0, 1.0, rng);
+        for (const auto& amp : sv.amplitudes()) {
+            EXPECT_TRUE(std::isfinite(amp.real()));
+            EXPECT_TRUE(std::isfinite(amp.imag()));
+        }
+        EXPECT_NEAR(sv.prob_one(0), 0.0, 1e-12);
+    }
+}
+
+TEST(StateVector, AmplitudeDampingFullDecayOnSuperposition)
+{
+    // |+> at gamma = 1.0: both branches (jump, or no-jump projection
+    // onto |0>) must end in |0> with finite, normalized amplitudes.
+    for (std::uint64_t seed = 0; seed < 64; ++seed) {
+        util::Rng rng(seed);
+        StateVector sv(1);
+        Circuit c(1, 0);
+        c.h(0);
+        sv.apply(c.at(0));
+        sv.apply_amplitude_damping(0, 1.0, rng);
+        EXPECT_NEAR(std::norm(sv.amplitudes()[0]), 1.0, 1e-12);
+        EXPECT_NEAR(sv.prob_one(0), 0.0, 1e-12);
+    }
+}
+
+TEST(StateVector, SampleNeverReturnsZeroProbabilityState)
+{
+    // Slightly under-normalized two-state superposition: cumulative
+    // probability tops out below the drawn uniform for draws near 1,
+    // and the fallback must return the last *nonzero-probability*
+    // index (1), never the zero-amplitude tail states 2/3.
+    const double a = std::sqrt(0.4999);
+    StateVector sv = StateVector::from_amplitudes(
+        {{a, 0.0}, {a, 0.0}, {0.0, 0.0}, {0.0, 0.0}});
+    util::Rng rng(42);
+    for (int i = 0; i < 100'000; ++i) {
+        EXPECT_LT(sv.sample(rng), 2u);
+    }
+}
+
+TEST(StateVector, MeasureResetExtremeProbabilities)
+{
+    // p1 within rounding of 1: measure must return 1 and collapse
+    // cleanly; after reset the same wire must measure 0.
+    util::Rng rng(7);
+    StateVector sv(1);
+    Circuit c(1, 0);
+    c.x(0);
+    c.ry(1e-9, 0);
+    sv.apply(c.at(0));
+    sv.apply(c.at(1));
+    EXPECT_EQ(sv.measure(0, rng), 1);
+    EXPECT_NEAR(sv.prob_one(0), 1.0, 1e-12);
+    sv.reset(0, rng);
+    EXPECT_EQ(sv.measure(0, rng), 0);
+
+    // p1 within rounding of 0 on a fresh wire.
+    StateVector sv2(1);
+    Circuit c2(1, 0);
+    c2.ry(1e-9, 0);
+    sv2.apply(c2.at(0));
+    EXPECT_EQ(sv2.measure(0, rng), 0);
+}
+
+TEST(GateFuser, FusesSingleWireRuns)
+{
+    Circuit c(1, 0);
+    c.h(0);
+    c.t(0);
+    c.h(0);
+    const std::vector<bool> fusible(c.size(), true);
+    const auto ops = sim::GateFuser::fuse(c, fusible);
+    ASSERT_EQ(ops.size(), 1u);
+    EXPECT_EQ(ops[0].kind, sim::FusedOp::Kind::k1q);
+    EXPECT_EQ(ops[0].q0, 0);
+    EXPECT_EQ(ops[0].sources.size(), 3u);
+    EXPECT_EQ(sim::GateFuser::gates_eliminated(ops), 2u);
+
+    StateVector fused(1);
+    fused.apply_1q(0, ops[0].m1);
+    StateVector sequential(1);
+    for (std::size_t i = 0; i < c.size(); ++i) sequential.apply(c.at(i));
+    EXPECT_NEAR(fused.fidelity(sequential), 1.0, 1e-12);
+}
+
+TEST(GateFuser, TwoQubitClusterAbsorbsSingleQubitRuns)
+{
+    // h(0); h(1); cx; t(0) — all four gates collapse into one 4x4.
+    Circuit c(2, 0);
+    c.h(0);
+    c.h(1);
+    c.cx(0, 1);
+    c.t(0);
+    const std::vector<bool> fusible(c.size(), true);
+    const auto ops = sim::GateFuser::fuse(c, fusible);
+    ASSERT_EQ(ops.size(), 1u);
+    EXPECT_EQ(ops[0].kind, sim::FusedOp::Kind::k2q);
+    EXPECT_EQ(ops[0].sources.size(), 4u);
+    EXPECT_EQ(sim::GateFuser::gates_eliminated(ops), 3u);
+
+    StateVector fused(2);
+    fused.apply_2q(ops[0].q0, ops[0].q1, ops[0].m2);
+    StateVector sequential(2);
+    for (std::size_t i = 0; i < c.size(); ++i) sequential.apply(c.at(i));
+    EXPECT_NEAR(fused.fidelity(sequential), 1.0, 1e-12);
+}
+
+TEST(GateFuser, PassthroughSplitsRuns)
+{
+    // A non-fusible instruction (here: the measurement) must close the
+    // run on its wire — the two h's on either side never merge.
+    Circuit c(1, 1);
+    c.h(0);
+    c.measure(0, 0);
+    c.h(0);
+    const std::vector<bool> fusible = {true, false, true};
+    const auto ops = sim::GateFuser::fuse(c, fusible);
+    ASSERT_EQ(ops.size(), 3u);
+    EXPECT_EQ(ops[0].kind, sim::FusedOp::Kind::k1q);
+    EXPECT_EQ(ops[1].kind, sim::FusedOp::Kind::kPassthrough);
+    EXPECT_EQ(ops[1].instr_index, 1u);
+    EXPECT_EQ(ops[2].kind, sim::FusedOp::Kind::k1q);
+    EXPECT_EQ(sim::GateFuser::gates_eliminated(ops), 0u);
+}
+
+/// Random dynamic circuit exercising every shot-loop dispatch kind:
+/// fusible 1q/2q runs, conditioned gates, mid-circuit measurement and
+/// reset.
+Circuit
+random_dynamic_circuit(std::uint64_t seed, int num_qubits, int num_clbits,
+                       int length)
+{
+    util::Rng rng(seed);
+    Circuit c(num_qubits, num_clbits);
+    for (int i = 0; i < length; ++i) {
+        const int q = rng.next_int(0, num_qubits - 1);
+        const int bit = rng.next_int(0, num_clbits - 1);
+        switch (rng.next_int(0, 8)) {
+          case 0: c.h(q); break;
+          case 1: c.t(q); break;
+          case 2: c.rx(rng.next_double() * 3.0, q); break;
+          case 3:
+          case 4: {
+            const int q2 = (q + 1) % num_qubits;
+            if (rng.next_bool(0.5)) {
+                c.cx(q, q2);
+            } else {
+                c.cz(q, q2);
+            }
+            break;
+          }
+          case 5: c.measure(q, bit); break;
+          case 6: c.reset(q); break;
+          case 7: c.x_if(q, bit); break;
+          case 8: c.ry(rng.next_double() * 3.0, q); break;
+        }
+    }
+    for (int q = 0; q < std::min(num_qubits, num_clbits); ++q) {
+        c.measure(q, q);
+    }
+    return c;
+}
+
+TEST(Simulator, CountsBitIdenticalAcrossThreadCounts)
+{
+    // Per-shot RNG streams + commutative histogram merges: the exact
+    // same Counts map at any thread count, not just statistically
+    // compatible ones.
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        const Circuit c = random_dynamic_circuit(seed, 3, 3, 40);
+        SimOptions serial{.shots = 2000, .seed = 99, .num_threads = 1};
+        SimOptions parallel = serial;
+        parallel.num_threads = 8;
+        EXPECT_EQ(sim::simulate(c, serial), sim::simulate(c, parallel));
+    }
+}
+
+TEST(Simulator, CountsBitIdenticalAcrossThreadCountsWithNoise)
+{
+    const Circuit c = random_dynamic_circuit(5, 3, 3, 40);
+    const auto noise = NoiseModel::uniform(0.01, 0.02, 0.01);
+    SimOptions serial{.shots = 2000, .seed = 17, .num_threads = 1};
+    SimOptions parallel = serial;
+    parallel.num_threads = 8;
+    EXPECT_EQ(sim::simulate(c, serial, noise),
+              sim::simulate(c, parallel, noise));
+}
+
+TEST(Simulator, FusionDoesNotChangeCounts)
+{
+    // Fusible gates carry no RNG draws, so fused and unfused execution
+    // consume identical randomness and the histograms match exactly.
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        const Circuit c = random_dynamic_circuit(seed, 3, 3, 40);
+        SimOptions fused{.shots = 2000, .seed = 7};
+        SimOptions unfused = fused;
+        unfused.fuse_gates = false;
+        EXPECT_EQ(sim::simulate(c, fused), sim::simulate(c, unfused));
+    }
+}
+
+TEST(Simulator, FusedSamplingMatchesExactDistribution)
+{
+    // Unitary-only prefix with terminal measures: the fused shot
+    // sampler must agree with the exact statevector distribution.
+    Circuit c(3, 3);
+    util::Rng rng(13);
+    for (int i = 0; i < 12; ++i) {
+        const int q = rng.next_int(0, 2);
+        switch (rng.next_int(0, 3)) {
+          case 0: c.h(q); break;
+          case 1: c.t(q); break;
+          case 2: c.rx(rng.next_double() * 3.0, q); break;
+          case 3: c.cx(q, (q + 1) % 3); break;
+        }
+    }
+    c.measure(0, 0);
+    c.measure(1, 1);
+    c.measure(2, 2);
+
+    const auto exact = sim::exact_distribution(c);
+    const auto counts = sim::simulate(c, {.shots = 20'000, .seed = 21});
+    std::map<std::string, double> sampled;
+    for (const auto& [key, count] : counts) {
+        sampled[key] = static_cast<double>(count);
+    }
+    EXPECT_LT(util::total_variation_distance(exact, sampled), 0.03);
+}
+
+TEST(Simulator, SubMillisecondRunsStillObserveThroughput)
+{
+    // A 1-shot run completes under the steady-clock tick on fast
+    // machines; the wall clamp must keep the sim.shots_per_sec
+    // observation finite and recorded rather than dropped.
+    const auto before =
+        util::metrics::global().snapshot().histograms["sim.shots_per_sec"];
+    Circuit c(1, 1);
+    c.x(0);
+    c.measure(0, 0);
+    sim::simulate(c, {.shots = 1, .seed = 1});
+    const auto after =
+        util::metrics::global().snapshot().histograms["sim.shots_per_sec"];
+    EXPECT_EQ(after.count(), before.count() + 1);
+    EXPECT_TRUE(std::isfinite(after.max()));
+    EXPECT_GT(after.max(), 0.0);
 }
 
 }  // namespace

@@ -32,6 +32,39 @@ TEST(Rng, DifferentSeedsDiverge)
     EXPECT_LT(equal, 2);
 }
 
+TEST(Rng, StreamsAreReproducible)
+{
+    util::Rng a(7, 3);
+    util::Rng b(7, 3);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+    }
+}
+
+TEST(Rng, StreamsDiverge)
+{
+    // Adjacent streams of one seed must be decorrelated — they seed
+    // the per-shot RNGs of the shot-parallel simulator.
+    util::Rng a(7, 0);
+    util::Rng b(7, 1);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next_u64() == b.next_u64()) ++equal;
+    }
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, StreamsDependOnSeed)
+{
+    util::Rng a(7, 1);
+    util::Rng b(8, 1);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next_u64() == b.next_u64()) ++equal;
+    }
+    EXPECT_LT(equal, 2);
+}
+
 TEST(Rng, DoubleInUnitInterval)
 {
     util::Rng rng(7);

@@ -244,6 +244,17 @@ def self_test():
 
     expect("halved shots/sec fails", run(slower_sim), True)
 
+    def dropped_sim_metric(doc):
+        del doc["benchmarks"][0]["shots_per_sec"]
+
+    expect("dropped shots_per_sec fails", run(dropped_sim_metric), True)
+
+    def sim_within_tolerance(doc):
+        doc["benchmarks"][0]["shots_per_sec"] *= 0.95
+
+    expect("-5% shots/sec passes at default tolerance",
+           run(sim_within_tolerance), False)
+
     def slower_serving(doc):
         doc["benchmarks"][2]["requests_per_sec"] *= 0.5
 
