@@ -35,7 +35,7 @@ ablation_reset_idiom()
 {
     // A: rebuild the max-reuse BV_10 with built-in resets in place of
     // the conditional-X idiom and compare durations.
-    const auto sweep = core::qs_caqr(apps::bv_circuit(10));
+    const auto sweep = core::qs_caqr_or(apps::bv_circuit(10)).value();
     const auto& fast = sweep.max_reuse().circuit;
 
     circuit::Circuit slow(fast.num_qubits(), fast.num_clbits());
@@ -120,7 +120,7 @@ ablation_sr_flags()
             options.error_aware = config.error_aware;
             options.delay_noncritical = config.delay;
             const auto result =
-                core::sr_caqr(bench->circuit, backend, options);
+                core::sr_caqr_or(bench->circuit, backend, options).value();
             table.add_row(
                 {name, config.label,
                  util::Table::fmt(
@@ -149,7 +149,7 @@ ablation_peephole()
             transpile::TranspileOptions options;
             options.peephole = on;
             const auto result =
-                transpile::transpile(bench->circuit, backend, options);
+                transpile::transpile_or(bench->circuit, backend, options).value();
             table.add_row(
                 {name, on ? "on" : "off",
                  util::Table::fmt(
@@ -169,7 +169,7 @@ ablation_search_policies()
     // E: what each QS search policy contributes, measured by the
     // deepest saving each configuration reaches on BV_12.
     const auto circuit = apps::bv_circuit(12);
-    const auto full = core::qs_caqr(circuit);
+    const auto full = core::qs_caqr_or(circuit).value();
 
     util::Table table({"search", "min qubits", "depth at min"});
     table.set_title("Ablation E: QS-CaQR search policies (BV_12)");

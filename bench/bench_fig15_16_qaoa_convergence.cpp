@@ -29,11 +29,12 @@ using namespace caqr;
 constexpr std::size_t kShots = 512;
 constexpr int kRounds = 40;
 
-/// Noisy QAOA objective. The circuit *structure* (reuse plan, layout,
-/// routing) is compiled once; per evaluation only the angles are
-/// substituted (all RZZ gates carry 2γ, all RX gates 2β) and the
-/// circuit is simulated under backend noise. Returns the negated
-/// expected cut.
+/// Noisy QAOA objective on the compile-once / bind-many path. The
+/// circuit *structure* (reuse plan, layout, routing) is compiled once
+/// with symbolic gamma0/beta0 parameters that survive every pass; per
+/// evaluation only those parameters rebind (RZZ carries 2γ, RX 2β)
+/// and the circuit is simulated under backend noise. Returns the
+/// negated expected cut.
 class QaoaObjective
 {
   public:
@@ -43,25 +44,27 @@ class QaoaObjective
     {
         core::CommutingSpec spec;
         spec.interaction = problem;
+        spec.symbolic = true;
         if (use_sr) {
             // Paper runs the 6-qubit SR circuit: take QS-CaQR's
             // 6-qubit version explicitly and map it with the SR engine.
             core::QsCommutingOptions qs_options;
             qs_options.max_candidates = 12;
             qs_options.target_qubits = 6;
-            auto qs = core::qs_caqr_commuting(spec, qs_options);
-            auto result = core::sr_caqr(
-                qs.versions.back().schedule.circuit, backend);
+            auto qs = core::qs_caqr_commuting_or(spec, qs_options).value();
+            auto result = core::sr_caqr_or(
+                qs.versions.back().schedule.circuit, backend).value();
             template_circuit_ = std::move(result.circuit);
         } else {
             apps::QaoaParams qp;
             qp.gammas = {spec.gamma};
             qp.betas = {spec.beta};
+            qp.symbolic = true;
             const auto logical = apps::qaoa_circuit(problem, qp);
             transpile::TranspileOptions options;
             options.keep_rzz = true;
             auto result =
-                transpile::transpile(logical, backend, options);
+                transpile::transpile_or(logical, backend, options).value();
             template_circuit_ = std::move(result.circuit);
         }
     }
@@ -75,16 +78,8 @@ class QaoaObjective
     double
     operator()(const std::vector<double>& params) const
     {
-        circuit::Circuit instance(template_circuit_.num_qubits(),
-                                  template_circuit_.num_clbits());
-        for (auto instr : template_circuit_.instructions()) {
-            if (instr.kind == circuit::GateKind::kRzz) {
-                instr.params[0] = 2.0 * params[0];
-            } else if (instr.kind == circuit::GateKind::kRx) {
-                instr.params[0] = 2.0 * params[1];
-            }
-            instance.append(std::move(instr));
-        }
+        circuit::Circuit instance = template_circuit_;
+        instance.bind_params({2.0 * params[0], 2.0 * params[1]});
         const auto noise = sim::NoiseModel::from_backend(*backend_);
         const auto counts = sim::simulate(
             instance, {.shots = kShots, .seed = next_seed_++}, noise);

@@ -72,7 +72,7 @@ time_qs_caqr_ms(const circuit::Circuit& circuit, int threads, int reps)
     double best = 0.0;
     for (int rep = 0; rep < reps; ++rep) {
         const auto start = std::chrono::steady_clock::now();
-        auto result = core::qs_caqr(circuit, options);
+        auto result = core::qs_caqr_or(circuit, options).value();
         const auto stop = std::chrono::steady_clock::now();
         benchmark::DoNotOptimize(result.versions.size());
         const double ms =
@@ -112,7 +112,7 @@ run_thread_sweep()
         core::QsCaqrOptions serial;
         serial.num_threads = 1;
         const std::string baseline_fp =
-            result_fingerprint(core::qs_caqr(circuit, serial));
+            result_fingerprint(core::qs_caqr_or(circuit, serial).value());
 
         double serial_ms = 0.0;
         for (int threads : thread_counts) {
@@ -122,7 +122,7 @@ run_thread_sweep()
             core::QsCaqrOptions options;
             options.num_threads = threads;
             const bool identical =
-                result_fingerprint(core::qs_caqr(circuit, options)) ==
+                result_fingerprint(core::qs_caqr_or(circuit, options).value()) ==
                 baseline_fp;
             std::printf("%s,%d,%zu,%d,%.3f,%.2f,%s\n", name.c_str(),
                         circuit.num_qubits(), circuit.size(), threads, ms,
@@ -169,7 +169,7 @@ run_overhead_check()
     // observability record next to the CSV on stdout.
     util::trace::set_enabled(true);
     {
-        auto result = core::qs_caqr(circuit);
+        auto result = core::qs_caqr_or(circuit).value();
         benchmark::DoNotOptimize(result.versions.size());
     }
     util::trace::write_run_artifacts("bench_overhead");
@@ -197,7 +197,7 @@ BM_QsCaqrBv(benchmark::State& state)
     const int n = static_cast<int>(state.range(0));
     const auto circuit = apps::bv_circuit(n);
     for (auto _ : state) {
-        auto result = core::qs_caqr(circuit);
+        auto result = core::qs_caqr_or(circuit).value();
         benchmark::DoNotOptimize(result.versions.size());
     }
     state.SetComplexityN(n);
@@ -213,7 +213,7 @@ BM_QsCaqrBvThreads(benchmark::State& state)
     core::QsCaqrOptions options;
     options.num_threads = static_cast<int>(state.range(0));
     for (auto _ : state) {
-        auto result = core::qs_caqr(circuit, options);
+        auto result = core::qs_caqr_or(circuit, options).value();
         benchmark::DoNotOptimize(result.versions.size());
     }
 }
@@ -227,7 +227,7 @@ BM_SrCaqrBv(benchmark::State& state)
     const auto circuit = apps::bv_circuit(n);
     const auto backend = arch::Backend::fake_mumbai();
     for (auto _ : state) {
-        auto result = core::sr_caqr(circuit, backend);
+        auto result = core::sr_caqr_or(circuit, backend).value();
         benchmark::DoNotOptimize(result.swaps_added);
     }
     state.SetComplexityN(n);
@@ -245,7 +245,7 @@ BM_QsCommutingQaoa(benchmark::State& state)
     core::QsCommutingOptions options;
     options.max_candidates = 8;
     for (auto _ : state) {
-        auto result = core::qs_caqr_commuting(spec, options);
+        auto result = core::qs_caqr_commuting_or(spec, options).value();
         benchmark::DoNotOptimize(result.versions.size());
     }
     state.SetComplexityN(n);

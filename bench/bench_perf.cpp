@@ -107,6 +107,9 @@ struct BenchResult
     int reuses = 0;
     double esp = 0.0;
     std::optional<double> shots_per_sec;
+    /// Template-bind entries only: fresh-compile median over bind
+    /// median for the same skeleton (compile-once / bind-many payoff).
+    std::optional<double> bind_speedup;
 };
 
 /// Wall-clock ms of the simulate stage, if the request ran one.
@@ -225,6 +228,10 @@ write_json(std::ostream& os, const std::vector<BenchResult>& results,
             os << ",\"shots_per_sec\":"
                << json_number(*result.shots_per_sec);
         }
+        if (result.bind_speedup.has_value()) {
+            os << ",\"bind_speedup\":"
+               << json_number(*result.bind_speedup);
+        }
         os << "}";
     }
     os << "\n],\n\"metrics\":";
@@ -314,6 +321,66 @@ main(int argc, char** argv)
             }
         }
         results.push_back(std::move(result));
+    }
+
+    // Template-bind probe: the qaoa_12 skeleton through the
+    // compile-once / bind-many API. The fresh cost is the qaoa_12
+    // corpus median just measured; the bind cost is sampled over the
+    // same repeat count with per-repeat angles (see bench_template for
+    // the full sweep + equivalence harness).
+    for (const auto& fresh : results) {
+        if (fresh.name != "qaoa_12" || fresh.strategy != "qs_commuting") {
+            continue;
+        }
+        util::Rng rng(7u);
+        CompileRequest request;
+        request.name = "qaoa_12";
+        request.backend = backend;
+        request.strategy = Strategy::kQsCommuting;
+        request.qs_commuting.num_threads = 1;
+        request.commuting.emplace();
+        request.commuting->interaction = graph::random_graph(12, 0.30, rng);
+        const auto handle = service.compile_template(request);
+        if (!handle.ok()) {
+            std::fprintf(stderr, "skip qaoa_12+bind: %s\n",
+                         handle.status().to_string().c_str());
+            skipped.push_back("qaoa_12+bind/qs_commuting");
+            break;
+        }
+        std::vector<double> bind_ms;
+        CompileReport bound;
+        for (int i = 0; i < warmup + repeats; ++i) {
+            const auto report = service.bind(
+                *handle, {{2.0 * (0.7 + 0.01 * i), 2.0 * (0.3 + 0.01 * i)}});
+            if (!report.ok()) break;
+            if (i >= warmup) {
+                bind_ms.push_back(report->total_ms());
+                bound = *report;
+            }
+        }
+        if (bind_ms.size() != static_cast<std::size_t>(repeats)) {
+            std::fprintf(stderr, "skip qaoa_12+bind: bind failed\n");
+            skipped.push_back("qaoa_12+bind/qs_commuting");
+            break;
+        }
+        BenchResult result;
+        result.name = "qaoa_12+bind";
+        result.strategy = bound.strategy;
+        result.backend = bound.backend;
+        result.wall_ms_median = util::median(bind_ms);
+        result.wall_ms_p90 = util::percentile(bind_ms, 90);
+        result.wall_ms_min = util::min_value(bind_ms);
+        result.qubits = bound.qubits;
+        result.depth = bound.depth;
+        result.swaps = bound.swaps;
+        result.reuses = bound.reuses;
+        result.esp = bound.esp;
+        if (result.wall_ms_median > 0.0) {
+            result.bind_speedup =
+                fresh.wall_ms_median / result.wall_ms_median;
+        }
+        results.push_back(std::move(result));
+        break;
     }
 
     std::ofstream os(out);

@@ -63,13 +63,13 @@ main()
         std::map<std::string, double> ideal(ideal_raw.begin(),
                                             ideal_raw.end());
 
-        const auto baseline = transpile::transpile(circuit, backend);
+        const auto baseline = transpile::transpile_or(circuit, backend).value();
         const auto base_counts = sim::simulate(
             baseline.circuit, {.shots = kShots, .seed = 1301}, noise);
         const double tvd_base = util::total_variation_distance(
             ideal, project(base_counts, bits));
 
-        const auto sr = core::sr_caqr(circuit, backend);
+        const auto sr = core::sr_caqr_or(circuit, backend).value();
         const auto sr_counts = sim::simulate(
             sr.circuit, {.shots = kShots, .seed = 1301}, noise);
         const double tvd_sr = util::total_variation_distance(
@@ -90,11 +90,11 @@ main()
         const auto bv = apps::bv_circuit(5);
         const auto expected = apps::bv_expected(5);
 
-        const auto baseline = transpile::transpile(bv, backend);
+        const auto baseline = transpile::transpile_or(bv, backend).value();
         const auto base_counts = sim::simulate(
             baseline.circuit, {.shots = 4000, .seed = 1302}, noise);
 
-        const auto sr = core::sr_caqr(bv, backend);
+        const auto sr = core::sr_caqr_or(bv, backend).value();
         const auto sr_counts = sim::simulate(
             sr.circuit, {.shots = 4000, .seed = 1302}, noise);
 

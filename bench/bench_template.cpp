@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Compile-once / bind-many harness for the template Service API.
+ *
+ * Runs the canonical parameter-sweep workload — one QAOA max-cut
+ * skeleton (12 nodes, density 0.30, the bench_perf qaoa_12 graph)
+ * evaluated at many (gamma, beta) points — both ways:
+ *
+ *  - **fresh**: every round is a full `Service::compile` of a concrete
+ *    request (request cache disabled), re-running scheduling, layout,
+ *    and routing each time. This is what a sweep cost before the
+ *    template API existed.
+ *  - **bind**: one `Service::compile_template` up front, then one
+ *    `Service::bind` per round writing the round's angles into the
+ *    frozen physical schedule in O(#params).
+ *
+ * Every bound report is checked for bit-identical quality metrics
+ * (qubits/depth/swaps/reuses/ESP) against the fresh compile of the
+ * same angles — reuse analysis and routing are angle-independent, so
+ * any divergence is a bug, and the run fails. Emits a
+ * schema-versioned BENCH_template.json (`template_fresh` and
+ * `template_bind` entries; the bind entry carries `bind_speedup` =
+ * fresh median / bind median) that `tools/check_regression.py` gates.
+ * `--min-speedup` turns the run into a CI smoke gate.
+ *
+ * Usage: bench_template [--out PATH] [--rounds N] [--min-speedup X]
+ */
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "service/service.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace caqr;
+using Clock = std::chrono::steady_clock;
+
+constexpr int kSchemaVersion = 1;
+
+/// Short git revision: $CAQR_GIT_SHA wins (CI sets it), then
+/// `git rev-parse`, then "unknown".
+std::string
+git_sha()
+{
+    if (const char* env = std::getenv("CAQR_GIT_SHA");
+        env != nullptr && *env != '\0') {
+        return env;
+    }
+    std::string sha;
+    if (FILE* pipe = ::popen("git rev-parse --short HEAD 2>/dev/null",
+                             "r")) {
+        char buffer[64];
+        if (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+            sha = buffer;
+        }
+        ::pclose(pipe);
+    }
+    while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+        sha.pop_back();
+    }
+    return sha.empty() ? "unknown" : sha;
+}
+
+std::string
+json_number(double value)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << value;
+    return os.str();
+}
+
+double
+median(std::vector<double> samples)
+{
+    if (samples.empty()) return 0.0;
+    std::sort(samples.begin(), samples.end());
+    return samples[samples.size() / 2];
+}
+
+/// Wall-clock of one call, in milliseconds.
+template <typename Fn>
+double
+timed_ms(Fn&& fn)
+{
+    const auto start = Clock::now();
+    fn();
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     start)
+        .count();
+}
+
+struct QualityKey
+{
+    int qubits = 0;
+    int depth = 0;
+    int swaps = 0;
+    int reuses = 0;
+    double esp = 0.0;
+
+    bool
+    operator==(const QualityKey& other) const
+    {
+        return qubits == other.qubits && depth == other.depth &&
+               swaps == other.swaps && reuses == other.reuses &&
+               esp == other.esp;  // bit-identical, no epsilon
+    }
+};
+
+QualityKey
+quality_of(const CompileReport& report)
+{
+    return {report.qubits, report.depth, report.swaps, report.reuses,
+            report.esp};
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string out = "BENCH_template.json";
+    int rounds = 40;
+    double min_speedup = 0.0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--out" && i + 1 < argc) {
+            out = argv[++i];
+        } else if (arg == "--rounds" && i + 1 < argc) {
+            rounds = std::atoi(argv[++i]);
+        } else if (arg == "--min-speedup" && i + 1 < argc) {
+            min_speedup = std::atof(argv[++i]);
+        } else {
+            std::cerr << "usage: bench_template [--out PATH]"
+                         " [--rounds N] [--min-speedup X]\n";
+            return arg == "--help" ? 0 : 2;
+        }
+    }
+    if (rounds < 1) {
+        std::cerr << "error: --rounds must be positive\n";
+        return 2;
+    }
+
+    // The bench_perf qaoa_12 problem graph, single QAOA layer. The
+    // request cache is disabled so the fresh phase pays the full
+    // pipeline every round (the angles differ per round anyway, but
+    // zero capacity makes the comparison cache-proof by construction).
+    util::Rng rng(7u);
+    const auto problem = graph::random_graph(12, 0.30, rng);
+    Service service({.num_threads = 1, .cache_capacity = 0});
+
+    CompileRequest base;
+    base.name = "qaoa_12";
+    base.strategy = Strategy::kQsCommuting;
+    base.qs_commuting.num_threads = 1;
+    base.commuting.emplace();
+    base.commuting->interaction = problem;
+    base.commuting->layers = 1;
+
+    // The per-round angle sweep: distinct nonzero (gamma, beta) pairs,
+    // the shape a classical QAOA optimizer produces.
+    std::vector<double> gammas, betas;
+    for (int i = 0; i < rounds; ++i) {
+        gammas.push_back(0.10 + 1.20 * i / rounds);
+        betas.push_back(0.15 + 0.90 * i / rounds);
+    }
+
+    std::cout << "bench_template: qaoa_12 sweep, " << rounds
+              << " round(s), strategy qs_commuting\n";
+
+    // Fresh phase: one full compile per round.
+    std::vector<double> fresh_ms;
+    std::vector<QualityKey> fresh_quality;
+    fresh_ms.reserve(static_cast<std::size_t>(rounds));
+    for (int i = 0; i < rounds; ++i) {
+        CompileRequest request = base;
+        request.commuting->gamma = gammas[static_cast<std::size_t>(i)];
+        request.commuting->beta = betas[static_cast<std::size_t>(i)];
+        CompileReport report;
+        fresh_ms.push_back(
+            timed_ms([&] { report = service.compile(request); }));
+        if (!report.ok()) {
+            std::cerr << "error: fresh compile round " << i << ": "
+                      << report.status.to_string() << "\n";
+            return 2;
+        }
+        fresh_quality.push_back(quality_of(report));
+    }
+
+    // Bind phase: one template compile, then one bind per round. The
+    // parameters hold full rotation angles (2 gamma, 2 beta — the
+    // commuting emitter's convention), interleaved gamma0, beta0.
+    util::StatusOr<TemplateHandle> handle =
+        util::Status::invalid_argument("unset");
+    const double template_ms =
+        timed_ms([&] { handle = service.compile_template(base); });
+    if (!handle.ok()) {
+        std::cerr << "error: compile_template: "
+                  << handle.status().to_string() << "\n";
+        return 2;
+    }
+    std::vector<double> bind_ms;
+    bind_ms.reserve(static_cast<std::size_t>(rounds));
+    int mismatches = 0;
+    for (int i = 0; i < rounds; ++i) {
+        const std::vector<double> values = {
+            2.0 * gammas[static_cast<std::size_t>(i)],
+            2.0 * betas[static_cast<std::size_t>(i)]};
+        util::StatusOr<CompileReport> bound =
+            util::Status::invalid_argument("unset");
+        bind_ms.push_back(
+            timed_ms([&] { bound = service.bind(*handle, values); }));
+        if (!bound.ok()) {
+            std::cerr << "error: bind round " << i << ": "
+                      << bound.status().to_string() << "\n";
+            return 2;
+        }
+        if (!(quality_of(*bound) ==
+              fresh_quality[static_cast<std::size_t>(i)])) {
+            const auto& fresh = fresh_quality[static_cast<std::size_t>(i)];
+            std::cerr << "MISMATCH round " << i << ": bind "
+                      << bound->qubits << "q/" << bound->depth << "d/"
+                      << bound->swaps << "s/esp=" << bound->esp
+                      << " vs fresh " << fresh.qubits << "q/"
+                      << fresh.depth << "d/" << fresh.swaps
+                      << "s/esp=" << fresh.esp << "\n";
+            ++mismatches;
+        }
+    }
+
+    const double fresh_median = median(fresh_ms);
+    const double bind_median = median(bind_ms);
+    const double speedup =
+        bind_median > 0.0 ? fresh_median / bind_median : 0.0;
+    const auto& quality = fresh_quality.front();
+
+    std::cout << "  template_fresh: median "
+              << json_number(fresh_median) << " ms/compile\n"
+              << "  template_bind : median " << json_number(bind_median)
+              << " ms/bind (one-time template compile "
+              << json_number(template_ms) << " ms)\n"
+              << "  bind_speedup  : " << json_number(speedup) << "x, "
+              << rounds - mismatches << "/" << rounds
+              << " rounds quality-identical\n";
+
+    {
+        std::ofstream doc(out);
+        if (!doc) {
+            std::cerr << "error: cannot write '" << out << "'\n";
+            return 2;
+        }
+        doc << "{\"schema_version\":" << kSchemaVersion
+            << ",\"generator\":\"bench_template\",\"git_sha\":\""
+            << git_sha() << "\",\"rounds\":" << rounds
+            << ",\n\"benchmarks\":[\n"
+            << "{\"name\":\"template_fresh\",\"strategy\":"
+               "\"qs_commuting\",\"backend\":\"FakeMumbai\","
+               "\"wall_ms_median\":"
+            << json_number(fresh_median)
+            << ",\"qubits\":" << quality.qubits
+            << ",\"depth\":" << quality.depth
+            << ",\"swaps\":" << quality.swaps
+            << ",\"reuses\":" << quality.reuses
+            << ",\"esp\":" << json_number(quality.esp) << "},\n"
+            << "{\"name\":\"template_bind\",\"strategy\":"
+               "\"qs_commuting\",\"backend\":\"FakeMumbai\","
+               "\"wall_ms_median\":"
+            << json_number(bind_median)
+            << ",\"template_ms\":" << json_number(template_ms)
+            << ",\"bind_speedup\":" << json_number(speedup)
+            << ",\"mismatches\":" << mismatches << "}\n"
+            << "]}\n";
+    }
+    std::cout << "wrote " << out << "\n";
+
+    // Smoke-gate verdicts for CI.
+    int verdict = 0;
+    if (mismatches > 0) {
+        std::cerr << "FAIL: " << mismatches
+                  << " round(s) with bind/fresh quality divergence\n";
+        verdict = 1;
+    }
+    if (min_speedup > 0.0 && speedup < min_speedup) {
+        std::cerr << "FAIL: bind speedup " << json_number(speedup)
+                  << "x below required " << json_number(min_speedup)
+                  << "x\n";
+        verdict = 1;
+    }
+    return verdict;
+}

@@ -32,7 +32,7 @@ main()
     // Qubit-saving sweep for the commuting workload.
     core::CommutingSpec spec;
     spec.interaction = problem;
-    const auto sweep = core::qs_caqr_commuting(spec);
+    const auto sweep = core::qs_caqr_commuting_or(spec).value();
     std::cout << "graph-coloring lower bound: " << sweep.coloring_bound
               << " qubits\n";
     util::Table table({"qubits", "depth", "duration (dt)", "rounds"});

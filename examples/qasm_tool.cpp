@@ -13,8 +13,14 @@
  * `stats` (live latency-histogram snapshot), `set`, `reset`, `quit` —
  * see docs/observability.md for the protocol.
  *
+ * Bind mode (`--bind V1,V2,...`) runs the compile-once/bind-many path:
+ * the input compiles once as a template (named parameters in the QASM
+ * become template parameters) and the comma-separated values rebind
+ * the frozen schedule; the bound circuit prints as QASM.
+ *
  * Usage:
  *   qasm_tool [--target-qubits N] [--stats] [file.qasm]
+ *   qasm_tool --bind V1,V2,... [file.qasm]
  *   qasm_tool --batch PATH [--strategy S] [--backend B] [--threads N]
  *             [--repeat N] [--out PREFIX]
  *   qasm_tool --serve [--strategy S] [--backend B] [--threads N]
@@ -53,6 +59,7 @@ namespace {
 
 constexpr const char kUsage[] =
     "usage: qasm_tool [--target-qubits N] [--stats] [file.qasm]\n"
+    "       qasm_tool --bind V1,V2,... [file.qasm]\n"
     "       qasm_tool --batch PATH [--strategy S] [--backend B]\n"
     "                 [--threads N] [--repeat N] [--out PREFIX]\n"
     "       qasm_tool --serve [--strategy S] [--backend B] [--threads N]\n"
@@ -346,6 +353,8 @@ main(int argc, char** argv)
 
     int target_qubits = -1;
     bool stats_only = false;
+    bool bind_mode = false;
+    std::string bind_values;
     bool serve = false;
     bool listen = false;
     int listen_port = 0;
@@ -365,6 +374,9 @@ main(int argc, char** argv)
             target_qubits = std::stoi(argv[++i]);
         } else if (arg == "--stats") {
             stats_only = true;
+        } else if (arg == "--bind" && i + 1 < argc) {
+            bind_mode = true;
+            bind_values = argv[++i];
         } else if (arg == "--serve") {
             serve = true;
         } else if (arg == "--listen" && i + 1 < argc) {
@@ -444,7 +456,7 @@ main(int argc, char** argv)
             return 1;
         }
         core::QsCaqrOptions options;
-        const auto result = core::qs_caqr(*parsed, options);
+        const auto result = core::qs_caqr_or(*parsed, options).value();
         util::trace::write_env_artifacts("qasm_tool");
         util::Table table({"qubits", "depth", "duration (dt)"});
         table.set_title("QS-CaQR sweep");
@@ -464,6 +476,37 @@ main(int argc, char** argv)
     }
 
     Service service({.num_threads = 1});
+
+    if (bind_mode) {
+        // Compile-once / bind-many: the template freezes the schedule,
+        // the values rebind its named parameters in table order.
+        std::vector<double> values;
+        std::istringstream list(bind_values);
+        std::string token;
+        while (std::getline(list, token, ',')) {
+            if (token.empty()) continue;
+            try {
+                values.push_back(std::stod(token));
+            } catch (const std::exception&) {
+                std::cerr << "error: --bind value '" << token
+                          << "' is not a number\n";
+                return 1;
+            }
+        }
+        const auto handle = service.compile_template(request);
+        if (!handle.ok()) {
+            std::cerr << "error: " << handle.status().to_string() << "\n";
+            return 1;
+        }
+        const auto bound = service.bind(*handle, values);
+        if (!bound.ok()) {
+            std::cerr << "error: " << bound.status().to_string() << "\n";
+            return 1;
+        }
+        std::cout << qasm::to_qasm(bound->compiled);
+        return 0;
+    }
+
     const auto report = service.compile(request);
 
     // Opt-in observability: CAQR_TRACE=1 leaves

@@ -31,9 +31,9 @@ main()
               << backend.topology().max_degree() << "\n\n";
 
     // Baseline: Qiskit-L3-style layout + SABRE routing.
-    const auto baseline = transpile::transpile(bv, backend);
+    const auto baseline = transpile::transpile_or(bv, backend).value();
     // SR-CaQR: dynamic-circuit-aware mapping.
-    const auto sr = core::sr_caqr(bv, backend);
+    const auto sr = core::sr_caqr_or(bv, backend).value();
 
     util::Table table({"compiler", "SWAPs", "depth", "duration (dt)",
                        "phys qubits", "ESP"});

@@ -1,6 +1,7 @@
 #include "apps/qaoa.h"
 
 #include <algorithm>
+#include <string>
 
 #include "util/logging.h"
 
@@ -14,14 +15,33 @@ qaoa_circuit(const graph::UndirectedGraph& problem, const QaoaParams& params,
                "QAOA needs one (gamma, beta) pair per layer");
     const int n = problem.num_nodes();
     circuit::Circuit c(n, measured ? n : 0);
+    std::vector<circuit::ParamRef> gamma_ref;
+    std::vector<circuit::ParamRef> beta_ref;
+    if (params.symbolic) {
+        for (int layer = 0; layer < params.layers(); ++layer) {
+            const auto l = static_cast<std::size_t>(layer);
+            gamma_ref.push_back(c.add_param(
+                "gamma" + std::to_string(layer), 2.0 * params.gammas[l]));
+            beta_ref.push_back(c.add_param(
+                "beta" + std::to_string(layer), 2.0 * params.betas[l]));
+        }
+    }
     for (int q = 0; q < n; ++q) c.h(q);
     for (int layer = 0; layer < params.layers(); ++layer) {
+        const auto l = static_cast<std::size_t>(layer);
         for (const auto& [u, v] : problem.edges()) {
-            c.rzz(2.0 * params.gammas[static_cast<std::size_t>(layer)], u,
-                  v);
+            if (params.symbolic) {
+                c.rzz_sym(gamma_ref[l], u, v);
+            } else {
+                c.rzz(2.0 * params.gammas[l], u, v);
+            }
         }
         for (int q = 0; q < n; ++q) {
-            c.rx(2.0 * params.betas[static_cast<std::size_t>(layer)], q);
+            if (params.symbolic) {
+                c.rx_sym(beta_ref[l], q);
+            } else {
+                c.rx(2.0 * params.betas[l], q);
+            }
         }
     }
     if (measured) {

@@ -19,11 +19,16 @@
 
 namespace caqr::apps {
 
-/// QAOA parameters (one (γ, β) pair per layer).
+/// QAOA parameters (one (γ, β) pair per layer). With `symbolic` set,
+/// `qaoa_circuit` registers parameters `gamma<l>`/`beta<l>` (interleaved
+/// per layer, values = the full rotation angles 2γ/2β) and tags every
+/// RZZ/RX with the matching `ParamRef`, so the built circuit can serve
+/// as a bindable template.
 struct QaoaParams
 {
     std::vector<double> gammas;
     std::vector<double> betas;
+    bool symbolic = false;
 
     int layers() const { return static_cast<int>(gammas.size()); }
 };

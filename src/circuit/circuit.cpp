@@ -37,7 +37,104 @@ Circuit::append(Instruction instr)
         CAQR_CHECK(instr.qubits[0] != instr.qubits[1],
                    "two-qubit gate with identical operands");
     }
+    if (instr.is_symbolic()) {
+        CAQR_CHECK(instr.param_ref >= 0 && instr.param_ref < num_params(),
+                   "symbolic parameter ref out of range");
+        CAQR_CHECK(instr.kind == GateKind::kRx ||
+                       instr.kind == GateKind::kRy ||
+                       instr.kind == GateKind::kRz ||
+                       instr.kind == GateKind::kRzz,
+                   "symbolic parameters only attach to single-angle "
+                   "rotations");
+        CAQR_CHECK(instr.params.size() == 1,
+                   "symbolic rotation must carry exactly one angle");
+    }
     instrs_.push_back(std::move(instr));
+}
+
+ParamRef
+Circuit::add_param(std::string name, double value)
+{
+    CAQR_CHECK(!name.empty(), "parameter name must be non-empty");
+    CAQR_CHECK(find_param(name) == kNoParam,
+               "duplicate parameter name '" + name + "'");
+    params_.push_back(Param{std::move(name), value});
+    return static_cast<ParamRef>(params_.size()) - 1;
+}
+
+const std::string&
+Circuit::param_name(ParamRef ref) const
+{
+    CAQR_CHECK(ref >= 0 && ref < num_params(), "parameter ref out of range");
+    return params_[static_cast<std::size_t>(ref)].name;
+}
+
+double
+Circuit::param_value(ParamRef ref) const
+{
+    CAQR_CHECK(ref >= 0 && ref < num_params(), "parameter ref out of range");
+    return params_[static_cast<std::size_t>(ref)].value;
+}
+
+ParamRef
+Circuit::find_param(const std::string& name) const
+{
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        if (params_[i].name == name) return static_cast<ParamRef>(i);
+    }
+    return kNoParam;
+}
+
+void
+Circuit::bind_param(ParamRef ref, double value)
+{
+    set_param_value(ref, value);
+    for (auto& instr : instrs_) {
+        if (instr.param_ref == ref) instr.params[0] = value;
+    }
+}
+
+void
+Circuit::bind_params(const std::vector<double>& values)
+{
+    CAQR_CHECK(static_cast<int>(values.size()) == num_params(),
+               "bind_params value count does not match parameter count");
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        params_[i].value = values[i];
+    }
+    for (auto& instr : instrs_) {
+        if (instr.is_symbolic()) {
+            instr.params[0] =
+                values[static_cast<std::size_t>(instr.param_ref)];
+        }
+    }
+}
+
+void
+Circuit::set_angle(std::size_t index, double value)
+{
+    CAQR_CHECK(index < instrs_.size(), "set_angle index out of range");
+    Instruction& instr = instrs_[index];
+    CAQR_CHECK(gate_num_params(instr.kind) == 1 &&
+                   instr.params.size() == 1,
+               "set_angle targets a single-angle rotation");
+    instr.params[0] = value;
+}
+
+void
+Circuit::set_param_value(ParamRef ref, double value)
+{
+    CAQR_CHECK(ref >= 0 && ref < num_params(), "parameter ref out of range");
+    params_[static_cast<std::size_t>(ref)].value = value;
+}
+
+void
+Circuit::copy_params_from(const Circuit& other)
+{
+    if (other.params_.empty()) return;
+    CAQR_CHECK(params_.empty(),
+               "copy_params_from target already has parameters");
+    params_ = other.params_;
 }
 
 void
@@ -96,6 +193,17 @@ Circuit::append_param(GateKind kind, std::vector<double> params,
     Instruction instr;
     instr.kind = kind;
     instr.params = std::move(params);
+    instr.qubits = std::move(qubits);
+    append(std::move(instr));
+}
+
+void
+Circuit::append_sym(GateKind kind, ParamRef ref, std::vector<int> qubits)
+{
+    Instruction instr;
+    instr.kind = kind;
+    instr.params = {param_value(ref)};
+    instr.param_ref = ref;
     instr.qubits = std::move(qubits);
     append(std::move(instr));
 }
@@ -175,6 +283,7 @@ Circuit::remap_qubits(const std::vector<int>& mapping,
         for (int m : mapping) target = std::max(target, m + 1);
     }
     Circuit result(target, num_clbits_);
+    result.copy_params_from(*this);
     for (const auto& instr : instrs_) {
         Instruction copy = instr;
         for (auto& q : copy.qubits) {
@@ -223,7 +332,10 @@ Circuit::to_string() const
             os << "  ";
         }
         os << gate_name(instr.kind);
-        if (!instr.params.empty()) {
+        if (instr.is_symbolic()) {
+            os << "(" << param_name(instr.param_ref) << "="
+               << instr.params[0] << ")";
+        } else if (!instr.params.empty()) {
             os << "(";
             for (std::size_t i = 0; i < instr.params.size(); ++i) {
                 if (i) os << ", ";

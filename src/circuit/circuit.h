@@ -16,6 +16,22 @@
 
 namespace caqr::circuit {
 
+/// Index of a named symbolic parameter in the owning circuit's
+/// parameter table (`Circuit::params()`), or `kNoParam` for a concrete
+/// angle.
+using ParamRef = int;
+inline constexpr ParamRef kNoParam = -1;
+
+/// A named symbolic parameter and its currently bound value. The reuse
+/// analysis, layout, and routing passes depend only on circuit
+/// *structure*, so a circuit with symbolic parameters compiles once and
+/// rebinds angles without recompiling (the template → bind model).
+struct Param
+{
+    std::string name;
+    double value = 0.0;
+};
+
 /// One operation in a circuit.
 struct Instruction
 {
@@ -25,8 +41,14 @@ struct Instruction
     int clbit = -1;            ///< measurement result bit (kMeasure only)
     int condition_bit = -1;    ///< classical control bit, or -1 if none
     int condition_value = 1;   ///< required value of the control bit
+    /// Symbolic-parameter reference for single-angle rotations
+    /// (kRx/kRy/kRz/kRzz): `params[0]` then mirrors the parameter's
+    /// current value, and angle-sensitive simplifications must leave
+    /// the instruction alone so rebinding stays valid.
+    ParamRef param_ref = kNoParam;
 
     bool has_condition() const { return condition_bit >= 0; }
+    bool is_symbolic() const { return param_ref != kNoParam; }
     bool
     uses_qubit(int q) const
     {
@@ -56,6 +78,42 @@ class Circuit
     int add_qubit() { return num_qubits_++; }
     int add_clbit() { return num_clbits_++; }
 
+    /// @name Symbolic parameters
+    /// @{
+
+    /// Registers a named symbolic parameter with an initial value and
+    /// returns its ref. Names must be unique within the circuit.
+    ParamRef add_param(std::string name, double value = 0.0);
+    int num_params() const { return static_cast<int>(params_.size()); }
+    const std::vector<Param>& params() const { return params_; }
+    const std::string& param_name(ParamRef ref) const;
+    double param_value(ParamRef ref) const;
+    /// Ref of the parameter named @p name, or kNoParam.
+    ParamRef find_param(const std::string& name) const;
+
+    /// Rebinds parameter @p ref: updates the table entry and the angle
+    /// of every instruction referencing it.
+    void bind_param(ParamRef ref, double value);
+    /// Rebinds every parameter in table order; @p values must have
+    /// exactly `num_params()` entries.
+    void bind_params(const std::vector<double>& values);
+
+    /// O(1) angle write for slot-addressed binding: instruction
+    /// @p index must be a single-angle rotation. Does not touch the
+    /// parameter table — callers binding by slot update it via
+    /// `set_param_value`.
+    void set_angle(std::size_t index, double value);
+    /// Updates only the table entry for @p ref (slot-addressed binding
+    /// keeps instructions in sync itself).
+    void set_param_value(ParamRef ref, double value);
+
+    /// Copies @p other's parameter table into this circuit, which must
+    /// not have registered parameters of its own. Passes that rebuild a
+    /// circuit instruction-by-instruction call this first so surviving
+    /// `param_ref`s stay resolvable.
+    void copy_params_from(const Circuit& other);
+    /// @}
+
     const std::vector<Instruction>& instructions() const { return instrs_; }
     std::size_t size() const { return instrs_.size(); }
     const Instruction& at(std::size_t i) const { return instrs_[i]; }
@@ -77,6 +135,16 @@ class Circuit
     void rx(double theta, int q) { append_param(GateKind::kRx, {theta}, {q}); }
     void ry(double theta, int q) { append_param(GateKind::kRy, {theta}, {q}); }
     void rz(double theta, int q) { append_param(GateKind::kRz, {theta}, {q}); }
+    /// Symbolic rotations: the instruction records @p ref and carries
+    /// the parameter's current value as its concrete angle.
+    void rx_sym(ParamRef ref, int q) { append_sym(GateKind::kRx, ref, {q}); }
+    void ry_sym(ParamRef ref, int q) { append_sym(GateKind::kRy, ref, {q}); }
+    void rz_sym(ParamRef ref, int q) { append_sym(GateKind::kRz, ref, {q}); }
+    void
+    rzz_sym(ParamRef ref, int a, int b)
+    {
+        append_sym(GateKind::kRzz, ref, {a, b});
+    }
     void
     u(double theta, double phi, double lambda, int q)
     {
@@ -157,10 +225,12 @@ class Circuit
     void append_simple(GateKind kind, std::vector<int> qubits);
     void append_param(GateKind kind, std::vector<double> params,
                       std::vector<int> qubits);
+    void append_sym(GateKind kind, ParamRef ref, std::vector<int> qubits);
 
     int num_qubits_ = 0;
     int num_clbits_ = 0;
     std::vector<Instruction> instrs_;
+    std::vector<Param> params_;
 };
 
 }  // namespace caqr::circuit

@@ -1,6 +1,7 @@
 #include "core/commuting.h"
 
 #include <algorithm>
+#include <string>
 
 #include "circuit/dag.h"
 #include "circuit/timing.h"
@@ -23,6 +24,50 @@ struct PairIndex
         : target_of(static_cast<std::size_t>(n), -1),
           source_of(static_cast<std::size_t>(n), -1)
     {
+    }
+};
+
+/// Angle emission for the materializers: concrete RZZ/RX by default;
+/// with `spec.symbolic` it registers per-layer params
+/// gamma<l>/beta<l> (interleaved per layer, values = full rotation
+/// angles 2γ/2β) on construction and emits symbolic gates instead.
+struct AngleEmitter
+{
+    const CommutingSpec& spec;
+    circuit::Circuit& circuit;
+    std::vector<circuit::ParamRef> gamma_ref;
+    std::vector<circuit::ParamRef> beta_ref;
+
+    AngleEmitter(const CommutingSpec& s, circuit::Circuit& c, int num_layers)
+        : spec(s), circuit(c)
+    {
+        if (!spec.symbolic) return;
+        for (int l = 0; l < num_layers; ++l) {
+            gamma_ref.push_back(circuit.add_param(
+                "gamma" + std::to_string(l), 2.0 * spec.gamma_at(l)));
+            beta_ref.push_back(circuit.add_param(
+                "beta" + std::to_string(l), 2.0 * spec.beta_at(l)));
+        }
+    }
+
+    void
+    rzz(int layer, int a, int b)
+    {
+        if (spec.symbolic) {
+            circuit.rzz_sym(gamma_ref[static_cast<std::size_t>(layer)], a, b);
+        } else {
+            circuit.rzz(2.0 * spec.gamma_at(layer), a, b);
+        }
+    }
+
+    void
+    rx(int layer, int q)
+    {
+        if (spec.symbolic) {
+            circuit.rx_sym(beta_ref[static_cast<std::size_t>(layer)], q);
+        } else {
+            circuit.rx(2.0 * spec.beta_at(layer), q);
+        }
     }
 };
 
@@ -172,6 +217,7 @@ schedule_commuting(const CommutingSpec& spec,
     const int wires_used = next_wire;
 
     circuit::Circuit circuit(wires_used, n);
+    AngleEmitter emit(spec, circuit, num_layers);
     for (int q = 0; q < n; ++q) {
         if (enabled[q]) circuit.h(wire_of[q]);
     }
@@ -191,7 +237,7 @@ schedule_commuting(const CommutingSpec& spec,
                     continue;
                 }
                 const int wire = wire_of[q];
-                circuit.rx(2.0 * spec.beta_at(layer_of[q]), wire);
+                emit.rx(layer_of[q], wire);
                 if (layer_of[q] + 1 < num_layers) {
                     ++layer_of[q];
                     remaining_in_layer[q] = interaction.degree(q);
@@ -269,8 +315,7 @@ schedule_commuting(const CommutingSpec& spec,
             if (matching.mate[edge.u] != edge.v) continue;
             const int g = gate_id[e];
             if (layers_done[g] >= num_layers) continue;
-            circuit.rzz(2.0 * spec.gamma_at(layers_done[g]),
-                        wire_of[edge.u], wire_of[edge.v]);
+            emit.rzz(layers_done[g], wire_of[edge.u], wire_of[edge.v]);
             ++layers_done[g];
             --remaining_in_layer[edge.u];
             --remaining_in_layer[edge.v];
@@ -283,8 +328,7 @@ schedule_commuting(const CommutingSpec& spec,
             // schedule one eligible gate instance directly.
             const auto& edge = eligible.front();
             const int g = gate_id.front();
-            circuit.rzz(2.0 * spec.gamma_at(layers_done[g]),
-                        wire_of[edge.u], wire_of[edge.v]);
+            emit.rzz(layers_done[g], wire_of[edge.u], wire_of[edge.v]);
             ++layers_done[g];
             --remaining_in_layer[edge.u];
             --remaining_in_layer[edge.v];
@@ -443,6 +487,7 @@ schedule_with_budget(const CommutingSpec& spec, int budget,
     for (int w = budget - 1; w >= 0; --w) free_wires.push_back(w);
 
     circuit::Circuit circuit(budget, n);
+    AngleEmitter emit(spec, circuit, num_layers);
     std::vector<ReusePair> pairs;
     int pending = n;
     int retired_count = 0;
@@ -488,7 +533,7 @@ schedule_with_budget(const CommutingSpec& spec, int budget,
         for (int q = 0; q < n; ++q) {
             if (!active[q] || remaining_in_layer[q] != 0) continue;
             const int wire = wire_of[q];
-            circuit.rx(2.0 * spec.beta_at(layer_of[q]), wire);
+            emit.rx(layer_of[q], wire);
             if (layer_of[q] + 1 < num_layers) {
                 ++layer_of[q];
                 remaining_in_layer[q] = interaction.degree(q);
@@ -550,8 +595,7 @@ schedule_with_budget(const CommutingSpec& spec, int budget,
                 if (matching.mate[edge.u] != edge.v) continue;
                 const int g = gate_id[e];
                 if (layers_done[g] >= num_layers) continue;
-                circuit.rzz(2.0 * spec.gamma_at(layers_done[g]),
-                            wire_of[edge.u], wire_of[edge.v]);
+                emit.rzz(layers_done[g], wire_of[edge.u], wire_of[edge.v]);
                 ++layers_done[g];
                 --remaining_in_layer[edge.u];
                 --remaining_in_layer[edge.v];

@@ -48,6 +48,17 @@ struct CommutingSpec
     std::vector<double> gammas;  ///< optional per-layer cost angles
     std::vector<double> betas;   ///< optional per-layer mixer angles
 
+    /// When set, materialized circuits register symbolic parameters
+    /// `gamma0, beta0, gamma1, beta1, ...` (interleaved per layer)
+    /// instead of baking the angles in: each parameter holds the *full*
+    /// rotation
+    /// angle (2γ / 2β), initialized from the spec, and every RZZ/RX
+    /// carries the matching `ParamRef` so a compiled schedule rebinds
+    /// without re-running the scheduler. Scheduling itself is
+    /// angle-independent, so the symbolic and concrete circuits are
+    /// structurally identical.
+    bool symbolic = false;
+
     /// Cost angle of layer @p layer.
     double
     gamma_at(int layer) const

@@ -362,10 +362,10 @@ qs_caqr_impl(const circuit::Circuit& circuit, const QsCaqrOptions& options,
     return result;
 }
 
-}  // namespace
-
+/// Best-effort run (no target validation): squeezes as far as the
+/// budget allows and records whether the target was reached.
 QsCaqrResult
-qs_caqr(const circuit::Circuit& circuit, const QsCaqrOptions& options)
+run_qs_caqr(const circuit::Circuit& circuit, const QsCaqrOptions& options)
 {
     if (options.trace && util::trace::enabled()) {
         util::trace::Span span("qs_caqr");
@@ -388,6 +388,8 @@ qs_caqr(const circuit::Circuit& circuit, const QsCaqrOptions& options)
     return qs_caqr_impl(circuit, options, sink);
 }
 
+}  // namespace
+
 util::StatusOr<QsCaqrResult>
 qs_caqr_or(const circuit::Circuit& circuit, const QsCaqrOptions& options)
 {
@@ -396,7 +398,7 @@ qs_caqr_or(const circuit::Circuit& circuit, const QsCaqrOptions& options)
             "target_qubits must be positive or -1 (minimum), got " +
             std::to_string(options.target_qubits));
     }
-    QsCaqrResult result = qs_caqr(circuit, options);
+    QsCaqrResult result = run_qs_caqr(circuit, options);
     if (!result.reached_target) {
         return util::Status::infeasible(
             "cannot reach " + std::to_string(options.target_qubits) +
@@ -648,11 +650,10 @@ qs_caqr_commuting_impl(const CommutingSpec& spec,
     return result;
 }
 
-}  // namespace
-
+/// Best-effort commuting run; see run_qs_caqr.
 QsCommutingResult
-qs_caqr_commuting(const CommutingSpec& spec,
-                  const QsCommutingOptions& options)
+run_qs_caqr_commuting(const CommutingSpec& spec,
+                      const QsCommutingOptions& options)
 {
     if (options.trace && util::trace::enabled()) {
         util::trace::Span span("qs_caqr_commuting");
@@ -665,6 +666,8 @@ qs_caqr_commuting(const CommutingSpec& spec,
     return qs_caqr_commuting_impl(spec, options, sink);
 }
 
+}  // namespace
+
 util::StatusOr<QsCommutingResult>
 qs_caqr_commuting_or(const CommutingSpec& spec,
                      const QsCommutingOptions& options)
@@ -674,7 +677,7 @@ qs_caqr_commuting_or(const CommutingSpec& spec,
             "target_qubits must be positive or -1 (minimum), got " +
             std::to_string(options.target_qubits));
     }
-    QsCommutingResult result = qs_caqr_commuting(spec, options);
+    QsCommutingResult result = run_qs_caqr_commuting(spec, options);
     if (!result.reached_target) {
         return util::Status::infeasible(
             "cannot reach " + std::to_string(options.target_qubits) +

@@ -67,13 +67,10 @@ struct QsCaqrResult
     const QsVersion& best_by_duration() const;
 };
 
-/// Runs QS-CaQR on a regular (non-commuting) circuit.
-QsCaqrResult qs_caqr(const circuit::Circuit& circuit,
-                     const QsCaqrOptions& options = {});
-
-/// Envelope variant: an unreachable `target_qubits` reports
-/// `kInfeasible` (the message names the reachable minimum), a
-/// malformed target `kInvalidArgument`.
+/// Runs QS-CaQR on a regular (non-commuting) circuit. An unreachable
+/// `target_qubits` reports `kInfeasible` (the message names the
+/// reachable minimum), a malformed target `kInvalidArgument`; a
+/// best-effort squeeze (`target_qubits = -1`) always succeeds.
 util::StatusOr<QsCaqrResult> qs_caqr_or(const circuit::Circuit& circuit,
                                         const QsCaqrOptions& options = {});
 
@@ -106,12 +103,8 @@ struct QsCommutingResult
     bool reached_target = false;
 };
 
-/// Runs QS-CaQR on a commuting workload.
-QsCommutingResult qs_caqr_commuting(const CommutingSpec& spec,
-                                    const QsCommutingOptions& options = {});
-
-/// Envelope variant of `qs_caqr_commuting`; failure vocabulary matches
-/// `qs_caqr_or`.
+/// Runs QS-CaQR on a commuting workload; failure vocabulary matches
+/// `qs_caqr_or` (infeasible targets name the coloring bound).
 util::StatusOr<QsCommutingResult> qs_caqr_commuting_or(
     const CommutingSpec& spec, const QsCommutingOptions& options = {});
 

@@ -49,7 +49,7 @@ advise_reuse(const circuit::Circuit& circuit)
     // The full QS-CaQR sweep is the most faithful probe: it explores
     // both greedy policies, so the estimate matches what the compiler
     // can actually deliver.
-    const auto sweep = qs_caqr(circuit, QsCaqrOptions{});
+    const auto sweep = qs_caqr_or(circuit, QsCaqrOptions{}).value();
     advice.any_opportunity = sweep.versions.size() > 1;
     advice.original_depth = sweep.versions.front().depth;
     advice.min_qubits_estimate = sweep.versions.back().qubits;

@@ -92,6 +92,7 @@ apply_reuse(const circuit::CircuitDag& dag, ReusePair pair,
     const int source_wire = new_wire(pair.source);
 
     Circuit output(input.num_qubits() - 1, input.num_clbits());
+    output.copy_params_from(input);
     std::vector<int> node_map(input.size(), -1);
     for (int node : order) {
         if (node == dummy) {

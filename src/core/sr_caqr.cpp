@@ -234,11 +234,11 @@ SrCaqrResult sr_caqr_single(const Circuit& input,
                             const arch::Backend& backend,
                             const SrCaqrOptions& options);
 
-}  // namespace
-
+/// Full variant-trials run; the caller has already checked that the
+/// circuit fits the backend.
 SrCaqrResult
-sr_caqr(const Circuit& input, const arch::Backend& backend,
-        const SrCaqrOptions& options)
+run_sr_caqr(const Circuit& input, const arch::Backend& backend,
+            const SrCaqrOptions& options)
 {
     std::optional<util::trace::Span> span;
     if (options.trace) span.emplace("sr_caqr");
@@ -280,6 +280,8 @@ sr_caqr(const Circuit& input, const arch::Backend& backend,
     return best;
 }
 
+}  // namespace
+
 util::StatusOr<SrCaqrResult>
 sr_caqr_or(const Circuit& logical, const arch::Backend& backend,
            const SrCaqrOptions& options)
@@ -290,7 +292,7 @@ sr_caqr_or(const Circuit& logical, const arch::Backend& backend,
             " qubits but backend '" + backend.name() + "' has " +
             std::to_string(backend.num_qubits()));
     }
-    return sr_caqr(logical, backend, options);
+    return run_sr_caqr(logical, backend, options);
 }
 
 namespace {
@@ -318,6 +320,7 @@ sr_caqr_single(const Circuit& input, const arch::Backend& backend,
     state.backend = &backend;
     state.options = &options;
     state.output = Circuit(backend.num_qubits(), logical.num_clbits());
+    state.output.copy_params_from(logical);
     state.phys_of.assign(static_cast<std::size_t>(logical.num_qubits()),
                          -1);
     state.logical_of.assign(
@@ -589,42 +592,6 @@ sr_caqr_single(const Circuit& input, const arch::Backend& backend,
 
 }  // namespace
 
-SrCaqrResult
-sr_caqr_commuting(const CommutingSpec& spec, const arch::Backend& backend,
-                  const SrCaqrOptions& options,
-                  const QsCommutingOptions& qs_options)
-{
-    // Step 1 (paper §3.3.2): sweep reuse levels with QS-CaQR and
-    // materialize their partial orders. The "sweet point" is the level
-    // whose *mapped* circuit minimizes SWAPs (duration as tie-break) —
-    // SWAP reduction is SR-CaQR's objective.
-    auto qs = qs_caqr_commuting(spec, qs_options);
-
-    // Probe every reuse level (the sweep is one version per count).
-    std::vector<std::size_t> probe(qs.versions.size());
-    for (std::size_t i = 0; i < probe.size(); ++i) probe[i] = i;
-
-    // Steps 2-4: the materialized circuits carry the imposed reuse
-    // dependencies; the regular engine applies delaying, error-aware
-    // mapping, and reclamation on top of each.
-    SrCaqrResult best_result;
-    bool have_best = false;
-    for (std::size_t index : probe) {
-        auto result =
-            sr_caqr(qs.versions[index].schedule.circuit, backend, options);
-        const bool better =
-            !have_best ||
-            result.swaps_added < best_result.swaps_added ||
-            (result.swaps_added == best_result.swaps_added &&
-             result.duration_dt < best_result.duration_dt);
-        if (better) {
-            best_result = std::move(result);
-            have_best = true;
-        }
-    }
-    return best_result;
-}
-
 util::StatusOr<SrCaqrResult>
 sr_caqr_commuting_or(const CommutingSpec& spec, const arch::Backend& backend,
                      const SrCaqrOptions& options,
@@ -639,7 +606,38 @@ sr_caqr_commuting_or(const CommutingSpec& spec, const arch::Backend& backend,
             " qubits but backend '" + backend.name() + "' has " +
             std::to_string(backend.num_qubits()));
     }
-    return sr_caqr_commuting(spec, backend, options, qs_options);
+
+    // Step 1 (paper §3.3.2): sweep reuse levels with QS-CaQR and
+    // materialize their partial orders. The "sweet point" is the level
+    // whose *mapped* circuit minimizes SWAPs (duration as tie-break) —
+    // SWAP reduction is SR-CaQR's objective. An unreachable qs target
+    // propagates as infeasible.
+    auto qs = qs_caqr_commuting_or(spec, qs_options);
+    if (!qs.ok()) return qs.status();
+
+    // Probe every reuse level (the sweep is one version per count).
+    std::vector<std::size_t> probe(qs->versions.size());
+    for (std::size_t i = 0; i < probe.size(); ++i) probe[i] = i;
+
+    // Steps 2-4: the materialized circuits carry the imposed reuse
+    // dependencies; the regular engine applies delaying, error-aware
+    // mapping, and reclamation on top of each.
+    SrCaqrResult best_result;
+    bool have_best = false;
+    for (std::size_t index : probe) {
+        auto result = run_sr_caqr(qs->versions[index].schedule.circuit,
+                                  backend, options);
+        const bool better =
+            !have_best ||
+            result.swaps_added < best_result.swaps_added ||
+            (result.swaps_added == best_result.swaps_added &&
+             result.duration_dt < best_result.duration_dt);
+        if (better) {
+            best_result = std::move(result);
+            have_best = true;
+        }
+    }
+    return best_result;
 }
 
 }  // namespace caqr::core

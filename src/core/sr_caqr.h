@@ -59,15 +59,8 @@ struct SrCaqrResult
     double duration_dt = 0.0;
 };
 
-/// Compiles a regular circuit onto @p backend (paper §3.3.1). The
-/// circuit must fit the backend; use `sr_caqr_or` to get that reported
-/// as a status instead of a panic.
-SrCaqrResult sr_caqr(const circuit::Circuit& logical,
-                     const arch::Backend& backend,
-                     const SrCaqrOptions& options = {});
-
-/// Envelope variant: an oversized circuit reports `kInfeasible`
-/// instead of aborting.
+/// Compiles a regular circuit onto @p backend (paper §3.3.1). An
+/// oversized circuit reports `kInfeasible`.
 util::StatusOr<SrCaqrResult> sr_caqr_or(const circuit::Circuit& logical,
                                         const arch::Backend& backend,
                                         const SrCaqrOptions& options = {});
@@ -75,15 +68,10 @@ util::StatusOr<SrCaqrResult> sr_caqr_or(const circuit::Circuit& logical,
 /**
  * Compiles a commuting workload (paper §3.3.2): QS-CaQR finds the
  * duration sweet spot of reuse pairs, the resulting partial order is
- * materialized, and the regular SR-CaQR engine maps it.
+ * materialized, and the regular SR-CaQR engine maps it. A workload
+ * whose node count exceeds the backend reports `kInfeasible`, as does
+ * an unreachable `qs_options.target_qubits`.
  */
-SrCaqrResult sr_caqr_commuting(const CommutingSpec& spec,
-                               const arch::Backend& backend,
-                               const SrCaqrOptions& options = {},
-                               const QsCommutingOptions& qs_options = {});
-
-/// Envelope variant of `sr_caqr_commuting`: a workload whose coloring
-/// bound exceeds the backend reports `kInfeasible`.
 util::StatusOr<SrCaqrResult> sr_caqr_commuting_or(
     const CommutingSpec& spec, const arch::Backend& backend,
     const SrCaqrOptions& options = {},

@@ -19,7 +19,7 @@ fill_compiled_metrics(TradeoffPoint* point, const circuit::Circuit& circuit,
     if (backend == nullptr) return;
     transpile::TranspileOptions options;
     options.keep_rzz = keep_rzz;
-    auto compiled = transpile::transpile(circuit, *backend, options);
+    auto compiled = transpile::transpile_or(circuit, *backend, options).value();
     point->compiled_depth = compiled.depth;
     point->compiled_duration_dt = compiled.duration_dt;
     point->swaps = compiled.swaps_added;
@@ -83,7 +83,7 @@ explore_tradeoff(const circuit::Circuit& circuit,
 
     QsCaqrOptions sweep = options;
     sweep.target_qubits = -1;  // squeeze to the minimum
-    auto result = qs_caqr(circuit, sweep);
+    auto result = qs_caqr_or(circuit, sweep).value();
 
     return map_versions(
         result.versions.size(), backend == nullptr ? 1 : options.num_threads,
@@ -112,8 +112,8 @@ select_best_by_esp(const QsCaqrResult& result, const arch::Backend& backend,
     };
     auto scored = map_versions(
         result.versions.size(), num_threads, [&](std::size_t index) {
-            auto compiled = transpile::transpile(
-                result.versions[index].circuit, backend);
+            auto compiled = transpile::transpile_or(
+                result.versions[index].circuit, backend).value();
             Scored entry;
             entry.esp = arch::estimated_success_probability(
                 compiled.circuit, backend);
@@ -145,7 +145,7 @@ explore_tradeoff_commuting(const CommutingSpec& spec,
 
     QsCommutingOptions sweep = options;
     sweep.target_qubits = -1;
-    auto result = qs_caqr_commuting(spec, sweep);
+    auto result = qs_caqr_commuting_or(spec, sweep).value();
 
     return map_versions(
         result.versions.size(), backend == nullptr ? 1 : options.num_threads,

@@ -53,6 +53,14 @@ class Parser
 
     const Token& peek() const { return tokens_[pos_]; }
 
+    /// One token of lookahead (saturates at the trailing kEnd token).
+    const Token&
+    peek_next() const
+    {
+        const std::size_t next = pos_ + 1;
+        return tokens_[next < tokens_.size() ? next : tokens_.size() - 1];
+    }
+
     const Token&
     advance()
     {
@@ -322,18 +330,48 @@ class Parser
         }
 
         std::vector<double> params;
+        std::vector<circuit::ParamRef> param_refs;
         if (match(TokenKind::kLParen)) {
             if (!check(TokenKind::kRParen)) {
-                params.push_back(parse_expression());
-                while (match(TokenKind::kComma)) {
-                    params.push_back(parse_expression());
-                }
+                do {
+                    // Named-parameter extension: a lone identifier
+                    // (other than `pi`) as the whole parameter
+                    // expression registers a symbolic parameter in
+                    // first-use order (initial value 0).
+                    if (check(TokenKind::kIdentifier) &&
+                        peek().text != "pi" &&
+                        (peek_next().kind == TokenKind::kComma ||
+                         peek_next().kind == TokenKind::kRParen)) {
+                        const std::string param = advance().text;
+                        circuit::ParamRef ref = circuit_.find_param(param);
+                        if (ref == circuit::kNoParam) {
+                            ref = circuit_.add_param(param, 0.0);
+                        }
+                        params.push_back(circuit_.param_value(ref));
+                        param_refs.push_back(ref);
+                    } else {
+                        params.push_back(parse_expression());
+                        param_refs.push_back(circuit::kNoParam);
+                    }
+                } while (match(TokenKind::kComma));
             }
             expect(TokenKind::kRParen, "')'");
         }
         if (ok_ && static_cast<int>(params.size()) !=
                        circuit::gate_num_params(kind)) {
             fail("wrong parameter count for gate '" + name + "'");
+            return;
+        }
+        circuit::ParamRef sym_ref = circuit::kNoParam;
+        for (circuit::ParamRef ref : param_refs) {
+            if (ref != circuit::kNoParam) sym_ref = ref;
+        }
+        if (ok_ && sym_ref != circuit::kNoParam &&
+            !(kind == circuit::GateKind::kRx ||
+              kind == circuit::GateKind::kRy ||
+              kind == circuit::GateKind::kRz ||
+              kind == circuit::GateKind::kRzz)) {
+            fail("named parameters are only supported on rx/ry/rz/rzz");
             return;
         }
 
@@ -369,6 +407,7 @@ class Parser
             circuit::Instruction instr;
             instr.kind = kind;
             instr.params = params;
+            instr.param_ref = sym_ref;
             instr.condition_bit = condition_bit;
             instr.condition_value = condition_value;
             for (const auto& ops : operands) {

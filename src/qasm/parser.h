@@ -18,6 +18,12 @@
  *     single-bit condition, matching the conditioned-gate IR. Standard
  *     QASM 2.0 whole-register `if (c == v)` is accepted when the
  *     register has one bit.
+ *   - **named-parameter extension**: a lone identifier (other than
+ *     `pi`) as a rotation angle — `rz(theta) q[0];` — registers a
+ *     symbolic parameter on the circuit (first-use order, initial
+ *     value 0) and tags the instruction with its `ParamRef`. Only
+ *     rx/ry/rz/rzz accept names, and only as the entire expression;
+ *     compile-once / bind-many templates are built from this form.
  *
  * Gate subroutine definitions (`gate ... { }`) and `opaque` are not
  * supported; the benchmarks are generated in terms of primitive gates.

@@ -18,10 +18,8 @@ has_any_condition(const circuit::Circuit& circuit)
     return false;
 }
 
-}  // namespace
-
 std::string
-to_qasm(const circuit::Circuit& circuit)
+to_qasm_impl(const circuit::Circuit& circuit, bool symbolic_names)
 {
     // OpenQASM 2.0 only allows whole-register conditions
     // (`if (creg == v)`). Dynamic circuits condition on single bits,
@@ -68,7 +66,9 @@ to_qasm(const circuit::Circuit& circuit)
             continue;
         }
         os << circuit::gate_name(instr.kind);
-        if (!instr.params.empty()) {
+        if (symbolic_names && instr.is_symbolic()) {
+            os << "(" << circuit.param_name(instr.param_ref) << ")";
+        } else if (!instr.params.empty()) {
             os << "(";
             for (std::size_t i = 0; i < instr.params.size(); ++i) {
                 if (i) os << ",";
@@ -82,6 +82,20 @@ to_qasm(const circuit::Circuit& circuit)
         os << ";\n";
     }
     return os.str();
+}
+
+}  // namespace
+
+std::string
+to_qasm(const circuit::Circuit& circuit)
+{
+    return to_qasm_impl(circuit, /*symbolic_names=*/false);
+}
+
+std::string
+to_qasm_template(const circuit::Circuit& circuit)
+{
+    return to_qasm_impl(circuit, /*symbolic_names=*/true);
 }
 
 }  // namespace caqr::qasm

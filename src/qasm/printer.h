@@ -22,8 +22,21 @@
 
 namespace caqr::qasm {
 
-/// Serializes @p circuit as OpenQASM 2.0 text.
+/// Serializes @p circuit as OpenQASM 2.0 text. Symbolic rotations are
+/// printed with their currently bound concrete angle, so bound circuits
+/// round-trip exactly through the parser.
 std::string to_qasm(const circuit::Circuit& circuit);
+
+/**
+ * Serializes @p circuit with symbolic rotations printed by parameter
+ * *name* instead of their bound value (`rz(theta) q[0];`). The parser
+ * re-registers named parameters in first-use order, so a template
+ * round-trips structurally — names and refs survive, bound values reset
+ * to 0. This masked form is also the skeleton half of the service's
+ * template cache key: two templates differing only in bound angles
+ * serialize identically.
+ */
+std::string to_qasm_template(const circuit::Circuit& circuit);
 
 }  // namespace caqr::qasm
 

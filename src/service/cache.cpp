@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "qasm/parser.h"
 #include "qasm/printer.h"
 
 namespace caqr {
@@ -71,6 +72,7 @@ input_content(const CompileRequest& request)
         std::ostringstream os;
         os << "commuting nodes=" << spec.interaction.num_nodes()
            << " layers=" << spec.layers
+           << " symbolic=" << (spec.symbolic ? 1 : 0)
            << " gamma=" << fmt_double(spec.gamma)
            << " beta=" << fmt_double(spec.beta) << '\n';
         for (double gamma : spec.gammas) {
@@ -111,26 +113,71 @@ input_content(const CompileRequest& request)
     return buffer.str();
 }
 
-}  // namespace
-
-std::string
-canonicalize_option_lines(std::vector<std::string> lines)
+/// Serializes the request's input by structure, masking bound values:
+/// circuits print parameter names, commuting specs drop their angles.
+util::StatusOr<std::string>
+input_skeleton(const CompileRequest& request)
 {
-    std::sort(lines.begin(), lines.end());
-    std::string out;
-    for (const auto& line : lines) {
-        out += line;
-        out += '\n';
+    const int provided = (request.circuit.has_value() ? 1 : 0) +
+                         (request.qasm.empty() ? 0 : 1) +
+                         (request.qasm_file.empty() ? 0 : 1) +
+                         (request.commuting.has_value() ? 1 : 0);
+    if (provided != 1) {
+        return util::Status::invalid_argument(
+            "request has no single input to address");
     }
-    return out;
+    if (request.commuting.has_value()) {
+        const auto& spec = *request.commuting;
+        std::ostringstream os;
+        // Angles are the template's parameters; structure is the graph
+        // and the layer count.
+        os << "commuting nodes=" << spec.interaction.num_nodes()
+           << " layers=" << spec.layers << '\n';
+        std::vector<std::pair<int, int>> edges = spec.interaction.edges();
+        for (auto& [u, v] : edges) {
+            if (u > v) std::swap(u, v);
+        }
+        std::sort(edges.begin(), edges.end());
+        for (const auto& [u, v] : edges) {
+            os << "edge " << u << ' ' << v << '\n';
+        }
+        return os.str();
+    }
+    if (request.circuit.has_value()) {
+        return qasm::to_qasm_template(*request.circuit);
+    }
+    // Textual inputs are parsed so named parameters mask out — the raw
+    // bytes differ per bound value, the template print does not.
+    std::string source;
+    if (!request.qasm.empty()) {
+        source = request.qasm;
+    } else if (!request.qasm_file.empty()) {
+        std::ifstream in(request.qasm_file, std::ios::binary);
+        if (!in) {
+            return util::Status::not_found("cannot read '" +
+                                           request.qasm_file + "'");
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        if (in.bad()) {
+            return util::Status::io_error("error reading '" +
+                                          request.qasm_file + "'");
+        }
+        source = buffer.str();
+    } else {
+        return util::Status::invalid_argument(
+            "request has no single input to address");
+    }
+    auto parsed = qasm::parse_circuit(source);
+    if (!parsed.ok()) return parsed.status();
+    return qasm::to_qasm_template(*parsed);
 }
 
-util::StatusOr<std::string>
-request_cache_key(const CompileRequest& request)
+/// The result-affecting option lines shared by `request_cache_key` and
+/// `template_cache_key` — everything except the input serialization.
+std::vector<std::string>
+request_option_lines(const CompileRequest& request)
 {
-    auto content = input_content(request);
-    if (!content.ok()) return content.status();
-
     std::vector<std::string> lines;
     lines.push_back(opt("strategy",
                         std::string(strategy_name(request.strategy))));
@@ -227,9 +274,41 @@ request_cache_key(const CompileRequest& request)
         lines.push_back(opt("router.error_aware",
                             tr.router.error_aware));
     }
+    return lines;
+}
 
-    return "caqr-cache-v1\n" + canonicalize_option_lines(lines) +
+}  // namespace
+
+std::string
+canonicalize_option_lines(std::vector<std::string> lines)
+{
+    std::sort(lines.begin(), lines.end());
+    std::string out;
+    for (const auto& line : lines) {
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
+util::StatusOr<std::string>
+request_cache_key(const CompileRequest& request)
+{
+    auto content = input_content(request);
+    if (!content.ok()) return content.status();
+    return "caqr-cache-v1\n" +
+           canonicalize_option_lines(request_option_lines(request)) +
            "---input---\n" + *content;
+}
+
+util::StatusOr<std::string>
+template_cache_key(const CompileRequest& request)
+{
+    auto skeleton = input_skeleton(request);
+    if (!skeleton.ok()) return skeleton.status();
+    return "caqr-template-v1\n" +
+           canonicalize_option_lines(request_option_lines(request)) +
+           "---skeleton---\n" + *skeleton;
 }
 
 CompileCache::CompileCache(std::size_t capacity,
@@ -296,6 +375,92 @@ CompileCache::clear()
     std::lock_guard<std::mutex> lock(mutex_);
     lru_.clear();
     index_.clear();
+}
+
+TemplateCache::TemplateCache(std::size_t capacity,
+                             util::metrics::Registry* registry)
+    : capacity_(capacity), registry_(registry) {}
+
+std::shared_ptr<const CompiledTemplate>
+TemplateCache::get(const std::string& key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+        ++misses_;
+        if (registry_ != nullptr) {
+            registry_->add("service.template.miss", 1.0);
+        }
+        return nullptr;
+    }
+    ++hits_;
+    if (registry_ != nullptr) registry_->add("service.template.hit", 1.0);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+}
+
+std::vector<std::shared_ptr<const CompiledTemplate>>
+TemplateCache::put(const std::string& key,
+                   std::shared_ptr<const CompiledTemplate> entry)
+{
+    std::vector<std::shared_ptr<const CompiledTemplate>> evicted;
+    if (capacity_ == 0) {
+        // Nothing is stored, so the entry itself is "evicted" — the
+        // caller must not hand out a handle that can never resolve.
+        evicted.push_back(std::move(entry));
+        return evicted;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+        // Two concurrent misses compiled the same skeleton. Results
+        // are deterministic, so either copy serves; keeping the newer
+        // one lets the caller uniformly register its handle and retire
+        // whatever comes back.
+        evicted.push_back(std::move(it->second->second));
+        it->second->second = std::move(entry);
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return evicted;
+    }
+    lru_.emplace_front(key, std::move(entry));
+    index_.emplace(key, lru_.begin());
+    while (lru_.size() > capacity_) {
+        evicted.push_back(std::move(lru_.back().second));
+        index_.erase(lru_.back().first);
+        lru_.pop_back();
+        ++evictions_;
+        if (registry_ != nullptr) {
+            registry_->add("service.template.evict", 1.0);
+        }
+    }
+    return evicted;
+}
+
+TemplateCacheStats
+TemplateCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    TemplateCacheStats stats;
+    stats.hits = hits_;
+    stats.misses = misses_;
+    stats.evictions = evictions_;
+    stats.size = lru_.size();
+    stats.capacity = capacity_;
+    return stats;
+}
+
+std::vector<std::shared_ptr<const CompiledTemplate>>
+TemplateCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::shared_ptr<const CompiledTemplate>> evicted;
+    evicted.reserve(lru_.size());
+    for (auto& [key, entry] : lru_) {
+        evicted.push_back(std::move(entry));
+    }
+    lru_.clear();
+    index_.clear();
+    return evicted;
 }
 
 }  // namespace caqr

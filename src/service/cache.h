@@ -32,6 +32,7 @@
 
 #include <cstddef>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -64,6 +65,20 @@ std::string canonicalize_option_lines(std::vector<std::string> lines);
  * usual envelope.
  */
 util::StatusOr<std::string> request_cache_key(
+    const CompileRequest& request);
+
+/**
+ * Skeleton fingerprint for template compilation (`compile_template`):
+ * the same canonical option lines as `request_cache_key`, but the
+ * input is serialized by *structure*, masking bound parameter values —
+ * circuits print through `to_qasm_template` (parameter names instead
+ * of current angles; inline/file QASM is parsed first), commuting
+ * specs flatten to nodes/layers plus sorted edges with no angles. Two
+ * requests that differ only in rotation angles carried by named
+ * parameters (or commuting γ/β) share a skeleton, so a hot template
+ * survives across bind sessions in the `TemplateCache`.
+ */
+util::StatusOr<std::string> template_cache_key(
     const CompileRequest& request);
 
 /// Lifetime counters of one cache instance.
@@ -105,6 +120,66 @@ class CompileCache
 
   private:
     using Entry = std::pair<std::string, CompileReport>;
+
+    mutable std::mutex mutex_;
+    std::size_t capacity_;
+    util::metrics::Registry* registry_;
+    std::list<Entry> lru_;  ///< front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+    std::size_t hits_ = 0;
+    std::size_t misses_ = 0;
+    std::size_t evictions_ = 0;
+};
+
+/// Lifetime counters of one template cache instance.
+struct TemplateCacheStats
+{
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t evictions = 0;
+    std::size_t size = 0;      ///< current entry count
+    std::size_t capacity = 0;  ///< configured bound
+};
+
+/**
+ * Second LRU tier, keyed by skeleton fingerprint: skeleton ->
+ * immutable `CompiledTemplate`. Hot templates survive across bind
+ * sessions — any request with the same structure re-acquires the
+ * frozen schedule without re-running reuse analysis or routing.
+ *
+ * Entries are `shared_ptr<const CompiledTemplate>`: eviction drops the
+ * cache's reference while in-flight binds keep theirs, so a bind racing
+ * an eviction completes safely. `put` returns the evicted templates so
+ * the owning `Service` can retire their handle-id mappings.
+ *
+ * Thread-safe; mirrors `service.template.{hit,miss,evict}` into the
+ * attached registry.
+ */
+class TemplateCache
+{
+  public:
+    explicit TemplateCache(std::size_t capacity,
+                           util::metrics::Registry* registry = nullptr);
+
+    /// The cached template for @p key, refreshing recency — or null
+    /// (counted as a miss).
+    std::shared_ptr<const CompiledTemplate> get(const std::string& key);
+
+    /// Inserts (or refreshes) @p entry under @p key. Returns the
+    /// templates evicted to stay within capacity (empty for capacity
+    /// 0 inserts, which store nothing and return @p entry itself).
+    std::vector<std::shared_ptr<const CompiledTemplate>> put(
+        const std::string& key,
+        std::shared_ptr<const CompiledTemplate> entry);
+
+    TemplateCacheStats stats() const;
+
+    /// Drops every entry and returns them (counters survive).
+    std::vector<std::shared_ptr<const CompiledTemplate>> clear();
+
+  private:
+    using Entry =
+        std::pair<std::string, std::shared_ptr<const CompiledTemplate>>;
 
     mutable std::mutex mutex_;
     std::size_t capacity_;

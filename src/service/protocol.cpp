@@ -1,7 +1,9 @@
 #include "service/protocol.h"
 
+#include <cstdint>
 #include <cstdio>
 #include <sstream>
+#include <vector>
 
 #include "util/metrics.h"
 
@@ -98,8 +100,9 @@ Session::Session(Service& service, const SessionOptions& options)
 std::string
 Session::greeting(const SessionOptions& options)
 {
-    return std::string("ok caqr serve (strategy=") +
-           strategy_name(options.strategy) +
+    return std::string("ok caqr serve protocol=") +
+           std::to_string(kProtocolVersion) +
+           " (strategy=" + strategy_name(options.strategy) +
            " backend=" + options.backend + "); try help\n";
 }
 
@@ -119,9 +122,57 @@ Session::handle_line(const std::string& line)
 
     if (command == "help") {
         out << "# compile <file.qasm> | batch <dir|manifest> |"
+               " template <file.qasm> | bind <id> <value...> |"
                " stats [json] | set strategy|backend|tenant <name> |"
-               " reset | quit\n"
+               " version | reset | quit\n"
             << "ok help\n";
+    } else if (command == "version") {
+        out << "ok version protocol=" << kProtocolVersion
+            << " features=template,bind\n";
+    } else if (command == "template") {
+        std::string path;
+        words >> path;
+        if (path.empty()) {
+            out << "error template needs a .qasm path\n";
+            return {out.str(), false};
+        }
+        CompileRequest request = prototype_;
+        request.qasm_file = path;
+        const auto handle = service_.compile_template(request);
+        if (!handle.ok()) {
+            out << "error " << handle.status().to_string() << "\n";
+            return {out.str(), false};
+        }
+        const auto info = service_.template_info(*handle);
+        if (!info.ok()) {
+            out << "error " << info.status().to_string() << "\n";
+            return {out.str(), false};
+        }
+        out << "ok template id=" << info->id << " params=";
+        for (std::size_t i = 0; i < info->param_names.size(); ++i) {
+            if (i > 0) out << ',';
+            out << info->param_names[i];
+        }
+        out << "\n";
+    } else if (command == "bind") {
+        std::uint64_t id = 0;
+        if (!(words >> id)) {
+            out << "error bind needs a template id (see template)\n";
+            return {out.str(), false};
+        }
+        std::vector<double> values;
+        double value = 0.0;
+        while (words >> value) values.push_back(value);
+        if (!words.eof()) {
+            out << "error bind values must be numbers\n";
+            return {out.str(), false};
+        }
+        const auto report = service_.bind(TemplateHandle{id}, values);
+        if (!report.ok()) {
+            out << "error " << report.status().to_string() << "\n";
+            return {out.str(), false};
+        }
+        out << "ok " << batch_csv_row(*report) << "\n";
     } else if (command == "compile") {
         std::string path;
         words >> path;

@@ -30,6 +30,12 @@
 
 namespace caqr::serve {
 
+/// Protocol revision reported by the `version` command and the
+/// greeting. Version 1 was the original compile/batch/stats/set
+/// protocol; version 2 added `version` plus the template → bind
+/// commands (`template`, `bind`).
+inline constexpr int kProtocolVersion = 2;
+
 /// Incremental newline framing with a line-length bound. Not
 /// thread-safe; each connection owns one.
 class LineBuffer

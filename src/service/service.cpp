@@ -119,7 +119,32 @@ sanitize_tenant(const std::string& tenant)
     return out;
 }
 
+/// slots[ref] = indices of the instructions in @p circuit whose angle
+/// mirrors parameter `ref` (a rotation can lower into several sites).
+std::vector<std::vector<std::size_t>>
+slot_map(const circuit::Circuit& circuit)
+{
+    std::vector<std::vector<std::size_t>> slots(
+        static_cast<std::size_t>(circuit.num_params()));
+    const auto& instrs = circuit.instructions();
+    for (std::size_t i = 0; i < instrs.size(); ++i) {
+        const auto ref = instrs[i].param_ref;
+        if (ref >= 0) slots[static_cast<std::size_t>(ref)].push_back(i);
+    }
+    return slots;
+}
+
 }  // namespace
+
+/// Side-channel from `compile_uncached` to `compile_template`: the
+/// reuse-level circuit, which non-SR templates freeze as their
+/// simulation target (the routed circuit simulates physical wires;
+/// counts are defined over logical ones).
+struct TemplateCapture
+{
+    circuit::Circuit reuse_level;
+    bool has_reuse_level = false;
+};
 
 const char*
 strategy_name(Strategy strategy)
@@ -215,6 +240,10 @@ Service::Service(ServiceOptions options)
         cache_ = std::make_unique<CompileCache>(options.cache_capacity,
                                                 &metrics_);
     }
+    if (options.template_cache_capacity > 0) {
+        template_cache_ = std::make_unique<TemplateCache>(
+            options.template_cache_capacity, &metrics_);
+    }
 }
 
 Service::~Service() = default;
@@ -223,6 +252,13 @@ CompileCacheStats
 Service::compile_cache_stats() const
 {
     return cache_ ? cache_->stats() : CompileCacheStats{};
+}
+
+TemplateCacheStats
+Service::template_cache_stats() const
+{
+    return template_cache_ ? template_cache_->stats()
+                           : TemplateCacheStats{};
 }
 
 util::StatusOr<std::shared_ptr<const arch::Backend>>
@@ -300,7 +336,8 @@ Service::compile(const CompileRequest& request)
 }
 
 CompileReport
-Service::compile_uncached(const CompileRequest& request)
+Service::compile_uncached(const CompileRequest& request,
+                          TemplateCapture* capture)
 {
     CompileReport report;
     report.name = request.name;
@@ -501,7 +538,173 @@ Service::compile_uncached(const CompileRequest& request)
         });
     }
 
+    if (capture != nullptr && report.status.ok() &&
+        request.strategy != Strategy::kSrCaqr) {
+        capture->reuse_level = std::move(reuse_level);
+        capture->has_reuse_level = true;
+    }
+
     return report;
+}
+
+util::StatusOr<TemplateHandle>
+Service::compile_template(const CompileRequest& request)
+{
+    util::trace::Span span("service.compile_template");
+    if (template_cache_ == nullptr) {
+        return util::Status::invalid_argument(
+            "templates are disabled (template_cache_capacity = 0)");
+    }
+
+    CompileRequest shaped = request;
+    if (shaped.commuting.has_value()) {
+        // Commuting angles become named gamma<l>/beta<l> parameters so
+        // the frozen schedule stays rebindable.
+        shaped.commuting->symbolic = true;
+    }
+    const auto key = template_cache_key(shaped);
+    if (!key.ok()) return key.status();
+
+    // Admission lock: one skeleton compiles at most once concurrently;
+    // losers of the race resolve to the winner's resident template.
+    // Binds only take template_mutex_, so they never wait on this.
+    std::lock_guard<std::mutex> admission(template_admission_mutex_);
+    if (auto resident = template_cache_->get(*key)) {
+        return TemplateHandle{resident->id};
+    }
+
+    CompileRequest once = shaped;
+    once.simulate = false;  // deferred to bind time
+    TemplateCapture capture;
+    CompileReport base = compile_uncached(once, &capture);
+    if (!base.ok()) return base.status;
+
+    auto built = std::make_shared<CompiledTemplate>();
+    built->id = next_template_id_.fetch_add(1, std::memory_order_relaxed);
+    built->skeleton_key = *key;
+    built->param_names.reserve(base.compiled.params().size());
+    for (const auto& param : base.compiled.params()) {
+        built->param_names.push_back(param.name);
+        built->default_values.push_back(param.value);
+    }
+    built->slots = slot_map(base.compiled);
+    built->simulate = request.simulate;
+    built->sim_separate = request.strategy != Strategy::kSrCaqr &&
+                          capture.has_reuse_level;
+    built->sim_options = request.sim;
+    if (built->simulate && built->sim_separate) {
+        built->sim_circuit = std::move(capture.reuse_level);
+        built->sim_slots = slot_map(built->sim_circuit);
+    }
+    built->base = std::move(base);
+
+    std::shared_ptr<const CompiledTemplate> frozen = std::move(built);
+    {
+        std::lock_guard<std::mutex> lock(template_mutex_);
+        templates_by_id_.emplace(frozen->id, frozen);
+        for (const auto& evicted : template_cache_->put(*key, frozen)) {
+            templates_by_id_.erase(evicted->id);
+        }
+    }
+    return TemplateHandle{frozen->id};
+}
+
+util::StatusOr<CompileReport>
+Service::bind(TemplateHandle handle, std::span<const double> values)
+{
+    util::trace::Span span("service.bind");
+    const auto start = std::chrono::steady_clock::now();
+
+    std::shared_ptr<const CompiledTemplate> tmpl;
+    {
+        std::lock_guard<std::mutex> lock(template_mutex_);
+        auto it = templates_by_id_.find(handle.id);
+        if (it != templates_by_id_.end()) tmpl = it->second;
+    }
+    if (tmpl == nullptr) {
+        return util::Status::not_found(
+            "unknown or evicted template handle " +
+            std::to_string(handle.id));
+    }
+    if (values.size() != tmpl->param_names.size()) {
+        std::string names;
+        for (const auto& name : tmpl->param_names) {
+            if (!names.empty()) names += ", ";
+            names += name;
+        }
+        return util::Status::invalid_argument(
+            "template " + std::to_string(handle.id) + " takes " +
+            std::to_string(tmpl->param_names.size()) + " value(s) [" +
+            names + "], got " + std::to_string(values.size()));
+    }
+
+    // Everything below is O(#params + #slots): the frozen schedule is
+    // copied and the slot lists rewrite only the referenced angles.
+    CompileReport report = tmpl->base;
+    for (std::size_t p = 0; p < values.size(); ++p) {
+        const auto ref = static_cast<circuit::ParamRef>(p);
+        report.compiled.set_param_value(ref, values[p]);
+        for (std::size_t index : tmpl->slots[p]) {
+            report.compiled.set_angle(index, values[p]);
+        }
+    }
+    const double bind_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    report.stages = {{"bind", bind_ms}};
+
+    if (tmpl->simulate) {
+        const auto sim_start = std::chrono::steady_clock::now();
+        if (tmpl->sim_separate) {
+            circuit::Circuit target = tmpl->sim_circuit;
+            for (std::size_t p = 0; p < values.size(); ++p) {
+                target.set_param_value(
+                    static_cast<circuit::ParamRef>(p), values[p]);
+                for (std::size_t index : tmpl->sim_slots[p]) {
+                    target.set_angle(index, values[p]);
+                }
+            }
+            report.counts = sim::simulate(target, tmpl->sim_options);
+        } else {
+            report.counts =
+                sim::simulate(report.compiled, tmpl->sim_options);
+        }
+        report.stages.push_back(
+            {"simulate", std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - sim_start)
+                             .count()});
+    }
+
+    // Binds are not compile requests: they keep service.requests and
+    // the stage histograms describing pipeline runs untouched.
+    metrics_.add("service.binds", 1.0);
+    metrics_.observe("service.bind_ms", report.total_ms());
+    return report;
+}
+
+util::StatusOr<TemplateInfo>
+Service::template_info(TemplateHandle handle) const
+{
+    std::shared_ptr<const CompiledTemplate> tmpl;
+    {
+        std::lock_guard<std::mutex> lock(template_mutex_);
+        auto it = templates_by_id_.find(handle.id);
+        if (it != templates_by_id_.end()) tmpl = it->second;
+    }
+    if (tmpl == nullptr) {
+        return util::Status::not_found(
+            "unknown or evicted template handle " +
+            std::to_string(handle.id));
+    }
+    TemplateInfo info;
+    info.id = tmpl->id;
+    info.name = tmpl->base.name;
+    info.backend = tmpl->base.backend;
+    info.strategy = tmpl->base.strategy;
+    info.param_names = tmpl->param_names;
+    info.default_values = tmpl->default_values;
+    return info;
 }
 
 void

@@ -10,8 +10,16 @@
  * metrics, a `util::Status`, per-stage wall-clock timings). Every
  * strategy runs through the same internal stage pipeline — load →
  * backend → reuse pass → mapping → ESP/simulation — so error handling,
- * tracing, and metrics are uniform across `transpile::transpile`,
- * `core::qs_caqr`, `core::qs_caqr_commuting`, and `core::sr_caqr`.
+ * tracing, and metrics are uniform across `transpile::transpile_or`,
+ * `core::qs_caqr_or`, `core::qs_caqr_commuting_or`, and
+ * `core::sr_caqr_or`.
+ *
+ * For parameterized workloads the service also exposes the
+ * compile-once / bind-many model: `compile_template` freezes the
+ * angle-independent result of one full pipeline run as a
+ * `CompiledTemplate`, and `bind` rebinds rotation angles into that
+ * frozen schedule in O(#params) without re-running reuse analysis,
+ * layout, or routing.
  *
  * `Service` is a long-lived object: it owns the `util::ThreadPool`
  * that fans out `compile_batch`, a registry of backends (FakeMumbai
@@ -25,11 +33,14 @@
 #define CAQR_SERVICE_SERVICE_H
 
 #include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "arch/backend.h"
@@ -156,6 +167,66 @@ struct CompileReport
 /// (Stage timings are wall-clock and excluded.)
 std::string report_fingerprint(const CompileReport& report);
 
+/// Opaque reference to a compiled template held by a `Service`. Handles
+/// stay valid until the template is evicted from the LRU template cache
+/// (at which point `bind` reports kNotFound and the caller re-runs
+/// `compile_template` — a cheap cache hit if the skeleton is still
+/// resident under a different handle, a recompile otherwise).
+struct TemplateHandle
+{
+    std::uint64_t id = 0;
+};
+
+/**
+ * The frozen product of one template compilation: the full pipeline —
+ * parse → reuse analysis → QS/SR-CaQR → layout → routing — ran exactly
+ * once at `compile_template` time, and everything angle-dependent is
+ * reduced to slot lists so `bind` is O(#params + #slots). Immutable
+ * after construction; shared read-only between the cache, the handle
+ * map, and in-flight binds.
+ */
+struct CompiledTemplate
+{
+    std::uint64_t id = 0;
+    std::string skeleton_key;  ///< `template_cache_key` fingerprint
+
+    /// The one compile's report. `base.compiled` carries the physical
+    /// schedule with `param_ref` markers intact; quality metrics
+    /// (swaps/depth/duration/qubits/ESP) are angle-independent and
+    /// replay verbatim into every bound report.
+    CompileReport base;
+
+    /// Parameter table of `base.compiled`, in ref order — `bind` takes
+    /// its values positionally against this.
+    std::vector<std::string> param_names;
+    std::vector<double> default_values;
+
+    /// slots[ref] = indices into `base.compiled` whose angle is that
+    /// parameter's value (one rotation can lower into several sites).
+    std::vector<std::vector<std::size_t>> slots;
+
+    bool simulate = false;      ///< re-simulate on every bind
+    /// For non-SR strategies the simulator targets the reuse-level
+    /// circuit, not the routed one — that circuit and its own slot map
+    /// are frozen separately.
+    bool sim_separate = false;
+    circuit::Circuit sim_circuit;  ///< valid when `sim_separate`
+    std::vector<std::vector<std::size_t>> sim_slots;
+    sim::SimOptions sim_options;
+};
+
+/// Introspection view of a compiled template (the serve protocol's
+/// `template` reply and `qasm_tool --bind` discovery).
+struct TemplateInfo
+{
+    std::uint64_t id = 0;
+    std::string name;
+    std::string backend;
+    std::string strategy;
+    std::vector<std::string> param_names;
+    std::vector<double> default_values;
+};
+
 /// CSV rendering of a batch: `batch_csv_header()` + one
 /// `batch_csv_row` per report (stage timings summed into total_ms).
 std::string batch_csv_header();
@@ -172,6 +243,11 @@ struct ServiceOptions
     /// service/cache.h). 0 disables caching — every compile runs the
     /// pipeline, the historical behavior.
     std::size_t cache_capacity = 0;
+
+    /// Entries in the skeleton-keyed template cache (LRU). Templates
+    /// are the explicit compile-once/bind-many API, so they are on by
+    /// default; 0 disables `compile_template`/`bind` entirely.
+    std::size_t template_cache_capacity = 64;
 };
 
 /**
@@ -180,6 +256,9 @@ struct ServiceOptions
  */
 class CompileCache;
 struct CompileCacheStats;
+class TemplateCache;
+struct TemplateCacheStats;
+struct TemplateCapture;
 
 class Service
 {
@@ -242,8 +321,47 @@ class Service
     /// Lifetime compile-cache counters; zeros when caching is off.
     CompileCacheStats compile_cache_stats() const;
 
+    /**
+     * Compile-once half of the template → bind model. Runs the full
+     * pipeline (reuse analysis, QS/SR-CaQR, layout, routing) exactly
+     * once for the request's *structure* and freezes the result as an
+     * immutable `CompiledTemplate`. Commuting workloads are compiled
+     * symbolically (`gamma<l>`/`beta<l>` parameters); circuit/QASM
+     * inputs contribute whatever named parameters they declare.
+     * Simulation is deferred to bind time. Keyed by skeleton
+     * fingerprint: a second request differing only in bound angles is
+     * a `service.template.hit` and returns the resident handle.
+     * kInvalidArgument when templates are disabled
+     * (`template_cache_capacity = 0`); compile failures propagate.
+     */
+    util::StatusOr<TemplateHandle> compile_template(
+        const CompileRequest& request);
+
+    /**
+     * Bind-many half: rebinds @p values (one per template parameter, in
+     * `TemplateInfo::param_names` order — these are full rotation
+     * angles) into the frozen schedule in O(#params + #slots), without
+     * re-running analysis, layout, or routing. The report's quality
+     * metrics (swaps/depth/qubits/ESP) replay from the template —
+     * they are angle-independent — and `counts` is re-simulated when
+     * the template was built from a `simulate` request. Reports
+     * kNotFound for an evicted/unknown handle and kInvalidArgument on
+     * a value-count mismatch. Thread-safe and lock-light: concurrent
+     * binds of one template share the immutable schedule.
+     */
+    util::StatusOr<CompileReport> bind(TemplateHandle handle,
+                                       std::span<const double> values);
+
+    /// Introspects a live handle (kNotFound once evicted).
+    util::StatusOr<TemplateInfo> template_info(
+        TemplateHandle handle) const;
+
+    /// Lifetime template-cache counters; zeros when templates are off.
+    TemplateCacheStats template_cache_stats() const;
+
   private:
-    CompileReport compile_uncached(const CompileRequest& request);
+    CompileReport compile_uncached(const CompileRequest& request,
+                                   TemplateCapture* capture = nullptr);
     void record_request_metrics(const CompileRequest& request,
                                 const CompileReport& report);
 
@@ -254,6 +372,18 @@ class Service
     std::atomic<std::size_t> misses_{0};
     util::metrics::Registry metrics_;
     std::unique_ptr<CompileCache> cache_;  ///< null = caching disabled
+
+    /// Skeleton-keyed LRU (null = templates disabled). Misses are
+    /// admitted under `template_admission_mutex_` so one skeleton never
+    /// compiles twice concurrently; `template_mutex_` guards only the
+    /// id map, so binds never wait on a template compilation.
+    std::unique_ptr<TemplateCache> template_cache_;
+    mutable std::mutex template_admission_mutex_;
+    mutable std::mutex template_mutex_;
+    std::unordered_map<std::uint64_t,
+                       std::shared_ptr<const CompiledTemplate>>
+        templates_by_id_;
+    std::atomic<std::uint64_t> next_template_id_{1};
 };
 
 /**

@@ -33,6 +33,7 @@ Circuit
 lower(const Circuit& input, bool full)
 {
     Circuit out(input.num_qubits(), input.num_clbits());
+    out.copy_params_from(input);
     for (const auto& instr : input.instructions()) {
         if (instr.kind == GateKind::kCcx) {
             emit_ccx(out, instr.qubits[0], instr.qubits[1],
@@ -40,8 +41,16 @@ lower(const Circuit& input, bool full)
             continue;
         }
         if (full && instr.kind == GateKind::kRzz) {
+            // The angle lands verbatim on the middle RZ, so a symbolic
+            // RZZ forwards its param ref there — binding stays a
+            // single-slot write after lowering.
             out.cx(instr.qubits[0], instr.qubits[1]);
-            out.rz(instr.params[0], instr.qubits[1]);
+            Instruction rz;
+            rz.kind = GateKind::kRz;
+            rz.qubits = {instr.qubits[1]};
+            rz.params = instr.params;
+            rz.param_ref = instr.param_ref;
+            out.append(std::move(rz));
             out.cx(instr.qubits[0], instr.qubits[1]);
             continue;
         }

@@ -138,7 +138,8 @@ run_pass(std::vector<std::optional<Instruction>>& instrs, int num_qubits,
                     continue;
                 }
                 if (before.kind == instr.kind &&
-                    is_mergeable_rotation(instr.kind)) {
+                    is_mergeable_rotation(instr.kind) &&
+                    !before.is_symbolic() && !instr.is_symbolic()) {
                     const double merged = normalize_angle(
                         before.params[0] + instr.params[0]);
                     instrs[prev].reset();
@@ -157,8 +158,10 @@ run_pass(std::vector<std::optional<Instruction>>& instrs, int num_qubits,
             }
         }
 
-        // Zero-angle rotations vanish on their own.
-        if (is_mergeable_rotation(instr.kind) &&
+        // Zero-angle rotations vanish on their own. Symbolic rotations
+        // never do: the current value is a placeholder for whatever a
+        // later bind writes, so the slot must survive.
+        if (is_mergeable_rotation(instr.kind) && !instr.is_symbolic() &&
             std::abs(normalize_angle(instr.params[0])) < kAngleEps) {
             instrs[i].reset();
             if (stats != nullptr) ++stats->dropped_identity;
@@ -191,6 +194,7 @@ peephole_optimize(const Circuit& input, PeepholeStats* stats)
     if (stats != nullptr) *stats = local;
 
     Circuit output(input.num_qubits(), input.num_clbits());
+    output.copy_params_from(input);
     for (const auto& instr : instrs) {
         if (instr.has_value()) output.append(*instr);
     }

@@ -150,6 +150,7 @@ route(const Circuit& logical, const arch::Backend& backend,
     state.backend = &backend;
     state.options = &options;
     state.output = Circuit(backend.num_qubits(), logical.num_clbits());
+    state.output.copy_params_from(logical);
     state.phys_of = initial;
     state.logical_of.assign(static_cast<std::size_t>(backend.num_qubits()),
                             -1);

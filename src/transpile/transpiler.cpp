@@ -12,9 +12,13 @@
 
 namespace caqr::transpile {
 
+namespace {
+
+/// Full pipeline run; the caller has already checked that the circuit
+/// fits the backend.
 TranspileResult
-transpile(const circuit::Circuit& logical, const arch::Backend& backend,
-          const TranspileOptions& options)
+run_transpile(const circuit::Circuit& logical, const arch::Backend& backend,
+              const TranspileOptions& options)
 {
     std::optional<util::trace::Span> span;
     if (options.trace) span.emplace("transpile");
@@ -70,6 +74,8 @@ transpile(const circuit::Circuit& logical, const arch::Backend& backend,
     return best;
 }
 
+}  // namespace
+
 util::StatusOr<TranspileResult>
 transpile_or(const circuit::Circuit& logical, const arch::Backend& backend,
              const TranspileOptions& options)
@@ -80,7 +86,7 @@ transpile_or(const circuit::Circuit& logical, const arch::Backend& backend,
             " qubits but backend '" + backend.name() + "' has " +
             std::to_string(backend.num_qubits()));
     }
-    return transpile(logical, backend, options);
+    return run_transpile(logical, backend, options);
 }
 
 void

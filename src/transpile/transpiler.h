@@ -43,14 +43,8 @@ struct TranspileOptions : CommonOptions
     bool peephole = true;
 };
 
-/// Runs the full pipeline. The circuit must fit the backend; use
-/// `transpile_or` to get that reported as a status instead of a panic.
-TranspileResult transpile(const circuit::Circuit& logical,
-                          const arch::Backend& backend,
-                          const TranspileOptions& options = {});
-
-/// Envelope variant: an oversized circuit (more qubits than the
-/// backend) reports `kInfeasible` instead of aborting.
+/// Runs the full pipeline. An oversized circuit (more qubits than the
+/// backend) reports `kInfeasible`.
 util::StatusOr<TranspileResult> transpile_or(
     const circuit::Circuit& logical, const arch::Backend& backend,
     const TranspileOptions& options = {});

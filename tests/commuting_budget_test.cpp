@@ -199,7 +199,7 @@ INSTANTIATE_TEST_SUITE_P(RandomGraphs, BudgetProperty,
 TEST(EspSelection, PicksAVersionAndReportsEsp)
 {
     const auto backend = arch::Backend::fake_mumbai();
-    const auto sweep = core::qs_caqr(apps::bv_circuit(8));
+    const auto sweep = core::qs_caqr_or(apps::bv_circuit(8)).value();
     const auto pick = core::select_best_by_esp(sweep, backend);
     EXPECT_LT(pick.version_index, sweep.versions.size());
     EXPECT_GT(pick.esp, 0.0);
@@ -208,7 +208,7 @@ TEST(EspSelection, PicksAVersionAndReportsEsp)
 
     // The chosen ESP must be >= the baseline version's ESP.
     auto baseline =
-        transpile::transpile(sweep.versions.front().circuit, backend);
+        transpile::transpile_or(sweep.versions.front().circuit, backend).value();
     EXPECT_GE(pick.esp + 1e-12,
               arch::estimated_success_probability(baseline.circuit,
                                                   backend));

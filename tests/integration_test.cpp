@@ -66,7 +66,7 @@ TEST(Tradeoff, CommutingSweepReachesDeepSavings)
 
 TEST(QasmIntegration, TransformedDynamicCircuitRoundTrips)
 {
-    const auto result = core::qs_caqr(apps::bv_circuit(6));
+    const auto result = core::qs_caqr_or(apps::bv_circuit(6)).value();
     const auto& reused = result.versions.back().circuit;
     const auto text = qasm::to_qasm(reused);
     const auto parsed = qasm::parse(text);
@@ -81,7 +81,7 @@ TEST(QasmIntegration, TransformedDynamicCircuitRoundTrips)
 TEST(QasmIntegration, SrOutputRoundTrips)
 {
     const auto backend = arch::Backend::fake_mumbai();
-    const auto result = core::sr_caqr(apps::bv_circuit(5), backend);
+    const auto result = core::sr_caqr_or(apps::bv_circuit(5), backend).value();
     const auto parsed = qasm::parse(qasm::to_qasm(result.circuit));
     ASSERT_TRUE(parsed.ok()) << parsed.error;
     EXPECT_EQ(parsed.circuit->size(), result.circuit.size());
@@ -98,7 +98,7 @@ TEST(Fidelity, ReuseImprovesNoisyBvTvd)
     const auto ideal = sim::exact_distribution(bv);
     const auto noise = sim::NoiseModel::from_backend(backend);
 
-    const auto baseline = transpile::transpile(bv, backend);
+    const auto baseline = transpile::transpile_or(bv, backend).value();
     const auto baseline_counts = sim::simulate(
         baseline.circuit, {.shots = 3000, .seed = 81}, noise);
     std::map<std::string, double> baseline_dist;
@@ -107,7 +107,7 @@ TEST(Fidelity, ReuseImprovesNoisyBvTvd)
             static_cast<double>(count);
     }
 
-    const auto sr = core::sr_caqr(bv, backend);
+    const auto sr = core::sr_caqr_or(bv, backend).value();
     const auto sr_counts =
         sim::simulate(sr.circuit, {.shots = 3000, .seed = 81}, noise);
     std::map<std::string, double> sr_dist;
@@ -131,10 +131,10 @@ TEST(EndToEnd, QsThenBaselineMappingStaysCorrect)
     const auto backend = arch::Backend::fake_mumbai();
     core::QsCaqrOptions options;
     options.target_qubits = 3;
-    const auto qs = core::qs_caqr(apps::bv_circuit(6), options);
+    const auto qs = core::qs_caqr_or(apps::bv_circuit(6), options).value();
     ASSERT_TRUE(qs.reached_target);
     const auto mapped =
-        transpile::transpile(qs.versions.back().circuit, backend);
+        transpile::transpile_or(qs.versions.back().circuit, backend).value();
     const auto counts =
         sim::simulate(mapped.circuit, {.shots = 64, .seed = 91});
     ASSERT_EQ(counts.size(), 1u);
@@ -145,7 +145,7 @@ TEST(EndToEnd, AdviceConsistentWithSweep)
 {
     const auto circuit = apps::bv_circuit(7);
     const auto advice = core::advise_reuse(circuit);
-    const auto sweep = core::qs_caqr(circuit);
+    const auto sweep = core::qs_caqr_or(circuit).value();
     EXPECT_EQ(advice.min_qubits_estimate,
               sweep.versions.back().qubits);
     EXPECT_EQ(advice.any_opportunity, sweep.versions.size() > 1);

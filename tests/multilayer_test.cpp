@@ -169,7 +169,7 @@ TEST(MultiLayer, ThreeLayersSchedule)
 TEST(MultiLayer, QsSweepWithLayers)
 {
     auto spec = two_layer_spec(9, 8);
-    const auto result = core::qs_caqr_commuting(spec);
+    const auto result = core::qs_caqr_commuting_or(spec).value();
     EXPECT_GE(result.versions.size(), 2u);
     for (const auto& version : result.versions) {
         EXPECT_EQ(version.schedule.circuit.two_qubit_gate_count(),

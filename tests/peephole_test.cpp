@@ -172,8 +172,8 @@ TEST(Peephole, ShrinksRedundantPipelinesInTranspiler)
     with.peephole = true;
     transpile::TranspileOptions without;
     without.peephole = false;
-    const auto a = transpile::transpile(c, backend, with);
-    const auto b = transpile::transpile(c, backend, without);
+    const auto a = transpile::transpile_or(c, backend, with).value();
+    const auto b = transpile::transpile_or(c, backend, without).value();
     EXPECT_LT(a.circuit.size(), b.circuit.size());
 }
 
@@ -184,7 +184,7 @@ TEST(Peephole, ShrinksRedundantPipelinesInTranspiler)
 TEST(Verifier, CleanCompiledCircuitPasses)
 {
     const auto backend = arch::Backend::fake_mumbai();
-    const auto result = core::sr_caqr(apps::bv_circuit(8), backend);
+    const auto result = core::sr_caqr_or(apps::bv_circuit(8), backend).value();
     const auto report =
         transpile::verify_circuit(result.circuit, &backend);
     EXPECT_TRUE(report.ok()) << (report.issues.empty()
@@ -197,7 +197,7 @@ TEST(Verifier, BaselineTranspileOutputPasses)
     const auto backend = arch::Backend::fake_mumbai();
     for (const auto& name : apps::regular_benchmark_names()) {
         const auto bench = apps::get_benchmark(name);
-        const auto result = transpile::transpile(bench->circuit, backend);
+        const auto result = transpile::transpile_or(bench->circuit, backend).value();
         EXPECT_TRUE(
             transpile::verify_circuit(result.circuit, &backend).ok())
             << name;

@@ -27,7 +27,7 @@ TEST(QsCaqr, BvCompressesToTwoQubits)
     // Paper §1: "for a n-qubit BV application, the minimal number of
     // required qubits is always 2".
     for (int n : {5, 8, 10}) {
-        const auto result = core::qs_caqr(apps::bv_circuit(n));
+        const auto result = core::qs_caqr_or(apps::bv_circuit(n)).value();
         EXPECT_EQ(result.versions.back().qubits, 2) << "n=" << n;
         EXPECT_TRUE(result.reached_target);
     }
@@ -35,7 +35,7 @@ TEST(QsCaqr, BvCompressesToTwoQubits)
 
 TEST(QsCaqr, VersionsDecreaseByOneQubit)
 {
-    const auto result = core::qs_caqr(apps::bv_circuit(7));
+    const auto result = core::qs_caqr_or(apps::bv_circuit(7)).value();
     for (std::size_t i = 1; i < result.versions.size(); ++i) {
         EXPECT_EQ(result.versions[i].qubits,
                   result.versions[i - 1].qubits - 1);
@@ -46,7 +46,7 @@ TEST(QsCaqr, RespectsQubitTarget)
 {
     core::QsCaqrOptions options;
     options.target_qubits = 4;
-    const auto result = core::qs_caqr(apps::bv_circuit(8), options);
+    const auto result = core::qs_caqr_or(apps::bv_circuit(8), options).value();
     EXPECT_TRUE(result.reached_target);
     EXPECT_EQ(result.versions.back().qubits, 4);
 }
@@ -55,14 +55,17 @@ TEST(QsCaqr, UnreachableTargetReported)
 {
     core::QsCaqrOptions options;
     options.target_qubits = 1;  // BV can never go below 2
-    const auto result = core::qs_caqr(apps::bv_circuit(5), options);
-    EXPECT_FALSE(result.reached_target);
-    EXPECT_EQ(result.versions.back().qubits, 2);
+    const auto result = core::qs_caqr_or(apps::bv_circuit(5), options);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), util::StatusCode::kInfeasible);
+    // The message names the reachable minimum so callers can retry.
+    EXPECT_NE(result.status().message().find("minimum is 2"),
+              std::string::npos);
 }
 
 TEST(QsCaqr, AppliedPairsRecordedInOriginalIds)
 {
-    const auto result = core::qs_caqr(apps::bv_circuit(5));
+    const auto result = core::qs_caqr_or(apps::bv_circuit(5)).value();
     const auto& final = result.versions.back();
     EXPECT_EQ(final.applied.size(), result.versions.size() - 1);
     for (const auto& pair : final.applied) {
@@ -74,7 +77,7 @@ TEST(QsCaqr, AppliedPairsRecordedInOriginalIds)
 
 TEST(QsCaqr, TransformedVersionsPreserveBvOutcome)
 {
-    const auto result = core::qs_caqr(apps::bv_circuit(6));
+    const auto result = core::qs_caqr_or(apps::bv_circuit(6)).value();
     for (const auto& version : result.versions) {
         const auto counts =
             sim::simulate(version.circuit, {.shots = 128, .seed = 41});
@@ -85,7 +88,7 @@ TEST(QsCaqr, TransformedVersionsPreserveBvOutcome)
 
 TEST(QsCaqr, DepthGrowsAsQubitsShrink)
 {
-    const auto result = core::qs_caqr(apps::bv_circuit(10));
+    const auto result = core::qs_caqr_or(apps::bv_circuit(10)).value();
     // Maximal reuse serializes the data wires: depth must grow
     // relative to the original.
     EXPECT_GT(result.versions.back().depth,
@@ -97,7 +100,7 @@ TEST(QsCaqr, DepthGrowsAsQubitsShrink)
 
 TEST(QsCaqr, SelectorsPickExtremes)
 {
-    const auto result = core::qs_caqr(apps::bv_circuit(8));
+    const auto result = core::qs_caqr_or(apps::bv_circuit(8)).value();
     EXPECT_LE(result.best_by_depth().depth,
               result.versions.back().depth);
     EXPECT_LE(result.best_by_duration().duration_dt,
@@ -111,7 +114,7 @@ TEST(QsCaqr, NoOpportunityCircuitKeepsOneVersion)
     triangle.cx(0, 1);
     triangle.cx(1, 2);
     triangle.cx(0, 2);
-    const auto result = core::qs_caqr(triangle);
+    const auto result = core::qs_caqr_or(triangle).value();
     EXPECT_EQ(result.versions.size(), 1u);
     EXPECT_EQ(result.versions.front().qubits, 3);
 }
@@ -218,7 +221,7 @@ TEST(CommutingSchedule, ReusedQaoaKeepsEnergy)
     const double plain_energy =
         apps::maxcut_expectation(plain_counts, spec.interaction);
 
-    auto qs = core::qs_caqr_commuting(spec, {.target_qubits = 4});
+    auto qs = core::qs_caqr_commuting_or(spec, {.target_qubits = 4}).value();
     const auto& reused = qs.versions.back();
     ASSERT_LT(reused.qubits, 7);
     const auto reused_counts = sim::simulate(reused.schedule.circuit,
@@ -236,7 +239,7 @@ TEST(QsCommuting, ReachesColoringBoundOnBipartite)
     for (int i = 0; i < 8; ++i) g.add_edge(i, (i + 1) % 8);
     CommutingSpec spec;
     spec.interaction = g;
-    const auto result = core::qs_caqr_commuting(spec);
+    const auto result = core::qs_caqr_commuting_or(spec).value();
     EXPECT_EQ(result.coloring_bound, 2);
     EXPECT_LE(result.versions.back().qubits, 4);
     EXPECT_GE(result.versions.back().qubits, result.coloring_bound);
@@ -245,7 +248,7 @@ TEST(QsCommuting, ReachesColoringBoundOnBipartite)
 TEST(QsCommuting, VersionsShrinkMonotonically)
 {
     CommutingSpec spec = make_spec(10, 0.3, 4);
-    const auto result = core::qs_caqr_commuting(spec);
+    const auto result = core::qs_caqr_commuting_or(spec).value();
     for (std::size_t i = 1; i < result.versions.size(); ++i) {
         EXPECT_EQ(result.versions[i].qubits,
                   result.versions[i - 1].qubits - 1);
@@ -257,7 +260,7 @@ TEST(QsCommuting, TargetRespected)
 {
     CommutingSpec spec = make_spec(10, 0.3, 5);
     const auto result =
-        core::qs_caqr_commuting(spec, {.target_qubits = 6});
+        core::qs_caqr_commuting_or(spec, {.target_qubits = 6}).value();
     EXPECT_TRUE(result.reached_target);
     EXPECT_EQ(result.versions.back().qubits, 6);
 }
@@ -265,7 +268,7 @@ TEST(QsCommuting, TargetRespected)
 TEST(QsCommuting, EveryVersionSchedulesAllGates)
 {
     CommutingSpec spec = make_spec(9, 0.35, 6);
-    const auto result = core::qs_caqr_commuting(spec);
+    const auto result = core::qs_caqr_commuting_or(spec).value();
     for (const auto& version : result.versions) {
         EXPECT_EQ(version.schedule.circuit.two_qubit_gate_count(),
                   spec.interaction.num_edges());
@@ -321,12 +324,12 @@ TEST(QsCaqrDeterminism, ThreadCountDoesNotChangeCorpusResults)
 
         core::QsCaqrOptions serial;
         serial.num_threads = 1;
-        const auto baseline = core::qs_caqr(*parsed.circuit, serial);
+        const auto baseline = core::qs_caqr_or(*parsed.circuit, serial).value();
 
         for (int threads : {2, 4, 0}) {
             core::QsCaqrOptions options;
             options.num_threads = threads;
-            const auto result = core::qs_caqr(*parsed.circuit, options);
+            const auto result = core::qs_caqr_or(*parsed.circuit, options).value();
             expect_identical_results(
                 baseline, result,
                 name + " threads=" + std::to_string(threads));
@@ -340,11 +343,11 @@ TEST(QsCaqrDeterminism, ThreadCountDoesNotChangeDepthMetricResults)
     serial.metric = core::ReuseMetric::kDepth;
     serial.num_threads = 1;
     const auto circuit = apps::bv_circuit(10);
-    const auto baseline = core::qs_caqr(circuit, serial);
+    const auto baseline = core::qs_caqr_or(circuit, serial).value();
 
     core::QsCaqrOptions parallel = serial;
     parallel.num_threads = 4;
-    expect_identical_results(baseline, core::qs_caqr(circuit, parallel),
+    expect_identical_results(baseline, core::qs_caqr_or(circuit, parallel).value(),
                              "bv_10 depth metric");
 }
 
@@ -354,12 +357,12 @@ TEST(QsCommutingDeterminism, ThreadCountDoesNotChangeResults)
 
     core::QsCommutingOptions serial;
     serial.num_threads = 1;
-    const auto baseline = core::qs_caqr_commuting(spec, serial);
+    const auto baseline = core::qs_caqr_commuting_or(spec, serial).value();
 
     for (int threads : {3, 0}) {
         core::QsCommutingOptions options;
         options.num_threads = threads;
-        const auto result = core::qs_caqr_commuting(spec, options);
+        const auto result = core::qs_caqr_commuting_or(spec, options).value();
         ASSERT_EQ(result.versions.size(), baseline.versions.size())
             << "threads=" << threads;
         for (std::size_t i = 0; i < result.versions.size(); ++i) {

@@ -244,7 +244,7 @@ TEST(ReuseProperty, EngineAppliesOnlyValidPairsAndPreservesSemantics)
         const Circuit original = property::random_probed_circuit(qubits,
                                                                  rng);
 
-        const auto result = core::qs_caqr(original);
+        const auto result = core::qs_caqr_or(original).value();
         const auto& reused = result.versions.back();
         if (reused.applied.empty()) continue;  // nothing to check
 

@@ -205,8 +205,8 @@ TEST(ReuseRobustness, ConditionedGatesSurviveTransform)
 
 TEST(ReuseRobustness, RepeatedSweepIsDeterministic)
 {
-    const auto a = core::qs_caqr(apps::bv_circuit(9));
-    const auto b = core::qs_caqr(apps::bv_circuit(9));
+    const auto a = core::qs_caqr_or(apps::bv_circuit(9)).value();
+    const auto b = core::qs_caqr_or(apps::bv_circuit(9)).value();
     ASSERT_EQ(a.versions.size(), b.versions.size());
     for (std::size_t i = 0; i < a.versions.size(); ++i) {
         EXPECT_EQ(a.versions[i].qubits, b.versions[i].qubits);
@@ -243,7 +243,7 @@ TEST_P(QsSemanticsProperty, AllVersionsPreserveOutcome)
     ASSERT_EQ(expected.size(), 1u);
     const std::string want = expected.begin()->first;
 
-    const auto sweep = core::qs_caqr(c);
+    const auto sweep = core::qs_caqr_or(c).value();
     for (const auto& version : sweep.versions) {
         const auto counts = sim::simulate(
             version.circuit,
@@ -350,9 +350,9 @@ TEST(SrRobustness, MapsAlreadyDynamicCircuits)
     const auto backend = arch::Backend::fake_mumbai();
     core::QsCaqrOptions options;
     options.target_qubits = 3;
-    const auto qs = core::qs_caqr(apps::bv_circuit(7), options);
+    const auto qs = core::qs_caqr_or(apps::bv_circuit(7), options).value();
     ASSERT_TRUE(qs.reached_target);
-    const auto sr = core::sr_caqr(qs.versions.back().circuit, backend);
+    const auto sr = core::sr_caqr_or(qs.versions.back().circuit, backend).value();
     EXPECT_TRUE(transpile::is_hardware_compliant(sr.circuit, backend));
     const auto counts =
         sim::simulate(sr.circuit, {.shots = 64, .seed = 17});
@@ -363,8 +363,8 @@ TEST(SrRobustness, MapsAlreadyDynamicCircuits)
 TEST(SrRobustness, DeterministicAcrossRuns)
 {
     const auto backend = arch::Backend::fake_mumbai();
-    const auto a = core::sr_caqr(apps::cc_circuit(10), backend);
-    const auto b = core::sr_caqr(apps::cc_circuit(10), backend);
+    const auto a = core::sr_caqr_or(apps::cc_circuit(10), backend).value();
+    const auto b = core::sr_caqr_or(apps::cc_circuit(10), backend).value();
     EXPECT_EQ(a.swaps_added, b.swaps_added);
     EXPECT_EQ(a.circuit.size(), b.circuit.size());
     EXPECT_EQ(a.physical_qubits_used, b.physical_qubits_used);

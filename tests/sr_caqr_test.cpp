@@ -23,7 +23,7 @@ TEST(SrCaqr, OutputIsHardwareCompliant)
     for (const auto& name : apps::regular_benchmark_names()) {
         const auto bench = apps::get_benchmark(name);
         ASSERT_TRUE(bench.has_value());
-        const auto result = core::sr_caqr(bench->circuit, backend);
+        const auto result = core::sr_caqr_or(bench->circuit, backend).value();
         EXPECT_TRUE(
             transpile::is_hardware_compliant(result.circuit, backend))
             << name;
@@ -36,7 +36,7 @@ TEST(SrCaqr, BvFiveNeedsNoSwaps)
 {
     // Paper Fig 5: with one reuse the BV star fits heavy-hex directly.
     const auto backend = arch::Backend::fake_mumbai();
-    const auto result = core::sr_caqr(apps::bv_circuit(5), backend);
+    const auto result = core::sr_caqr_or(apps::bv_circuit(5), backend).value();
     EXPECT_EQ(result.swaps_added, 0);
     EXPECT_LE(result.physical_qubits_used, 5);
 }
@@ -46,7 +46,7 @@ TEST(SrCaqr, ReclaimsQubits)
     // BV_10 retires data qubits as it goes; SR-CaQR should reuse wires
     // and touch well under 10 physical qubits.
     const auto backend = arch::Backend::fake_mumbai();
-    const auto result = core::sr_caqr(apps::bv_circuit(10), backend);
+    const auto result = core::sr_caqr_or(apps::bv_circuit(10), backend).value();
     EXPECT_GT(result.reuses, 0);
     EXPECT_LT(result.physical_qubits_used, 10);
 }
@@ -55,7 +55,7 @@ TEST(SrCaqr, PreservesBvSemantics)
 {
     const auto backend = arch::Backend::fake_mumbai();
     for (int n : {5, 8}) {
-        const auto result = core::sr_caqr(apps::bv_circuit(n), backend);
+        const auto result = core::sr_caqr_or(apps::bv_circuit(n), backend).value();
         const auto counts =
             sim::simulate(result.circuit, {.shots = 128, .seed = 61});
         ASSERT_EQ(counts.size(), 1u) << "n=" << n;
@@ -66,7 +66,7 @@ TEST(SrCaqr, PreservesBvSemantics)
 TEST(SrCaqr, PreservesCcSemantics)
 {
     const auto backend = arch::Backend::fake_mumbai();
-    const auto result = core::sr_caqr(apps::cc_circuit(10), backend);
+    const auto result = core::sr_caqr_or(apps::cc_circuit(10), backend).value();
     const auto counts =
         sim::simulate(result.circuit, {.shots = 128, .seed = 62});
     ASSERT_EQ(counts.size(), 1u);
@@ -81,8 +81,8 @@ TEST(SrCaqr, NoWorseSwapsThanBaselineOnStarCircuits)
     const auto backend = arch::Backend::fake_mumbai();
     for (int n : {5, 8, 10}) {
         const auto bv = apps::bv_circuit(n);
-        const auto sr = core::sr_caqr(bv, backend);
-        const auto baseline = transpile::transpile(bv, backend);
+        const auto sr = core::sr_caqr_or(bv, backend).value();
+        const auto baseline = transpile::transpile_or(bv, backend).value();
         EXPECT_LE(sr.swaps_added, baseline.swaps_added) << "n=" << n;
     }
 }
@@ -92,7 +92,7 @@ TEST(SrCaqr, HandlesCcxCircuits)
     const auto backend = arch::Backend::fake_mumbai();
     const auto bench = apps::get_benchmark("multiply_13");
     ASSERT_TRUE(bench.has_value());
-    const auto result = core::sr_caqr(bench->circuit, backend);
+    const auto result = core::sr_caqr_or(bench->circuit, backend).value();
     EXPECT_TRUE(transpile::is_hardware_compliant(result.circuit, backend));
     // CCX must have been lowered.
     for (const auto& instr : result.circuit.instructions()) {
@@ -106,7 +106,7 @@ TEST(SrCaqrCommuting, CompliantAndFewerQubits)
     core::CommutingSpec spec;
     spec.interaction = graph::random_graph(8, 0.35, rng);
     const auto backend = arch::Backend::fake_mumbai();
-    const auto result = core::sr_caqr_commuting(spec, backend);
+    const auto result = core::sr_caqr_commuting_or(spec, backend).value();
     EXPECT_TRUE(transpile::is_hardware_compliant(result.circuit, backend));
     EXPECT_LT(result.physical_qubits_used, 8 + 1);
     EXPECT_EQ(result.circuit.two_qubit_gate_count() -
@@ -122,7 +122,7 @@ TEST(SrCaqrCommuting, EnergyMatchesPlainCircuit)
     spec.gamma = 0.5;
     spec.beta = 0.3;
     const auto backend = arch::Backend::fake_mumbai();
-    const auto result = core::sr_caqr_commuting(spec, backend);
+    const auto result = core::sr_caqr_commuting_or(spec, backend).value();
 
     apps::QaoaParams params;
     params.gammas = {spec.gamma};
@@ -168,7 +168,7 @@ TEST_P(SrSemantics, DeterministicCircuitsKeepOutcomes)
     ASSERT_EQ(expected.size(), 1u);
 
     const auto backend = arch::Backend::fake_mumbai();
-    const auto result = core::sr_caqr(logical, backend);
+    const auto result = core::sr_caqr_or(logical, backend).value();
     ASSERT_TRUE(transpile::is_hardware_compliant(result.circuit, backend));
     const auto counts =
         sim::simulate(result.circuit, {.shots = 64,

@@ -135,7 +135,7 @@ TEST(Transpiler, PipelineProducesMetrics)
 {
     const auto backend = arch::Backend::fake_mumbai();
     const auto bv = apps::bv_circuit(5);
-    const auto result = transpile::transpile(bv, backend);
+    const auto result = transpile::transpile_or(bv, backend).value();
     EXPECT_TRUE(transpile::is_hardware_compliant(result.circuit, backend));
     EXPECT_GT(result.depth, 0);
     EXPECT_GT(result.duration_dt, 0.0);
@@ -152,8 +152,8 @@ TEST(Transpiler, MultiTrialNeverWorse)
     single.trials = 1;
     transpile::TranspileOptions multi;
     multi.trials = 5;
-    const auto a = transpile::transpile(bv, backend, single);
-    const auto b = transpile::transpile(bv, backend, multi);
+    const auto a = transpile::transpile_or(bv, backend, single).value();
+    const auto b = transpile::transpile_or(bv, backend, multi).value();
     EXPECT_LE(b.swaps_added, a.swaps_added);
 }
 
@@ -186,7 +186,7 @@ TEST_P(RoutingSemantics, StatevectorsMatchThroughFinalLayout)
     ASSERT_LE(backend.num_qubits(), 20);
     transpile::TranspileOptions options;
     options.keep_rzz = true;
-    const auto routed = transpile::transpile(logical, backend, options);
+    const auto routed = transpile::transpile_or(logical, backend, options).value();
     ASSERT_TRUE(transpile::is_hardware_compliant(routed.circuit, backend));
 
     sim::StateVector logical_sv(nq);

@@ -135,8 +135,11 @@ def check(baseline, fresh, time_tolerance, min_ms):
                 )
 
         # Wall-clock throughput gates: higher is better, same noise
-        # tolerance. `speedup` is the serving cache's hot/cold ratio.
-        for metric in ("shots_per_sec", "requests_per_sec", "speedup"):
+        # tolerance. `speedup` is the serving cache's hot/cold ratio;
+        # `bind_speedup` is the template API's fresh-compile-median /
+        # bind-median ratio (bench_template).
+        for metric in ("shots_per_sec", "requests_per_sec", "speedup",
+                       "bind_speedup"):
             base_v = base.get(metric)
             new_v = new.get(metric)
             if base_v is None:
@@ -195,6 +198,15 @@ def self_test():
                 "p50_ms": 0.4,
                 "p99_ms": 3.0,
                 "speedup": 8.0,
+            },
+            {
+                # Template-bind entry (bench_template): sub-min-ms
+                # median (time-exempt) plus the bind_speedup ratio.
+                "name": "template_bind",
+                "strategy": "qs_commuting",
+                "backend": "FakeMumbai",
+                "wall_ms_median": 0.004,
+                "bind_speedup": 2000.0,
             },
         ],
     }
@@ -277,6 +289,24 @@ def self_test():
         doc["benchmarks"][2]["p99_ms"] *= 0.5
 
     expect("serving improvements pass", run(faster_serving), False)
+
+    def bind_speedup_collapse(doc):
+        doc["benchmarks"][3]["bind_speedup"] = 5.0
+
+    expect("template bind speedup collapse fails",
+           run(bind_speedup_collapse), True)
+
+    def dropped_bind_speedup(doc):
+        del doc["benchmarks"][3]["bind_speedup"]
+
+    expect("dropped bind_speedup fails", run(dropped_bind_speedup),
+           True)
+
+    def sub_ms_bind_slowdown(doc):
+        doc["benchmarks"][3]["wall_ms_median"] *= 10.0
+
+    expect("sub-min-ms bind median slowdown is noise-exempt",
+           run(sub_ms_bind_slowdown), False)
 
     def improvement(doc):
         doc["benchmarks"][0]["swaps"] = 0
