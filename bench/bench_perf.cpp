@@ -36,6 +36,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/commuting.h"
@@ -110,6 +111,11 @@ struct BenchResult
     /// Template-bind entries only: fresh-compile median over bind
     /// median for the same skeleton (compile-once / bind-many payoff).
     std::optional<double> bind_speedup;
+    /// The raced-routing entry only: serial 32-trial median over the
+    /// 8-thread raced median for the same request. Emitted only on
+    /// machines with >= 8 hardware threads — anything smaller cannot
+    /// demonstrate the scaling and would only baseline noise.
+    std::optional<double> trial_speedup;
 };
 
 /// Wall-clock ms of the simulate stage, if the request ran one.
@@ -195,6 +201,25 @@ build_corpus(const std::string& corpus_dir, const std::string& backend)
         cases.push_back(std::move(sim_entry));
     }
 
+    // Raced-routing scaling probes: the most routing-dominated corpus
+    // circuit at 32 trials, serial vs raced on 8 threads. The trial
+    // winner is bit-identical between the two (the quality columns
+    // must match); only the wall time may differ, and the +route8
+    // entry carries `trial_speedup` for CI to gate on.
+    for (const auto& [suffix, threads] :
+         {std::pair<const char*, int>{"+route", 1},
+          std::pair<const char*, int>{"+route8", 8}}) {
+        BenchCase entry;
+        entry.name = std::string("multiply_13") + suffix;
+        entry.request = prototype;
+        entry.request.name = entry.name;
+        entry.request.strategy = Strategy::kBaseline;
+        entry.request.qasm_file = corpus_dir + "/multiply_13.qasm";
+        entry.request.transpile.trials = 32;
+        entry.request.transpile.num_threads = threads;
+        cases.push_back(std::move(entry));
+    }
+
     return cases;
 }
 
@@ -231,6 +256,10 @@ write_json(std::ostream& os, const std::vector<BenchResult>& results,
         if (result.bind_speedup.has_value()) {
             os << ",\"bind_speedup\":"
                << json_number(*result.bind_speedup);
+        }
+        if (result.trial_speedup.has_value()) {
+            os << ",\"trial_speedup\":"
+               << json_number(*result.trial_speedup);
         }
         os << "}";
     }
@@ -321,6 +350,23 @@ main(int argc, char** argv)
             }
         }
         results.push_back(std::move(result));
+    }
+
+    // Multi-trial routing scaling: serial median over raced median
+    // for the +route pair, attached to the raced entry. Skipped below
+    // 8 hardware threads (see BenchResult::trial_speedup).
+    if (std::thread::hardware_concurrency() >= 8) {
+        const BenchResult* serial_route = nullptr;
+        BenchResult* raced_route = nullptr;
+        for (auto& result : results) {
+            if (result.name == "multiply_13+route") serial_route = &result;
+            if (result.name == "multiply_13+route8") raced_route = &result;
+        }
+        if (serial_route != nullptr && raced_route != nullptr &&
+            raced_route->wall_ms_median > 0.0) {
+            raced_route->trial_speedup =
+                serial_route->wall_ms_median / raced_route->wall_ms_median;
+        }
     }
 
     // Template-bind probe: the qaoa_12 skeleton through the

@@ -4,11 +4,15 @@
 #include <limits>
 #include <optional>
 #include <set>
+#include <tuple>
 
 #include "circuit/dag.h"
 #include "circuit/timing.h"
 #include "transpile/decompose.h"
+#include "transpile/router.h"
 #include "util/logging.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
 #include "util/trace.h"
 
 namespace caqr::core {
@@ -31,9 +35,18 @@ struct SrState
     std::vector<int> logical_of;   // physical -> logical or -1
     std::vector<bool> ever_used;   // physical touched at least once
     std::vector<int> remaining_ops;  // per logical qubit
+    util::Rng* jitter_rng = nullptr;  // set when options->jitter > 0
     int swaps_added = 0;
     int reuses = 0;
 };
+
+/// Seeded tie-break noise added to a placement key / SWAP score.
+double
+jitter_of(const SrState& state)
+{
+    if (state.jitter_rng == nullptr) return 0.0;
+    return state.options->jitter * state.jitter_rng->next_double();
+}
 
 /// Total operation count per logical qubit (for "map the qubit with
 /// more gates first", paper §3.3.1 Step 2).
@@ -54,6 +67,8 @@ is_free(const SrState& state, int phys)
 {
     return state.logical_of[phys] < 0;
 }
+
+int safe_distance(const arch::Backend& backend, int a, int b);
 
 /// Seeds the first operand of a gate: a free physical qubit that is
 /// well connected and close to the device center; lookahead pulls it
@@ -107,6 +122,7 @@ pick_seed_phys(const SrState& state, int logical_q)
             score -= backend.calibration().best_incident_cx_error(
                 topology, p);
         }
+        score -= jitter_of(state);
         if (score > best_score) {
             best_score = score;
             best = p;
@@ -117,17 +133,43 @@ pick_seed_phys(const SrState& state, int logical_q)
 }
 
 /// Places the second operand next to an already-mapped partner:
-/// minimum distance, then error tie-breaks (paper Step 2).
+/// minimum distance, then error tie-breaks (paper Step 2). When
+/// `placement_pull` is positive, the choice is additionally pulled
+/// toward @p logical_q's already-placed *future* partners, trading a
+/// slightly longer first hop for fewer SWAPs later.
 int
-pick_adjacent_phys(const SrState& state, int partner_phys)
+pick_adjacent_phys(const SrState& state, int logical_q, int partner_phys)
 {
     const auto& backend = *state.backend;
+
+    std::vector<int> future_partners;
+    if (state.options->placement_pull > 0.0) {
+        for (const auto& instr : state.logical->instructions()) {
+            if (!circuit::is_two_qubit(instr.kind)) continue;
+            if (!instr.uses_qubit(logical_q)) continue;
+            for (int other : instr.qubits) {
+                if (other != logical_q && state.phys_of[other] >= 0 &&
+                    state.phys_of[other] != partner_phys) {
+                    future_partners.push_back(state.phys_of[other]);
+                }
+            }
+        }
+    }
+
     int best = -1;
     double best_key = std::numeric_limits<double>::infinity();
     for (int p = 0; p < backend.num_qubits(); ++p) {
         if (!is_free(state, p)) continue;
         const int d = backend.distance(p, partner_phys);
         double key = static_cast<double>(d < 0 ? backend.num_qubits() : d);
+        if (!future_partners.empty()) {
+            double pull = 0.0;
+            for (int partner : future_partners) {
+                pull += safe_distance(backend, p, partner);
+            }
+            key += state.options->placement_pull * pull /
+                   static_cast<double>(future_partners.size());
+        }
         // A reclaimed wire serializes behind its reset: prefer a fresh
         // wire at equal distance, reuse when it is strictly closer.
         if (state.ever_used[p]) key += 0.5;
@@ -138,6 +180,7 @@ pick_adjacent_phys(const SrState& state, int partner_phys)
                     backend.calibration().link(p, partner_phys).cx_error;
             }
         }
+        key += jitter_of(state);
         if (key < best_key) {
             best_key = key;
             best = p;
@@ -244,36 +287,144 @@ run_sr_caqr(const Circuit& input, const arch::Backend& backend,
     if (options.trace) span.emplace("sr_caqr");
 
     // Heuristic-perturbation trials around the placement and SWAP
-    // scoring weights; fewest SWAPs wins (duration tie-break).
+    // scoring weights. The first 4 variants are the historical
+    // portfolio; 5-8 widen the sweep now that trials race on the
+    // thread pool. The winner selection below guarantees any trial
+    // count >= 4 is weakly better than the pre-PR-9 behavior on every
+    // tracked quality metric.
     struct Variant
     {
         double lookahead;
         double swap_lookahead;
+        double pull;         ///< placement_pull override (< 0 keeps it)
+        bool distance_only;  ///< drop the error-aware placement bias
+        bool eager_mapping;  ///< drop the delay-noncritical rule
     };
     static constexpr Variant kVariants[] = {
-        {1.0, 1.0}, {0.5, 0.5}, {2.0, 2.0}, {1.0, 0.25}};
+        {1.0, 1.0, -1.0, false, false}, {0.5, 0.5, -1.0, false, false},
+        {2.0, 2.0, -1.0, false, false}, {1.0, 0.25, -1.0, false, false},
+        {1.0, 1.0, 0.5, false, false},  {1.0, 1.0, 1.0, true, false},
+        {1.0, 0.5, 0.25, false, false}, {1.0, 1.0, 0.5, false, true}};
+    constexpr int kNumVariants =
+        static_cast<int>(sizeof(kVariants) / sizeof(kVariants[0]));
 
-    SrCaqrResult best;
-    bool have_best = false;
+    // Trials beyond the structural portfolio are seeded-jitter runs:
+    // small tie-break noise on placement keys and SWAP scores lets
+    // equal-cost decisions explore different branches — SR's analogue
+    // of SABRE multi-seed trials. Amplitudes cycle small -> large so
+    // early extra trials stay close to the greedy solution.
+    static constexpr double kJitterAmps[] = {0.05, 0.15, 0.3, 0.6};
+
     const int trials = std::max(1, options.trials);
-    for (int trial = 0; trial < trials && trial < 4; ++trial) {
+
+    // A trial's result plus its estimated success probability — ESP is
+    // part of the winner selection below, so it is computed inside the
+    // (possibly racing) trial rather than serially afterwards.
+    struct TrialResult
+    {
+        SrCaqrResult result;
+        double esp = 0.0;
+    };
+    auto run_variant = [&](std::size_t trial) {
         SrCaqrOptions variant = options;
-        variant.lookahead_weight *= kVariants[trial].lookahead;
-        variant.swap_lookahead_weight *= kVariants[trial].swap_lookahead;
-        auto result = sr_caqr_single(input, backend, variant);
-        const bool better =
-            !have_best || result.swaps_added < best.swaps_added ||
-            (result.swaps_added == best.swaps_added &&
-             result.duration_dt < best.duration_dt);
-        if (better) {
-            best = std::move(result);
-            have_best = true;
+        if (trial < static_cast<std::size_t>(kNumVariants)) {
+            variant.lookahead_weight *= kVariants[trial].lookahead;
+            variant.swap_lookahead_weight *=
+                kVariants[trial].swap_lookahead;
+            if (kVariants[trial].pull >= 0.0) {
+                variant.placement_pull = kVariants[trial].pull;
+            }
+            // Structural variants only *relax* requested features, so
+            // a caller who disabled them still gets what they asked
+            // for.
+            if (kVariants[trial].distance_only) {
+                variant.error_aware = false;
+            }
+            if (kVariants[trial].eager_mapping) {
+                variant.delay_noncritical = false;
+            }
+        } else {
+            const std::size_t j =
+                trial - static_cast<std::size_t>(kNumVariants);
+            variant.jitter = kJitterAmps[j % 4];
+            variant.jitter_stream = j / 4;
         }
+        TrialResult out;
+        out.result = sr_caqr_single(input, backend, variant);
+        out.esp = arch::estimated_success_probability(out.result.circuit,
+                                                      backend);
+        return out;
+    };
+
+    const int threads =
+        util::ThreadPool::resolve_threads(options.num_threads);
+    std::vector<TrialResult> results;
+    if (trials == 1 || threads == 1) {
+        results.reserve(static_cast<std::size_t>(trials));
+        for (int trial = 0; trial < trials; ++trial) {
+            results.push_back(run_variant(static_cast<std::size_t>(trial)));
+        }
+    } else if (options.pool != nullptr && options.pool->size() > 0) {
+        results =
+            options.pool->map(static_cast<std::size_t>(trials), run_variant);
+    } else {
+        util::ThreadPool transient(std::min(threads, trials) - 1);
+        results =
+            transient.map(static_cast<std::size_t>(trials), run_variant);
     }
 
+    // Winner selection, in two index-ordered stages (map() returns
+    // results in variant order, so both are thread-count-independent).
+    //
+    // Stage 1 — anchor: the historical portfolio's winner (the first 4
+    // variants, fewest SWAPs then shortest duration), i.e. exactly what
+    // the narrower pre-PR-9 sweep produced.
+    //
+    // Stage 2 — challenge: a trial is *admissible* when it is no worse
+    // than the anchor on every quality metric the regression gate
+    // tracks (SWAPs, physical qubits, depth, ESP); among admissible
+    // trials the lexicographically best (fewest SWAPs, fewest qubits,
+    // lowest depth, highest ESP, shortest duration, lowest index)
+    // wins. Because admissibility is judged against the anchor — not
+    // the running winner — one challenger can never shadow another,
+    // and the final answer always dominates the legacy result: the
+    // wider portfolio can only improve, never trade one tracked
+    // metric for another.
+    const std::size_t legacy =
+        std::min<std::size_t>(results.size(), 4);
+    std::size_t anchor = 0;
+    for (std::size_t i = 1; i < legacy; ++i) {
+        const SrCaqrResult& r = results[i].result;
+        const SrCaqrResult& w = results[anchor].result;
+        if (r.swaps_added < w.swaps_added ||
+            (r.swaps_added == w.swaps_added &&
+             r.duration_dt < w.duration_dt)) {
+            anchor = i;
+        }
+    }
+    std::size_t winner = anchor;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (i == winner) continue;
+        const SrCaqrResult& r = results[i].result;
+        const SrCaqrResult& a = results[anchor].result;
+        const bool admissible =
+            r.swaps_added <= a.swaps_added &&
+            r.physical_qubits_used <= a.physical_qubits_used &&
+            r.depth <= a.depth && results[i].esp >= results[anchor].esp;
+        if (!admissible) continue;
+        const SrCaqrResult& w = results[winner].result;
+        const auto key = [&](const SrCaqrResult& x, double esp) {
+            return std::make_tuple(x.swaps_added, x.physical_qubits_used,
+                                   x.depth, -esp, x.duration_dt);
+        };
+        if (key(r, results[i].esp) < key(w, results[winner].esp)) {
+            winner = i;
+        }
+    }
+    SrCaqrResult best = std::move(results[winner].result);
+
     if (options.trace && util::trace::enabled()) {
-        util::trace::counter_add("sr_caqr.variant_trials",
-                                 std::min(trials, 4));
+        util::trace::counter_add("sr_caqr.variant_trials", trials);
         util::trace::counter_add("sr_caqr.swaps_added", best.swaps_added);
         util::trace::counter_add("sr_caqr.reuses", best.reuses);
     }
@@ -315,10 +466,13 @@ sr_caqr_single(const Circuit& input, const arch::Backend& backend,
     const auto earliest = dag.graph().earliest_completion(weights);
     const auto latest = dag.graph().latest_completion(weights);
 
+    util::Rng jitter_rng(options.seed, options.jitter_stream);
+
     SrState state;
     state.logical = &logical;
     state.backend = &backend;
     state.options = &options;
+    if (options.jitter > 0.0) state.jitter_rng = &jitter_rng;
     state.output = Circuit(backend.num_qubits(), logical.num_clbits());
     state.output.copy_params_from(logical);
     state.phys_of.assign(static_cast<std::size_t>(logical.num_qubits()),
@@ -354,7 +508,8 @@ sr_caqr_single(const Circuit& input, const arch::Backend& backend,
             }
             assign(state, first, pick_seed_phys(state, first));
             assign(state, second,
-                   pick_adjacent_phys(state, state.phys_of[first]));
+                   pick_adjacent_phys(state, second,
+                                      state.phys_of[first]));
         } else if (unmapped.size() == 1) {
             const int lq = unmapped[0];
             int partner_phys = -1;
@@ -363,7 +518,7 @@ sr_caqr_single(const Circuit& input, const arch::Backend& backend,
             }
             assign(state, lq,
                    partner_phys >= 0
-                       ? pick_adjacent_phys(state, partner_phys)
+                       ? pick_adjacent_phys(state, lq, partner_phys)
                        : pick_seed_phys(state, lq));
         }
     };
@@ -554,13 +709,17 @@ sr_caqr_single(const Circuit& input, const arch::Backend& backend,
                 look_cost *=
                     kLookaheadWeight / static_cast<double>(extended.size());
             }
-            double score = (std::max(decay[pa], decay[pb]) + 1.0) *
-                           (front_cost + look_cost);
+            double link_bias = 0.0;
             if (state.options->error_aware &&
                 backend.calibration().has_link(pa, pb)) {
-                score += backend.calibration().link(pa, pb).cx_error;
+                link_bias = backend.calibration().link(pa, pb).cx_error;
             }
-            return score;
+            // Same combiner as the baseline router: the error-aware
+            // bias sits inside the decayed product (PR-9 fix).
+            return transpile::combine_swap_score(
+                       front_cost, look_cost,
+                       std::max(decay[pa], decay[pb]) + 1.0, link_bias) +
+                   jitter_of(state);
         };
 
         double best_score = std::numeric_limits<double>::infinity();

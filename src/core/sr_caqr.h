@@ -25,8 +25,10 @@
 namespace caqr::core {
 
 /// SR-CaQR options. The embedded CommonOptions supply the per-request
-/// trace opt-out (the pass itself is deterministic — its trials are
-/// fixed heuristic variants, not seeded perturbations).
+/// trace opt-out and the variant-trial thread count / borrowed pool
+/// (the pass itself is deterministic — its trials are fixed heuristic
+/// variants, not seeded perturbations, and the winner never depends on
+/// thread count).
 struct SrCaqrOptions : CommonOptions
 {
     /// Break placement/SWAP ties toward lower readout / CX error.
@@ -37,10 +39,32 @@ struct SrCaqrOptions : CommonOptions
     double lookahead_weight = 4.0;
     /// Weight of the lookahead window in SWAP scoring.
     double swap_lookahead_weight = 0.5;
-    /// Heuristic-perturbation trials; the run with the fewest SWAPs
-    /// (duration tie-break) wins, mirroring the baseline's multi-seed
-    /// routing practice.
-    int trials = 4;
+    /// Pull of a new placement toward the qubit's already-placed
+    /// *future* interaction partners (0 = place purely by distance to
+    /// the current partner, the paper's Step 2). Positive values trade
+    /// a longer first hop for fewer SWAPs later; the variant portfolio
+    /// sweeps this.
+    double placement_pull = 0.0;
+    /// Amplitude of seeded tie-break jitter on placement keys and SWAP
+    /// scores (0 = fully greedy). Small positive values let equal-cost
+    /// decisions explore different branches per trial — the SR
+    /// equivalent of SABRE's random-seed trials. Jittered trials draw
+    /// from `Rng(seed, jitter_stream)`, so results are reproducible.
+    double jitter = 0.0;
+    /// Substream selecting which deterministic jitter draw a trial
+    /// uses; varied per variant trial.
+    std::uint64_t jitter_stream = 0;
+    /// Heuristic-perturbation trials: the first 8 are fixed structural
+    /// variants (the pre-PR-9 weight portfolio plus placement-pull /
+    /// distance-only / eager-mapping relaxations); trials beyond that
+    /// are seeded-jitter runs cycling `Rng(seed, stream)` substreams.
+    /// The historical portfolio's winner anchors the result; a wider
+    /// trial takes the win only when it is no worse on every tracked
+    /// quality metric (SWAPs, physical qubits, depth, ESP) and
+    /// strictly better on at least one, so more trials can only
+    /// improve results. Trials race on the thread pool; the winner is
+    /// bit-identical at any thread count.
+    int trials = 24;
     /// Delay non-critical gates whose qubits are unmapped (paper
     /// §3.3.1 Step 2). Disable only for ablation studies: mapping every
     /// frontier gate immediately forfeits the wider physical-qubit

@@ -250,6 +250,12 @@ request_option_lines(const CompileRequest& request)
                             request.sr.swap_lookahead_weight));
         lines.push_back(opt("sr.trials",
                             static_cast<long long>(request.sr.trials)));
+        lines.push_back(opt("sr.placement_pull",
+                            request.sr.placement_pull));
+        lines.push_back(opt("sr.jitter", request.sr.jitter));
+        lines.push_back(opt("sr.jitter_stream",
+                            static_cast<long long>(
+                                request.sr.jitter_stream)));
         lines.push_back(opt("sr.delay_noncritical",
                             request.sr.delay_noncritical));
         break;
@@ -260,6 +266,9 @@ request_option_lines(const CompileRequest& request)
         lines.push_back(opt("transpile.keep_rzz", tr.keep_rzz));
         lines.push_back(opt("transpile.trials",
                             static_cast<long long>(tr.trials)));
+        lines.push_back(opt("transpile.layout_refine_passes",
+                            static_cast<long long>(
+                                tr.layout_refine_passes)));
         lines.push_back(opt("transpile.peephole", tr.peephole));
         lines.push_back(opt("router.lookahead_weight",
                             tr.router.lookahead_weight));
@@ -273,6 +282,9 @@ request_option_lines(const CompileRequest& request)
                                 tr.router.decay_reset_interval)));
         lines.push_back(opt("router.error_aware",
                             tr.router.error_aware));
+        lines.push_back(opt("router.stall_escape_after",
+                            static_cast<long long>(
+                                tr.router.stall_escape_after)));
     }
     return lines;
 }

@@ -123,8 +123,9 @@ Session::handle_line(const std::string& line)
     if (command == "help") {
         out << "# compile <file.qasm> | batch <dir|manifest> |"
                " template <file.qasm> | bind <id> <value...> |"
-               " stats [json] | set strategy|backend|tenant <name> |"
-               " version | reset | quit\n"
+               " stats [json] |"
+               " set strategy|backend|tenant <name> |"
+               " set trials|threads <n> | version | reset | quit\n"
             << "ok help\n";
     } else if (command == "version") {
         out << "ok version protocol=" << kProtocolVersion
@@ -237,8 +238,34 @@ Session::handle_line(const std::string& line)
         } else if (key == "tenant") {
             prototype_.tenant = value;
             out << "ok set tenant " << value << "\n";
+        } else if (key == "trials" || key == "threads") {
+            int parsed = 0;
+            try {
+                parsed = std::stoi(value);
+            } catch (const std::exception&) {
+                out << "error set " << key << " needs an integer, not '"
+                    << value << "'\n";
+                return {out.str(), false};
+            }
+            if (key == "trials") {
+                if (parsed < 1) {
+                    out << "error set trials needs n >= 1\n";
+                    return {out.str(), false};
+                }
+                // One knob drives both engines: the routing trial
+                // count and the SR variant-trial count.
+                prototype_.transpile.trials = parsed;
+                prototype_.sr.trials = parsed;
+            } else {
+                // 0 = one thread per hardware core; capped by the
+                // service pool at compile time.
+                prototype_.transpile.num_threads = parsed;
+                prototype_.sr.num_threads = parsed;
+            }
+            out << "ok set " << key << " " << parsed << "\n";
         } else {
-            out << "error set knows strategy|backend|tenant, not '"
+            out << "error set knows strategy|backend|tenant|trials|"
+                   "threads, not '"
                 << key << "'\n";
         }
     } else if (command == "reset") {

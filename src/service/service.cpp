@@ -421,6 +421,17 @@ Service::compile_uncached(const CompileRequest& request,
         });
     }
 
+    // Raced routing/variant trials borrow the service pool instead of
+    // spinning up transient workers per request. The pool is never
+    // part of a cache key and trial winners are bit-identical with or
+    // without it, so this only changes wall time.
+    core::SrCaqrOptions sr_options = request.sr;
+    transpile::TranspileOptions transpile_options = request.transpile;
+    if (pool_.size() > 0) {
+        sr_options.pool = &pool_;
+        transpile_options.pool = &pool_;
+    }
+
     // Reuse pass (strategy dispatch). `reuse_level` is the logical
     // circuit the mapping and simulation stages consume; kSrCaqr maps
     // internally and fills the report directly.
@@ -482,9 +493,9 @@ Service::compile_uncached(const CompileRequest& request,
             auto result =
                 request.commuting.has_value()
                     ? core::sr_caqr_commuting_or(*request.commuting,
-                                                 *backend, request.sr,
+                                                 *backend, sr_options,
                                                  request.qs_commuting)
-                    : core::sr_caqr_or(input, *backend, request.sr);
+                    : core::sr_caqr_or(input, *backend, sr_options);
             if (!result.ok()) return result.status();
             report.compiled = std::move(result->circuit);
             report.qubits = result->physical_qubits_used;
@@ -503,7 +514,7 @@ Service::compile_uncached(const CompileRequest& request,
         if (request.map_to_backend) {
             run_stage("map", [&]() -> util::Status {
                 auto result = transpile::transpile_or(
-                    reuse_level, *backend, request.transpile);
+                    reuse_level, *backend, transpile_options);
                 if (!result.ok()) return result.status();
                 report.compiled = std::move(result->circuit);
                 report.swaps = result->swaps_added;

@@ -2,10 +2,9 @@
 
 #include <algorithm>
 #include <limits>
-#include <set>
+#include <optional>
 
 #include "circuit/dag.h"
-#include "util/logging.h"
 #include "util/trace.h"
 
 namespace caqr::transpile {
@@ -16,28 +15,6 @@ using circuit::Circuit;
 using circuit::GateKind;
 using circuit::Instruction;
 
-/// Mutable routing state shared by the helper routines.
-struct RouterState
-{
-    const Circuit* logical;
-    const arch::Backend* backend;
-    const RouterOptions* options;
-
-    Circuit output;
-    std::vector<int> phys_of;   // logical -> physical
-    std::vector<int> logical_of;  // physical -> logical or -1
-    std::vector<int> remaining_preds;  // per DAG node
-    std::vector<int> frontier;         // DAG nodes ready to consider
-    std::vector<double> decay;         // per physical qubit
-    int swaps_added = 0;
-};
-
-bool
-is_always_executable(const Instruction& instr)
-{
-    return !circuit::is_two_qubit(instr.kind);
-}
-
 /// Distance with disconnected pairs treated as very far.
 int
 safe_distance(const arch::Backend& backend, int a, int b)
@@ -46,231 +23,351 @@ safe_distance(const arch::Backend& backend, int a, int b)
     return d < 0 ? backend.num_qubits() * 2 : d;
 }
 
-/// Emits one logical instruction through the current mapping.
+/// Sizes and resets @p s for one routing run. Buffers already large
+/// enough are reused as-is; the generation-stamped seen set survives
+/// across runs without clearing.
 void
-emit(RouterState& state, const Instruction& instr)
+prepare_scratch(RouterScratch& s, const Circuit& logical,
+                const circuit::CircuitDag& dag,
+                const arch::Backend& backend, const Layout& initial)
 {
-    Instruction mapped = instr;
-    for (auto& q : mapped.qubits) q = state.phys_of[q];
-    state.output.append(std::move(mapped));
+    const int num_nodes = dag.graph().num_nodes();
+    const auto nn = static_cast<std::size_t>(num_nodes);
+    const auto np = static_cast<std::size_t>(backend.num_qubits());
+
+    s.phys_of.assign(initial.begin(), initial.end());
+    s.logical_of.assign(np, -1);
+    for (int l = 0; l < logical.num_qubits(); ++l) {
+        s.logical_of[initial[l]] = l;
+    }
+    s.decay.assign(np, 0.0);
+
+    s.remaining_preds.resize(nn);
+    s.is_2q.resize(nn);
+    s.frontier.clear();
+    for (int node = 0; node < num_nodes; ++node) {
+        s.remaining_preds[node] = dag.graph().in_degree(node);
+        if (s.remaining_preds[node] == 0) s.frontier.push_back(node);
+        s.is_2q[node] =
+            circuit::is_two_qubit(
+                logical.at(static_cast<std::size_t>(node)).kind)
+                ? 1
+                : 0;
+    }
+    if (s.seen_stamp.size() < nn) s.seen_stamp.resize(nn, 0);
+    s.lookahead_valid = false;
 }
 
-/// Collects up to options.lookahead_size upcoming two-qubit gates
-/// reachable from the frontier (successor closure, BFS order).
-std::vector<int>
-lookahead_set(const RouterState& state, const circuit::CircuitDag& dag)
+/// Rebuilds the cached lookahead window: up to lookahead_size upcoming
+/// two-qubit gates reachable from the frontier (successor closure, BFS
+/// order). Called only when the frontier advanced — consecutive stall
+/// iterations reuse the cache, since SWAPs change the mapping but not
+/// the frontier or the DAG.
+void
+refresh_lookahead(RouterScratch& s, const circuit::CircuitDag& dag,
+                  const RouterOptions& options)
 {
-    std::vector<int> result;
-    std::set<int> seen(state.frontier.begin(), state.frontier.end());
-    std::vector<int> queue = state.frontier;
+    s.lookahead.clear();
+    s.bfs_queue.clear();
+    if (++s.generation == 0) {
+        // Stamp wrap-around: invalidate every stale stamp once.
+        std::fill(s.seen_stamp.begin(), s.seen_stamp.end(), 0u);
+        s.generation = 1;
+    }
+    for (int node : s.frontier) {
+        s.seen_stamp[node] = s.generation;
+        s.bfs_queue.push_back(node);
+    }
     std::size_t head = 0;
-    while (head < queue.size() &&
-           static_cast<int>(result.size()) < state.options->lookahead_size) {
-        const int node = queue[head++];
+    while (head < s.bfs_queue.size() &&
+           static_cast<int>(s.lookahead.size()) < options.lookahead_size) {
+        const int node = s.bfs_queue[head++];
         for (int succ : dag.graph().successors(node)) {
-            if (!seen.insert(succ).second) continue;
-            queue.push_back(succ);
-            const auto& instr = state.logical->at(
-                static_cast<std::size_t>(succ));
-            if (circuit::is_two_qubit(instr.kind)) {
-                result.push_back(succ);
-                if (static_cast<int>(result.size()) >=
-                    state.options->lookahead_size) {
+            if (s.seen_stamp[succ] == s.generation) continue;
+            s.seen_stamp[succ] = s.generation;
+            s.bfs_queue.push_back(succ);
+            if (s.is_2q[succ]) {
+                s.lookahead.push_back(succ);
+                if (static_cast<int>(s.lookahead.size()) >=
+                    options.lookahead_size) {
                     break;
                 }
             }
         }
     }
-    return result;
+    s.lookahead_valid = true;
 }
 
-/// Heuristic score of applying SWAP on physical link (pa, pb); lower is
-/// better.
+/// Heuristic score of applying SWAP on physical link (pa, pb); lower
+/// is better. The frontier (all blocked two-qubit gates during a
+/// stall) is the front layer; the cached window is the lookahead.
 double
-swap_score(const RouterState& state, const std::vector<int>& front_2q,
-           const std::vector<int>& extended, int pa, int pb)
+swap_score(const Circuit& logical, const arch::Backend& backend,
+           const RouterOptions& options, const RouterScratch& s, int pa,
+           int pb)
 {
-    const auto& backend = *state.backend;
-    // Apply the hypothetical swap to a local copy of the mapping.
+    // Apply the hypothetical swap to the mapping on the fly.
     auto mapped = [&](int logical_q) {
-        const int p = state.phys_of[logical_q];
+        const int p = s.phys_of[logical_q];
         if (p == pa) return pb;
         if (p == pb) return pa;
         return p;
     };
 
     double front_cost = 0.0;
-    for (int node : front_2q) {
-        const auto& instr = state.logical->at(static_cast<std::size_t>(node));
+    for (int node : s.frontier) {
+        const auto& instr = logical.at(static_cast<std::size_t>(node));
         front_cost += safe_distance(backend, mapped(instr.qubits[0]),
                                     mapped(instr.qubits[1]));
     }
-    if (!front_2q.empty()) front_cost /= static_cast<double>(front_2q.size());
+    if (!s.frontier.empty()) {
+        front_cost /= static_cast<double>(s.frontier.size());
+    }
 
     double look_cost = 0.0;
-    if (!extended.empty()) {
-        for (int node : extended) {
+    if (!s.lookahead.empty()) {
+        for (int node : s.lookahead) {
             const auto& instr =
-                state.logical->at(static_cast<std::size_t>(node));
+                logical.at(static_cast<std::size_t>(node));
             look_cost += safe_distance(backend, mapped(instr.qubits[0]),
                                        mapped(instr.qubits[1]));
         }
-        look_cost *= state.options->lookahead_weight /
-                     static_cast<double>(extended.size());
+        look_cost *= options.lookahead_weight /
+                     static_cast<double>(s.lookahead.size());
     }
 
-    const double decay_factor =
-        std::max(state.decay[pa], state.decay[pb]) + 1.0;
-    double score = decay_factor * (front_cost + look_cost);
-
-    if (state.options->error_aware &&
-        state.backend->calibration().has_link(pa, pb)) {
+    double link_bias = 0.0;
+    if (options.error_aware && backend.calibration().has_link(pa, pb)) {
         // Small bias toward reliable links; never dominates distance.
-        score += state.backend->calibration().link(pa, pb).cx_error;
+        link_bias = backend.calibration().link(pa, pb).cx_error;
     }
-    return score;
+    const double decay_factor =
+        std::max(s.decay[pa], s.decay[pb]) + 1.0;
+    return combine_swap_score(front_cost, look_cost, decay_factor,
+                              link_bias);
+}
+
+/// Applies a SWAP on physical link (pa, pb): emits the gate and
+/// updates the logical <-> physical mapping.
+void
+apply_swap(RouterScratch& s, Circuit& output, int pa, int pb,
+           int& swaps_added)
+{
+    Instruction swap_instr;
+    swap_instr.kind = GateKind::kSwap;
+    swap_instr.qubits = {pa, pb};
+    output.append(std::move(swap_instr));
+    ++swaps_added;
+
+    const int la = s.logical_of[pa];
+    const int lb = s.logical_of[pb];
+    if (la >= 0) s.phys_of[la] = pb;
+    if (lb >= 0) s.phys_of[lb] = pa;
+    std::swap(s.logical_of[pa], s.logical_of[pb]);
 }
 
 }  // namespace
 
-RoutingResult
-route(const Circuit& logical, const arch::Backend& backend,
-      const Layout& initial, const RouterOptions& options)
+double
+combine_swap_score(double front_cost, double look_cost,
+                   double decay_factor, double link_bias)
 {
-    CAQR_CHECK(is_valid_layout(initial, logical, backend),
-               "invalid initial layout");
+    return decay_factor * (front_cost + look_cost + link_bias);
+}
+
+util::StatusOr<RoutingResult>
+route_or(const Circuit& logical, const arch::Backend& backend,
+         const Layout& initial, const RouterOptions& options,
+         RouterScratch* scratch, const std::atomic<int>* swap_bound)
+{
+    if (!is_valid_layout(initial, logical, backend)) {
+        return util::Status::invalid_argument("invalid initial layout");
+    }
 
     util::trace::Span span("router.route");
 
     circuit::CircuitDag dag(logical);
-    const int num_nodes = dag.graph().num_nodes();
+    std::optional<RouterScratch> local;
+    if (scratch == nullptr) scratch = &local.emplace();
+    RouterScratch& s = *scratch;
+    prepare_scratch(s, logical, dag, backend, initial);
 
-    RouterState state;
-    state.logical = &logical;
-    state.backend = &backend;
-    state.options = &options;
-    state.output = Circuit(backend.num_qubits(), logical.num_clbits());
-    state.output.copy_params_from(logical);
-    state.phys_of = initial;
-    state.logical_of.assign(static_cast<std::size_t>(backend.num_qubits()),
-                            -1);
-    for (int l = 0; l < logical.num_qubits(); ++l) {
-        state.logical_of[initial[l]] = l;
-    }
-    state.decay.assign(static_cast<std::size_t>(backend.num_qubits()), 0.0);
-    state.remaining_preds.resize(static_cast<std::size_t>(num_nodes));
-    for (int node = 0; node < num_nodes; ++node) {
-        state.remaining_preds[node] = dag.graph().in_degree(node);
-        if (state.remaining_preds[node] == 0) state.frontier.push_back(node);
-    }
+    Circuit output(backend.num_qubits(), logical.num_clbits());
+    output.copy_params_from(logical);
 
+    int swaps_added = 0;
     int executed_groups = 0;
-    long long stall_guard = 0;
+    int stall_streak = 0;
+    long long stall_iterations = 0;
+    long long stall_escapes = 0;
     const long long stall_limit =
-        4LL * num_nodes * backend.num_qubits() + 1000;
+        4LL * dag.graph().num_nodes() * backend.num_qubits() + 1000;
 
-    while (!state.frontier.empty()) {
+    // Cost-bound pruning for raced trials: abort once this run has
+    // strictly more SWAPs than the incumbent — it can no longer win.
+    auto over_budget = [&] {
+        return swap_bound != nullptr &&
+               swaps_added >
+                   swap_bound->load(std::memory_order_relaxed);
+    };
+
+    // Emits one logical instruction through the current mapping.
+    auto emit = [&](const Instruction& instr) {
+        Instruction mapped = instr;
+        for (auto& q : mapped.qubits) q = s.phys_of[q];
+        output.append(std::move(mapped));
+    };
+
+    while (!s.frontier.empty()) {
         // Execute everything currently executable.
-        std::vector<int> still_blocked;
-        std::vector<int> newly_ready;
+        s.still_blocked.clear();
+        s.newly_ready.clear();
         bool executed_any = false;
-        for (int node : state.frontier) {
+        for (int node : s.frontier) {
             const auto& instr =
                 logical.at(static_cast<std::size_t>(node));
-            bool runnable = is_always_executable(instr);
+            bool runnable = !s.is_2q[node];
             if (!runnable) {
-                const int pa = state.phys_of[instr.qubits[0]];
-                const int pb = state.phys_of[instr.qubits[1]];
-                runnable = backend.are_adjacent(pa, pb);
+                runnable = backend.are_adjacent(
+                    s.phys_of[instr.qubits[0]],
+                    s.phys_of[instr.qubits[1]]);
             }
             if (!runnable) {
-                still_blocked.push_back(node);
+                s.still_blocked.push_back(node);
                 continue;
             }
-            emit(state, instr);
+            emit(instr);
             executed_any = true;
             for (int succ : dag.graph().successors(node)) {
-                if (--state.remaining_preds[succ] == 0) {
-                    newly_ready.push_back(succ);
+                if (--s.remaining_preds[succ] == 0) {
+                    s.newly_ready.push_back(succ);
                 }
             }
         }
-        state.frontier = std::move(still_blocked);
-        state.frontier.insert(state.frontier.end(), newly_ready.begin(),
-                              newly_ready.end());
         if (executed_any) {
+            s.frontier.swap(s.still_blocked);
+            s.frontier.insert(s.frontier.end(), s.newly_ready.begin(),
+                              s.newly_ready.end());
+            s.lookahead_valid = false;
+            stall_streak = 0;
             if (++executed_groups % options.decay_reset_interval == 0) {
-                std::fill(state.decay.begin(), state.decay.end(), 0.0);
+                std::fill(s.decay.begin(), s.decay.end(), 0.0);
             }
             continue;
         }
 
-        CAQR_CHECK(stall_guard++ < stall_limit,
-                   "router failed to make progress (disconnected device?)");
+        // All frontier gates are blocked two-qubit gates.
+        if (++stall_iterations >= stall_limit) {
+            return util::Status::infeasible(
+                "router failed to make progress "
+                "(disconnected device?)");
+        }
 
-        // All frontier gates are blocked two-qubit gates: pick a SWAP.
-        std::vector<int> front_2q = state.frontier;
-        const auto extended = lookahead_set(state, dag);
+        if (stall_streak >= std::max(0, options.stall_escape_after)) {
+            // Stall escape: the heuristic has inserted stall_streak
+            // SWAPs without unblocking anything. Force-route the
+            // oldest blocked gate (lowest instruction index) with a
+            // shortest-path SWAP chain — strictly distance-reducing,
+            // so progress is guaranteed on a connected device.
+            ++stall_escapes;
+            const int oldest =
+                *std::min_element(s.frontier.begin(), s.frontier.end());
+            const auto& instr =
+                logical.at(static_cast<std::size_t>(oldest));
+            while (!backend.are_adjacent(s.phys_of[instr.qubits[0]],
+                                         s.phys_of[instr.qubits[1]])) {
+                const int pa = s.phys_of[instr.qubits[0]];
+                const int pb = s.phys_of[instr.qubits[1]];
+                int hop = -1;
+                for (int nb : backend.topology().neighbors(pa)) {
+                    if (safe_distance(backend, nb, pb) <
+                        safe_distance(backend, pa, pb)) {
+                        hop = nb;
+                        break;
+                    }
+                }
+                if (hop < 0) {
+                    return util::Status::infeasible(
+                        "gate operands lie in disconnected components "
+                        "of the coupling graph");
+                }
+                apply_swap(s, output, pa, hop, swaps_added);
+                if (over_budget()) {
+                    return util::Status::infeasible(
+                        "swap budget exceeded (pruned by racing "
+                        "trial)");
+                }
+            }
+            stall_streak = 0;
+            continue;
+        }
 
-        // Candidate swaps: physical edges touching any involved qubit.
-        std::set<std::pair<int, int>> candidates;
-        for (int node : front_2q) {
+        if (!s.lookahead_valid) refresh_lookahead(s, dag, options);
+
+        // Candidate swaps: physical edges touching any involved qubit,
+        // deduped and sorted so tie-breaking matches set iteration.
+        s.candidates.clear();
+        for (int node : s.frontier) {
             const auto& instr =
                 logical.at(static_cast<std::size_t>(node));
             for (int operand : instr.qubits) {
-                const int p = state.phys_of[operand];
+                const int p = s.phys_of[operand];
                 for (int nb : backend.topology().neighbors(p)) {
-                    candidates.insert({std::min(p, nb), std::max(p, nb)});
+                    s.candidates.emplace_back(std::min(p, nb),
+                                              std::max(p, nb));
                 }
             }
         }
-        CAQR_CHECK(!candidates.empty(), "no candidate swaps available");
+        std::sort(s.candidates.begin(), s.candidates.end());
+        s.candidates.erase(
+            std::unique(s.candidates.begin(), s.candidates.end()),
+            s.candidates.end());
+        if (s.candidates.empty()) {
+            return util::Status::infeasible(
+                "no candidate swaps available (isolated qubit?)");
+        }
 
         double best_score = std::numeric_limits<double>::infinity();
         std::pair<int, int> best{-1, -1};
-        for (const auto& cand : candidates) {
-            const double score = swap_score(state, front_2q, extended,
-                                            cand.first, cand.second);
+        for (const auto& cand : s.candidates) {
+            const double score = swap_score(logical, backend, options,
+                                            s, cand.first, cand.second);
             if (score < best_score) {
                 best_score = score;
                 best = cand;
             }
         }
 
-        // Apply the SWAP physically and logically.
-        const auto [pa, pb] = best;
-        Instruction swap_instr;
-        swap_instr.kind = GateKind::kSwap;
-        swap_instr.qubits = {pa, pb};
-        state.output.append(std::move(swap_instr));
-        ++state.swaps_added;
-
-        const int la = state.logical_of[pa];
-        const int lb = state.logical_of[pb];
-        if (la >= 0) state.phys_of[la] = pb;
-        if (lb >= 0) state.phys_of[lb] = pa;
-        std::swap(state.logical_of[pa], state.logical_of[pb]);
-        state.decay[pa] += options.decay_delta;
-        state.decay[pb] += options.decay_delta;
+        apply_swap(s, output, best.first, best.second, swaps_added);
+        s.decay[best.first] += options.decay_delta;
+        s.decay[best.second] += options.decay_delta;
+        ++stall_streak;
+        if (over_budget()) {
+            return util::Status::infeasible(
+                "swap budget exceeded (pruned by racing trial)");
+        }
     }
 
     if (util::trace::enabled()) {
-        util::trace::counter_add("router.swaps_added", state.swaps_added);
+        util::trace::counter_add("router.swaps_added", swaps_added);
         // Stall iterations = frontier passes that executed no gate and
         // had to fall through to SWAP selection.
         util::trace::counter_add("router.stall_iterations",
-                                 static_cast<double>(stall_guard));
+                                 static_cast<double>(stall_iterations));
+        util::trace::counter_add("router.stall_escapes",
+                                 static_cast<double>(stall_escapes));
     }
 
     RoutingResult result;
-    result.circuit = std::move(state.output);
-    result.swaps_added = state.swaps_added;
-    result.final_layout = std::move(state.phys_of);
+    result.circuit = std::move(output);
+    result.swaps_added = swaps_added;
+    result.final_layout.assign(s.phys_of.begin(), s.phys_of.end());
     return result;
 }
 
 bool
-is_hardware_compliant(const Circuit& physical, const arch::Backend& backend)
+is_hardware_compliant(const Circuit& physical,
+                      const arch::Backend& backend)
 {
     if (physical.num_qubits() > backend.num_qubits()) return false;
     for (const auto& instr : physical.instructions()) {

@@ -7,14 +7,30 @@
  * The router walks the gate-dependency DAG with a front layer, executes
  * hardware-compliant gates eagerly, and otherwise inserts the SWAP that
  * minimizes a distance heuristic over the front layer plus a lookahead
- * window, with per-qubit decay to avoid ping-ponging.
+ * window, with per-qubit decay to avoid ping-ponging. After
+ * `stall_escape_after` consecutive heuristic SWAPs that execute
+ * nothing, it escapes the stall deterministically by force-routing the
+ * oldest blocked gate along a shortest path.
+ *
+ * The hot loop is allocation-free after warm-up: every worklist, the
+ * BFS seen-set (generation-stamped), the candidate edge list, and the
+ * cached lookahead window live in a reusable `RouterScratch`, and the
+ * lookahead window is recomputed only when the frontier advances —
+ * consecutive stall iterations reuse it, since SWAPs change the
+ * mapping but never the frontier.
  */
 #ifndef CAQR_TRANSPILE_ROUTER_H
 #define CAQR_TRANSPILE_ROUTER_H
 
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 #include "arch/backend.h"
 #include "circuit/circuit.h"
 #include "transpile/layout.h"
+#include "util/status.h"
 
 namespace caqr::transpile {
 
@@ -32,6 +48,51 @@ struct RouterOptions
     /// Prefer SWAPs over low-error links when scores tie (error-aware
     /// variability handling, paper §3.3.1 Step 3).
     bool error_aware = true;
+    /// Consecutive heuristic SWAP insertions that execute no gate
+    /// before the router escapes the stall: the oldest blocked gate is
+    /// force-routed with a shortest-path SWAP chain (guaranteed
+    /// progress on a connected device) instead of ping-ponging under
+    /// decay. <= 0 escapes on the first stalled iteration.
+    int stall_escape_after = 64;
+};
+
+/**
+ * Reusable per-trial scratch for `route_or`: all state the routing hot
+ * loop touches. A trial that routes several circuits (the layout
+ * refinement passes plus the final run) hands the same instance to
+ * every call, so steady-state iterations perform no heap allocation.
+ * Buffers grow monotonically and are never shrunk. Not thread-safe —
+ * use one instance per concurrent trial.
+ */
+struct RouterScratch
+{
+    /// @name Mapping state (per physical qubit)
+    /// @{
+    std::vector<int> phys_of;     ///< logical -> physical
+    std::vector<int> logical_of;  ///< physical -> logical or -1
+    std::vector<double> decay;
+    /// @}
+
+    /// @name DAG walk state (per node)
+    /// @{
+    std::vector<int> remaining_preds;
+    std::vector<int> frontier;
+    std::vector<int> still_blocked;
+    std::vector<int> newly_ready;
+    std::vector<std::uint8_t> is_2q;  ///< precomputed per-node flag
+    /// @}
+
+    /// @name Lookahead window (cached across stall iterations)
+    /// @{
+    std::vector<std::uint32_t> seen_stamp;  ///< generation-stamped seen set
+    std::uint32_t generation = 0;
+    std::vector<int> bfs_queue;
+    std::vector<int> lookahead;
+    bool lookahead_valid = false;
+    /// @}
+
+    /// Candidate SWAP edges, sorted + deduped in place per stall.
+    std::vector<std::pair<int, int>> candidates;
 };
 
 /// Routing outcome.
@@ -46,10 +107,38 @@ struct RoutingResult
  * Routes @p logical onto @p backend starting from @p initial layout.
  * The result contains SWAP gates on physical links only; every
  * two-qubit gate in the output acts on adjacent physical qubits.
+ *
+ * Reports `kInfeasible` when no progress is possible (a gate's
+ * operands sit in disconnected components of the coupling graph) and
+ * `kInvalidArgument` for a malformed initial layout — the router never
+ * aborts the process.
+ *
+ * @p scratch optionally supplies reusable buffers (see RouterScratch);
+ * pass the same instance to consecutive calls to avoid reallocation.
+ *
+ * @p swap_bound optionally supplies a racing incumbent for cost-bound
+ * pruning: the run aborts with `kInfeasible` ("swap budget exceeded")
+ * as soon as `swaps_added` strictly exceeds the bound's current value.
+ * A trial whose final SWAP count would have tied or beaten the bound
+ * is never pruned (its running count never *exceeds* the incumbent),
+ * so raced multi-trial winner selection stays deterministic at any
+ * thread count.
  */
-RoutingResult route(const circuit::Circuit& logical,
-                    const arch::Backend& backend, const Layout& initial,
-                    const RouterOptions& options = {});
+util::StatusOr<RoutingResult> route_or(
+    const circuit::Circuit& logical, const arch::Backend& backend,
+    const Layout& initial, const RouterOptions& options = {},
+    RouterScratch* scratch = nullptr,
+    const std::atomic<int>* swap_bound = nullptr);
+
+/**
+ * The SWAP score combiner, exposed for unit pinning: per-qubit decay
+ * multiplies the *whole* heuristic — front-layer distance, lookahead
+ * term, and the error-aware link bias — so decay damps the bias like
+ * any other term. (A bias added outside the product would escape
+ * decay entirely and could pin the router onto one reliable link.)
+ */
+double combine_swap_score(double front_cost, double look_cost,
+                          double decay_factor, double link_bias);
 
 /// True if every two-qubit gate of @p physical acts on a physical link.
 bool is_hardware_compliant(const circuit::Circuit& physical,

@@ -14,6 +14,10 @@
 
 #include <cstdint>
 
+namespace caqr::util {
+class ThreadPool;
+}  // namespace caqr::util
+
 namespace caqr {
 
 /// Knobs common to all passes; embedded as a base by each pass's
@@ -30,6 +34,13 @@ struct CommonOptions
     /// When false, the pass records nothing into `util::trace` even if
     /// tracing is globally enabled (per-request observability opt-out).
     bool trace = true;
+    /// Borrowed worker pool for the pass's parallel sections (raced
+    /// routing/variant trials). Null = the pass spawns a transient
+    /// pool sized by `num_threads` when it needs one. The service sets
+    /// this to its long-lived pool so trials share workers with batch
+    /// fan-out. Never part of cache keys; results are bit-identical
+    /// with or without it.
+    util::ThreadPool* pool = nullptr;
 };
 
 }  // namespace caqr

@@ -278,7 +278,8 @@ TEST(QasmToolServe, StatsAnswersWithPercentilesAfterABatch)
 
     const std::string script = "help\nbatch " +
                                (dir / "batch.txt").string() +
-                               "\nstats\nset strategy sr\nbogus\nquit\n";
+                               "\nstats\nset strategy sr\nset trials 6\nset threads 2\n"
+                               "set trials 0\nbogus\nquit\n";
     const std::string command = "printf '%s' '" + script + "' | " +
                                 std::string(CAQR_QASM_TOOL_BIN) +
                                 " --serve 2>/dev/null";
@@ -318,6 +319,12 @@ TEST(QasmToolServe, StatsAnswersWithPercentilesAfterABatch)
 
     // Protocol errors answer with `error` and keep the loop alive.
     EXPECT_NE(output.find("ok set strategy sr_caqr"), std::string::npos)
+        << output;
+    EXPECT_NE(output.find("ok set trials 6"), std::string::npos) << output;
+    EXPECT_NE(output.find("ok set threads 2"), std::string::npos)
+        << output;
+    EXPECT_NE(output.find("error set trials needs n >= 1"),
+              std::string::npos)
         << output;
     EXPECT_NE(output.find("error unknown command 'bogus'"),
               std::string::npos)

@@ -100,6 +100,67 @@ TEST(SrCaqr, HandlesCcxCircuits)
     }
 }
 
+TEST(SrCaqr, RacedTrialsAreBitIdenticalAcrossThreadCounts)
+{
+    const auto backend = arch::Backend::fake_mumbai();
+    for (const auto* name : {"bv_10", "multiply_13"}) {
+        const auto bench = apps::get_benchmark(name);
+        ASSERT_TRUE(bench.has_value()) << name;
+        core::SrCaqrOptions serial;
+        serial.trials = 24;
+        serial.num_threads = 1;
+        core::SrCaqrOptions parallel = serial;
+        parallel.num_threads = 8;
+        const auto a =
+            core::sr_caqr_or(bench->circuit, backend, serial).value();
+        const auto b =
+            core::sr_caqr_or(bench->circuit, backend, parallel).value();
+        EXPECT_EQ(a.swaps_added, b.swaps_added) << name;
+        EXPECT_EQ(a.depth, b.depth) << name;
+        EXPECT_EQ(a.physical_qubits_used, b.physical_qubits_used) << name;
+        EXPECT_EQ(a.reuses, b.reuses) << name;
+        ASSERT_EQ(a.circuit.instructions().size(),
+                  b.circuit.instructions().size())
+            << name;
+        for (std::size_t i = 0; i < a.circuit.instructions().size(); ++i) {
+            const auto& x = a.circuit.instructions()[i];
+            const auto& y = b.circuit.instructions()[i];
+            EXPECT_EQ(x.kind, y.kind) << name << " instr " << i;
+            EXPECT_EQ(x.qubits, y.qubits) << name << " instr " << i;
+            EXPECT_EQ(x.params, y.params) << name << " instr " << i;
+        }
+    }
+}
+
+TEST(SrCaqr, WiderTrialPortfolioNeverTradesTrackedMetrics)
+{
+    // The legacy portfolio (first 4 variants) anchors the winner: a
+    // wider sweep may only take the win when no worse on SWAPs,
+    // physical qubits, depth, and ESP — so raising `trials` can never
+    // regress any tracked quality metric.
+    const auto backend = arch::Backend::fake_mumbai();
+    for (const auto& name : apps::regular_benchmark_names()) {
+        const auto bench = apps::get_benchmark(name);
+        ASSERT_TRUE(bench.has_value()) << name;
+        core::SrCaqrOptions legacy;
+        legacy.trials = 4;
+        core::SrCaqrOptions wide;
+        wide.trials = 24;
+        const auto a =
+            core::sr_caqr_or(bench->circuit, backend, legacy).value();
+        const auto b =
+            core::sr_caqr_or(bench->circuit, backend, wide).value();
+        EXPECT_LE(b.swaps_added, a.swaps_added) << name;
+        EXPECT_LE(b.physical_qubits_used, a.physical_qubits_used) << name;
+        EXPECT_LE(b.depth, a.depth) << name;
+        const double esp_a =
+            arch::estimated_success_probability(a.circuit, backend);
+        const double esp_b =
+            arch::estimated_success_probability(b.circuit, backend);
+        EXPECT_GE(esp_b, esp_a) << name;
+    }
+}
+
 TEST(SrCaqrCommuting, CompliantAndFewerQubits)
 {
     util::Rng rng(7);

@@ -1,11 +1,14 @@
 /// Tests for the baseline transpiler: decomposition, layout, SABRE
-/// routing, and semantics preservation end to end.
+/// routing (allocation-free hot loop + stall escape), raced
+/// multi-trial determinism, and semantics preservation end to end.
 #include <gtest/gtest.h>
 
 #include "apps/benchmarks.h"
 #include "arch/backend.h"
 #include "circuit/dag.h"
+#include "graph/generators.h"
 #include "sim/simulator.h"
+#include <atomic>
 #include <complex>
 
 #include "sim/statevector.h"
@@ -15,6 +18,7 @@
 #include "transpile/transpiler.h"
 #include "util/rng.h"
 #include "util/stats.h"
+#include "util/status.h"
 
 namespace caqr {
 namespace {
@@ -103,7 +107,9 @@ TEST(Router, AlreadyCompliantCircuitNeedsNoSwaps)
     c.measure(0, 0);
     c.measure(1, 1);
     const auto result =
-        transpile::route(c, backend, transpile::trivial_layout(c, backend));
+        transpile::route_or(c, backend,
+                            transpile::trivial_layout(c, backend))
+            .value();
     EXPECT_EQ(result.swaps_added, 0);
     EXPECT_TRUE(transpile::is_hardware_compliant(result.circuit, backend));
 }
@@ -114,7 +120,9 @@ TEST(Router, DistantQubitsGetSwaps)
     Circuit c(27, 0);
     c.cx(0, 26);  // far corners of the lattice
     const auto result =
-        transpile::route(c, backend, transpile::trivial_layout(c, backend));
+        transpile::route_or(c, backend,
+                            transpile::trivial_layout(c, backend))
+            .value();
     EXPECT_GT(result.swaps_added, 0);
     EXPECT_TRUE(transpile::is_hardware_compliant(result.circuit, backend));
 }
@@ -126,9 +134,104 @@ TEST(Router, StarCircuitOnDegreeLimitedDevice)
     const auto backend = arch::Backend::fake_mumbai();
     const auto bv = apps::bv_circuit(5);
     const auto layout = transpile::greedy_layout(bv, backend);
-    const auto result = transpile::route(bv, backend, layout);
+    const auto result = transpile::route_or(bv, backend, layout).value();
     EXPECT_GE(result.swaps_added, 1);
     EXPECT_TRUE(transpile::is_hardware_compliant(result.circuit, backend));
+}
+
+TEST(Router, ScratchReuseIsBitIdentical)
+{
+    // Re-running with a warm scratch (buffers sized, generation
+    // advanced) must reproduce the cold-scratch result exactly.
+    const auto backend = arch::Backend::fake_mumbai();
+    const auto bv = apps::bv_circuit(8);
+    const auto layout = transpile::greedy_layout(bv, backend);
+    const auto cold = transpile::route_or(bv, backend, layout).value();
+    transpile::RouterScratch scratch;
+    for (int run = 0; run < 3; ++run) {
+        const auto warm =
+            transpile::route_or(bv, backend, layout, {}, &scratch).value();
+        EXPECT_EQ(warm.swaps_added, cold.swaps_added) << "run=" << run;
+        EXPECT_EQ(warm.final_layout, cold.final_layout) << "run=" << run;
+        EXPECT_EQ(warm.circuit.instructions().size(),
+                  cold.circuit.instructions().size())
+            << "run=" << run;
+    }
+}
+
+TEST(Router, InvalidLayoutReportsInvalidArgument)
+{
+    const auto backend = arch::Backend::fake_mumbai();
+    Circuit c(2, 0);
+    c.cx(0, 1);
+    transpile::Layout bad = {0, 0};  // not injective
+    const auto result = transpile::route_or(c, backend, bad);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(Router, DisconnectedDeviceReportsInfeasible)
+{
+    // Two 2-qubit islands; a CX across them can never be routed. The
+    // pre-PR-9 router CHECK-aborted the process here.
+    graph::UndirectedGraph topology(4);
+    topology.add_edge(0, 1);
+    topology.add_edge(2, 3);
+    const arch::Backend backend(
+        "split", topology, arch::Calibration::synthesize(topology));
+    Circuit c(4, 0);
+    c.cx(0, 2);
+    const auto result = transpile::route_or(
+        c, backend, transpile::trivial_layout(c, backend));
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), util::StatusCode::kInfeasible);
+}
+
+TEST(Router, StallEscapeRoutesImmediately)
+{
+    // stall_escape_after = 0 forces every blocked frontier straight
+    // onto the shortest-path chain — the escape path must still yield
+    // a compliant, semantically routed circuit.
+    const auto backend = arch::Backend::fake_mumbai();
+    const auto bv = apps::bv_circuit(6);
+    transpile::RouterOptions options;
+    options.stall_escape_after = 0;
+    const auto layout = transpile::greedy_layout(bv, backend);
+    const auto result =
+        transpile::route_or(bv, backend, layout, options).value();
+    EXPECT_GE(result.swaps_added, 1);
+    EXPECT_TRUE(transpile::is_hardware_compliant(result.circuit, backend));
+}
+
+TEST(Router, CombineSwapScoreFoldsBiasInsideDecay)
+{
+    // Pin the PR-9 fix: the error-aware link bias sits *inside* the
+    // decayed product, so decay scales it exactly like the distance
+    // terms (historically it was added after the multiplication and
+    // escaped decay entirely).
+    EXPECT_DOUBLE_EQ(transpile::combine_swap_score(3.0, 1.0, 1.0, 0.25),
+                     4.25);
+    EXPECT_DOUBLE_EQ(transpile::combine_swap_score(2.0, 1.0, 1.5, 0.2),
+                     1.5 * 3.2);
+    // Bias ratio to the rest of the score is decay-invariant.
+    const double lo = transpile::combine_swap_score(2.0, 0.0, 1.0, 0.5);
+    const double hi = transpile::combine_swap_score(2.0, 0.0, 3.0, 0.5);
+    EXPECT_DOUBLE_EQ(hi, 3.0 * lo);
+}
+
+TEST(Router, SwapBoundPrunesHopelessRun)
+{
+    const auto backend = arch::Backend::fake_mumbai();
+    Circuit c(27, 0);
+    c.cx(0, 26);
+    std::atomic<int> bound{0};  // incumbent: a zero-SWAP solution exists
+    const auto result = transpile::route_or(
+        c, backend, transpile::trivial_layout(c, backend), {}, nullptr,
+        &bound);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), util::StatusCode::kInfeasible);
+    EXPECT_NE(result.status().message().find("swap budget"),
+              std::string::npos);
 }
 
 TEST(Transpiler, PipelineProducesMetrics)
@@ -146,15 +249,71 @@ TEST(Transpiler, PipelineProducesMetrics)
 
 TEST(Transpiler, MultiTrialNeverWorse)
 {
+    // More trials can only improve on the greedy anchor: the winner
+    // must be no worse than the single greedy trial on every tracked
+    // quality metric, not just SWAPs.
     const auto backend = arch::Backend::fake_mumbai();
     const auto bv = apps::bv_circuit(8);
     transpile::TranspileOptions single;
     single.trials = 1;
+    single.layout_refine_passes = 0;
     transpile::TranspileOptions multi;
     multi.trials = 5;
     const auto a = transpile::transpile_or(bv, backend, single).value();
     const auto b = transpile::transpile_or(bv, backend, multi).value();
     EXPECT_LE(b.swaps_added, a.swaps_added);
+    EXPECT_LE(b.depth, a.depth);
+}
+
+TEST(Transpiler, RefinementAndTrialsNeverWorseThanPlainGreedy)
+{
+    // Default options must dominate the pre-refinement single-trial
+    // pipeline: trial 1 anchors on the plain greedy layout, so the
+    // raced minimum can only tie or beat it.
+    const auto backend = arch::Backend::fake_mumbai();
+    for (int n : {5, 8, 10}) {
+        const auto bv = apps::bv_circuit(n);
+        transpile::TranspileOptions plain;
+        plain.trials = 1;
+        plain.layout_refine_passes = 0;
+        const auto a = transpile::transpile_or(bv, backend, plain).value();
+        const auto b = transpile::transpile_or(bv, backend).value();
+        EXPECT_LE(b.swaps_added, a.swaps_added) << "bv_" << n;
+    }
+}
+
+TEST(Transpiler, RacedTrialsAreBitIdenticalAcrossThreadCounts)
+{
+    const auto backend = arch::Backend::fake_mumbai();
+    for (const auto* name : {"bv_10", "multiply_13"}) {
+        const auto bench = apps::get_benchmark(name);
+        ASSERT_TRUE(bench.has_value()) << name;
+        transpile::TranspileOptions serial;
+        serial.trials = 8;
+        serial.num_threads = 1;
+        transpile::TranspileOptions parallel = serial;
+        parallel.num_threads = 8;
+        const auto a =
+            transpile::transpile_or(bench->circuit, backend, serial)
+                .value();
+        const auto b =
+            transpile::transpile_or(bench->circuit, backend, parallel)
+                .value();
+        EXPECT_EQ(a.swaps_added, b.swaps_added) << name;
+        EXPECT_EQ(a.depth, b.depth) << name;
+        EXPECT_EQ(a.initial_layout, b.initial_layout) << name;
+        EXPECT_EQ(a.final_layout, b.final_layout) << name;
+        ASSERT_EQ(a.circuit.instructions().size(),
+                  b.circuit.instructions().size())
+            << name;
+        for (std::size_t i = 0; i < a.circuit.instructions().size(); ++i) {
+            const auto& x = a.circuit.instructions()[i];
+            const auto& y = b.circuit.instructions()[i];
+            EXPECT_EQ(x.kind, y.kind) << name << " instr " << i;
+            EXPECT_EQ(x.qubits, y.qubits) << name << " instr " << i;
+            EXPECT_EQ(x.params, y.params) << name << " instr " << i;
+        }
+    }
 }
 
 /// Property: routing preserves circuit semantics. The routed unitary,
@@ -219,6 +378,78 @@ TEST_P(RoutingSemantics, StatevectorsMatchThroughFinalLayout)
 
 INSTANTIATE_TEST_SUITE_P(RandomCircuits, RoutingSemantics,
                          ::testing::Range(0, 12));
+
+/// Property over random *couplings*: route_or on a random connected
+/// device keeps the output hardware-compliant and permutation-
+/// equivalent to the logical circuit (statevector check through the
+/// final layout). Exercises devices far from heavy-hex: dense, sparse,
+/// and irregular degree distributions.
+class RandomCouplingRouting : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RandomCouplingRouting, CompliantAndPermutationEquivalent)
+{
+    util::Rng rng(9000 + GetParam());
+    const int nq = 4 + GetParam() % 3;         // logical qubits
+    const int np = nq + 1 + GetParam() % 3;    // physical qubits
+    const double density = 0.25 + 0.15 * (GetParam() % 4);
+    auto topology = graph::random_graph(np, density, rng);
+    for (int v = 1; v < np; ++v) {
+        // Sparse draws can come out disconnected; a chain backbone
+        // keeps the device routable without changing its character.
+        topology.add_edge(v - 1, v);
+    }
+    ASSERT_TRUE(topology.is_connected());
+    const arch::Backend backend(
+        "random", topology, arch::Calibration::synthesize(topology));
+
+    Circuit logical(nq, 0);
+    for (int step = 0; step < 14; ++step) {
+        const int q = rng.next_int(0, nq - 1);
+        int other = rng.next_int(0, nq - 1);
+        if (other == q) other = (q + 1) % nq;
+        switch (rng.next_int(0, 2)) {
+          case 0: logical.h(q); break;
+          case 1: logical.rz(rng.next_double() * 3.0, q); break;
+          case 2: logical.cx(q, other); break;
+        }
+    }
+
+    const auto layout = transpile::greedy_layout(logical, backend);
+    ASSERT_TRUE(transpile::is_valid_layout(layout, logical, backend));
+    const auto routed =
+        transpile::route_or(logical, backend, layout).value();
+    ASSERT_TRUE(transpile::is_hardware_compliant(routed.circuit, backend));
+
+    sim::StateVector logical_sv(nq);
+    for (const auto& instr : logical.instructions()) {
+        logical_sv.apply(instr);
+    }
+    sim::StateVector routed_sv(backend.num_qubits());
+    for (const auto& instr : routed.circuit.instructions()) {
+        routed_sv.apply(instr);
+    }
+    std::vector<std::complex<double>> embedded(
+        std::size_t{1} << backend.num_qubits(),
+        std::complex<double>(0.0, 0.0));
+    const auto& amps = logical_sv.amplitudes();
+    for (std::size_t basis = 0; basis < amps.size(); ++basis) {
+        std::size_t phys_index = 0;
+        for (int l = 0; l < nq; ++l) {
+            if ((basis >> l) & 1) {
+                phys_index |= std::size_t{1} << routed.final_layout[l];
+            }
+        }
+        embedded[phys_index] = amps[basis];
+    }
+    const auto expected =
+        sim::StateVector::from_amplitudes(std::move(embedded));
+    EXPECT_NEAR(routed_sv.fidelity(expected), 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCouplings, RandomCouplingRouting,
+                         ::testing::Range(0, 10));
 
 }  // namespace
 }  // namespace caqr

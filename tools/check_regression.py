@@ -137,9 +137,12 @@ def check(baseline, fresh, time_tolerance, min_ms):
         # Wall-clock throughput gates: higher is better, same noise
         # tolerance. `speedup` is the serving cache's hot/cold ratio;
         # `bind_speedup` is the template API's fresh-compile-median /
-        # bind-median ratio (bench_template).
+        # bind-median ratio (bench_template); `trial_speedup` is the
+        # raced-router 1-thread-median / 8-thread-median ratio
+        # (bench_perf, emitted only on machines with >= 8 hardware
+        # threads).
         for metric in ("shots_per_sec", "requests_per_sec", "speedup",
-                       "bind_speedup"):
+                       "bind_speedup", "trial_speedup"):
             base_v = base.get(metric)
             new_v = new.get(metric)
             if base_v is None:
@@ -157,6 +160,41 @@ def check(baseline, fresh, time_tolerance, min_ms):
         notes.append("/".join(key[:2]) +
                      ": new benchmark, not in baseline "
                      "(refresh the baseline)")
+    return failures, notes
+
+
+def check_trial_speedup_floor(fresh, min_speedup):
+    """Absolute floor on the raced-router speedup ratio.
+
+    Unlike the relative gates in check(), this needs no baseline: the
+    fresh document must show ``trial_speedup >= min_speedup`` on every
+    entry that carries the field. bench_perf only emits the field on
+    machines with >= 8 hardware threads, so when no entry carries it
+    the gate reports a note and passes — smaller machines skip
+    honestly instead of baselining noise.
+    """
+    failures = []
+    notes = []
+    carriers = [bench for bench in fresh["benchmarks"]
+                if "trial_speedup" in bench]
+    if not carriers:
+        notes.append("no benchmark carries trial_speedup (machine has "
+                     "< 8 hardware threads?); skipping the "
+                     "--min-trial-speedup floor")
+        return failures, notes
+    for bench in carriers:
+        label = f"{bench['name']}/{bench['strategy']}"
+        value = bench["trial_speedup"]
+        if value < min_speedup:
+            failures.append(
+                f"{label}: trial_speedup {value:.2f}x is below the "
+                f"required {min_speedup:.2f}x floor"
+            )
+        else:
+            notes.append(
+                f"{label}: trial_speedup {value:.2f}x meets the "
+                f"{min_speedup:.2f}x floor"
+            )
     return failures, notes
 
 
@@ -207,6 +245,19 @@ def self_test():
                 "backend": "FakeMumbai",
                 "wall_ms_median": 0.004,
                 "bind_speedup": 2000.0,
+            },
+            {
+                # Raced-router entry (bench_perf +route8): carries the
+                # 1-vs-8-thread trial_speedup ratio.
+                "name": "multiply_13+route8",
+                "strategy": "baseline",
+                "backend": "FakeMumbai",
+                "wall_ms_median": 40.0,
+                "qubits": 13,
+                "depth": 120,
+                "swaps": 31,
+                "esp": 0.1,
+                "trial_speedup": 4.5,
             },
         ],
     }
@@ -308,6 +359,33 @@ def self_test():
     expect("sub-min-ms bind median slowdown is noise-exempt",
            run(sub_ms_bind_slowdown), False)
 
+    def trial_speedup_collapse(doc):
+        doc["benchmarks"][4]["trial_speedup"] = 1.1
+
+    expect("raced-router trial_speedup collapse fails",
+           run(trial_speedup_collapse), True)
+
+    def run_floor(mutate, min_speedup):
+        fresh = copy.deepcopy(baseline)
+        mutate(fresh)
+        failures, _ = check_trial_speedup_floor(fresh, min_speedup)
+        return failures
+
+    expect("trial_speedup above the --min-trial-speedup floor passes",
+           run_floor(lambda d: None, 3.0), False)
+
+    def floor_miss(doc):
+        doc["benchmarks"][4]["trial_speedup"] = 2.4
+
+    expect("trial_speedup below the --min-trial-speedup floor fails",
+           run_floor(floor_miss, 3.0), True)
+
+    def no_carrier(doc):
+        del doc["benchmarks"][4]["trial_speedup"]
+
+    expect("--min-trial-speedup skips when no entry carries the field",
+           run_floor(no_carrier, 3.0), False)
+
     def improvement(doc):
         doc["benchmarks"][0]["swaps"] = 0
         doc["benchmarks"][0]["depth"] -= 5
@@ -354,6 +432,12 @@ def main():
         help="skip the wall-time gate when the baseline median is below "
         "this many ms (default 1.0)",
     )
+    parser.add_argument(
+        "--min-trial-speedup", type=float, default=None,
+        help="require every fresh entry carrying trial_speedup to meet "
+        "this absolute ratio; skipped with a note when no entry carries "
+        "the field (machines with < 8 hardware threads)",
+    )
     parser.add_argument("--self-test", action="store_true",
                         help="run the synthetic acceptance cases and exit")
     args = parser.parse_args()
@@ -367,6 +451,11 @@ def main():
     fresh = load(args.fresh)
     failures, notes = check(baseline, fresh, args.time_tolerance,
                             args.min_ms)
+    if args.min_trial_speedup is not None:
+        floor_failures, floor_notes = check_trial_speedup_floor(
+            fresh, args.min_trial_speedup)
+        failures.extend(floor_failures)
+        notes.extend(floor_notes)
 
     for note in notes:
         print(f"note: {note}")
