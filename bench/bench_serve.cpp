@@ -19,7 +19,11 @@
  * `serve_hot90` entries with requests_per_sec / p50_ms / p99_ms, the
  * hot entry carrying `speedup`) that `tools/check_regression.py`
  * gates, plus an optional raw metrics snapshot (`--metrics-out`) for
- * CI artifacts. `--min-speedup`, `--require-cache-hits`, and
+ * CI artifacts. After the phases it scrapes `GET /metrics` off the
+ * same listener and cross-validates the server's rolling-window
+ * `service.total_ms` p99 against the client-side p99 over the merged
+ * phases (`window_p99_ms` / `client_p99_ms` in the hot entry; a gap
+ * above 25% sets `window_mismatch` and warns). `--min-speedup`, `--require-cache-hits`, and
  * `--max-failures` turn the run itself into a smoke gate: the CI
  * serve-gate job runs it against a `qasm_tool --listen` instance and
  * requires a >=5x hot/cold ratio, nonzero cache hits, and zero failed
@@ -32,6 +36,7 @@
  */
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -150,6 +155,7 @@ struct PhaseResult
     double p99_ms = 0.0;
     long failures = 0;
     long requests = 0;
+    std::vector<double> latencies;  ///< sorted, for cross-phase merges
 };
 
 /// Runs @p commands partitioned across @p threads connections and
@@ -215,7 +221,35 @@ run_phase(const std::string& host, int port, int threads,
     result.p99_ms = percentile(merged, 99.0);
     result.requests_per_sec =
         wall_s > 0.0 ? static_cast<double>(merged.size()) / wall_s : 0.0;
+    result.latencies = std::move(merged);
     return result;
+}
+
+/// Raw `GET /metrics` scrape off the serving listener (the server
+/// sniffs HTTP from the line protocol); empty on any failure.
+std::string
+fetch_metrics_scrape(const std::string& host, int port)
+{
+    serve::Client client;
+    if (!client.connect(host, port).ok()) return {};
+    if (!client.send_raw("GET /metrics HTTP/1.0\r\n\r\n").ok()) {
+        return {};
+    }
+    const auto body = client.read_until_close(30000);
+    return body.ok() ? *body : std::string();
+}
+
+/// Value of `<name>{quantile="<q>"} <value>` in a Prometheus text
+/// exposition; negative when the series is absent.
+double
+prometheus_quantile(const std::string& text, const std::string& name,
+                    const std::string& quantile)
+{
+    const std::string needle =
+        name + "{quantile=\"" + quantile + "\"} ";
+    const auto at = text.find(needle);
+    if (at == std::string::npos) return -1.0;
+    return std::strtod(text.c_str() + at + needle.size(), nullptr);
 }
 
 /// The `stats json` document from the server (final "ok stats" line
@@ -395,6 +429,41 @@ main(int argc, char** argv)
     std::cout << "  cache hits=" << cache_hits << " misses="
               << counter_from_json(stats_json, "service.cache.miss")
               << "\n";
+
+    // Cross-validate the server's rolling-window p99 (scraped off
+    // /metrics) against the client-side p99 over the same traffic —
+    // both phases merged, since the window spans the whole run. The
+    // server measures service time; the client adds transport and
+    // queueing, so the two should agree to within 25% under this
+    // benign load, and a wider gap is flagged loudly (it is not a
+    // verdict failure: the gap scales with machine load).
+    std::vector<double> all_ms = cold.latencies;
+    all_ms.insert(all_ms.end(), hot90.latencies.begin(),
+                  hot90.latencies.end());
+    std::sort(all_ms.begin(), all_ms.end());
+    const double client_p99 = percentile(all_ms, 99.0);
+    const double window_p99 = prometheus_quantile(
+        fetch_metrics_scrape(host, port),
+        "caqr_service_total_ms_window", "0.99");
+    bool window_mismatch = false;
+    if (window_p99 < 0.0) {
+        std::cout << "  window p99 : unavailable (/metrics scrape "
+                     "returned no window series)\n";
+    } else {
+        const double larger = std::max(window_p99, client_p99);
+        const double gap =
+            larger > 0.0 ? std::abs(window_p99 - client_p99) / larger
+                         : 0.0;
+        window_mismatch = gap > 0.25;
+        std::cout << "  window p99 : " << json_number(window_p99)
+                  << "ms (server) vs " << json_number(client_p99)
+                  << "ms (client)";
+        if (window_mismatch) {
+            std::cout << "  WARN: mismatch "
+                      << json_number(gap * 100.0) << "% > 25%";
+        }
+        std::cout << "\n";
+    }
     if (!metrics_out.empty() && !stats_json.empty()) {
         std::ofstream snapshot(metrics_out);
         snapshot << stats_json;
@@ -425,7 +494,11 @@ main(int argc, char** argv)
             << ",\"p99_ms\":" << json_number(hot90.p99_ms)
             << ",\"failures\":" << hot90.failures
             << ",\"speedup\":" << json_number(speedup)
-            << ",\"cache_hits\":" << json_number(cache_hits) << "}\n"
+            << ",\"cache_hits\":" << json_number(cache_hits)
+            << ",\"window_p99_ms\":" << json_number(window_p99)
+            << ",\"client_p99_ms\":" << json_number(client_p99)
+            << ",\"window_mismatch\":"
+            << (window_mismatch ? "true" : "false") << "}\n"
             << "]}\n";
     }
     std::cout << "wrote " << out << "\n";

@@ -63,11 +63,21 @@ constexpr const char kUsage[] =
     "       qasm_tool --batch PATH [--strategy S] [--backend B]\n"
     "                 [--threads N] [--repeat N] [--out PREFIX]\n"
     "       qasm_tool --serve [--strategy S] [--backend B] [--threads N]\n"
-    "                 [--cache N]\n"
+    "                 [--cache N] [--slow-ms MS] [--slow-dir DIR]\n"
     "       qasm_tool --listen PORT [--strategy S] [--backend B]\n"
     "                 [--threads N] [--cache N] [--max-sessions N]\n"
-    "                 [--idle-timeout-ms N]\n"
-    "       qasm_tool --export-benchmarks DIR\n";
+    "                 [--idle-timeout-ms N] [--slow-ms MS]\n"
+    "                 [--slow-dir DIR] [--event-log FILE]\n"
+    "       qasm_tool --export-benchmarks DIR\n"
+    "\n"
+    "observability (see docs/observability.md):\n"
+    "  --slow-ms MS     capture per-request span trees; a request\n"
+    "                   slower than MS (or failing) leaves\n"
+    "                   slow_req_<id>.trace.json behind\n"
+    "  --slow-dir DIR   directory for slow-request traces (default .)\n"
+    "  --event-log FILE append one JSON object per serving event\n"
+    "                   (JSONL); --listen also serves GET /metrics,\n"
+    "                   /healthz, /varz on the same port\n";
 
 int
 export_benchmarks(const std::string& dir)
@@ -213,7 +223,8 @@ run_batch(const std::string& batch_path, const std::string& strategy_name,
 int
 run_serve(const std::string& initial_strategy,
           const std::string& initial_backend, int threads,
-          std::size_t cache_capacity)
+          std::size_t cache_capacity, double slow_ms,
+          const std::string& slow_dir)
 {
     using namespace caqr;
 
@@ -224,7 +235,9 @@ run_serve(const std::string& initial_strategy,
     }
 
     Service service({.num_threads = threads,
-                     .cache_capacity = cache_capacity});
+                     .cache_capacity = cache_capacity,
+                     .slow_request_ms = slow_ms,
+                     .slow_trace_dir = slow_dir});
     serve::SessionOptions options;
     options.strategy = *strategy;
     options.backend = initial_backend;
@@ -294,7 +307,8 @@ int
 run_listen(int port, const std::string& initial_strategy,
            const std::string& initial_backend, int threads,
            std::size_t cache_capacity, int max_sessions,
-           int idle_timeout_ms)
+           int idle_timeout_ms, double slow_ms,
+           const std::string& slow_dir, const std::string& event_log)
 {
     using namespace caqr;
 
@@ -305,12 +319,15 @@ run_listen(int port, const std::string& initial_strategy,
     }
 
     Service service({.num_threads = threads,
-                     .cache_capacity = cache_capacity});
+                     .cache_capacity = cache_capacity,
+                     .slow_request_ms = slow_ms,
+                     .slow_trace_dir = slow_dir});
     serve::ServerOptions options;
     options.port = port;
     options.max_sessions = max_sessions;
     options.idle_timeout_ms = idle_timeout_ms;
     options.num_workers = threads;
+    options.event_log_path = event_log;
     options.session.strategy = *strategy;
     options.session.backend = initial_backend;
 
@@ -368,6 +385,9 @@ main(int argc, char** argv)
     std::size_t cache_capacity = 0;
     int max_sessions = 64;
     int idle_timeout_ms = 30000;
+    double slow_ms = 0.0;
+    std::string slow_dir;
+    std::string event_log;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--target-qubits" && i + 1 < argc) {
@@ -391,6 +411,12 @@ main(int argc, char** argv)
             max_sessions = std::stoi(argv[++i]);
         } else if (arg == "--idle-timeout-ms" && i + 1 < argc) {
             idle_timeout_ms = std::stoi(argv[++i]);
+        } else if (arg == "--slow-ms" && i + 1 < argc) {
+            slow_ms = std::stod(argv[++i]);
+        } else if (arg == "--slow-dir" && i + 1 < argc) {
+            slow_dir = argv[++i];
+        } else if (arg == "--event-log" && i + 1 < argc) {
+            event_log = argv[++i];
         } else if (arg == "--export-benchmarks" && i + 1 < argc) {
             return export_benchmarks(argv[++i]);
         } else if (arg == "--batch" && i + 1 < argc) {
@@ -419,10 +445,12 @@ main(int argc, char** argv)
 
     if (listen) {
         return run_listen(listen_port, strategy, backend, threads,
-                          cache_capacity, max_sessions, idle_timeout_ms);
+                          cache_capacity, max_sessions, idle_timeout_ms,
+                          slow_ms, slow_dir, event_log);
     }
     if (serve) {
-        return run_serve(strategy, backend, threads, cache_capacity);
+        return run_serve(strategy, backend, threads, cache_capacity,
+                         slow_ms, slow_dir);
     }
     if (!batch_path.empty()) {
         return run_batch(batch_path, strategy, backend, threads, repeat,

@@ -326,6 +326,11 @@ run_sr_caqr(const Circuit& input, const arch::Backend& backend,
         double esp = 0.0;
     };
     auto run_variant = [&](std::size_t trial) {
+        // Rebind the owning request on this (possibly pool) thread so
+        // raced variants from concurrent requests keep their spans
+        // attributed to the right request.
+        util::trace::RequestScope request_scope(options.request_ctx,
+                                                options.capture);
         SrCaqrOptions variant = options;
         if (trial < static_cast<std::size_t>(kNumVariants)) {
             variant.lookahead_weight *= kVariants[trial].lookahead;

@@ -31,7 +31,8 @@ Client::~Client() { close(); }
 
 Client::Client(Client&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
-      buffer_(std::move(other.buffer_)) {}
+      buffer_(std::move(other.buffer_)),
+      greeting_pending_(std::exchange(other.greeting_pending_, false)) {}
 
 Client&
 Client::operator=(Client&& other) noexcept
@@ -40,6 +41,7 @@ Client::operator=(Client&& other) noexcept
         close();
         fd_ = std::exchange(other.fd_, -1);
         buffer_ = std::move(other.buffer_);
+        greeting_pending_ = std::exchange(other.greeting_pending_, false);
     }
     return *this;
 }
@@ -71,19 +73,12 @@ Client::connect(const std::string& host, int port, int timeout_ms)
         return util::Status::io_error("connect " + host + ":" +
                                       std::to_string(port) + ": " + why);
     }
-    // Swallow the greeting so the first command() reads its own block.
-    const auto greeting = read_response(timeout_ms);
-    if (!greeting.ok()) {
-        close();
-        return greeting.status();
-    }
-    if (!greeting->ok) {
-        // e.g. "error busy too many sessions, retry later"
-        const std::string rejection = greeting->final_line();
-        close();
-        return util::Status::io_error("server rejected session: " +
-                                      rejection);
-    }
+    // The server greets in response to the first line (it sniffs the
+    // line protocol against one-shot HTTP scrapes), so there is
+    // nothing to read yet; the banner — or an accept-time busy
+    // rejection — surfaces on the first read_response().
+    static_cast<void>(timeout_ms);  // kept for API stability
+    greeting_pending_ = true;
     return {};
 }
 
@@ -165,6 +160,13 @@ Client::read_response(int timeout_ms)
     for (;;) {
         auto line = read_line(timeout_ms);
         if (!line.ok()) return line.status();
+        if (greeting_pending_) {
+            greeting_pending_ = false;
+            // The banner precedes the first block; skip it. Anything
+            // else — typically the accept-time `error busy` rejection
+            // — opens (and usually is) the block itself.
+            if (line->rfind("ok caqr serve", 0) == 0) continue;
+        }
         const bool last = is_block_final(*line);
         response.lines.push_back(std::move(*line));
         if (last) {
@@ -181,6 +183,44 @@ Client::command(const std::string& line, int timeout_ms)
     return read_response(timeout_ms);
 }
 
+util::StatusOr<std::string>
+Client::read_until_close(int timeout_ms)
+{
+    if (fd_ < 0) return util::Status::io_error("client not connected");
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(timeout_ms);
+    std::string all = std::move(buffer_);
+    buffer_.clear();
+    for (;;) {
+        const auto left = std::chrono::duration_cast<
+            std::chrono::milliseconds>(deadline - Clock::now());
+        if (left.count() <= 0) {
+            return util::Status::io_error("read timed out after " +
+                                          std::to_string(timeout_ms) +
+                                          " ms");
+        }
+        pollfd pfd{fd_, POLLIN, 0};
+        const int ready =
+            ::poll(&pfd, 1, static_cast<int>(left.count()));
+        if (ready < 0) {
+            if (errno == EINTR) continue;
+            return util::Status::io_error(
+                "poll: " + std::string(std::strerror(errno)));
+        }
+        if (ready == 0) continue;  // re-check deadline
+        char chunk[4096];
+        const auto n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n > 0) {
+            all.append(chunk, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n == 0) return all;  // peer closed: the response is whole
+        if (errno == EINTR) continue;
+        return util::Status::io_error(
+            "recv: " + std::string(std::strerror(errno)));
+    }
+}
+
 void
 Client::shutdown_write()
 {
@@ -195,6 +235,7 @@ Client::close()
         fd_ = -1;
     }
     buffer_.clear();
+    greeting_pending_ = false;
 }
 
 }  // namespace caqr::serve

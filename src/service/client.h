@@ -50,8 +50,12 @@ class Client
     Client& operator=(Client&& other) noexcept;
 
     /**
-     * Connects and consumes the server greeting block. @p host is a
-     * dotted-quad address (the server binds loopback by default).
+     * Connects the TCP transport. @p host is a dotted-quad address
+     * (the server binds loopback by default). The server's greeting
+     * banner arrives in response to the first command line and is
+     * consumed transparently by the first `read_response`; an
+     * accept-time session-cap rejection likewise surfaces there as an
+     * `error busy ...` block, not as a `connect` failure.
      */
     util::Status connect(const std::string& host, int port,
                          int timeout_ms = 10000);
@@ -77,6 +81,15 @@ class Client
     util::StatusOr<Response> command(const std::string& line,
                                      int timeout_ms = 30000);
 
+    /**
+     * Reads raw bytes until the peer closes the connection (or
+     * @p timeout_ms passes — then kIoError), returning everything
+     * received. The one-shot HTTP scrape path (`GET /metrics` against
+     * the same listener) answers and closes, so this is how its
+     * response is collected; the line protocol never needs it.
+     */
+    util::StatusOr<std::string> read_until_close(int timeout_ms = 30000);
+
     /// Shuts down the write side but keeps reading — lets a test
     /// drive the server's EOF path and still observe the goodbye.
     void shutdown_write();
@@ -88,6 +101,11 @@ class Client
 
     int fd_ = -1;
     std::string buffer_;  ///< bytes received past the last line
+    /// True until the first response block was read: the greeting
+    /// banner (sent by the server once the first command line settles
+    /// the protocol sniff) still precedes the stream and must be
+    /// skipped.
+    bool greeting_pending_ = false;
 };
 
 }  // namespace caqr::serve

@@ -34,8 +34,21 @@ print_stats(std::ostream& os, const util::metrics::Snapshot& snapshot)
            << " p99=" << fmt6(histogram.percentile(99))
            << " max=" << fmt6(histogram.max()) << "\n";
     }
+    // Rolling windows mirror their lifetime histograms under a
+    // `.window` suffix — live tail latency over the last
+    // `window_seconds`, not since process start.
+    for (const auto& [name, histogram] : snapshot.windows) {
+        os << "stat " << name << ".window count=" << histogram.count()
+           << " p50=" << fmt6(histogram.percentile(50))
+           << " p90=" << fmt6(histogram.percentile(90))
+           << " p99=" << fmt6(histogram.percentile(99))
+           << " max=" << fmt6(histogram.max()) << "\n";
+    }
     for (const auto& [name, value] : snapshot.counters) {
         os << "stat " << name << " value=" << fmt6(value) << "\n";
+    }
+    for (const auto& [name, value] : snapshot.gauges) {
+        os << "stat " << name << " gauge=" << fmt6(value) << "\n";
     }
 }
 
@@ -115,6 +128,8 @@ Session::handle_line(const std::string& line)
     if (command.empty() || command[0] == '#') return {};
 
     std::ostringstream out;
+    int compiles = 0;
+    int cache_hits = 0;
     if (command == "quit" || command == "exit") {
         out << "ok bye\n";
         return {out.str(), true};
@@ -173,6 +188,8 @@ Session::handle_line(const std::string& line)
             out << "error " << report.status().to_string() << "\n";
             return {out.str(), false};
         }
+        compiles = 1;
+        if (report->from_cache) cache_hits = 1;
         out << "ok " << batch_csv_row(*report) << "\n";
     } else if (command == "compile") {
         std::string path;
@@ -184,6 +201,8 @@ Session::handle_line(const std::string& line)
         CompileRequest request = prototype_;
         request.qasm_file = path;
         const auto report = service_.compile(request);
+        compiles = 1;
+        if (report.from_cache) cache_hits = 1;
         if (report.ok()) {
             out << "ok " << batch_csv_row(report) << "\n";
         } else {
@@ -203,6 +222,8 @@ Session::handle_line(const std::string& line)
         for (const auto& report : reports) {
             out << "row " << batch_csv_row(report) << "\n";
             if (!report.ok()) ++failures;
+            ++compiles;
+            if (report.from_cache) ++cache_hits;
         }
         out << "ok batch n=" << reports.size()
             << " failures=" << failures << "\n";
@@ -275,7 +296,7 @@ Session::handle_line(const std::string& line)
     } else {
         out << "error unknown command '" << command << "' (try help)\n";
     }
-    return {out.str(), false};
+    return {out.str(), false, compiles, cache_hits};
 }
 
 }  // namespace caqr::serve

@@ -89,6 +89,13 @@ class Session
     {
         std::string output;  ///< full response block, '\n'-terminated
         bool quit = false;   ///< client asked to end the session
+        /// Compile requests this line drove through the service (one
+        /// for `compile`/`bind`, the expansion size for `batch`, zero
+        /// for everything else) — the event log's unit of work.
+        int compiles = 0;
+        /// Of those, how many the content-addressed compile cache
+        /// answered without running the pipeline.
+        int cache_hits = 0;
     };
 
     /// Handles one protocol line. Empty lines and `#` comments produce

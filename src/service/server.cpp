@@ -10,6 +10,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <string_view>
 
 namespace caqr::serve {
 
@@ -24,6 +25,23 @@ ms_since(Clock::time_point start)
         .count();
 }
 
+/// Verdict of a finished response block: did its final line say `ok`?
+/// Empty output (blank/comment input) counts as ok.
+bool
+block_ok(const std::string& output)
+{
+    if (output.empty()) return true;
+    std::size_t end = output.size();
+    if (output[end - 1] == '\n') --end;
+    std::size_t begin = 0;
+    if (end > 0) {
+        const auto newline = output.rfind('\n', end - 1);
+        if (newline != std::string::npos) begin = newline + 1;
+    }
+    const std::string_view line(output.data() + begin, end - begin);
+    return line == "ok" || line.rfind("ok ", 0) == 0;
+}
+
 }  // namespace
 
 /// One client connection. `proto` is touched only by the single
@@ -36,6 +54,8 @@ struct Server::Conn
         : lines(max_line_bytes), proto(service, options) {}
 
     int fd = -1;
+    std::uint64_t id = 0;           ///< event-log correlation id
+    bool greeted = false;           ///< first line seen, protocol known
     LineBuffer lines;
     std::string out;                ///< unflushed response bytes
     std::deque<std::string> queue;  ///< commands awaiting execution
@@ -78,6 +98,10 @@ Server::start()
     if (wake_fd_ < 0) {
         return util::Status::io_error("eventfd: " +
                                       std::string(std::strerror(errno)));
+    }
+    if (auto opened = event_log_.open(options_.event_log_path);
+        !opened.ok()) {
+        return opened;
     }
 
     listen_fd_ = ::socket(AF_INET,
@@ -225,6 +249,14 @@ Server::event_loop()
         }
         handle_completions();
         check_timeouts();
+
+        // Live transport gauges, refreshed on every loop tick (the
+        // epoll timeout bounds staleness to ~100 ms even when idle).
+        service_.metrics().set_gauge("server.queue_depth",
+                                     static_cast<double>(inflight_));
+        service_.metrics().set_gauge(
+            "server.active_sessions",
+            static_cast<double>(conns_.size()));
     }
 
     // Loop exit (stop, drain finished, or drain deadline): tear down
@@ -238,6 +270,7 @@ Server::event_loop()
         listen_fd_ = -1;
     }
     handle_completions();  // release worker references, keep counts sane
+    if (draining_) event_log_.log("drain_end");
     running_.store(false);
 }
 
@@ -260,6 +293,7 @@ Server::accept_ready()
                 ++stats_.rejected_sessions;
             }
             counter("server.rejected_sessions");
+            event_log_.log("reject_session");
             continue;
         }
 
@@ -268,6 +302,7 @@ Server::accept_ready()
         auto conn = std::make_shared<Conn>(service_, options_.session,
                                            options_.max_line_bytes);
         conn->fd = fd;
+        conn->id = next_conn_id_++;
         conns_.emplace(fd, conn);
         epoll_event event{};
         event.events = EPOLLIN;
@@ -278,8 +313,10 @@ Server::accept_ready()
             ++stats_.connections;
         }
         counter("server.connections");
-        send_text(conn, Session::greeting(options_.session));
-        flush(conn);
+        event_log_.log("connect", {{"conn", conn->id}});
+        // No greeting yet: the first line decides whether this is a
+        // line-protocol session (greet, then serve) or a one-shot
+        // HTTP scrape (no banner — it would corrupt the response).
     }
 }
 
@@ -312,9 +349,9 @@ Server::read_ready(const std::shared_ptr<Conn>& conn)
             }
             while (auto line = conn->lines.next_line()) {
                 if (conn->closed || conn->close_when_flushed) break;
-                enqueue_command(conn, std::move(*line));
+                dispatch_line(conn, std::move(*line));
             }
-            if (conn->closed) return;
+            if (conn->closed || !conn->reading) return;
             continue;
         }
         if (n == 0) {
@@ -324,8 +361,9 @@ Server::read_ready(const std::shared_ptr<Conn>& conn)
             conn->eof = true;
             conn->reading = false;
             if (auto partial = conn->lines.take_partial();
-                partial.has_value() && !partial->empty()) {
-                enqueue_command(conn, std::move(*partial));
+                partial.has_value() && !partial->empty() &&
+                !conn->close_when_flushed) {
+                dispatch_line(conn, std::move(*partial));
             }
             if (!conn->closed) {
                 pump(conn);
@@ -341,6 +379,75 @@ Server::read_ready(const std::shared_ptr<Conn>& conn)
 }
 
 void
+Server::dispatch_line(const std::shared_ptr<Conn>& conn,
+                      std::string line)
+{
+    if (!conn->greeted) {
+        conn->greeted = true;
+        if (line.rfind("GET ", 0) == 0 || line.rfind("HEAD ", 0) == 0) {
+            serve_http(conn, line);
+            return;
+        }
+        // A line-protocol session: the banner answers the connection
+        // now that the sniff settled the protocol, ahead of the first
+        // command's own response block.
+        send_text(conn, Session::greeting(options_.session));
+    }
+    enqueue_command(conn, std::move(line));
+}
+
+void
+Server::serve_http(const std::shared_ptr<Conn>& conn,
+                   const std::string& request_line)
+{
+    conn->last_activity = Clock::now();
+    const bool head_only = request_line.rfind("HEAD ", 0) == 0;
+    // Path = second token of `GET /path HTTP/1.x`, query stripped.
+    const auto path_begin = request_line.find(' ') + 1;
+    auto path_end = request_line.find(' ', path_begin);
+    if (path_end == std::string::npos) path_end = request_line.size();
+    std::string path =
+        request_line.substr(path_begin, path_end - path_begin);
+    if (const auto query = path.find('?'); query != std::string::npos) {
+        path.erase(query);
+    }
+
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+    if (path == "/metrics") {
+        // The Prometheus text-exposition content type scrapers expect.
+        content_type = "text/plain; version=0.0.4; charset=utf-8";
+        body = prometheus_text(service_.metrics_snapshot());
+    } else if (path == "/healthz") {
+        status = draining_ ? 503 : 200;
+        body = draining_ ? "draining\n" : "ok\n";
+    } else if (path == "/varz") {
+        content_type = "application/json";
+        body = varz_json(service_.metrics_snapshot(), draining_);
+    } else {
+        status = 404;
+        body = "not found\n";
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.http_requests;
+    }
+    counter("server.http_requests");
+    event_log_.log("http", {{"conn", conn->id},
+                            {"path", path},
+                            {"status", status}});
+
+    send_text(conn, http_response(status, content_type, body, head_only));
+    // One request per connection: ignore the header lines still in
+    // flight and close once the response drained.
+    conn->reading = false;
+    conn->close_when_flushed = true;
+    flush(conn);
+}
+
+void
 Server::enqueue_command(const std::shared_ptr<Conn>& conn,
                         std::string line)
 {
@@ -350,6 +457,11 @@ Server::enqueue_command(const std::shared_ptr<Conn>& conn,
         ++stats_.requests;
     }
     counter("server.requests");
+    if (event_log_.enabled()) {
+        event_log_.log("request",
+                       {{"conn", conn->id},
+                        {"cmd", line.substr(0, line.find(' '))}});
+    }
 
     // Admission control: reject instead of queueing without bound.
     // Rejections are answered immediately, so a pipelining client can
@@ -366,6 +478,11 @@ Server::enqueue_command(const std::shared_ptr<Conn>& conn,
             ++stats_.rejected_busy;
         }
         counter("server.rejected_busy");
+        event_log_.log("reject_busy",
+                       {{"conn", conn->id},
+                        {"reason", draining_      ? "draining"
+                                   : server_full ? "server"
+                                                 : "session"}});
         send_text(conn,
                   draining_ ? "error busy server draining\n"
                   : server_full
@@ -394,7 +511,8 @@ Server::pump(const std::shared_ptr<Conn>& conn)
             {
                 std::lock_guard<std::mutex> lock(done_mutex_);
                 done_.push_back({conn, std::move(result.output),
-                                 result.quit, 0.0});
+                                 result.quit, 0.0, result.compiles,
+                                 result.cache_hits});
             }
             const std::uint64_t one = 1;
             [[maybe_unused]] const auto n =
@@ -421,6 +539,14 @@ Server::handle_completions()
         if (done.conn->closed) continue;  // disconnected mid-request
         const double ms = ms_since(done.conn->cmd_start);
         service_.metrics().observe("server.request_ms", ms);
+        if (event_log_.enabled()) {
+            event_log_.log("done",
+                           {{"conn", done.conn->id},
+                            {"ms", ms},
+                            {"ok", block_ok(done.output)},
+                            {"compiles", done.compiles},
+                            {"cache_hits", done.cache_hits}});
+        }
         done.conn->busy = false;
         done.conn->last_activity = Clock::now();
         send_text(done.conn, done.output);
@@ -510,6 +636,7 @@ Server::close_conn(const std::shared_ptr<Conn>& conn)
         ++stats_.disconnects;
     }
     counter("server.disconnects");
+    event_log_.log("disconnect", {{"conn", conn->id}});
 }
 
 void
@@ -535,6 +662,7 @@ Server::check_timeouts()
             ++stats_.timeouts;
         }
         counter("server.timeouts");
+        event_log_.log("timeout", {{"conn", conn->id}});
         send_text(conn, "error idle timeout, closing\n");
         if (!conn->closed) {
             flush(conn);
@@ -547,6 +675,7 @@ void
 Server::begin_drain()
 {
     draining_ = true;
+    event_log_.log("drain_begin");
     drain_deadline_ =
         Clock::now() + std::chrono::milliseconds(options_.drain_grace_ms);
     if (listen_fd_ >= 0) {

@@ -35,6 +35,14 @@
  *    to SIGTERM by `qasm_tool --listen`): stop accepting, let queued
  *    and in-flight commands finish and flush, close everything, then
  *    `wait()` returns. `drain_grace_ms` bounds the wait.
+ *
+ * The same listener doubles as a telemetry scrape surface: the first
+ * line of a connection is sniffed, and a plain `GET`/`HEAD` request
+ * is answered as one-shot HTTP — `/metrics` (Prometheus text),
+ * `/healthz` (200, or 503 while draining), `/varz` (JSON) — then
+ * closed. Line-protocol clients receive the greeting banner in
+ * response to their first line instead of at accept time, which is
+ * what makes the sniff possible. See docs/observability.md.
  */
 #ifndef CAQR_SERVICE_SERVER_H
 #define CAQR_SERVICE_SERVER_H
@@ -52,6 +60,7 @@
 
 #include "service/protocol.h"
 #include "service/service.h"
+#include "service/telemetry.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -91,6 +100,11 @@ struct ServerOptions
     /// Worker threads executing commands: 0/negative = one per
     /// hardware thread.
     int num_workers = 0;
+    /// Structured JSONL event log (request start/finish, admission
+    /// rejections, cache hits, drain transitions — see
+    /// docs/observability.md for the schema). Empty = disabled.
+    /// `start()` fails with kIoError when the path cannot be opened.
+    std::string event_log_path;
     /// Protocol defaults for new sessions.
     SessionOptions session;
 };
@@ -107,6 +121,7 @@ struct ServerStats
     std::uint64_t overlong_lines = 0;     ///< line-limit closes
     std::uint64_t slow_readers = 0;       ///< output-backlog closes
     std::uint64_t disconnects = 0;        ///< sessions closed, any cause
+    std::uint64_t http_requests = 0;      ///< one-shot HTTP scrapes
 };
 
 class Server
@@ -157,6 +172,13 @@ class Server
     void accept_ready();
     void read_ready(const std::shared_ptr<Conn>& conn);
     void handle_completions();
+    /// First-line protocol sniff: serves HTTP scrapes, greets
+    /// line-protocol sessions, then forwards to `enqueue_command`.
+    void dispatch_line(const std::shared_ptr<Conn>& conn,
+                       std::string line);
+    /// Answers one `GET`/`HEAD` request line and schedules the close.
+    void serve_http(const std::shared_ptr<Conn>& conn,
+                    const std::string& request_line);
     void enqueue_command(const std::shared_ptr<Conn>& conn,
                          std::string line);
     void pump(const std::shared_ptr<Conn>& conn);
@@ -193,6 +215,8 @@ class Server
         std::string output;
         bool quit = false;
         double ms = 0.0;
+        int compiles = 0;    ///< requests the command drove
+        int cache_hits = 0;  ///< of those, answered by the cache
     };
     std::mutex done_mutex_;
     std::vector<Completion> done_;
@@ -201,6 +225,9 @@ class Server
 
     mutable std::mutex stats_mutex_;
     ServerStats stats_;
+
+    EventLog event_log_;
+    std::uint64_t next_conn_id_ = 1;  ///< event-log correlation (loop only)
 
     std::mutex lifecycle_mutex_;  ///< guards start/stop/wait/join
 };

@@ -234,15 +234,16 @@ canonical_backend_name(const std::string& name)
 }
 
 Service::Service(ServiceOptions options)
-    : pool_(util::ThreadPool::resolve_threads(options.num_threads) - 1)
+    : options_(std::move(options)),
+      pool_(util::ThreadPool::resolve_threads(options_.num_threads) - 1)
 {
-    if (options.cache_capacity > 0) {
-        cache_ = std::make_unique<CompileCache>(options.cache_capacity,
+    if (options_.cache_capacity > 0) {
+        cache_ = std::make_unique<CompileCache>(options_.cache_capacity,
                                                 &metrics_);
     }
-    if (options.template_cache_capacity > 0) {
+    if (options_.template_cache_capacity > 0) {
         template_cache_ = std::make_unique<TemplateCache>(
-            options.template_cache_capacity, &metrics_);
+            options_.template_cache_capacity, &metrics_);
     }
 }
 
@@ -291,48 +292,109 @@ Service::backend(const std::string& name)
 CompileReport
 Service::compile(const CompileRequest& request)
 {
-    util::trace::Span span("service.compile");
+    // Per-request identity: every span recorded while this compile
+    // runs — including raced routing trials on pool workers, which
+    // rebind the scope from their options — is tagged with this id,
+    // and (when slow capture is configured) mirrored into a private
+    // capture so a slow or failed request can be flushed as a
+    // standalone trace artifact.
+    const std::uint64_t request_id =
+        next_request_id_.fetch_add(1, std::memory_order_relaxed);
     const std::string tenant = sanitize_tenant(request.tenant);
+    util::trace::RequestContext ctx;
+    ctx.id = request_id;
+    ctx.tenant = tenant;
+    ctx.deadline_ms = options_.slow_request_ms;
+    std::unique_ptr<util::trace::RequestCapture> capture;
+    if (options_.slow_request_ms > 0.0) {
+        capture =
+            std::make_unique<util::trace::RequestCapture>(request_id);
+    }
+    util::trace::RequestScope request_scope(&ctx, capture.get());
 
-    // Content-addressed fast path: when a cache is configured and the
-    // request's input is addressable, a hit replays the stored report
-    // for the cost of one lookup. Failures are never cached, and a
-    // request whose key cannot be computed (e.g. unreadable file)
-    // falls through to the pipeline, which reports the same failure.
-    if (cache_ != nullptr) {
-        const auto key = request_cache_key(request);
-        if (key.ok()) {
-            const auto start = std::chrono::steady_clock::now();
-            auto hit = cache_->get(*key);
-            const double lookup_ms =
-                std::chrono::duration<double, std::milli>(
-                    std::chrono::steady_clock::now() - start)
-                    .count();
-            if (hit.has_value()) {
-                CompileReport report = std::move(*hit);
-                report.from_cache = true;
-                report.stages = {{"cache", lookup_ms}};
-                if (!request.name.empty()) report.name = request.name;
+    CompileReport report = [&]() -> CompileReport {
+        util::trace::Span span("service.compile");
+
+        // Content-addressed fast path: when a cache is configured and
+        // the request's input is addressable, a hit replays the stored
+        // report for the cost of one lookup. Failures are never
+        // cached, and a request whose key cannot be computed (e.g.
+        // unreadable file) falls through to the pipeline, which
+        // reports the same failure.
+        if (cache_ != nullptr) {
+            const auto key = request_cache_key(request);
+            if (key.ok()) {
+                const auto start = std::chrono::steady_clock::now();
+                auto hit = cache_->get(*key);
+                const double lookup_ms =
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+                if (hit.has_value()) {
+                    CompileReport cached = std::move(*hit);
+                    cached.from_cache = true;
+                    cached.stages = {{"cache", lookup_ms}};
+                    if (!request.name.empty()) cached.name = request.name;
+                    if (!tenant.empty()) {
+                        metrics_.add(
+                            "service.cache.hit.tenant." + tenant, 1.0);
+                    }
+                    record_request_metrics(request, cached);
+                    return cached;
+                }
                 if (!tenant.empty()) {
-                    metrics_.add("service.cache.hit.tenant." + tenant,
+                    metrics_.add("service.cache.miss.tenant." + tenant,
                                  1.0);
                 }
-                record_request_metrics(request, report);
-                return report;
+                CompileReport fresh = compile_uncached(request);
+                record_request_metrics(request, fresh);
+                if (fresh.ok()) cache_->put(*key, fresh);
+                return fresh;
             }
-            if (!tenant.empty()) {
-                metrics_.add("service.cache.miss.tenant." + tenant, 1.0);
-            }
-            CompileReport report = compile_uncached(request);
-            record_request_metrics(request, report);
-            if (report.ok()) cache_->put(*key, report);
-            return report;
+        }
+
+        CompileReport fresh = compile_uncached(request);
+        record_request_metrics(request, fresh);
+        return fresh;
+    }();
+
+    report.request_id = request_id;
+    if (capture != nullptr) maybe_write_slow_trace(report, *capture);
+    return report;
+}
+
+void
+Service::maybe_write_slow_trace(const CompileReport& report,
+                                const util::trace::RequestCapture& capture)
+{
+    const bool slow = report.total_ms() > options_.slow_request_ms;
+    if (!slow && report.ok()) return;
+    // Lifetime rate limit, claimed with a CAS so concurrent offenders
+    // never write more than slow_trace_max artifacts between them.
+    std::size_t written =
+        slow_traces_written_.load(std::memory_order_relaxed);
+    while (true) {
+        if (written >= options_.slow_trace_max) {
+            metrics_.add("service.slow_captures_suppressed", 1.0);
+            return;
+        }
+        if (slow_traces_written_.compare_exchange_weak(
+                written, written + 1, std::memory_order_relaxed)) {
+            break;
         }
     }
-
-    CompileReport report = compile_uncached(request);
-    record_request_metrics(request, report);
-    return report;
+    fs::path path = options_.slow_trace_dir.empty()
+                        ? fs::path(".")
+                        : fs::path(options_.slow_trace_dir);
+    path /= "slow_req_" + std::to_string(capture.request_id()) +
+            ".trace.json";
+    std::ofstream out(path);
+    if (!out) {
+        metrics_.add("service.slow_capture_errors", 1.0);
+        return;
+    }
+    capture.write_chrome_trace(out);
+    metrics_.add("service.slow_captures", 1.0);
 }
 
 CompileReport
@@ -431,6 +493,14 @@ Service::compile_uncached(const CompileRequest& request,
         sr_options.pool = &pool_;
         transpile_options.pool = &pool_;
     }
+    // Hand the current request binding to the raced-trial passes: the
+    // fan-out lambdas re-establish it on their worker thread, so trial
+    // spans land in the owning request's capture even when trials from
+    // different requests share the pool.
+    sr_options.request_ctx = util::trace::current_request();
+    sr_options.capture = util::trace::current_capture();
+    transpile_options.request_ctx = sr_options.request_ctx;
+    transpile_options.capture = sr_options.capture;
 
     // Reuse pass (strategy dispatch). `reuse_level` is the logical
     // circuit the mapping and simulation stages consume; kSrCaqr maps

@@ -55,6 +55,10 @@
 #include "util/status.h"
 #include "util/thread_pool.h"
 
+namespace caqr::util::trace {
+class RequestCapture;
+}  // namespace caqr::util::trace
+
 namespace caqr {
 
 /// Which compilation pipeline a request runs.
@@ -155,6 +159,14 @@ struct CompileReport
     /// the compile it replays.
     bool from_cache = false;
 
+    /// Service-assigned id of the request this report answered (0 when
+    /// the report never went through `Service::compile`). Matches the
+    /// `"args":{"req":N}` tag on the request's trace spans and the
+    /// `slow_req_<id>.trace.json` artifact name. Excluded from
+    /// `report_fingerprint` — ids are per-process sequence numbers,
+    /// not results.
+    std::uint64_t request_id = 0;
+
     std::vector<StageTiming> stages;  ///< pipeline timings, in order
 
     bool ok() const { return status.ok(); }
@@ -248,6 +260,22 @@ struct ServiceOptions
     /// are the explicit compile-once/bind-many API, so they are on by
     /// default; 0 disables `compile_template`/`bind` entirely.
     std::size_t template_cache_capacity = 64;
+
+    /// Slow-request capture threshold in milliseconds: when > 0 every
+    /// `compile` records its span tree into a per-request
+    /// `util::trace::RequestCapture` (independent of the global trace
+    /// switch), and a request whose `total_ms` exceeds the threshold —
+    /// or that fails — flushes that tree as
+    /// `<slow_trace_dir>/slow_req_<id>.trace.json`. 0 = off.
+    double slow_request_ms = 0.0;
+
+    /// Directory slow-request artifacts are written into ("" = CWD).
+    std::string slow_trace_dir;
+
+    /// Lifetime ceiling on slow-request artifacts (rate limit — a
+    /// pathologically slow workload must not fill the disk; suppressed
+    /// writes count under `service.slow_captures_suppressed`).
+    std::size_t slow_trace_max = 32;
 };
 
 /**
@@ -364,7 +392,12 @@ class Service
                                    TemplateCapture* capture = nullptr);
     void record_request_metrics(const CompileRequest& request,
                                 const CompileReport& report);
+    void maybe_write_slow_trace(const CompileReport& report,
+                                const util::trace::RequestCapture& capture);
 
+    ServiceOptions options_;
+    std::atomic<std::uint64_t> next_request_id_{1};
+    std::atomic<std::size_t> slow_traces_written_{0};
     util::ThreadPool pool_;
     mutable std::mutex mutex_;
     std::map<std::string, std::shared_ptr<const arch::Backend>> backends_;

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Scrape-surface renderers and the structured event log for the
+ * serving stack.
+ *
+ * The epoll front end (service/server.h) answers plain HTTP `GET`s on
+ * the same listener as the line protocol — `/metrics` (Prometheus
+ * text exposition), `/varz` (JSON), `/healthz` — by sniffing the
+ * first request line. The renderers here turn one
+ * `util::metrics::Snapshot` into those documents; they hold no state
+ * and are usable from any thread.
+ *
+ * `EventLog` is the serving stack's machine-readable audit trail: one
+ * JSON object per line (JSONL), appended and flushed per event, so
+ * `tail -f` and CI log collectors see request starts/finishes,
+ * admission rejections, and drain transitions as they happen. See
+ * docs/observability.md for the event schema.
+ */
+#ifndef CAQR_SERVICE_TELEMETRY_H
+#define CAQR_SERVICE_TELEMETRY_H
+
+#include <cstdint>
+#include <fstream>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+
+#include "util/metrics.h"
+#include "util/status.h"
+
+namespace caqr::serve {
+
+/**
+ * Prometheus text-exposition rendering of a metrics snapshot
+ * (version 0.0.4, the `text/plain` format every scraper accepts).
+ * Metric names are sanitized (`.` → `_`) and prefixed `caqr_`:
+ *
+ *  - counters   → `# TYPE caqr_<name> counter` + one sample
+ *  - gauges     → `# TYPE caqr_<name> gauge` + one sample
+ *  - histograms → summaries: `{quantile="0.5|0.9|0.99"}` samples plus
+ *    `_sum`/`_count`
+ *  - rolling windows → summaries named `caqr_<name>_window` covering
+ *    the last `window_seconds` (also exported, as the gauge
+ *    `caqr_telemetry_window_seconds`)
+ */
+std::string prometheus_text(const util::metrics::Snapshot& snapshot);
+
+/// JSON diagnostic document for `/varz`: draining flag, counters,
+/// gauges, and per-histogram stat objects (count/min/mean/p50/p90/
+/// p99/max) for both lifetime histograms and rolling windows.
+std::string varz_json(const util::metrics::Snapshot& snapshot,
+                      bool draining);
+
+/// A complete minimal HTTP/1.0 response (status line, Content-Type,
+/// Content-Length, Connection: close). @p head_only elides the body
+/// (HEAD requests) while keeping the Content-Length of the full one.
+std::string http_response(int status, const std::string& content_type,
+                          const std::string& body, bool head_only = false);
+
+/// One key/value pair of an event-log record. Values render as JSON:
+/// strings are quoted and escaped, numbers and booleans are bare.
+struct EventField
+{
+    EventField(std::string key, const std::string& value);
+    EventField(std::string key, const char* value);
+    EventField(std::string key, double value);
+    EventField(std::string key, std::uint64_t value);
+    EventField(std::string key, int value);
+    EventField(std::string key, bool value);
+
+    std::string key;
+    std::string rendered;  ///< JSON value, ready to splice
+};
+
+/**
+ * Append-only JSONL event log. Each record is
+ * `{"ts_ms":<unix ms>,"event":"<name>",...fields}` on its own line,
+ * flushed immediately. Thread-safe; `log` on a closed log is a no-op,
+ * so call sites need no `enabled()` guards.
+ */
+class EventLog
+{
+  public:
+    EventLog() = default;
+    EventLog(const EventLog&) = delete;
+    EventLog& operator=(const EventLog&) = delete;
+
+    /// Opens @p path for appending. kIoError when the file cannot be
+    /// opened; an empty path leaves the log disabled and reports OK.
+    util::Status open(const std::string& path);
+
+    bool enabled() const { return enabled_; }
+
+    void log(const std::string& event,
+             std::initializer_list<EventField> fields = {});
+
+  private:
+    bool enabled_ = false;
+    std::mutex mutex_;
+    std::ofstream out_;
+};
+
+}  // namespace caqr::serve
+
+#endif  // CAQR_SERVICE_TELEMETRY_H

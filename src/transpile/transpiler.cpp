@@ -138,6 +138,11 @@ run_transpile(const circuit::Circuit& logical, const arch::Backend& backend,
     std::atomic<int> incumbent{std::numeric_limits<int>::max()};
 
     auto run_trial = [&](std::size_t index) {
+        // Rebind the owning request on this (possibly pool) thread so
+        // raced trials from concurrent requests keep their spans
+        // attributed to the right request.
+        util::trace::RequestScope request_scope(options.request_ctx,
+                                                options.capture);
         TrialOutcome outcome;
         RouterScratch scratch;
         auto routed = route_or(

@@ -114,6 +114,51 @@ Histogram::from_state(const std::vector<Bucket>& buckets, double min,
 }
 
 // ---------------------------------------------------------------------
+// RollingHistogram
+// ---------------------------------------------------------------------
+
+void
+RollingHistogram::record(double value,
+                         std::chrono::steady_clock::time_point now)
+{
+    const std::int64_t epoch = epoch_of(now);
+    Slot& slot = slots_[static_cast<std::size_t>(
+        epoch % static_cast<std::int64_t>(kSlots))];
+    if (slot.epoch != epoch) {
+        // The ring rotated past this slot since it was last written;
+        // its samples are older than the window and age out here.
+        slot.histogram = Histogram{};
+        slot.epoch = epoch;
+    }
+    slot.histogram.record(value);
+}
+
+Histogram
+RollingHistogram::window(std::chrono::steady_clock::time_point now) const
+{
+    const std::int64_t epoch = epoch_of(now);
+    Histogram merged;
+    for (const Slot& slot : slots_) {
+        if (slot.epoch < 0) continue;
+        if (slot.epoch > epoch) continue;
+        if (epoch - slot.epoch >= static_cast<std::int64_t>(kSlots)) {
+            continue;
+        }
+        merged.merge(slot.histogram);
+    }
+    return merged;
+}
+
+void
+RollingHistogram::reset()
+{
+    for (Slot& slot : slots_) {
+        slot.histogram = Histogram{};
+        slot.epoch = -1;
+    }
+}
+
+// ---------------------------------------------------------------------
 // JSON writer
 // ---------------------------------------------------------------------
 
@@ -364,18 +409,29 @@ Snapshot::merge(const Snapshot& other)
     for (const auto& [name, histogram] : other.histograms) {
         histograms[name].merge(histogram);
     }
+    for (const auto& [name, histogram] : other.windows) {
+        windows[name].merge(histogram);
+    }
     for (const auto& [name, value] : other.counters) {
         counters[name] += value;
     }
+    // Gauges are instantaneous, not additive: the merged-in snapshot's
+    // reading wins where both carry the name.
+    for (const auto& [name, value] : other.gauges) {
+        gauges[name] = value;
+    }
 }
 
+namespace {
+
+/// One `"name":{histogram fields}` table — shared by the cumulative
+/// and window sections of the JSON document.
 void
-Snapshot::write_json(std::ostream& os) const
+write_histogram_table(std::ostream& os,
+                      const std::map<std::string, Histogram>& table)
 {
-    os << "{\"schema_version\":" << kSchemaVersion
-       << ",\n\"histograms\":{";
     bool first = true;
-    for (const auto& [name, histogram] : histograms) {
+    for (const auto& [name, histogram] : table) {
         if (!first) os << ",";
         first = false;
         os << "\n\"" << json_escape(name) << "\":{"
@@ -396,9 +452,30 @@ Snapshot::write_json(std::ostream& os) const
         }
         os << "]}";
     }
-    os << "},\n\"counters\":{";
-    first = true;
+}
+
+}  // namespace
+
+void
+Snapshot::write_json(std::ostream& os) const
+{
+    os << "{\"schema_version\":" << kSchemaVersion
+       << ",\n\"histograms\":{";
+    write_histogram_table(os, histograms);
+    os << "},\n\"windows\":{";
+    write_histogram_table(os, windows);
+    os << "},\n\"window_seconds\":" << window_seconds
+       << ",\n\"counters\":{";
+    bool first = true;
     for (const auto& [name, value] : counters) {
+        if (!first) os << ",";
+        first = false;
+        os << "\n\"" << json_escape(name)
+           << "\":" << json_number(value);
+    }
+    os << "},\n\"gauges\":{";
+    first = true;
+    for (const auto& [name, value] : gauges) {
         if (!first) os << ",";
         first = false;
         os << "\n\"" << json_escape(name)
@@ -434,9 +511,10 @@ Snapshot::from_json(const std::string& text)
     }
 
     Snapshot snapshot;
-    if (const JsonValue* table = parsed->find("histograms");
-        table != nullptr && table->kind == JsonValue::Kind::kObject) {
-        for (const auto& [name, entry] : table->object) {
+    const auto parse_histogram_table =
+        [](const JsonValue& table,
+           std::map<std::string, Histogram>* out) -> util::Status {
+        for (const auto& [name, entry] : table.object) {
             if (entry.kind != JsonValue::Kind::kObject) {
                 return util::Status::parse_error(
                     "histogram '" + name + "' is not an object");
@@ -464,9 +542,28 @@ Snapshot::from_json(const std::string& text)
                      static_cast<std::size_t>(row.array[1].number),
                      row.array[2].number});
             }
-            snapshot.histograms[name] = Histogram::from_state(
-                state, min->number, max->number);
+            (*out)[name] = Histogram::from_state(state, min->number,
+                                                 max->number);
         }
+        return util::Status();
+    };
+    if (const JsonValue* table = parsed->find("histograms");
+        table != nullptr && table->kind == JsonValue::Kind::kObject) {
+        auto status = parse_histogram_table(*table,
+                                            &snapshot.histograms);
+        if (!status.ok()) return status;
+    }
+    // Window/gauge sections are additive (schema 1 documents written
+    // before they existed simply lack the keys).
+    if (const JsonValue* table = parsed->find("windows");
+        table != nullptr && table->kind == JsonValue::Kind::kObject) {
+        auto status = parse_histogram_table(*table, &snapshot.windows);
+        if (!status.ok()) return status;
+    }
+    if (const JsonValue* seconds = parsed->find("window_seconds");
+        seconds != nullptr &&
+        seconds->kind == JsonValue::Kind::kNumber) {
+        snapshot.window_seconds = static_cast<int>(seconds->number);
     }
     if (const JsonValue* table = parsed->find("counters");
         table != nullptr && table->kind == JsonValue::Kind::kObject) {
@@ -476,6 +573,16 @@ Snapshot::from_json(const std::string& text)
                     "counter '" + name + "' is not a number");
             }
             snapshot.counters[name] = entry.number;
+        }
+    }
+    if (const JsonValue* table = parsed->find("gauges");
+        table != nullptr && table->kind == JsonValue::Kind::kObject) {
+        for (const auto& [name, entry] : table->object) {
+            if (entry.kind != JsonValue::Kind::kNumber) {
+                return util::Status::parse_error(
+                    "gauge '" + name + "' is not a number");
+            }
+            snapshot.gauges[name] = entry.number;
         }
     }
     return snapshot;
@@ -498,8 +605,24 @@ Snapshot::write_csv(std::ostream& os) const
              Table::fmt(histogram.max(), 4),
              Table::fmt(histogram.sum(), 4)});
     }
+    for (const auto& [name, histogram] : windows) {
+        table.add_row(
+            {"window", name,
+             Table::fmt(static_cast<long long>(histogram.count())),
+             Table::fmt(histogram.min(), 4),
+             Table::fmt(histogram.mean(), 4),
+             Table::fmt(histogram.percentile(50), 4),
+             Table::fmt(histogram.percentile(90), 4),
+             Table::fmt(histogram.percentile(99), 4),
+             Table::fmt(histogram.max(), 4),
+             Table::fmt(histogram.sum(), 4)});
+    }
     for (const auto& [name, value] : counters) {
         table.add_row({"counter", name, "", "", "", "", "", "", "",
+                       Table::fmt(value, 4)});
+    }
+    for (const auto& [name, value] : gauges) {
+        table.add_row({"gauge", name, "", "", "", "", "", "", "",
                        Table::fmt(value, 4)});
     }
     table.print_csv(os);
@@ -512,8 +635,10 @@ Snapshot::write_csv(std::ostream& os) const
 void
 Registry::observe(const std::string& name, double value)
 {
+    const auto now = std::chrono::steady_clock::now();
     std::lock_guard<std::mutex> lock(mutex_);
     histograms_[name].record(value);
+    windows_[name].record(value, now);
 }
 
 void
@@ -523,13 +648,25 @@ Registry::add(const std::string& name, double delta)
     counters_[name] += delta;
 }
 
+void
+Registry::set_gauge(const std::string& name, double value)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    gauges_[name] = value;
+}
+
 Snapshot
 Registry::snapshot() const
 {
+    const auto now = std::chrono::steady_clock::now();
     std::lock_guard<std::mutex> lock(mutex_);
     Snapshot snapshot;
     snapshot.histograms = histograms_;
+    for (const auto& [name, rolling] : windows_) {
+        snapshot.windows[name] = rolling.window(now);
+    }
     snapshot.counters = counters_;
+    snapshot.gauges = gauges_;
     return snapshot;
 }
 
@@ -538,7 +675,9 @@ Registry::reset()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     histograms_.clear();
+    windows_.clear();
     counters_.clear();
+    gauges_.clear();
 }
 
 Registry&

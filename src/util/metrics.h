@@ -32,7 +32,10 @@
 #ifndef CAQR_UTIL_METRICS_H
 #define CAQR_UTIL_METRICS_H
 
+#include <array>
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <map>
 #include <mutex>
@@ -118,6 +121,49 @@ class Histogram
     double max_ = 0.0;
 };
 
+/**
+ * Time-bucketed sliding-window histogram: a ring of `kSlots` slots of
+ * `kSlotSeconds` each (12 x 5s = the last minute). Recording lands in
+ * the slot owning the current wall tick, lazily resetting slots whose
+ * epoch has rotated out, so stale data ages out without a sweeper
+ * thread. `window()` merges the live slots into one plain `Histogram`
+ * — "p99 over the last minute" — while the cumulative histogram next
+ * to it keeps the lifetime view. Not thread-safe; `Registry` provides
+ * the locking.
+ */
+class RollingHistogram
+{
+  public:
+    static constexpr int kSlots = 12;
+    static constexpr int kSlotSeconds = 5;
+
+    /// Adds one sample to the slot owning @p now.
+    void record(double value, std::chrono::steady_clock::time_point now);
+
+    /// Merge of every slot still inside the window ending at @p now.
+    Histogram window(std::chrono::steady_clock::time_point now) const;
+
+    void reset();
+
+  private:
+    static std::int64_t
+    epoch_of(std::chrono::steady_clock::time_point now)
+    {
+        return std::chrono::duration_cast<std::chrono::seconds>(
+                   now.time_since_epoch())
+                   .count() /
+               kSlotSeconds;
+    }
+
+    struct Slot
+    {
+        std::int64_t epoch = -1;  ///< -1 = never written
+        Histogram histogram;
+    };
+
+    std::array<Slot, kSlots> slots_;
+};
+
 /// Frozen copy of a registry; the unit of export, import, and merging.
 struct Snapshot
 {
@@ -128,7 +174,20 @@ struct Snapshot
     std::map<std::string, Histogram> histograms;
     std::map<std::string, double> counters;
 
-    /// Merges @p other in: histograms bucket-wise, counters by sum.
+    /// Sliding-window views frozen at snapshot time, keyed like
+    /// `histograms` — `windows["service.total_ms"].percentile(99)` is
+    /// the live p99 over the last `window_seconds`.
+    std::map<std::string, Histogram> windows;
+
+    /// Last-write-wins instantaneous values (queue depth, sessions).
+    std::map<std::string, double> gauges;
+
+    /// Width of the window views in seconds.
+    int window_seconds = RollingHistogram::kSlots *
+                         RollingHistogram::kSlotSeconds;
+
+    /// Merges @p other in: histograms and windows bucket-wise,
+    /// counters by sum, gauges by overwrite (last write wins).
     void merge(const Snapshot& other);
 
     /// JSON document: schema_version, per-histogram buckets + derived
@@ -156,22 +215,29 @@ struct Snapshot
 class Registry
 {
   public:
-    /// Adds @p value to the named histogram (created on first use).
+    /// Adds @p value to the named histogram (created on first use) and
+    /// to its sliding-window companion.
     void observe(const std::string& name, double value);
 
     /// Adds @p delta to the named counter (created at 0).
     void add(const std::string& name, double delta);
 
-    /// Consistent copy of everything recorded so far.
+    /// Sets the named gauge to @p value (last write wins).
+    void set_gauge(const std::string& name, double value);
+
+    /// Consistent copy of everything recorded so far; window views are
+    /// frozen as of the call.
     Snapshot snapshot() const;
 
-    /// Discards all histograms and counters.
+    /// Discards all histograms, windows, counters, and gauges.
     void reset();
 
   private:
     mutable std::mutex mutex_;
     std::map<std::string, Histogram> histograms_;
+    std::map<std::string, RollingHistogram> windows_;
     std::map<std::string, double> counters_;
+    std::map<std::string, double> gauges_;
 };
 
 /// Process-wide registry for leaf instrumentation (e.g. the simulator's

@@ -18,6 +18,11 @@ namespace caqr::util {
 class ThreadPool;
 }  // namespace caqr::util
 
+namespace caqr::util::trace {
+struct RequestContext;
+class RequestCapture;
+}  // namespace caqr::util::trace
+
 namespace caqr {
 
 /// Knobs common to all passes; embedded as a base by each pass's
@@ -41,6 +46,16 @@ struct CommonOptions
     /// fan-out. Never part of cache keys; results are bit-identical
     /// with or without it.
     util::ThreadPool* pool = nullptr;
+    /// Identity of the request this pass runs on behalf of. Pool
+    /// fan-out lambdas rebind it on the worker thread (via
+    /// `util::trace::RequestScope`) so spans from concurrently raced
+    /// trials group by request. Borrowed from the driver; never part
+    /// of cache keys; purely observational.
+    const util::trace::RequestContext* request_ctx = nullptr;
+    /// Per-request span sink for slow-request capture; rebound
+    /// alongside `request_ctx`. Null = no capture. Never part of
+    /// cache keys; purely observational.
+    util::trace::RequestCapture* capture = nullptr;
 };
 
 }  // namespace caqr

@@ -1,6 +1,7 @@
 #include "util/trace.h"
 
 #include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <mutex>
@@ -22,7 +23,13 @@ struct Event
     double ts_us = 0.0;
     double dur_us = 0.0;
     int tid = 0;
+    std::uint64_t req = 0;  ///< owning request id (0 = unattributed)
 };
+
+/// Thread-local request binding installed by RequestScope. Spans read
+/// it on construction; it never outlives the scope that set it.
+thread_local const RequestContext* tls_request_ctx = nullptr;
+thread_local RequestCapture* tls_request_capture = nullptr;
 
 /// Process-wide trace storage. Spans/counters from pool workers and
 /// the main thread interleave, so every mutation is mutex-guarded;
@@ -47,7 +54,8 @@ class Registry
 
     void
     record(std::string name,
-           std::chrono::steady_clock::time_point start, double dur_us)
+           std::chrono::steady_clock::time_point start, double dur_us,
+           std::uint64_t req)
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (events_.size() >= kMaxEvents) {
@@ -61,6 +69,7 @@ class Registry
                           .count();
         event.dur_us = dur_us;
         event.tid = tid_of(std::this_thread::get_id());
+        event.req = req;
         events_.push_back(std::move(event));
     }
 
@@ -188,25 +197,131 @@ reset()
     Registry::instance().clear();
 }
 
-Span::Span(std::string name)
-    : name_(std::move(name)), active_(enabled())
+RequestCapture::RequestCapture(std::uint64_t request_id)
+    : request_id_(request_id),
+      epoch_(std::chrono::steady_clock::now())
 {
-    if (active_) start_ = std::chrono::steady_clock::now();
+}
+
+void
+RequestCapture::record(const std::string& name,
+                       std::chrono::steady_clock::time_point start,
+                       double dur_us)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (spans_.size() >= kMaxSpans) {
+        ++dropped_;
+        return;
+    }
+    CapturedSpan span;
+    span.name = name;
+    span.ts_us =
+        std::chrono::duration<double, std::micro>(start - epoch_).count();
+    span.dur_us = dur_us;
+    auto [it, inserted] = tids_.try_emplace(
+        std::this_thread::get_id(), static_cast<int>(tids_.size()));
+    (void)inserted;
+    span.tid = it->second;
+    spans_.push_back(std::move(span));
+}
+
+std::size_t
+RequestCapture::span_count() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return spans_.size();
+}
+
+std::size_t
+RequestCapture::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+}
+
+bool
+RequestCapture::has_span(const std::string& name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& span : spans_) {
+        if (span.name == name) return true;
+    }
+    return false;
+}
+
+void
+RequestCapture::write_chrome_trace(std::ostream& os) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    for (const auto& span : spans_) {
+        if (!first) os << ",";
+        first = false;
+        os << "\n{\"name\":\"" << json_escape(span.name)
+           << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << span.tid
+           << ",\"ts\":" << span.ts_us << ",\"dur\":" << span.dur_us
+           << ",\"args\":{\"req\":" << request_id_ << "}}";
+    }
+    os << "\n],\"caqr_request\":{\"id\":" << request_id_
+       << ",\"spans\":" << spans_.size() << ",\"dropped\":" << dropped_
+       << "}}\n";
+}
+
+RequestScope::RequestScope(const RequestContext* ctx,
+                           RequestCapture* capture)
+    : saved_ctx_(tls_request_ctx), saved_capture_(tls_request_capture)
+{
+    tls_request_ctx = ctx;
+    tls_request_capture =
+        (ctx != nullptr && !ctx->sampled) ? nullptr : capture;
+}
+
+RequestScope::~RequestScope()
+{
+    tls_request_ctx = saved_ctx_;
+    tls_request_capture = saved_capture_;
+}
+
+const RequestContext*
+current_request()
+{
+    return tls_request_ctx;
+}
+
+RequestCapture*
+current_capture()
+{
+    return tls_request_capture;
+}
+
+Span::Span(std::string name)
+    : name_(std::move(name)), active_(enabled()),
+      capture_(tls_request_capture),
+      req_(tls_request_ctx != nullptr ? tls_request_ctx->id : 0)
+{
+    if (active_ || capture_ != nullptr) {
+        start_ = std::chrono::steady_clock::now();
+    }
 }
 
 Span::~Span()
 {
-    if (!active_) return;
+    if (!active_ && capture_ == nullptr) return;
     const auto stop = std::chrono::steady_clock::now();
     const double dur_us =
         std::chrono::duration<double, std::micro>(stop - start_).count();
-    Registry::instance().record(std::move(name_), start_, dur_us);
+    if (capture_ != nullptr) capture_->record(name_, start_, dur_us);
+    if (active_) {
+        Registry::instance().record(std::move(name_), start_, dur_us,
+                                    req_);
+    }
 }
 
 double
 Span::elapsed_ms() const
 {
-    if (!active_) return 0.0;
+    if (!active_ && capture_ == nullptr) return 0.0;
     return std::chrono::duration<double, std::milli>(
                std::chrono::steady_clock::now() - start_)
         .count();
@@ -250,8 +365,11 @@ write_chrome_trace(std::ostream& os)
         first = false;
         os << "\n{\"name\":\"" << json_escape(event.name)
            << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << event.tid
-           << ",\"ts\":" << event.ts_us << ",\"dur\":" << event.dur_us
-           << "}";
+           << ",\"ts\":" << event.ts_us << ",\"dur\":" << event.dur_us;
+        if (event.req != 0) {
+            os << ",\"args\":{\"req\":" << event.req << "}";
+        }
+        os << "}";
     }
     os << "\n],\"caqr_metrics\":{";
     first = true;

@@ -271,6 +271,115 @@ TEST(Snapshot, CsvListsHistogramsAndCounters)
 }
 
 // ---------------------------------------------------------------------
+// Rolling windows and gauges
+// ---------------------------------------------------------------------
+
+using util::metrics::RollingHistogram;
+using TimePoint = std::chrono::steady_clock::time_point;
+
+TEST(RollingHistogram, WindowCoversRecentSlotsOnly)
+{
+    RollingHistogram rolling;
+    const TimePoint t0{std::chrono::seconds(1000)};
+    rolling.record(1.0, t0);
+    rolling.record(2.0, t0 + std::chrono::seconds(7));
+    rolling.record(3.0, t0 + std::chrono::seconds(14));
+
+    // All three slots are inside the 60 s window.
+    const auto now = t0 + std::chrono::seconds(14);
+    const auto window = rolling.window(now);
+    EXPECT_EQ(window.count(), 3u);
+    EXPECT_DOUBLE_EQ(window.min(), 1.0);
+    EXPECT_DOUBLE_EQ(window.max(), 3.0);
+
+    // 60 s later only samples recorded since then remain.
+    const auto later = t0 + std::chrono::seconds(75);
+    EXPECT_EQ(rolling.window(later).count(), 0u);
+    rolling.record(9.0, later);
+    const auto fresh = rolling.window(later);
+    EXPECT_EQ(fresh.count(), 1u);
+    EXPECT_DOUBLE_EQ(fresh.max(), 9.0);
+}
+
+/// A slot revisited exactly kSlots epochs later must forget its old
+/// samples (lazy epoch-keyed reset), not blend two generations.
+TEST(RollingHistogram, SlotReuseDropsTheOldGeneration)
+{
+    RollingHistogram rolling;
+    const TimePoint t0{std::chrono::seconds(500)};
+    rolling.record(100.0, t0);
+
+    const auto wrap =
+        t0 + std::chrono::seconds(RollingHistogram::kSlots *
+                                  RollingHistogram::kSlotSeconds);
+    rolling.record(1.0, wrap);
+    const auto window = rolling.window(wrap);
+    EXPECT_EQ(window.count(), 1u);
+    EXPECT_DOUBLE_EQ(window.max(), 1.0);
+}
+
+TEST(RollingHistogram, ResetForgetsEverything)
+{
+    RollingHistogram rolling;
+    const TimePoint t0{std::chrono::seconds(42)};
+    rolling.record(5.0, t0);
+    rolling.reset();
+    EXPECT_EQ(rolling.window(t0).count(), 0u);
+}
+
+TEST(Registry, ObservationsFeedTheRollingWindow)
+{
+    Registry registry;
+    registry.observe("latency_ms", 4.0);
+    registry.observe("latency_ms", 8.0);
+
+    const auto snapshot = registry.snapshot();
+    ASSERT_TRUE(snapshot.windows.count("latency_ms"));
+    const auto& window = snapshot.windows.at("latency_ms");
+    EXPECT_EQ(window.count(), 2u);
+    EXPECT_DOUBLE_EQ(window.max(), 8.0);
+    EXPECT_GT(window.percentile(99), 0.0);
+    EXPECT_EQ(snapshot.window_seconds,
+              RollingHistogram::kSlots * RollingHistogram::kSlotSeconds);
+
+    // The cumulative histogram and the window agree while everything
+    // is recent.
+    EXPECT_EQ(snapshot.histograms.at("latency_ms").count(),
+              window.count());
+}
+
+TEST(Registry, GaugesAreLastWriteWinsAndSnapshot)
+{
+    Registry registry;
+    registry.set_gauge("queue_depth", 3.0);
+    registry.set_gauge("queue_depth", 1.0);
+    registry.set_gauge("sessions", 7.0);
+
+    const auto snapshot = registry.snapshot();
+    EXPECT_DOUBLE_EQ(snapshot.gauges.at("queue_depth"), 1.0);
+    EXPECT_DOUBLE_EQ(snapshot.gauges.at("sessions"), 7.0);
+
+    registry.reset();
+    EXPECT_TRUE(registry.snapshot().gauges.empty());
+    EXPECT_TRUE(registry.snapshot().windows.empty());
+}
+
+TEST(Snapshot, JsonRoundTripPreservesWindowsAndGauges)
+{
+    Registry registry;
+    registry.observe("latency_ms", 2.5);
+    registry.set_gauge("sessions", 4.0);
+
+    const Snapshot before = registry.snapshot();
+    const auto parsed = Snapshot::from_json(before.to_json());
+    ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+    EXPECT_EQ(parsed->windows.at("latency_ms").count(), 1u);
+    EXPECT_DOUBLE_EQ(parsed->gauges.at("sessions"), 4.0);
+    EXPECT_EQ(parsed->window_seconds, before.window_seconds);
+    EXPECT_EQ(parsed->to_json(), before.to_json());
+}
+
+// ---------------------------------------------------------------------
 // Registry behavior
 // ---------------------------------------------------------------------
 

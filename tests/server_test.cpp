@@ -15,6 +15,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -361,24 +365,40 @@ TEST(ServerAdmission, SessionCapRejectsAndRecovers)
     auto first = ts.client();
     auto second = ts.client();
 
+    // The third connection TCP-connects, but the server answers it
+    // with a single `error busy` block (no greeting) and closes — the
+    // rejection surfaces on the first read, not at connect time.
     serve::Client third;
-    const auto rejected = third.connect("127.0.0.1", ts.server.port());
-    EXPECT_FALSE(rejected.ok());
-    EXPECT_NE(rejected.to_string().find("busy"), std::string::npos)
-        << rejected.to_string();
+    ASSERT_TRUE(third.connect("127.0.0.1", ts.server.port()).ok());
+    const auto rejected = third.read_response(5000);
+    ASSERT_TRUE(rejected.ok()) << rejected.status().to_string();
+    EXPECT_FALSE(rejected->ok);
+    EXPECT_NE(rejected->final_line().find("busy"), std::string::npos)
+        << rejected->final_line();
+    // The busy line is readable the instant the server send()s it,
+    // a few instructions before the counter bump — poll briefly.
+    const auto count_deadline = std::chrono::steady_clock::now() +
+                                std::chrono::seconds(5);
+    while (ts.server.stats().rejected_sessions == 0 &&
+           std::chrono::steady_clock::now() < count_deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
     EXPECT_EQ(ts.server.stats().rejected_sessions, 1u);
 
     first.command("quit");
     first.close();
-    // The slot frees once the server reaps the session.
+    // The slot frees once the server reaps the session; a freed slot
+    // means a command round-trips again.
     const auto deadline = std::chrono::steady_clock::now() +
                           std::chrono::seconds(5);
     bool reconnected = false;
     while (!reconnected &&
            std::chrono::steady_clock::now() < deadline) {
         serve::Client retry;
-        reconnected =
-            retry.connect("127.0.0.1", ts.server.port()).ok();
+        if (retry.connect("127.0.0.1", ts.server.port()).ok()) {
+            const auto response = retry.command("version", 5000);
+            reconnected = response.ok() && response->ok;
+        }
         if (!reconnected) {
             std::this_thread::sleep_for(std::chrono::milliseconds(20));
         }
@@ -489,6 +509,271 @@ TEST(ServerCache, ConcurrentRepeatTrafficHitsCache)
     EXPECT_EQ(snapshot.counters.at("service.cache.hit"),
               static_cast<double>(kClients * kRounds));
     EXPECT_EQ(snapshot.counters.at("service.cache.miss"), 1.0);
+}
+
+/// Counts non-overlapping occurrences of @p needle in @p haystack.
+std::size_t
+count_occurrences(const std::string& haystack, const std::string& needle)
+{
+    std::size_t count = 0;
+    for (auto at = haystack.find(needle); at != std::string::npos;
+         at = haystack.find(needle, at + needle.size())) {
+        ++count;
+    }
+    return count;
+}
+
+/// The same listener sniffs one-shot HTTP scrapes off the line
+/// protocol: `/metrics` is Prometheus text with rolling windows,
+/// `/healthz` answers liveness, `/varz` is the JSON snapshot, and
+/// unknown paths 404 — all without disturbing line-protocol sessions.
+TEST(ServerHttp, ScrapeEndpointsAnswerOnTheSameListener)
+{
+    TestServer ts;
+    {
+        // Warm one compile so service.total_ms has samples in the
+        // current rolling window.
+        auto client = ts.client();
+        const auto compiled =
+            client.command("compile " + circuits_dir() + "/bv_10.qasm");
+        ASSERT_TRUE(compiled.ok());
+        ASSERT_TRUE(compiled->ok) << compiled->final_line();
+    }
+
+    const auto scrape = [&](const std::string& path) {
+        serve::Client http;
+        EXPECT_TRUE(
+            http.connect("127.0.0.1", ts.server.port()).ok());
+        EXPECT_TRUE(
+            http.send_raw("GET " + path + " HTTP/1.0\r\n\r\n").ok());
+        const auto body = http.read_until_close(30000);
+        EXPECT_TRUE(body.ok()) << body.status().to_string();
+        return body.ok() ? *body : std::string();
+    };
+
+    const std::string metrics = scrape("/metrics");
+    EXPECT_EQ(metrics.rfind("HTTP/1.0 200 OK\r\n", 0), 0u)
+        << metrics.substr(0, 64);
+    EXPECT_NE(metrics.find("text/plain; version=0.0.4"),
+              std::string::npos);
+    // The acceptance target: the live windowed p99 of the service
+    // latency, in Prometheus exposition form.
+    EXPECT_NE(metrics.find("caqr_service_total_ms_window{"
+                           "quantile=\"0.99\"}"),
+              std::string::npos)
+        << metrics;
+    EXPECT_NE(metrics.find("caqr_service_total_ms{quantile=\"0.5\"}"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("caqr_telemetry_window_seconds"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("caqr_server_active_sessions"),
+              std::string::npos);
+
+    const std::string healthz = scrape("/healthz");
+    EXPECT_EQ(healthz.rfind("HTTP/1.0 200 OK\r\n", 0), 0u);
+    EXPECT_NE(healthz.find("\r\n\r\nok\n"), std::string::npos);
+
+    const std::string varz = scrape("/varz");
+    EXPECT_EQ(varz.rfind("HTTP/1.0 200 OK\r\n", 0), 0u);
+    EXPECT_NE(varz.find("\"draining\":false"), std::string::npos);
+    EXPECT_NE(varz.find("\"windows\""), std::string::npos);
+    EXPECT_NE(varz.find("\"service.total_ms\""), std::string::npos);
+
+    const std::string missing = scrape("/nope");
+    EXPECT_EQ(missing.rfind("HTTP/1.0 404 Not Found\r\n", 0), 0u);
+
+    // Scrapes are accounted separately from line-protocol requests.
+    const auto stats = ts.server.stats();
+    EXPECT_EQ(stats.http_requests, 4u);
+    EXPECT_EQ(stats.requests, 1u);
+
+    // The listener still serves the line protocol afterwards.
+    auto client = ts.client();
+    const auto version = client.command("version");
+    ASSERT_TRUE(version.ok());
+    EXPECT_TRUE(version->ok);
+}
+
+/// Concurrent slow requests each flush exactly one
+/// `slow_req_<id>.trace.json` holding only that request's span tree:
+/// ids are distinct, every artifact has exactly one service.compile
+/// span, and the embedded request id matches the filename.
+TEST(ServerSlowTrace, ConcurrentSlowRequestsCaptureWithoutBleed)
+{
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::path(::testing::TempDir()) /
+        ("caqr_slow_trace_" + std::to_string(::getpid()));
+    fs::create_directories(dir);
+
+    // Any compile beats a 1 ns threshold, so every request is "slow".
+    TestServer ts({.num_threads = 2,
+                   .slow_request_ms = 1e-6,
+                   .slow_trace_dir = dir.string()},
+                  {.num_workers = 4});
+
+    const std::vector<std::string> circuits = {"bv_10.qasm",
+                                               "rd32.qasm",
+                                               "xor_5.qasm"};
+    std::vector<std::thread> threads;
+    std::vector<std::string> failures(circuits.size());
+    for (std::size_t c = 0; c < circuits.size(); ++c) {
+        threads.emplace_back([&, c] {
+            serve::Client client;
+            if (const auto connected =
+                    client.connect("127.0.0.1", ts.server.port());
+                !connected.ok()) {
+                failures[c] = connected.to_string();
+                return;
+            }
+            const auto response = client.command(
+                "compile " + circuits_dir() + "/" + circuits[c]);
+            if (!response.ok() || !response->ok) {
+                failures[c] = response.ok()
+                                  ? response->final_line()
+                                  : response.status().to_string();
+            }
+        });
+    }
+    for (auto& thread : threads) thread.join();
+    for (const auto& failure : failures) {
+        ASSERT_TRUE(failure.empty()) << failure;
+    }
+
+    std::set<std::string> ids;
+    std::size_t artifacts = 0;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+        const std::string name = entry.path().filename().string();
+        ASSERT_EQ(name.rfind("slow_req_", 0), 0u) << name;
+        ++artifacts;
+
+        const std::string id = name.substr(
+            9, name.size() - 9 - std::string(".trace.json").size());
+        EXPECT_TRUE(ids.insert(id).second)
+            << "duplicate artifact for request " << id;
+
+        std::ifstream in(entry.path());
+        std::ostringstream content;
+        content << in.rdbuf();
+        const std::string trace = content.str();
+        // Exactly one request's span tree: one top-level compile span,
+        // and the embedded id matches the filename.
+        EXPECT_EQ(
+            count_occurrences(trace, "\"name\":\"service.compile\""),
+            1u)
+            << name;
+        EXPECT_NE(trace.find("\"caqr_request\":{\"id\":" + id),
+                  std::string::npos)
+            << name;
+    }
+    EXPECT_EQ(artifacts, circuits.size());
+    EXPECT_EQ(ids.size(), circuits.size());
+
+    const auto snapshot = ts.service.metrics_snapshot();
+    EXPECT_EQ(snapshot.counters.at("service.slow_captures"),
+              static_cast<double>(circuits.size()));
+
+    std::error_code ignored;
+    fs::remove_all(dir, ignored);
+}
+
+/// The slow-trace rate limit caps lifetime artifacts: extra slow
+/// requests are suppressed (counted, not written).
+TEST(ServerSlowTrace, RateLimitSuppressesBeyondMax)
+{
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::path(::testing::TempDir()) /
+        ("caqr_slow_cap_" + std::to_string(::getpid()));
+    fs::create_directories(dir);
+
+    TestServer ts({.num_threads = 1,
+                   .slow_request_ms = 1e-6,
+                   .slow_trace_dir = dir.string(),
+                   .slow_trace_max = 1});
+
+    auto client = ts.client();
+    for (int i = 0; i < 3; ++i) {
+        const auto response = client.command(
+            "compile " + circuits_dir() + "/bv_10.qasm");
+        ASSERT_TRUE(response.ok());
+        ASSERT_TRUE(response->ok) << response->final_line();
+    }
+
+    std::size_t artifacts = 0;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+        static_cast<void>(entry);
+        ++artifacts;
+    }
+    EXPECT_EQ(artifacts, 1u);
+
+    const auto snapshot = ts.service.metrics_snapshot();
+    EXPECT_EQ(snapshot.counters.at("service.slow_captures"), 1.0);
+    EXPECT_EQ(
+        snapshot.counters.at("service.slow_captures_suppressed"), 2.0);
+
+    std::error_code ignored;
+    fs::remove_all(dir, ignored);
+}
+
+/// Every request carries a distinct request id end to end, visible in
+/// the JSONL event log alongside per-request outcome fields.
+TEST(ServerEventLog, LogsLifecycleEventsAsJsonl)
+{
+    namespace fs = std::filesystem;
+    const fs::path log_path =
+        fs::path(::testing::TempDir()) /
+        ("caqr_events_" + std::to_string(::getpid()) + ".jsonl");
+
+    serve::ServerOptions options;
+    options.event_log_path = log_path.string();
+    TestServer ts({.num_threads = 1, .cache_capacity = 4}, options);
+
+    auto client = ts.client();
+    for (int i = 0; i < 2; ++i) {
+        const auto response = client.command(
+            "compile " + circuits_dir() + "/bv_10.qasm");
+        ASSERT_TRUE(response.ok());
+        ASSERT_TRUE(response->ok);
+    }
+    const auto bye = client.command("quit");
+    ASSERT_TRUE(bye.ok());
+    ts.server.stop();
+
+    std::ifstream in(log_path);
+    ASSERT_TRUE(in.is_open());
+    std::size_t connects = 0;
+    std::size_t requests = 0;
+    std::size_t dones = 0;
+    std::size_t cache_hits = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        ASSERT_FALSE(line.empty());
+        ASSERT_EQ(line.front(), '{') << line;
+        ASSERT_EQ(line.back(), '}') << line;
+        EXPECT_NE(line.find("\"ts_ms\":"), std::string::npos) << line;
+        if (line.find("\"event\":\"connect\"") != std::string::npos) {
+            ++connects;
+        } else if (line.find("\"event\":\"request\"") !=
+                   std::string::npos) {
+            ++requests;
+        } else if (line.find("\"event\":\"done\"") !=
+                   std::string::npos) {
+            ++dones;
+            EXPECT_NE(line.find("\"ok\":true"), std::string::npos)
+                << line;
+            if (line.find("\"cache_hits\":1") != std::string::npos) {
+                ++cache_hits;
+            }
+        }
+    }
+    EXPECT_EQ(connects, 1u);
+    EXPECT_EQ(requests, 3u);  // 2 compiles + quit
+    EXPECT_EQ(dones, 3u);
+    EXPECT_EQ(cache_hits, 1u);  // the second compile hit the cache
+
+    std::error_code ignored;
+    fs::remove(log_path, ignored);
 }
 
 }  // namespace

@@ -3,8 +3,12 @@
 /// zero-overhead null sink contract.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <memory>
 #include <sstream>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "util/thread_pool.h"
 #include "util/trace.h"
@@ -150,6 +154,172 @@ TEST_F(TraceTest, NullSinkPublishesNothing)
     sink.gauge("unit.null", 1.0);
     EXPECT_TRUE(trace::collect().counters.empty());
     EXPECT_TRUE(trace::collect().gauges.empty());
+}
+
+// ---------------------------------------------------------------------
+// Request context propagation and per-request capture
+// ---------------------------------------------------------------------
+
+TEST_F(TraceTest, RequestScopeTagsGlobalSpansWithRequestId)
+{
+    trace::RequestContext ctx;
+    ctx.id = 7;
+    {
+        trace::RequestScope scope(&ctx, nullptr);
+        trace::Span span("unit.tagged");
+    }
+    {
+        trace::Span span("unit.untagged");
+    }
+    std::ostringstream os;
+    trace::write_chrome_trace(os);
+    const std::string json = os.str();
+    const auto tagged = json.find("\"name\":\"unit.tagged\"");
+    ASSERT_NE(tagged, std::string::npos);
+    const auto tagged_end = json.find('}', tagged);
+    EXPECT_NE(json.substr(tagged, tagged_end - tagged).find("\"req\":7"),
+              std::string::npos)
+        << json.substr(tagged, tagged_end - tagged);
+    const auto untagged = json.find("\"name\":\"unit.untagged\"");
+    ASSERT_NE(untagged, std::string::npos);
+    const auto untagged_end = json.find('}', untagged);
+    EXPECT_EQ(
+        json.substr(untagged, untagged_end - untagged).find("\"req\""),
+        std::string::npos);
+}
+
+/// The always-on contract: a bound capture records spans even with
+/// the global trace switch off — slow-request capture must not
+/// require globally enabled tracing.
+TEST_F(TraceTest, CaptureRecordsWithGlobalTracingDisabled)
+{
+    trace::set_enabled(false);
+    trace::RequestContext ctx;
+    ctx.id = 3;
+    trace::RequestCapture capture(ctx.id);
+    {
+        trace::RequestScope scope(&ctx, &capture);
+        trace::Span span("unit.captured");
+    }
+    EXPECT_EQ(capture.span_count(), 1u);
+    EXPECT_TRUE(capture.has_span("unit.captured"));
+    EXPECT_EQ(capture.dropped(), 0u);
+
+    // The global sink saw nothing.
+    EXPECT_TRUE(trace::collect().spans.empty());
+
+    std::ostringstream os;
+    capture.write_chrome_trace(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"name\":\"unit.captured\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"caqr_request\":{\"id\":3"),
+              std::string::npos);
+}
+
+/// `sampled = false` opts the request out: the capture stays empty
+/// even though it was passed to the scope.
+TEST_F(TraceTest, UnsampledRequestCapturesNothing)
+{
+    trace::RequestContext ctx;
+    ctx.id = 4;
+    ctx.sampled = false;
+    trace::RequestCapture capture(ctx.id);
+    {
+        trace::RequestScope scope(&ctx, &capture);
+        trace::Span span("unit.unsampled");
+    }
+    EXPECT_EQ(capture.span_count(), 0u);
+    EXPECT_FALSE(capture.has_span("unit.unsampled"));
+}
+
+/// Scopes nest and restore: pool workers rebind per task, and the
+/// previous binding comes back when the inner scope dies.
+TEST_F(TraceTest, RequestScopeNestsAndRestores)
+{
+    trace::RequestContext outer_ctx;
+    outer_ctx.id = 10;
+    trace::RequestContext inner_ctx;
+    inner_ctx.id = 11;
+    trace::RequestCapture outer(outer_ctx.id);
+    trace::RequestCapture inner(inner_ctx.id);
+
+    EXPECT_EQ(trace::current_request(), nullptr);
+    {
+        trace::RequestScope outer_scope(&outer_ctx, &outer);
+        ASSERT_NE(trace::current_request(), nullptr);
+        EXPECT_EQ(trace::current_request()->id, 10u);
+        {
+            trace::RequestScope inner_scope(&inner_ctx, &inner);
+            EXPECT_EQ(trace::current_request()->id, 11u);
+            trace::Span span("unit.inner");
+        }
+        EXPECT_EQ(trace::current_request()->id, 10u);
+        trace::Span span("unit.outer");
+    }
+    EXPECT_EQ(trace::current_request(), nullptr);
+    EXPECT_EQ(trace::current_capture(), nullptr);
+
+    EXPECT_TRUE(inner.has_span("unit.inner"));
+    EXPECT_FALSE(inner.has_span("unit.outer"));
+    EXPECT_TRUE(outer.has_span("unit.outer"));
+    EXPECT_FALSE(outer.has_span("unit.inner"));
+}
+
+/// Concurrent pool workers bound to different requests never bleed
+/// spans into each other's captures.
+TEST_F(TraceTest, ConcurrentCapturesStayIsolated)
+{
+    constexpr int kRequests = 4;
+    constexpr int kSpansEach = 32;
+    std::vector<trace::RequestContext> contexts(kRequests);
+    std::vector<std::unique_ptr<trace::RequestCapture>> captures;
+    for (int r = 0; r < kRequests; ++r) {
+        contexts[r].id = static_cast<std::uint64_t>(100 + r);
+        captures.push_back(std::make_unique<trace::RequestCapture>(
+            contexts[r].id));
+    }
+
+    util::ThreadPool pool(4);
+    pool.map(kRequests, [&](std::size_t r) {
+        trace::RequestScope scope(&contexts[r], captures[r].get());
+        for (int i = 0; i < kSpansEach; ++i) {
+            trace::Span span("unit.req" + std::to_string(r));
+        }
+        return 0;
+    });
+
+    for (int r = 0; r < kRequests; ++r) {
+        EXPECT_EQ(captures[r]->span_count(),
+                  static_cast<std::size_t>(kSpansEach))
+            << "request " << r;
+        EXPECT_TRUE(
+            captures[r]->has_span("unit.req" + std::to_string(r)));
+        for (int other = 0; other < kRequests; ++other) {
+            if (other == r) continue;
+            EXPECT_FALSE(captures[r]->has_span(
+                "unit.req" + std::to_string(other)))
+                << "request " << r << " holds spans of " << other;
+        }
+    }
+}
+
+/// The span cap holds: past kMaxSpans new spans are counted as
+/// dropped, not stored.
+TEST_F(TraceTest, CaptureCapsSpansAndCountsDrops)
+{
+    trace::RequestCapture capture(1);
+    const auto start = std::chrono::steady_clock::now();
+    const std::size_t attempts = trace::RequestCapture::kMaxSpans + 5;
+    for (std::size_t i = 0; i < attempts; ++i) {
+        capture.record("unit.flood", start, 1.0);
+    }
+    EXPECT_EQ(capture.span_count(), trace::RequestCapture::kMaxSpans);
+    EXPECT_EQ(capture.dropped(), 5u);
+
+    std::ostringstream os;
+    capture.write_chrome_trace(os);
+    EXPECT_NE(os.str().find("\"dropped\":5"), std::string::npos);
 }
 
 }  // namespace

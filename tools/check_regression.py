@@ -18,6 +18,11 @@ on regression:
   for the time gate — sub-millisecond medians are scheduler noise —
   but still quality-gated.
 
+Two baseline-free gates run on the fresh document alone:
+``--min-trial-speedup`` (absolute raced-router ratio floor) and
+``--require-window-p99`` (the serving entries must carry the
+``window_p99_ms`` scraped off the live ``/metrics`` endpoint).
+
 Improvements are reported as notes (refresh the baseline to lock them
 in). Exit codes: 0 pass, 1 regression, 2 usage/schema error.
 
@@ -198,6 +203,55 @@ def check_trial_speedup_floor(fresh, min_speedup):
     return failures, notes
 
 
+def check_window_p99(fresh):
+    """Presence gate for the rolling-window p99 cross-check.
+
+    After its load phases ``bench_serve`` scrapes ``GET /metrics`` off
+    the serving listener and records the server's rolling-window
+    ``service.total_ms`` p99 as ``window_p99_ms`` next to the
+    client-side ``client_p99_ms``. This gate proves the scrape worked:
+    every serving entry must carry a positive ``window_p99_ms``.
+    Documents without serving entries (bench_perf output) skip with a
+    note — the gate is meant for the serve-gate job's fresh document,
+    not for circuit-quality baselines.
+    """
+    failures = []
+    notes = []
+    serving = [bench for bench in fresh["benchmarks"]
+               if bench.get("strategy") == "serve"]
+    if not serving:
+        notes.append("no serving benchmarks in the fresh document; "
+                     "skipping the --require-window-p99 gate")
+        return failures, notes
+    carriers = [bench for bench in serving if "window_p99_ms" in bench]
+    if not carriers:
+        failures.append(
+            "no serving benchmark carries window_p99_ms: the /metrics "
+            "rolling-window scrape is missing from bench_serve output"
+        )
+        return failures, notes
+    for bench in carriers:
+        label = f"{bench['name']}/{bench['strategy']}"
+        value = bench["window_p99_ms"]
+        if value <= 0.0:
+            failures.append(
+                f"{label}: window_p99_ms is {value:.3f} — the /metrics "
+                "scrape returned no rolling-window series"
+            )
+            continue
+        notes.append(
+            f"{label}: rolling-window p99 {value:.3f} ms "
+            f"(client-side p99 "
+            f"{bench.get('client_p99_ms', float('nan')):.3f} ms)"
+        )
+        if bench.get("window_mismatch"):
+            notes.append(
+                f"{label}: WARNING server/client p99 disagree by more "
+                "than 25% (window_mismatch flag set by bench_serve)"
+            )
+    return failures, notes
+
+
 def self_test():
     """Proves the gate's acceptance behavior on synthetic documents."""
     baseline = {
@@ -236,6 +290,9 @@ def self_test():
                 "p50_ms": 0.4,
                 "p99_ms": 3.0,
                 "speedup": 8.0,
+                "window_p99_ms": 2.8,
+                "client_p99_ms": 3.0,
+                "window_mismatch": False,
             },
             {
                 # Template-bind entry (bench_template): sub-min-ms
@@ -386,6 +443,34 @@ def self_test():
     expect("--min-trial-speedup skips when no entry carries the field",
            run_floor(no_carrier, 3.0), False)
 
+    def run_window(mutate):
+        fresh = copy.deepcopy(baseline)
+        mutate(fresh)
+        failures, _ = check_window_p99(fresh)
+        return failures
+
+    expect("window p99 present and positive passes",
+           run_window(lambda d: None), False)
+
+    def dropped_window_p99(doc):
+        del doc["benchmarks"][2]["window_p99_ms"]
+
+    expect("serving entry without window_p99_ms fails",
+           run_window(dropped_window_p99), True)
+
+    def failed_scrape(doc):
+        doc["benchmarks"][2]["window_p99_ms"] = -1.0
+
+    expect("non-positive window_p99_ms (failed scrape) fails",
+           run_window(failed_scrape), True)
+
+    def no_serving(doc):
+        doc["benchmarks"] = [bench for bench in doc["benchmarks"]
+                             if bench.get("strategy") != "serve"]
+
+    expect("window-p99 gate skips documents without serving entries",
+           run_window(no_serving), False)
+
     def improvement(doc):
         doc["benchmarks"][0]["swaps"] = 0
         doc["benchmarks"][0]["depth"] -= 5
@@ -438,6 +523,12 @@ def main():
         "this absolute ratio; skipped with a note when no entry carries "
         "the field (machines with < 8 hardware threads)",
     )
+    parser.add_argument(
+        "--require-window-p99", action="store_true",
+        help="require every fresh serving entry to carry a positive "
+        "window_p99_ms (the /metrics rolling-window scrape worked); "
+        "skipped with a note when the document has no serving entries",
+    )
     parser.add_argument("--self-test", action="store_true",
                         help="run the synthetic acceptance cases and exit")
     args = parser.parse_args()
@@ -456,6 +547,10 @@ def main():
             fresh, args.min_trial_speedup)
         failures.extend(floor_failures)
         notes.extend(floor_notes)
+    if args.require_window_p99:
+        window_failures, window_notes = check_window_p99(fresh)
+        failures.extend(window_failures)
+        notes.extend(window_notes)
 
     for note in notes:
         print(f"note: {note}")
